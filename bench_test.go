@@ -1,0 +1,116 @@
+// Benchmarks: one target per table/figure of the paper's evaluation plus the
+// ablations of DESIGN.md. Each benchmark iteration runs its experiment in
+// benchmark mode (the smallest point of every sweep, 3 noise draws per
+// point), so a full pass with -benchtime=1x regenerates one representative
+// row of every figure. The complete tables are produced by
+//
+//	go run ./cmd/repro -fig all
+//
+// which uses the quick-scale sweeps (minutes), or -paper for the published
+// workload sizes (hours to days).
+package recmech
+
+import (
+	"testing"
+
+	"recmech/internal/exper"
+	"recmech/internal/subgraph"
+)
+
+func benchConfig() exper.Config {
+	return exper.Config{Trials: 3, Seed: 1, Bench: true}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exper.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Comparison regenerates the Fig. 1 comparison table.
+func BenchmarkFig1Comparison(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig4aNodes regenerates Fig. 4(a): error vs |V|.
+func BenchmarkFig4aNodes(b *testing.B) { runExperiment(b, "fig4a") }
+
+// BenchmarkFig4bDegree regenerates Fig. 4(b): error vs average degree.
+func BenchmarkFig4bDegree(b *testing.B) { runExperiment(b, "fig4b") }
+
+// BenchmarkFig4cEpsilon regenerates Fig. 4(c): error vs ε.
+func BenchmarkFig4cEpsilon(b *testing.B) { runExperiment(b, "fig4c") }
+
+// BenchmarkFig5RunningTime regenerates Fig. 5: running time vs |V|.
+func BenchmarkFig5RunningTime(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6RealGraphs regenerates Fig. 6: real-graph stand-ins.
+func BenchmarkFig6RealGraphs(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7RealAccuracy regenerates Fig. 7: accuracy on the stand-ins.
+func BenchmarkFig7RealAccuracy(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8ClauseCount regenerates Fig. 8: K-relations vs clause count.
+func BenchmarkFig8ClauseCount(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9RelationSize regenerates Fig. 9: K-relations vs |supp(R)|.
+func BenchmarkFig9RelationSize(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkAblationDNF measures raw vs DNF-normalized annotations.
+func BenchmarkAblationDNF(b *testing.B) { runExperiment(b, "abl-dnf") }
+
+// BenchmarkAblationBeta measures the β = ε/k sweep.
+func BenchmarkAblationBeta(b *testing.B) { runExperiment(b, "abl-beta") }
+
+// BenchmarkAblationSplit measures the ε₁:ε₂ split sweep.
+func BenchmarkAblationSplit(b *testing.B) { runExperiment(b, "abl-split") }
+
+// BenchmarkAblationLP measures the two LP solvers on the mechanism's H LPs.
+func BenchmarkAblationLP(b *testing.B) { runExperiment(b, "abl-lp") }
+
+// ---- Micro-benchmarks of the core pipeline ----
+
+// BenchmarkTrianglePrepare measures Δ preparation for node-private triangle
+// counting on a 40-node graph (the per-graph LP cost).
+func BenchmarkTrianglePrepare(b *testing.B) {
+	g := RandomGraph(NewRand(1), 40, 6)
+	for i := 0; i < b.N; i++ {
+		if _, err := TriangleCounter(g, Options{Epsilon: 0.5, Privacy: NodePrivacy}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTriangleRelease measures one release on a prepared counter (the
+// marginal per-answer cost).
+func BenchmarkTriangleRelease(b *testing.B) {
+	g := RandomGraph(NewRand(1), 40, 6)
+	c, err := TriangleCounter(g, Options{Epsilon: 0.5, Privacy: NodePrivacy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := NewRand(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Release(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTriangleEnumeration measures the substrate: enumerating all
+// triangles of a 200-node graph.
+func BenchmarkTriangleEnumeration(b *testing.B) {
+	g := RandomGraph(NewRand(1), 200, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSinkInt = subgraph.CountTriangles(g)
+	}
+}
+
+var benchSinkInt int

@@ -1,0 +1,83 @@
+// Command repro regenerates the tables and figures of the paper's
+// evaluation (§6) plus the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	repro -fig list                 # show available experiments
+//	repro -fig fig4a                # reproduce Fig. 4(a) at quick scale
+//	repro -fig fig8 -trials 25      # more noise draws per point
+//	repro -fig fig4a -paper         # paper-scale workloads (hours!)
+//	repro -fig all                  # every figure, quick scale
+//	repro -fig fig7 -csv out.csv    # also write CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"recmech/internal/exper"
+)
+
+func main() {
+	var (
+		figID  = flag.String("fig", "list", "experiment id (fig1, fig4a..fig9, abl-*, all, list)")
+		trials = flag.Int("trials", 15, "noise draws per data point")
+		seed   = flag.Int64("seed", 1, "base RNG seed")
+		paper  = flag.Bool("paper", false, "paper-scale workloads (can take hours to days)")
+		csv    = flag.String("csv", "", "also write the table(s) as CSV to this file")
+	)
+	flag.Parse()
+
+	cfg := exper.Config{Trials: *trials, Seed: *seed, Paper: *paper}
+
+	if *figID == "list" {
+		fmt.Println("available experiments:")
+		for _, e := range exper.All() {
+			fmt.Printf("  %-9s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	var exps []exper.Experiment
+	if *figID == "all" {
+		exps = exper.All()
+	} else {
+		e, err := exper.Lookup(*figID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []exper.Experiment{e}
+	}
+
+	var csvFile *os.File
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		tab, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if csvFile != nil {
+			fmt.Fprintf(csvFile, "# %s: %s\n", tab.ID, tab.Title)
+			if err := tab.WriteCSV(csvFile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

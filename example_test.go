@@ -1,0 +1,100 @@
+package recmech_test
+
+import (
+	"fmt"
+
+	"recmech"
+)
+
+// The headline capability: a node-differentially-private triangle count.
+func ExampleCountTriangles() {
+	g := recmech.NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+
+	res, err := recmech.CountTriangles(g, recmech.Options{
+		Epsilon: 1.0,
+		Privacy: recmech.NodePrivacy,
+	}, recmech.NewRand(7))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("true count: %.0f\n", res.TrueAnswer)
+	fmt.Printf("participants protected: %d\n", res.Participants)
+	// Output:
+	// true count: 2
+	// participants protected: 4
+}
+
+// Annotated relations compose through the positive relational algebra;
+// QueryRelation releases a private statistic of the result.
+func ExampleQueryRelation() {
+	u := recmech.NewUniverse()
+	visits := recmech.NewRelation("patient", "ailment")
+	visits.Add(recmech.Tuple{"ana", "flu"}, recmech.VarOf(u, "ana"))
+	visits.Add(recmech.Tuple{"bo", "flu"}, recmech.VarOf(u, "bo"))
+	rx := recmech.NewRelation("ailment", "drug")
+	rx.Add(recmech.Tuple{"flu", "x"}, recmech.AndExprs()) // public reference row
+
+	joined := recmech.NaturalJoin(visits, rx)
+	s := recmech.NewSensitive(u, joined)
+	res, err := recmech.QueryRelation(s, recmech.Count,
+		recmech.Options{Epsilon: 1}, recmech.NewRand(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("output tuples: %d, true count: %.0f\n", res.Tuples, res.TrueAnswer)
+	// Output:
+	// output tuples: 2, true count: 2
+}
+
+// The SQL-like front end compiles to the same algebra.
+func ExampleRunQuery() {
+	u := recmech.NewUniverse()
+	e := recmech.NewRelation("x", "y")
+	for _, edge := range [][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}} {
+		ann := recmech.AndExprs(recmech.VarOf(u, edge[0]), recmech.VarOf(u, edge[1]))
+		e.Add(recmech.Tuple{edge[0], edge[1]}, ann)
+		e.Add(recmech.Tuple{edge[1], edge[0]}, ann)
+	}
+	db := recmech.NewQueryDatabase()
+	db.Register("E", e)
+
+	// Triangles via a triple self-join (Fig. 2(a) of the paper).
+	out, err := recmech.RunQuery(db,
+		"SELECT x, y, z FROM E, E(y, z), E(x, z) WHERE x < y AND y < z")
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range out.Support() {
+		fmt.Println(t)
+	}
+	// Output:
+	// (a, b, c)
+}
+
+// Custom patterns count arbitrary connected subgraphs.
+func ExampleCountPattern() {
+	g := recmech.NewGraph(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddEdge(i, j) // K5
+		}
+	}
+	// A 4-cycle pattern.
+	c4 := recmech.NewPattern(4, []recmech.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 3},
+	})
+	res, err := recmech.CountPattern(g, c4,
+		recmech.Options{Epsilon: 1, Privacy: recmech.EdgePrivacy}, recmech.NewRand(5))
+	if err != nil {
+		panic(err)
+	}
+	// K5 has C(5,4)·3 = 15 four-cycles.
+	fmt.Printf("true 4-cycles: %.0f\n", res.TrueAnswer)
+	// Output:
+	// true 4-cycles: 15
+}

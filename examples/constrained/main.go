@@ -1,0 +1,71 @@
+// Constrained demonstrates subgraph counting with arbitrary constraints on
+// the matched nodes and edges (§1.1: "our solution also allows arbitrary
+// kinds of constraints imposed on any edges or nodes of the subgraph, which
+// are not supported by prior works").
+//
+// Scenario: a collaboration network where every researcher has a field.
+// We privately count triangles whose three members span at least two
+// different fields ("interdisciplinary collaborations"), under node
+// differential privacy.
+//
+// Run with: go run ./examples/constrained
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recmech"
+)
+
+func main() {
+	rng := recmech.NewRand(9)
+	const people = 40
+	g := recmech.RandomClusteredGraph(rng, people, 90, 0.6)
+
+	// Node attribute: a research field per person.
+	fields := make([]string, people)
+	names := []string{"bio", "cs", "math"}
+	for i := range fields {
+		fields[i] = names[rng.Intn(len(names))]
+	}
+
+	interdisciplinary := func(m recmech.Match) bool {
+		first := fields[m.Nodes[0]]
+		for _, v := range m.Nodes[1:] {
+			if fields[v] != first {
+				return true
+			}
+		}
+		return false
+	}
+
+	all, err := recmech.PatternCounter(g, recmech.NewTrianglePattern(), nil,
+		recmech.Options{Epsilon: 1, Privacy: recmech.NodePrivacy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inter, err := recmech.PatternCounter(g, recmech.NewTrianglePattern(), interdisciplinary,
+		recmech.Options{Epsilon: 1, Privacy: recmech.NodePrivacy})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	resAll, err := all.Result(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resInter, err := inter.Result(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("collaboration network: %d researchers, %d links\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("all triangles:                true %.0f, private %.2f\n",
+		resAll.TrueAnswer, resAll.Value)
+	fmt.Printf("interdisciplinary triangles:  true %.0f, private %.2f\n",
+		resInter.TrueAnswer, resInter.Value)
+	fmt.Println("\n(each release is node-differentially private with ε = 1;")
+	fmt.Println(" the constraint is applied before annotation, so the privacy")
+	fmt.Println(" guarantee covers the constrained count exactly)")
+}

@@ -1,0 +1,204 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"recmech/internal/graph"
+	"recmech/internal/noise"
+	"recmech/internal/subgraph"
+)
+
+func complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+func TestGlobalLaplaceCentering(t *testing.T) {
+	g := complete(10)
+	truth := float64(subgraph.CountTriangles(g))
+	rng := noise.NewRand(1)
+	const trials = 2001
+	vals := make([]float64, trials)
+	for i := range vals {
+		vals[i] = GlobalLaplaceTriangles(g, 1.0, rng)
+	}
+	if med := median(vals); math.Abs(med-truth) > 20 {
+		t.Errorf("median = %v, truth = %v", med, truth)
+	}
+}
+
+func TestSmoothUpperBoundDominatesLS(t *testing.T) {
+	for _, tc := range []struct{ ls, beta, cap float64 }{
+		{0, 0.1, 100}, {3, 0.1, 100}, {50, 0.01, 60}, {5, 1, 10},
+	} {
+		s := smoothUpperBound(tc.ls, tc.beta, tc.cap)
+		if s < tc.ls-1e-12 {
+			t.Errorf("S = %v below LS = %v", s, tc.ls)
+		}
+		// Smoothness: S(ls) ≥ e^{−β}·S(ls+1) — shifting the local
+		// sensitivity by one (a neighboring graph) decays by at most e^β.
+		s1 := smoothUpperBound(math.Min(tc.ls+1, tc.cap), tc.beta, tc.cap)
+		if s < math.Exp(-tc.beta)*s1-1e-9 {
+			t.Errorf("smoothness violated: S(ls)=%v, S(ls+1)=%v, β=%v", s, s1, tc.beta)
+		}
+	}
+}
+
+func TestSmoothUpperBoundRandomSmoothness(t *testing.T) {
+	rng := noise.NewRand(2)
+	for trial := 0; trial < 500; trial++ {
+		ls := float64(rng.Intn(40))
+		beta := 0.01 + rng.Float64()
+		cap := ls + float64(rng.Intn(100))
+		s0 := smoothUpperBound(ls, beta, cap)
+		s1 := smoothUpperBound(math.Min(ls+1, cap), beta, cap)
+		if s0 < math.Exp(-beta)*s1-1e-9 {
+			t.Fatalf("trial %d: smoothness fails at ls=%v β=%v cap=%v: %v < %v",
+				trial, ls, beta, cap, s0, math.Exp(-beta)*s1)
+		}
+	}
+}
+
+// The smooth bound must dominate the local sensitivity at *every* rewiring
+// distance, discounted: S(G) ≥ e^{−βs}·LS^{(s)}(G).
+func TestSmoothBoundDominatesDistanceS(t *testing.T) {
+	rng := noise.NewRand(3)
+	g := graph.RandomGNP(rng, 30, 0.2)
+	beta := 0.1
+	cap := float64(g.NumNodes() - 2)
+	ls := localSensitivityTriangles(g)
+	s := smoothUpperBound(ls, beta, cap)
+	for dist := 0; dist < 60; dist++ {
+		lsAtS := math.Min(cap, ls+float64(dist))
+		if s < math.Exp(-beta*float64(dist))*lsAtS-1e-9 {
+			t.Fatalf("distance %d: S=%v < %v", dist, s, math.Exp(-beta*float64(dist))*lsAtS)
+		}
+	}
+}
+
+func TestSmoothTrianglesAccuracyOnDenseGraph(t *testing.T) {
+	// On K20 the triangle count (1140) dwarfs the smooth sensitivity (18),
+	// so the median relative error at ε=1 should be well under 1.
+	g := complete(20)
+	truth := float64(subgraph.CountTriangles(g))
+	rng := noise.NewRand(4)
+	const trials = 501
+	rel := make([]float64, trials)
+	for i := range rel {
+		rel[i] = math.Abs(SmoothTriangles(g, 1.0, rng)-truth) / truth
+	}
+	if med := median(rel); med > 0.5 {
+		t.Errorf("median relative error = %v, want < 0.5", med)
+	}
+}
+
+func TestSmoothKStarsAccuracy(t *testing.T) {
+	g := complete(15)
+	truth := subgraph.CountKStars(g, 2)
+	rng := noise.NewRand(5)
+	const trials = 501
+	rel := make([]float64, trials)
+	for i := range rel {
+		rel[i] = math.Abs(SmoothKStars(g, 2, 1.0, rng)-truth) / truth
+	}
+	if med := median(rel); med > 0.5 {
+		t.Errorf("median relative error = %v", med)
+	}
+}
+
+func TestNoisyLocalKTrianglesRuns(t *testing.T) {
+	g := complete(12)
+	truth := subgraph.CountKTriangles(g, 2)
+	rng := noise.NewRand(6)
+	const trials = 301
+	vals := make([]float64, trials)
+	for i := range vals {
+		vals[i] = NoisyLocalKTriangles(g, 2, 0.5, 0.1, rng)
+	}
+	med := median(vals)
+	if math.IsNaN(med) || math.IsInf(med, 0) {
+		t.Fatalf("median = %v", med)
+	}
+	// The noise scale is large but the release must still be centered.
+	if math.Abs(med-truth) > truth*5+1000 {
+		t.Errorf("median = %v wildly off truth %v", med, truth)
+	}
+}
+
+func TestRHMSErrorScaleGrowsWithPattern(t *testing.T) {
+	g := complete(15)
+	rng := noise.NewRand(7)
+	// Error magnitude for 2-triangle (l=5) must dwarf triangle (l=3).
+	triErr, ktriErr := 0.0, 0.0
+	truthTri := float64(subgraph.CountTriangles(g))
+	truthKtri := subgraph.CountKTriangles(g, 2)
+	const trials = 301
+	for i := 0; i < trials; i++ {
+		triErr += math.Abs(RHMSTriangles(g, 0.5, rng) - truthTri)
+		ktriErr += math.Abs(RHMSKTriangles(g, 2, 0.5, rng) - truthKtri)
+	}
+	if ktriErr < triErr {
+		t.Errorf("RHMS error should explode with subgraph size: tri %v vs 2-tri %v",
+			triErr/trials, ktriErr/trials)
+	}
+}
+
+func TestRHMSGenericMatchesSpecialized(t *testing.T) {
+	// The generic RHMS on the triangle pattern and the specialized version
+	// must use the same noise scale: compare dispersion statistics.
+	g := complete(10)
+	rng1, rng2 := noise.NewRand(8), noise.NewRand(8)
+	a := RHMS(g, subgraph.TrianglePattern(), 0.5, rng1)
+	b := RHMSTriangles(g, 0.5, rng2)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("same seed should give identical releases: %v vs %v", a, b)
+	}
+}
+
+func TestRHMSKStarsRuns(t *testing.T) {
+	g := complete(10)
+	v := RHMSKStars(g, 2, 0.5, noise.NewRand(9))
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("release = %v", v)
+	}
+}
+
+func TestLocalSensitivityTriangles(t *testing.T) {
+	if got := localSensitivityTriangles(complete(6)); got != 4 {
+		t.Errorf("LS(K6) = %v, want 4", got)
+	}
+	p := graph.New(3)
+	p.AddEdge(0, 1)
+	p.AddEdge(1, 2)
+	if got := localSensitivityTriangles(p); got != 1 {
+		t.Errorf("LS(path) = %v, want 1", got)
+	}
+}
+
+func TestEmptyGraphReleases(t *testing.T) {
+	g := graph.New(0)
+	rng := noise.NewRand(10)
+	for name, f := range map[string]func() float64{
+		"global": func() float64 { return GlobalLaplaceTriangles(g, 1, rng) },
+		"smooth": func() float64 { return SmoothTriangles(g, 1, rng) },
+		"kstar":  func() float64 { return SmoothKStars(g, 2, 1, rng) },
+		"ktri":   func() float64 { return NoisyLocalKTriangles(g, 2, 1, 0.1, rng) },
+		"rhms":   func() float64 { return RHMSTriangles(g, 1, rng) },
+	} {
+		if v := f(); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s on empty graph: %v", name, v)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package boolexpr
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrDNFTooLarge is returned by ToDNF when the disjunctive normal form would
+// exceed the caller's clause budget. CNF-shaped inputs blow up exponentially
+// under distribution, and the recursive mechanism does not require DNF — it is
+// an optional normalization that shrinks the φ-sensitivities S(k,p) to ≤ 1
+// (paper §5.2, property 3).
+var ErrDNFTooLarge = errors.New("boolexpr: DNF clause budget exceeded")
+
+// Clause is a duplicate-free, ascending set of variables interpreted as their
+// conjunction.
+type Clause []Var
+
+// DNF is a disjunction of clauses. The empty DNF denotes False; a DNF
+// containing an empty clause denotes True (after normalization, such a DNF is
+// exactly {∅}).
+type DNF []Clause
+
+// ToDNF converts e to the canonical irredundant disjunctive normal form: a
+// set of duplicate-free clauses none of which contains another. For positive
+// (hence monotone) expressions this is the unique prime-implicant form.
+//
+// ToDNF preserves the truth table but NOT φ in general: merging duplicate
+// variables inside a clause (idempotence) changes φ. Per paper §5.2, DNF is
+// an *alternative safe annotation scheme* rather than a φ-invariant rewrite:
+// if all annotations of a K-relation are kept in canonical DNF, neighboring
+// databases still map to neighboring K-relations (substituting p→False and
+// re-normalizing commutes with the conversion — see the safety tests), and
+// every φ-sensitivity satisfies S(k,p) ≤ 1, improving the error bound.
+//
+// maxClauses bounds the intermediate clause count; ≤ 0 means 4096.
+func ToDNF(e *Expr, maxClauses int) (DNF, error) {
+	if maxClauses <= 0 {
+		maxClauses = 4096
+	}
+	d, err := toDNF(e, maxClauses)
+	if err != nil {
+		return nil, err
+	}
+	return normalizeDNF(d), nil
+}
+
+func toDNF(e *Expr, budget int) (DNF, error) {
+	switch e.op {
+	case OpFalse:
+		return DNF{}, nil
+	case OpTrue:
+		return DNF{Clause{}}, nil
+	case OpVar:
+		return DNF{Clause{e.v}}, nil
+	case OpOr:
+		var out DNF
+		for _, k := range e.kids {
+			d, err := toDNF(k, budget)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, d...)
+			if len(out) > budget {
+				out = normalizeDNF(out)
+				if len(out) > budget {
+					return nil, ErrDNFTooLarge
+				}
+			}
+		}
+		return out, nil
+	case OpAnd:
+		out := DNF{Clause{}}
+		for _, k := range e.kids {
+			d, err := toDNF(k, budget)
+			if err != nil {
+				return nil, err
+			}
+			if len(d) == 0 {
+				return DNF{}, nil // conjunct is False
+			}
+			next := make(DNF, 0, len(out)*len(d))
+			for _, a := range out {
+				for _, b := range d {
+					next = append(next, mergeClauses(a, b))
+				}
+			}
+			out = normalizeDNF(next)
+			if len(out) > budget {
+				return nil, ErrDNFTooLarge
+			}
+		}
+		return out, nil
+	}
+	panic("boolexpr: invalid op")
+}
+
+// mergeClauses returns the sorted duplicate-free union of two clauses.
+func mergeClauses(a, b Clause) Clause {
+	out := make(Clause, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// normalizeDNF sorts clauses, removes duplicates, and removes absorbed
+// clauses (any clause that is a superset of another). A True clause (empty)
+// absorbs everything.
+func normalizeDNF(d DNF) DNF {
+	if len(d) == 0 {
+		return d
+	}
+	sort.Slice(d, func(i, j int) bool {
+		if len(d[i]) != len(d[j]) {
+			return len(d[i]) < len(d[j])
+		}
+		for k := range d[i] {
+			if d[i][k] != d[j][k] {
+				return d[i][k] < d[j][k]
+			}
+		}
+		return false
+	})
+	if len(d[0]) == 0 {
+		return DNF{Clause{}}
+	}
+	var out DNF
+	for _, c := range d {
+		absorbed := false
+		for _, kept := range out {
+			if clauseSubset(kept, c) {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// clauseSubset reports whether every variable of a occurs in b (both sorted).
+func clauseSubset(a, b Clause) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, v := range b {
+		if i == len(a) {
+			return true
+		}
+		if a[i] == v {
+			i++
+		} else if a[i] < v {
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+// Expr converts the DNF back to an expression tree (a disjunction of
+// duplicate-free conjunctions).
+func (d DNF) Expr() *Expr {
+	if len(d) == 0 {
+		return False()
+	}
+	terms := make([]*Expr, len(d))
+	for i, c := range d {
+		if len(c) == 0 {
+			return True()
+		}
+		terms[i] = Conj(c...)
+	}
+	return Or(terms...)
+}
+
+// FromClauses builds a normalized DNF from raw clauses (each deduplicated and
+// sorted by the caller or not — both are handled).
+func FromClauses(clauses []Clause) DNF {
+	d := make(DNF, 0, len(clauses))
+	for _, c := range clauses {
+		cc := append(Clause(nil), c...)
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		// Deduplicate within the clause.
+		uniq := cc[:0]
+		for i, v := range cc {
+			if i == 0 || v != cc[i-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		d = append(d, uniq)
+	}
+	return normalizeDNF(d)
+}

@@ -1,0 +1,154 @@
+package boolexpr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestToDNFBasic(t *testing.T) {
+	a, b, c := v(0), v(1), v(2)
+	// (a ∨ b) ∧ c  →  (a∧c) ∨ (b∧c)
+	d, err := ToDNF(And(Or(a, b), c), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 {
+		t.Fatalf("DNF = %v, want 2 clauses", d)
+	}
+	if !EqualTruthTable(d.Expr(), And(Or(a, b), c)) {
+		t.Error("DNF changed the truth table")
+	}
+}
+
+func TestToDNFConstants(t *testing.T) {
+	d, err := ToDNF(False(), 0)
+	if err != nil || len(d) != 0 {
+		t.Errorf("DNF(false) = %v, %v", d, err)
+	}
+	if !d.Expr().Equal(False()) {
+		t.Error("empty DNF must render as False")
+	}
+	d, err = ToDNF(True(), 0)
+	if err != nil || len(d) != 1 || len(d[0]) != 0 {
+		t.Errorf("DNF(true) = %v, %v", d, err)
+	}
+	if !d.Expr().Equal(True()) {
+		t.Error("{∅} DNF must render as True")
+	}
+}
+
+func TestToDNFAbsorption(t *testing.T) {
+	a, b := v(0), v(1)
+	// a ∨ (a ∧ b) absorbs to a.
+	d, err := ToDNF(Or(a, And(a, b)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 || len(d[0]) != 1 || d[0][0] != 0 {
+		t.Errorf("absorption failed: %v", d)
+	}
+}
+
+func TestToDNFDuplicateClause(t *testing.T) {
+	a, b := v(0), v(1)
+	d, err := ToDNF(Or(And(a, b), And(b, a)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 {
+		t.Errorf("duplicate clauses not merged: %v", d)
+	}
+}
+
+func TestToDNFBudget(t *testing.T) {
+	// CNF with n clauses of 2 vars has 2^n DNF clauses before normalization.
+	var cnf []*Expr
+	for i := 0; i < 20; i++ {
+		cnf = append(cnf, Or(v(2*i), v(2*i+1)))
+	}
+	_, err := ToDNF(And(cnf...), 100)
+	if !errors.Is(err, ErrDNFTooLarge) {
+		t.Fatalf("expected ErrDNFTooLarge, got %v", err)
+	}
+}
+
+func TestToDNFPreservesTruthTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		e := Random(rng, 6, 3)
+		d, err := ToDNF(e, 1<<16)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !EqualTruthTable(e, d.Expr()) {
+			t.Fatalf("trial %d: DNF of %v is %v — truth tables differ", trial, e, d.Expr())
+		}
+	}
+}
+
+func TestToDNFIrredundant(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 200; trial++ {
+		e := Random(rng, 6, 3)
+		d, err := ToDNF(e, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range d {
+			for j := range d {
+				if i != j && clauseSubset(d[i], d[j]) {
+					t.Fatalf("trial %d: clause %v absorbs %v but both present in %v",
+						trial, d[i], d[j], d)
+				}
+			}
+		}
+	}
+}
+
+func TestFromClauses(t *testing.T) {
+	d := FromClauses([]Clause{{3, 1, 1}, {1, 3}, {2}})
+	// {1,3} deduplicated and merged with {3,1,1}; {2} kept.
+	if len(d) != 2 {
+		t.Fatalf("FromClauses = %v", d)
+	}
+	for _, c := range d {
+		for i := 1; i < len(c); i++ {
+			if c[i-1] >= c[i] {
+				t.Fatalf("clause %v not strictly sorted", c)
+			}
+		}
+	}
+}
+
+func TestClauseSubset(t *testing.T) {
+	cases := []struct {
+		a, b Clause
+		want bool
+	}{
+		{Clause{}, Clause{1, 2}, true},
+		{Clause{1}, Clause{1, 2}, true},
+		{Clause{2}, Clause{1, 2}, true},
+		{Clause{3}, Clause{1, 2}, false},
+		{Clause{1, 2}, Clause{1}, false},
+		{Clause{1, 2}, Clause{1, 2}, true},
+	}
+	for _, tc := range cases {
+		if got := clauseSubset(tc.a, tc.b); got != tc.want {
+			t.Errorf("clauseSubset(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMergeClauses(t *testing.T) {
+	got := mergeClauses(Clause{1, 3, 5}, Clause{2, 3, 6})
+	want := Clause{1, 2, 3, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", got, want)
+		}
+	}
+}

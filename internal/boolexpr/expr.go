@@ -1,0 +1,388 @@
+// Package boolexpr implements positive Boolean expressions — the annotation
+// domain K of the sensitive K-relations in Chen & Zhou, "Recursive Mechanism"
+// (SIGMOD 2013), §2.4.
+//
+// An expression is built from the constants True and False, variables (one
+// per potential participant), and the connectives ∧ and ∨. Negation is not
+// representable: the algebra is positive, which is exactly what makes every
+// annotation monotone in its participants.
+//
+// Equivalence of expressions in this codebase is φ-equivalence (§5.2): two
+// expressions are interchangeable only if the relaxation φ maps them to the
+// same [0,1]-valued function. The constructors therefore apply only the
+// φ-invariant transformations listed in the paper — identity, annihilator and
+// associativity — and never Boolean idempotence (φ(x∧x) ≠ φ(x)). Distributivity
+// of ∧ over ∨ (also φ-invariant) is applied only by the explicit ToDNF
+// conversion.
+package boolexpr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var identifies a participant variable. Variables are small integers so that
+// the LP encodings in internal/mechanism can use them directly as column
+// indices; use a Universe to attach human-readable names.
+type Var int32
+
+// Op enumerates the five node kinds of a positive Boolean expression.
+type Op uint8
+
+// The expression node kinds.
+const (
+	OpFalse Op = iota // constant False (semiring 0)
+	OpTrue            // constant True (semiring 1)
+	OpVar             // a participant variable
+	OpAnd             // n-ary conjunction
+	OpOr              // n-ary disjunction
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpFalse:
+		return "false"
+	case OpTrue:
+		return "true"
+	case OpVar:
+		return "var"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Expr is an immutable positive Boolean expression. The zero value is the
+// constant False. Expressions must be treated as read-only once built; they
+// may share subtrees.
+type Expr struct {
+	op   Op
+	v    Var     // valid when op == OpVar
+	kids []*Expr // valid when op == OpAnd or OpOr; always len ≥ 2
+}
+
+var (
+	exprFalse = &Expr{op: OpFalse}
+	exprTrue  = &Expr{op: OpTrue}
+)
+
+// False returns the constant False expression.
+func False() *Expr { return exprFalse }
+
+// True returns the constant True expression.
+func True() *Expr { return exprTrue }
+
+// NewVar returns the expression consisting of the single variable v.
+func NewVar(v Var) *Expr {
+	if v < 0 {
+		panic("boolexpr: negative variable")
+	}
+	return &Expr{op: OpVar, v: v}
+}
+
+// Op reports the node kind.
+func (e *Expr) Op() Op { return e.op }
+
+// Variable returns the variable of an OpVar node and panics otherwise.
+func (e *Expr) Variable() Var {
+	if e.op != OpVar {
+		panic("boolexpr: Variable on non-var node")
+	}
+	return e.v
+}
+
+// Children returns the operand list of an And/Or node (nil for leaves). The
+// returned slice must not be modified.
+func (e *Expr) Children() []*Expr { return e.kids }
+
+// IsConst reports whether e is one of the two constants.
+func (e *Expr) IsConst() bool { return e.op == OpFalse || e.op == OpTrue }
+
+// And builds the conjunction of xs, applying the φ-invariant simplifications:
+// identity (x∧True = x), annihilator (x∧False = False) and associativity
+// (nested conjunctions are flattened). Duplicate operands are preserved —
+// idempotence is not φ-invariant.
+func And(xs ...*Expr) *Expr {
+	kids := make([]*Expr, 0, len(xs))
+	for _, x := range xs {
+		switch x.op {
+		case OpFalse:
+			return exprFalse
+		case OpTrue:
+			// identity: drop
+		case OpAnd:
+			kids = append(kids, x.kids...)
+		default:
+			kids = append(kids, x)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return exprTrue
+	case 1:
+		return kids[0]
+	}
+	return &Expr{op: OpAnd, kids: kids}
+}
+
+// Or builds the disjunction of xs with identity (x∨False = x), annihilator
+// (x∨True = True) and associativity applied. Duplicates are preserved (for ∨
+// dropping duplicates happens to be φ-safe, since φ uses max, but we keep the
+// constructors symmetric and leave normalization to ToDNF).
+func Or(xs ...*Expr) *Expr {
+	kids := make([]*Expr, 0, len(xs))
+	for _, x := range xs {
+		switch x.op {
+		case OpTrue:
+			return exprTrue
+		case OpFalse:
+			// identity: drop
+		case OpOr:
+			kids = append(kids, x.kids...)
+		default:
+			kids = append(kids, x)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return exprFalse
+	case 1:
+		return kids[0]
+	}
+	return &Expr{op: OpOr, kids: kids}
+}
+
+// Conj returns the conjunction of the given variables. It is the annotation
+// shape produced by subgraph matching (Fig. 2 of the paper): the caller is
+// responsible for passing a duplicate-free variable list.
+func Conj(vs ...Var) *Expr {
+	xs := make([]*Expr, len(vs))
+	for i, v := range vs {
+		xs[i] = NewVar(v)
+	}
+	return And(xs...)
+}
+
+// Eval evaluates e under the Boolean assignment given by present: a variable
+// is True iff present(v) returns true.
+func (e *Expr) Eval(present func(Var) bool) bool {
+	switch e.op {
+	case OpFalse:
+		return false
+	case OpTrue:
+		return true
+	case OpVar:
+		return present(e.v)
+	case OpAnd:
+		for _, k := range e.kids {
+			if !k.Eval(present) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range e.kids {
+			if k.Eval(present) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("boolexpr: invalid op")
+}
+
+// Substitute replaces every occurrence of variable v by the constant value
+// and re-applies the φ-invariant constant foldings. Substituting a withdrawn
+// participant with False is exactly the neighboring-database operation
+// R(t)|p→False of Definition 14.
+func (e *Expr) Substitute(v Var, value bool) *Expr {
+	switch e.op {
+	case OpFalse, OpTrue:
+		return e
+	case OpVar:
+		if e.v != v {
+			return e
+		}
+		if value {
+			return exprTrue
+		}
+		return exprFalse
+	case OpAnd, OpOr:
+		changed := false
+		kids := make([]*Expr, len(e.kids))
+		for i, k := range e.kids {
+			kids[i] = k.Substitute(v, value)
+			if kids[i] != k {
+				changed = true
+			}
+		}
+		if !changed {
+			return e
+		}
+		if e.op == OpAnd {
+			return And(kids...)
+		}
+		return Or(kids...)
+	}
+	panic("boolexpr: invalid op")
+}
+
+// Vars appends the set of distinct variables occurring in e to dst and
+// returns it, in ascending order.
+func (e *Expr) Vars(dst []Var) []Var {
+	seen := make(map[Var]struct{})
+	e.walkVars(func(v Var) {
+		seen[v] = struct{}{}
+	})
+	for v := range seen {
+		dst = append(dst, v)
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
+// HasVar reports whether variable v occurs anywhere in e.
+func (e *Expr) HasVar(v Var) bool {
+	found := false
+	e.walkVars(func(w Var) {
+		if w == v {
+			found = true
+		}
+	})
+	return found
+}
+
+func (e *Expr) walkVars(f func(Var)) {
+	switch e.op {
+	case OpVar:
+		f(e.v)
+	case OpAnd, OpOr:
+		for _, k := range e.kids {
+			k.walkVars(f)
+		}
+	}
+}
+
+// Size returns the number of leaf occurrences (variables and constants) in e.
+// The total annotation size L = Σ_t Size(R(t)) governs the LP dimension and
+// hence the polynomial running-time bound of Theorem 6.
+func (e *Expr) Size() int {
+	switch e.op {
+	case OpFalse, OpTrue, OpVar:
+		return 1
+	case OpAnd, OpOr:
+		n := 0
+		for _, k := range e.kids {
+			n += k.Size()
+		}
+		return n
+	}
+	panic("boolexpr: invalid op")
+}
+
+// Depth returns the height of the expression tree (a leaf has depth 1).
+func (e *Expr) Depth() int {
+	switch e.op {
+	case OpFalse, OpTrue, OpVar:
+		return 1
+	default:
+		d := 0
+		for _, k := range e.kids {
+			if kd := k.Depth(); kd > d {
+				d = kd
+			}
+		}
+		return d + 1
+	}
+}
+
+// String renders e with ∧/∨ and minimal parentheses, using v<N> as variable
+// names. Use Universe.Format for named output.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.format(&b, func(v Var) string { return fmt.Sprintf("v%d", v) }, 0)
+	return b.String()
+}
+
+// precedence: Or = 1, And = 2, leaf = 3.
+func (e *Expr) format(b *strings.Builder, name func(Var) string, parentPrec int) {
+	prec, sep := 3, ""
+	switch e.op {
+	case OpFalse:
+		b.WriteString("false")
+		return
+	case OpTrue:
+		b.WriteString("true")
+		return
+	case OpVar:
+		b.WriteString(name(e.v))
+		return
+	case OpAnd:
+		prec, sep = 2, " ∧ "
+	case OpOr:
+		prec, sep = 1, " ∨ "
+	}
+	paren := prec < parentPrec
+	if paren {
+		b.WriteByte('(')
+	}
+	for i, k := range e.kids {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		k.format(b, name, prec)
+	}
+	if paren {
+		b.WriteByte(')')
+	}
+}
+
+// Equal reports structural equality (same tree shape, not φ-equivalence).
+func (e *Expr) Equal(o *Expr) bool {
+	if e == o {
+		return true
+	}
+	if e.op != o.op || e.v != o.v || len(e.kids) != len(o.kids) {
+		return false
+	}
+	for i := range e.kids {
+		if !e.kids[i].Equal(o.kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualTruthTable reports whether e and o compute the same Boolean function
+// over the union of their variables. It enumerates all assignments and is
+// intended for tests and small expressions (≤ ~20 variables).
+func EqualTruthTable(e, o *Expr) bool {
+	vars := e.Vars(nil)
+	vars = o.Vars(vars)
+	// Deduplicate the merged, sorted list.
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	uniq := vars[:0]
+	for i, v := range vars {
+		if i == 0 || v != vars[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	vars = uniq
+	if len(vars) > 24 {
+		panic("boolexpr: EqualTruthTable over more than 24 variables")
+	}
+	idx := make(map[Var]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	for mask := 0; mask < 1<<len(vars); mask++ {
+		present := func(v Var) bool { return mask&(1<<idx[v]) != 0 }
+		if e.Eval(present) != o.Eval(present) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,283 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func v(i int) *Expr { return NewVar(Var(i)) }
+
+func TestConstructorsFoldConstants(t *testing.T) {
+	a, b := v(0), v(1)
+	cases := []struct {
+		name string
+		got  *Expr
+		want *Expr
+	}{
+		{"and identity", And(a, True()), a},
+		{"and annihilator", And(a, False(), b), False()},
+		{"or identity", Or(a, False()), a},
+		{"or annihilator", Or(a, True(), b), True()},
+		{"empty and", And(), True()},
+		{"empty or", Or(), False()},
+		{"and single", And(a), a},
+		{"or single", Or(b), b},
+	}
+	for _, tc := range cases {
+		if !tc.got.Equal(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestConstructorsFlatten(t *testing.T) {
+	a, b, c, d := v(0), v(1), v(2), v(3)
+	e := And(And(a, b), And(c, d))
+	if e.Op() != OpAnd || len(e.Children()) != 4 {
+		t.Fatalf("nested And not flattened: %v", e)
+	}
+	o := Or(Or(a, b), c)
+	if o.Op() != OpOr || len(o.Children()) != 3 {
+		t.Fatalf("nested Or not flattened: %v", o)
+	}
+}
+
+func TestConstructorsPreserveDuplicates(t *testing.T) {
+	// Idempotence is NOT φ-invariant: And(a, a) must keep both occurrences.
+	a := v(0)
+	e := And(a, a)
+	if len(e.Children()) != 2 {
+		t.Fatalf("And(a, a) collapsed to %v; duplicates must be preserved", e)
+	}
+	o := Or(a, a)
+	if len(o.Children()) != 2 {
+		t.Fatalf("Or(a, a) collapsed to %v", o)
+	}
+}
+
+func TestEval(t *testing.T) {
+	a, b, c := v(0), v(1), v(2)
+	e := Or(And(a, b), c)
+	tests := []struct {
+		mask int
+		want bool
+	}{
+		{0b000, false}, {0b001, false}, {0b010, false}, {0b011, true},
+		{0b100, true}, {0b111, true},
+	}
+	for _, tc := range tests {
+		got := e.Eval(func(x Var) bool { return tc.mask&(1<<x) != 0 })
+		if got != tc.want {
+			t.Errorf("Eval mask=%03b: got %v want %v", tc.mask, got, tc.want)
+		}
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	a, b, c := v(0), v(1), v(2)
+	e := Or(And(a, b), And(a, c))
+	gotFalse := e.Substitute(0, false)
+	if !gotFalse.Equal(False()) {
+		t.Errorf("substituting a→False: got %v, want false", gotFalse)
+	}
+	gotTrue := e.Substitute(0, true)
+	if !gotTrue.Equal(Or(b, c)) {
+		t.Errorf("substituting a→True: got %v, want v1 ∨ v2", gotTrue)
+	}
+	// Substituting an absent variable returns the identical node.
+	if e.Substitute(9, false) != e {
+		t.Error("substituting absent variable should return the same pointer")
+	}
+}
+
+func TestSubstituteMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		e := Random(rng, 6, 3)
+		p := Var(rng.Intn(6))
+		val := rng.Intn(2) == 1
+		sub := e.Substitute(p, val)
+		for mask := 0; mask < 64; mask++ {
+			present := func(x Var) bool {
+				if x == p {
+					return val
+				}
+				return mask&(1<<x) != 0
+			}
+			if e.Eval(present) != sub.Eval(func(x Var) bool { return mask&(1<<x) != 0 }) {
+				t.Fatalf("trial %d: substitute of %v at v%d=%v diverges on mask %b",
+					trial, e, p, val, mask)
+			}
+		}
+	}
+}
+
+func TestVarsAndHasVar(t *testing.T) {
+	e := Or(And(v(3), v(1)), v(3), v(0))
+	vars := e.Vars(nil)
+	want := []Var{0, 1, 3}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v, want %v", vars, want)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+	if !e.HasVar(3) || e.HasVar(2) {
+		t.Error("HasVar incorrect")
+	}
+}
+
+func TestSizeAndDepth(t *testing.T) {
+	e := Or(And(v(0), v(1), v(2)), v(3))
+	if e.Size() != 4 {
+		t.Errorf("Size = %d, want 4", e.Size())
+	}
+	if e.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", e.Depth())
+	}
+	if True().Size() != 1 || True().Depth() != 1 {
+		t.Error("constant size/depth wrong")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := And(Or(v(0), v(1)), v(2))
+	if got := e.String(); got != "(v0 ∨ v1) ∧ v2" {
+		t.Errorf("String = %q", got)
+	}
+	e2 := Or(And(v(0), v(1)), v(2))
+	if got := e2.String(); got != "v0 ∧ v1 ∨ v2" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEqualTruthTable(t *testing.T) {
+	a, b, c := v(0), v(1), v(2)
+	// Distributivity.
+	lhs := And(a, Or(b, c))
+	rhs := Or(And(a, b), And(a, c))
+	if !EqualTruthTable(lhs, rhs) {
+		t.Error("distributivity should preserve the truth table")
+	}
+	// Idempotence preserves truth tables too (though not φ).
+	if !EqualTruthTable(And(a, a), a) {
+		t.Error("And(a,a) should have the same truth table as a")
+	}
+	if EqualTruthTable(And(a, b), Or(a, b)) {
+		t.Error("a∧b and a∨b must differ")
+	}
+}
+
+func TestConj(t *testing.T) {
+	e := Conj(2, 0, 1)
+	if e.Op() != OpAnd || len(e.Children()) != 3 {
+		t.Fatalf("Conj = %v", e)
+	}
+	if Conj().Op() != OpTrue {
+		t.Error("empty Conj should be True")
+	}
+	if !Conj(5).Equal(v(5)) {
+		t.Error("singleton Conj should be the variable")
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	u := NewUniverse()
+	a := u.Var("alice")
+	b := u.Var("bob")
+	if a == b {
+		t.Fatal("distinct names must get distinct vars")
+	}
+	if again := u.Var("alice"); again != a {
+		t.Error("repeated name must return the same var")
+	}
+	if u.Len() != 2 {
+		t.Errorf("Len = %d, want 2", u.Len())
+	}
+	if u.Name(a) != "alice" || u.Name(b) != "bob" {
+		t.Error("Name mismatch")
+	}
+	if u.Name(Var(99)) != "v99" {
+		t.Error("unknown var should format as v99")
+	}
+	if _, ok := u.Lookup("carol"); ok {
+		t.Error("Lookup of absent name should fail")
+	}
+	got := u.Format(And(NewVar(a), NewVar(b)))
+	if got != "alice ∧ bob" {
+		t.Errorf("Format = %q", got)
+	}
+	names := u.Names()
+	if len(names) != 2 || names[0] != "alice" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	u := NewUniverse()
+	cases := []string{
+		"a & b & c",
+		"(a | b) & (c | d)",
+		"a and (b or c)",
+		"true",
+		"false | x",
+		"a ∧ b ∨ c",
+	}
+	for _, src := range cases {
+		e, err := Parse(src, u)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		rendered := u.Format(e)
+		e2, err := Parse(strings.NewReplacer("∧", "&", "∨", "|").Replace(rendered), u)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", rendered, err)
+		}
+		if !EqualTruthTable(e, e2) {
+			t.Errorf("round trip of %q changed semantics: %v vs %v", src, e, e2)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	u := NewUniverse()
+	e, err := Parse("a & b | c & d", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Parse("(a & b) | (c & d)", u)
+	if !e.Equal(want) {
+		t.Errorf("precedence: got %v, want %v", e, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	u := NewUniverse()
+	for _, src := range []string{"", "a &", "(a", "a b", "& a", "a @ b", ")"} {
+		if _, err := Parse(src, u); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestRandomGeneratorShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		e := Random(rng, 8, 4)
+		for _, x := range e.Vars(nil) {
+			if x < 0 || x >= 8 {
+				t.Fatalf("variable %d out of range", x)
+			}
+		}
+		if e.Size() < 1 {
+			t.Fatal("empty expression")
+		}
+	}
+	c := RandomClause(rng, 5, 10)
+	if got := len(c.Vars(nil)); got != 5 {
+		t.Errorf("RandomClause width capped: got %d vars, want 5", got)
+	}
+}

@@ -1,0 +1,71 @@
+package boolexpr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// round-trips through formatting with an identical truth table.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"a & b | c",
+		"(a | b) & (c | d)",
+		"true | false",
+		"a and b or c",
+		"((((x))))",
+		"a & & b",
+		"∧∨",
+		"a ∧ b ∨ c",
+		strings.Repeat("(", 50) + "a" + strings.Repeat(")", 50),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 4096 {
+			return
+		}
+		u := NewUniverse()
+		e, err := Parse(input, u)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if u.Len() > 20 {
+			return // truth-table check would be too large
+		}
+		rendered := strings.NewReplacer("∧", "&", "∨", "|").Replace(u.Format(e))
+		back, err := Parse(rendered, u)
+		if err != nil {
+			t.Fatalf("formatter output %q does not re-parse: %v", rendered, err)
+		}
+		if !EqualTruthTable(e, back) {
+			t.Fatalf("round trip changed semantics: %q vs %q", u.Format(e), u.Format(back))
+		}
+	})
+}
+
+// FuzzSubstituteDNF checks DNF conversion and substitution never panic and
+// stay truth-table consistent on arbitrary parsed expressions.
+func FuzzSubstituteDNF(f *testing.F) {
+	f.Add("a & b | c & d", uint8(0), false)
+	f.Add("(a|b)&(c|d)&(e|f)", uint8(2), true)
+	f.Fuzz(func(t *testing.T, input string, varIdx uint8, value bool) {
+		if len(input) > 1024 {
+			return
+		}
+		u := NewUniverse()
+		e, err := Parse(input, u)
+		if err != nil || u.Len() == 0 || u.Len() > 12 {
+			return
+		}
+		v := Var(int(varIdx) % u.Len())
+		sub := e.Substitute(v, value)
+		d, err := ToDNF(sub, 1<<14)
+		if err != nil {
+			return // budget exceeded is acceptable
+		}
+		if !EqualTruthTable(sub, d.Expr()) {
+			t.Fatalf("DNF of substituted %q differs", input)
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package boolexpr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a positive Boolean expression. The grammar, lowest precedence
+// first:
+//
+//	expr   := term { ("|" | "∨" | "or")  term }
+//	term   := factor { ("&" | "∧" | "and") factor }
+//	factor := "true" | "false" | ident | "(" expr ")"
+//
+// Identifiers are resolved (and allocated) in u. Parse is used by the CLI
+// tools and tests; programmatic construction should use And/Or/Conj.
+func Parse(input string, u *Universe) (*Expr, error) {
+	p := &parser{src: input, u: u}
+	p.next()
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok != tokEOF {
+		return nil, fmt.Errorf("boolexpr: unexpected %q at offset %d", p.lit, p.off)
+	}
+	return e, nil
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokAnd
+	tokOr
+	tokLParen
+	tokRParen
+	tokTrue
+	tokFalse
+	tokErr
+)
+
+type parser struct {
+	src string
+	pos int // scan position
+	off int // offset of current token
+	tok tokKind
+	lit string
+	u   *Universe
+}
+
+func (p *parser) next() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	p.off = p.pos
+	if p.pos >= len(p.src) {
+		p.tok, p.lit = tokEOF, ""
+		return
+	}
+	rest := p.src[p.pos:]
+	switch {
+	case rest[0] == '(':
+		p.tok, p.lit = tokLParen, "("
+		p.pos++
+	case rest[0] == ')':
+		p.tok, p.lit = tokRParen, ")"
+		p.pos++
+	case rest[0] == '&':
+		p.tok, p.lit = tokAnd, "&"
+		p.pos++
+	case rest[0] == '|':
+		p.tok, p.lit = tokOr, "|"
+		p.pos++
+	case strings.HasPrefix(rest, "∧"):
+		p.tok, p.lit = tokAnd, "∧"
+		p.pos += len("∧")
+	case strings.HasPrefix(rest, "∨"):
+		p.tok, p.lit = tokOr, "∨"
+		p.pos += len("∨")
+	default:
+		if !isIdentStart(rune(rest[0])) {
+			p.tok, p.lit = tokErr, rest[:1]
+			return
+		}
+		end := p.pos
+		for end < len(p.src) && isIdentPart(rune(p.src[end])) {
+			end++
+		}
+		lit := p.src[p.pos:end]
+		p.pos = end
+		switch strings.ToLower(lit) {
+		case "true":
+			p.tok = tokTrue
+		case "false":
+			p.tok = tokFalse
+		case "and":
+			p.tok = tokAnd
+		case "or":
+			p.tok = tokOr
+		default:
+			p.tok = tokIdent
+		}
+		p.lit = lit
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (p *parser) parseOr() (*Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []*Expr{e}
+	for p.tok == tokOr {
+		p.next()
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	return Or(terms...), nil
+}
+
+func (p *parser) parseAnd() (*Expr, error) {
+	e, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	terms := []*Expr{e}
+	for p.tok == tokAnd {
+		p.next()
+		t, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	return And(terms...), nil
+}
+
+func (p *parser) parseFactor() (*Expr, error) {
+	switch p.tok {
+	case tokTrue:
+		p.next()
+		return True(), nil
+	case tokFalse:
+		p.next()
+		return False(), nil
+	case tokIdent:
+		v := p.u.Var(p.lit)
+		p.next()
+		return NewVar(v), nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != tokRParen {
+			return nil, fmt.Errorf("boolexpr: missing ')' at offset %d", p.off)
+		}
+		p.next()
+		return e, nil
+	case tokEOF:
+		return nil, fmt.Errorf("boolexpr: unexpected end of input")
+	default:
+		return nil, fmt.Errorf("boolexpr: unexpected %q at offset %d", p.lit, p.off)
+	}
+}

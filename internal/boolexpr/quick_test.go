@@ -1,0 +1,137 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: printing and re-parsing any random expression preserves its
+// truth table.
+func TestQuickParsePrintRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	replacer := strings.NewReplacer("∧", "&", "∨", "|")
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := NewUniverse()
+		for i := 0; i < 6; i++ {
+			u.Var(string(rune('a' + i)))
+		}
+		e := Random(r, 6, 3)
+		parsed, err := Parse(replacer.Replace(u.Format(e)), u)
+		if err != nil {
+			return false
+		}
+		return EqualTruthTable(e, parsed)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DNF normalization is idempotent.
+func TestQuickDNFIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := Random(r, 5, 3)
+		d1, err := ToDNF(e, 1<<16)
+		if err != nil {
+			return false
+		}
+		d2, err := ToDNF(d1.Expr(), 1<<16)
+		if err != nil {
+			return false
+		}
+		if len(d1) != len(d2) {
+			return false
+		}
+		for i := range d1 {
+			if len(d1[i]) != len(d2[i]) {
+				return false
+			}
+			for j := range d1[i] {
+				if d1[i][j] != d2[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: substitution is idempotent and order-independent for distinct
+// variables.
+func TestQuickSubstitutionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := Random(r, 5, 3)
+		p := Var(r.Intn(5))
+		q := Var(r.Intn(5))
+		if p == q {
+			return true
+		}
+		vp, vq := r.Intn(2) == 1, r.Intn(2) == 1
+		// Idempotence.
+		once := e.Substitute(p, vp)
+		twice := once.Substitute(p, vp)
+		if !once.Equal(twice) {
+			return false
+		}
+		// Order independence.
+		ab := e.Substitute(p, vp).Substitute(q, vq)
+		ba := e.Substitute(q, vq).Substitute(p, vp)
+		return EqualTruthTable(ab, ba)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Size is preserved or reduced by substitution (folding only
+// removes nodes).
+func TestQuickSubstituteNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := Random(r, 5, 4)
+		p := Var(r.Intn(5))
+		return e.Substitute(p, false).Size() <= e.Size() &&
+			e.Substitute(p, true).Size() <= e.Size()
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: monotonicity of positive expressions — turning any variable on
+// never flips the evaluation from true to false.
+func TestQuickMonotoneEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := Random(r, 5, 3)
+		mask := r.Intn(32)
+		p := uint(r.Intn(5))
+		lo := func(v Var) bool { return mask&(1<<v) != 0 }
+		hiMask := mask | (1 << p)
+		hi := func(v Var) bool { return hiMask&(1<<v) != 0 }
+		if e.Eval(lo) && !e.Eval(hi) {
+			return false
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

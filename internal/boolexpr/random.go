@@ -1,0 +1,48 @@
+package boolexpr
+
+import "math/rand"
+
+// Random generates a random positive Boolean expression over variables
+// 0..numVars-1 with the given maximum depth. It is used by property-based
+// tests across packages and by the ablation experiments; distribution: at
+// depth 0 a variable is produced (constants with small probability),
+// otherwise And/Or with 2–3 random children.
+func Random(rng *rand.Rand, numVars, depth int) *Expr {
+	if numVars <= 0 {
+		panic("boolexpr: Random needs at least one variable")
+	}
+	if depth <= 0 || rng.Intn(4) == 0 {
+		r := rng.Intn(20)
+		switch {
+		case r == 0:
+			return True()
+		case r == 1:
+			return False()
+		default:
+			return NewVar(Var(rng.Intn(numVars)))
+		}
+	}
+	n := 2 + rng.Intn(2)
+	kids := make([]*Expr, n)
+	for i := range kids {
+		kids[i] = Random(rng, numVars, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return And(kids...)
+	}
+	return Or(kids...)
+}
+
+// RandomClause returns a duplicate-free conjunction of width distinct
+// variables drawn uniformly from 0..numVars-1; width is capped at numVars.
+func RandomClause(rng *rand.Rand, numVars, width int) *Expr {
+	if width > numVars {
+		width = numVars
+	}
+	perm := rng.Perm(numVars)[:width]
+	vs := make([]Var, width)
+	for i, p := range perm {
+		vs[i] = Var(p)
+	}
+	return Conj(vs...)
+}

@@ -1,0 +1,59 @@
+package boolexpr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Universe maintains the bijection between participant names and Var indices
+// for one sensitive database. Variables are allocated densely from 0, so a
+// Universe of n participants always uses Vars 0..n-1.
+type Universe struct {
+	names []string
+	index map[string]Var
+}
+
+// NewUniverse returns an empty universe.
+func NewUniverse() *Universe {
+	return &Universe{index: make(map[string]Var)}
+}
+
+// Var returns the variable for name, allocating a fresh one on first use.
+func (u *Universe) Var(name string) Var {
+	if v, ok := u.index[name]; ok {
+		return v
+	}
+	v := Var(len(u.names))
+	u.names = append(u.names, name)
+	u.index[name] = v
+	return v
+}
+
+// Lookup returns the variable for name without allocating.
+func (u *Universe) Lookup(name string) (Var, bool) {
+	v, ok := u.index[name]
+	return v, ok
+}
+
+// Name returns the name of v, or "v<N>" if v was never named.
+func (u *Universe) Name(v Var) string {
+	if int(v) < len(u.names) {
+		return u.names[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// Len returns the number of allocated variables.
+func (u *Universe) Len() int { return len(u.names) }
+
+// Names returns all names in variable order. The slice is a copy.
+func (u *Universe) Names() []string {
+	return append([]string(nil), u.names...)
+}
+
+// Format renders e using this universe's names.
+func (u *Universe) Format(e *Expr) string {
+	var b strings.Builder
+	e.format(&b, u.Name, 0)
+	return b.String()
+}

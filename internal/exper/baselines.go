@@ -1,0 +1,70 @@
+package exper
+
+import (
+	"math/rand"
+
+	"recmech/internal/baseline"
+	"recmech/internal/graph"
+	"recmech/internal/noise"
+	"recmech/internal/subgraph"
+)
+
+// noiseRand aliases the RNG type so runner.go stays uncluttered.
+type noiseRand = rand.Rand
+
+// baselineGlobal is the Laplace/global-sensitivity release for the query
+// kind. Only triangle counting has a conventional closed-form edge global
+// sensitivity; for the other kinds we calibrate to their worst-case change
+// per edge toggle on an n-node graph.
+func baselineGlobal(g *graph.Graph, kind QueryKind, epsilon float64, rng *noiseRand) float64 {
+	switch kind {
+	case Triangle:
+		return baseline.GlobalLaplaceTriangles(g, epsilon, rng)
+	case TwoStar:
+		// An edge toggle changes the 2-star count by (d_u + d_v) ≤ 2(n−2).
+		n := float64(g.NumNodes())
+		return trueCount(g, kind) + lap(rng, 2*(n-2)/epsilon)
+	case TwoTriangle:
+		// Bounded via a_max ≤ n−2 common neighbors per edge.
+		n := float64(g.NumNodes())
+		gs := (n - 2) * (n - 2)
+		return trueCount(g, kind) + lap(rng, gs/epsilon)
+	}
+	panic("exper: unknown query kind")
+}
+
+// baselineLocal dispatches to the query-appropriate local-sensitivity
+// mechanism: NRS'07 for triangles, Karwa et al. for 2-stars (pure ε) and
+// 2-triangles ((ε,δ)).
+func baselineLocal(g *graph.Graph, kind QueryKind, epsilon, delta float64, rng *noiseRand) float64 {
+	switch kind {
+	case Triangle:
+		return baseline.SmoothTriangles(g, epsilon, rng)
+	case TwoStar:
+		return baseline.SmoothKStars(g, 2, epsilon, rng)
+	case TwoTriangle:
+		return baseline.NoisyLocalKTriangles(g, 2, epsilon, delta, rng)
+	}
+	panic("exper: unknown query kind")
+}
+
+func baselineRHMS(g *graph.Graph, kind QueryKind, epsilon float64, rng *noiseRand) float64 {
+	switch kind {
+	case Triangle:
+		return baseline.RHMSTriangles(g, epsilon, rng)
+	case TwoStar:
+		return baseline.RHMSKStars(g, 2, epsilon, rng)
+	case TwoTriangle:
+		return baseline.RHMSKTriangles(g, 2, epsilon, rng)
+	}
+	panic("exper: unknown query kind")
+}
+
+func lap(rng *noiseRand, b float64) float64 {
+	return noise.Laplace(rng, b)
+}
+
+// rhmsGeneric forwards to the generic RHMS release for arbitrary patterns.
+func rhmsGeneric(g *graph.Graph, p subgraph.Pattern, epsilon float64, rng *noiseRand) float64 {
+	return baseline.RHMS(g, p, epsilon, rng)
+}

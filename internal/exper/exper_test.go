@@ -1,0 +1,204 @@
+package exper
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"recmech/internal/graph"
+	"recmech/internal/krelgen"
+	"recmech/internal/noise"
+	"recmech/internal/subgraph"
+)
+
+func tinyConfig() Config { return Config{Trials: 3, Seed: 7} }
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		ID:      "t",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+	}
+	tab.AddRow("x", 1.23456)
+	tab.AddRow("longer", math.NaN())
+	tab.Notes = append(tab.Notes, "a note")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== t: demo ==", "a", "bb", "1.235", "longer", "-", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fprint output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow(`va"l`, 2)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a,b") || !strings.Contains(out, `"va""l",2`) {
+		t.Errorf("CSV output wrong:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234567: "1.23e+06",
+		0.5:     "0.5",
+		0.00001: "1e-05",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if _, err := Lookup("fig4a"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown experiment should fail lookup")
+	}
+	all := All()
+	if len(all) != 13 {
+		t.Errorf("registry has %d experiments, want 13", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Error("All() should be sorted by ID")
+		}
+	}
+}
+
+func TestSeedForDeterministic(t *testing.T) {
+	cfg := Config{Seed: 5}
+	if seedFor(cfg, 1, 2) != seedFor(cfg, 1, 2) {
+		t.Error("seedFor must be deterministic")
+	}
+	if seedFor(cfg, 1, 2) == seedFor(cfg, 2, 1) {
+		t.Error("seedFor should distinguish argument order")
+	}
+}
+
+func TestQueryKindStrings(t *testing.T) {
+	if Triangle.String() != "triangle" || TwoStar.String() != "2-star" ||
+		TwoTriangle.String() != "2-triangle" {
+		t.Error("QueryKind strings wrong")
+	}
+}
+
+func TestBuildRelationAndTrueCountAgree(t *testing.T) {
+	g := graph.RandomAverageDegree(noise.NewRand(3), 15, 4)
+	for _, kind := range fig4Queries {
+		s := buildRelation(g, kind, subgraph.NodePrivacy)
+		if got, want := float64(s.Rel.Size()), trueCount(g, kind); got != want {
+			t.Errorf("%v: relation size %v vs true count %v", kind, got, want)
+		}
+	}
+}
+
+func TestRunRecursiveTinyGraph(t *testing.T) {
+	g := graph.RandomAverageDegree(noise.NewRand(4), 12, 4)
+	r, err := runRecursive(g, Triangle, subgraph.NodePrivacy, 0.5, tinyConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(r.MedianRelErr) && trueCount(g, Triangle) > 0 {
+		t.Error("median error NaN on non-empty truth")
+	}
+	if r.Prepare <= 0 {
+		t.Error("prepare time not measured")
+	}
+}
+
+func TestRunBaselineAllKinds(t *testing.T) {
+	g := graph.RandomAverageDegree(noise.NewRand(5), 15, 5)
+	for _, kind := range fig4Queries {
+		for _, which := range []BaselineKind{BaselineLocalSens, BaselineRHMS, BaselineGlobal} {
+			med := runBaseline(g, kind, which, 0.5, 0.1, tinyConfig(), 9)
+			if math.IsInf(med, 0) {
+				t.Errorf("%v/%v: infinite error", kind, which)
+			}
+		}
+	}
+}
+
+func TestKrelPointTiny(t *testing.T) {
+	s := krelgen.Generate(noise.NewRand(6), krelgen.Config{Tuples: 20, Clauses: 3, Form: krelgen.DNF3})
+	med, ref, elapsed, err := krelPoint(s, tinyConfig(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(med) || math.IsNaN(ref) {
+		t.Errorf("med=%v ref=%v", med, ref)
+	}
+	if elapsed <= 0 {
+		t.Error("elapsed not measured")
+	}
+}
+
+func TestRelativeUS(t *testing.T) {
+	s := krelgen.Generate(noise.NewRand(7), krelgen.Config{Tuples: 20, Clauses: 2, Form: krelgen.DNF3})
+	v := relativeUS(s, 0.5)
+	if v <= 0 || math.IsInf(v, 0) {
+		t.Errorf("relativeUS = %v", v)
+	}
+}
+
+func TestRealGraphGenerators(t *testing.T) {
+	cfg := tinyConfig()
+	for _, rg := range realGraphs {
+		g := rg.generate(cfg, 1)
+		if g.NumNodes() != rg.V/rg.QuickScale {
+			t.Errorf("%s: nodes = %d, want %d", rg.Name, g.NumNodes(), rg.V/rg.QuickScale)
+		}
+		if g.NumEdges() != rg.E/rg.QuickScale {
+			t.Errorf("%s: edges = %d, want %d", rg.Name, g.NumEdges(), rg.E/rg.QuickScale)
+		}
+	}
+}
+
+// One cheap end-to-end figure as a smoke test: the ε₁:ε₂ ablation.
+func TestAblationSplitSmoke(t *testing.T) {
+	tab, err := AblationSplit(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Errorf("rows = %d, want 5", len(tab.Rows))
+	}
+}
+
+// Every registered experiment must run end to end; benchmark mode keeps each
+// sweep at its smallest point so the whole pass stays fast.
+func TestAllExperimentsBenchMode(t *testing.T) {
+	cfg := Config{Trials: 2, Seed: 3, Bench: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("no rows produced")
+			}
+			if tab.ID == "" || tab.Title == "" || len(tab.Columns) == 0 {
+				t.Error("table metadata incomplete")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("row width %d, header width %d", len(row), len(tab.Columns))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,297 @@
+package exper
+
+import (
+	"fmt"
+	"time"
+
+	"recmech/internal/graph"
+	"recmech/internal/krel"
+	"recmech/internal/mechanism"
+	"recmech/internal/noise"
+	"recmech/internal/stats"
+	"recmech/internal/subgraph"
+)
+
+// epsilonDefault and deltaDefault follow §6.1: ε = 0.5, δ = γ = 0.1.
+const (
+	epsilonDefault = 0.5
+	deltaDefault   = 0.1
+)
+
+// fig4Queries lists the three workloads with the per-query node caps used in
+// quick mode (2-star relations grow like |V|·C(avgdeg,2) and dominate cost).
+var fig4Queries = []QueryKind{Triangle, TwoStar, TwoTriangle}
+
+// Fig4a reproduces Fig. 4(a): median relative error vs number of nodes at
+// fixed average degree, for the three queries and four mechanisms.
+func Fig4a(cfg Config) (*Table, error) {
+	nodes := []int{20, 30, 40, 50}
+	avgdeg := 5.0
+	if cfg.Paper {
+		nodes = []int{20, 40, 60, 80, 100, 120, 140, 160, 180, 200}
+		avgdeg = 10
+	}
+	nodes = takeInts(cfg, nodes)
+	t := &Table{
+		ID:    "fig4a",
+		Title: fmt.Sprintf("median relative error vs |V| (avgdeg=%g, ε=%g)", avgdeg, epsilonDefault),
+		Columns: []string{"query", "|V|", "true count", "rec(node)", "rec(edge)",
+			"local-sens", "RHMS"},
+	}
+	for _, kind := range fig4Queries {
+		for _, n := range nodes {
+			if err := fig4Point(t, cfg, kind, n, avgdeg, epsilonDefault); err != nil {
+				return nil, err
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"local-sens: NRS'07 smooth sensitivity (triangle), Karwa'11 (2-star pure ε, 2-triangle (ε,δ))",
+		"all baselines provide edge privacy only")
+	return t, nil
+}
+
+// Fig4b reproduces Fig. 4(b): error vs average degree at fixed |V|.
+func Fig4b(cfg Config) (*Table, error) {
+	degrees := []float64{2, 3, 4, 5, 6}
+	n := 30
+	if cfg.Paper {
+		degrees = []float64{2, 4, 6, 8, 10, 12, 14, 16}
+		n = 200
+	}
+	degrees = takeFloats(cfg, degrees)
+	t := &Table{
+		ID:    "fig4b",
+		Title: fmt.Sprintf("median relative error vs average degree (|V|=%d, ε=%g)", n, epsilonDefault),
+		Columns: []string{"query", "avgdeg", "true count", "rec(node)", "rec(edge)",
+			"local-sens", "RHMS"},
+	}
+	for _, kind := range fig4Queries {
+		for _, d := range degrees {
+			if err := fig4PointDeg(t, cfg, kind, n, d, epsilonDefault); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig4c reproduces Fig. 4(c): error vs ε at fixed graph size.
+func Fig4c(cfg Config) (*Table, error) {
+	epsilons := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	n, avgdeg := 30, 5.0
+	if cfg.Paper {
+		n, avgdeg = 200, 10
+	}
+	epsilons = takeFloats(cfg, epsilons)
+	t := &Table{
+		ID:    "fig4c",
+		Title: fmt.Sprintf("median relative error vs ε (|V|=%d, avgdeg=%g)", n, avgdeg),
+		Columns: []string{"query", "ε", "true count", "rec(node)", "rec(edge)",
+			"local-sens", "RHMS"},
+	}
+	for _, kind := range fig4Queries {
+		for _, eps := range epsilons {
+			g := graph.RandomAverageDegree(noise.NewRand(seedFor(cfg, int64(kind), 77)), n, avgdeg)
+			row, err := fig4Row(cfg, g, kind, eps)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(kind.String(), eps, row.truth, row.recNode, row.recEdge, row.local, row.rhms)
+		}
+	}
+	return t, nil
+}
+
+type fig4Vals struct {
+	truth                         float64
+	recNode, recEdge, local, rhms float64
+}
+
+func fig4Point(t *Table, cfg Config, kind QueryKind, n int, avgdeg, eps float64) error {
+	g := graph.RandomAverageDegree(noise.NewRand(seedFor(cfg, int64(kind), int64(n))), n, avgdeg)
+	row, err := fig4Row(cfg, g, kind, eps)
+	if err != nil {
+		return err
+	}
+	t.AddRow(kind.String(), n, row.truth, row.recNode, row.recEdge, row.local, row.rhms)
+	return nil
+}
+
+func fig4PointDeg(t *Table, cfg Config, kind QueryKind, n int, avgdeg, eps float64) error {
+	g := graph.RandomAverageDegree(noise.NewRand(seedFor(cfg, int64(kind), int64(avgdeg*10))), n, avgdeg)
+	row, err := fig4Row(cfg, g, kind, eps)
+	if err != nil {
+		return err
+	}
+	t.AddRow(kind.String(), avgdeg, row.truth, row.recNode, row.recEdge, row.local, row.rhms)
+	return nil
+}
+
+func fig4Row(cfg Config, g *graph.Graph, kind QueryKind, eps float64) (fig4Vals, error) {
+	v := fig4Vals{truth: trueCount(g, kind)}
+	rn, err := runRecursive(g, kind, subgraph.NodePrivacy, eps, cfg, seedFor(cfg, 1))
+	if err != nil {
+		return v, err
+	}
+	re, err := runRecursive(g, kind, subgraph.EdgePrivacy, eps, cfg, seedFor(cfg, 2))
+	if err != nil {
+		return v, err
+	}
+	v.recNode = rn.MedianRelErr
+	v.recEdge = re.MedianRelErr
+	v.local = runBaseline(g, kind, BaselineLocalSens, eps, deltaDefault, cfg, seedFor(cfg, 3))
+	v.rhms = runBaseline(g, kind, BaselineRHMS, eps, deltaDefault, cfg, seedFor(cfg, 4))
+	return v, nil
+}
+
+// Fig5 reproduces Fig. 5: running time of the recursive mechanism vs |V|.
+// Reported time is Δ-preparation plus one release (the LP work; subgraph
+// enumeration is excluded as in the paper's cost accounting).
+func Fig5(cfg Config) (*Table, error) {
+	nodes := []int{20, 30, 40, 50}
+	avgdeg := 5.0
+	if cfg.Paper {
+		nodes = []int{20, 40, 60, 80, 100, 120, 140, 160, 180, 200}
+		avgdeg = 10
+	}
+	nodes = takeInts(cfg, nodes)
+	t := &Table{
+		ID:    "fig5",
+		Title: fmt.Sprintf("running time of the recursive mechanism (avgdeg=%g)", avgdeg),
+		Columns: []string{"|V|", "tri/node", "tri/edge", "2star/node", "2star/edge",
+			"2tri/node", "2tri/edge"},
+	}
+	for _, n := range nodes {
+		row := []any{n}
+		for _, kind := range fig4Queries {
+			for _, priv := range []subgraph.Privacy{subgraph.NodePrivacy, subgraph.EdgePrivacy} {
+				g := graph.RandomAverageDegree(noise.NewRand(seedFor(cfg, int64(kind), int64(n))), n, avgdeg)
+				r, err := runRecursive(g, kind, priv, epsilonDefault, cfg, seedFor(cfg, 9))
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtDuration(r.Prepare+r.PerRelease))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// realGraph is a stand-in for one of the paper's real datasets (see
+// DESIGN.md, substitutions). Scale 1 matches the paper's |V| and |E|; quick
+// mode uses 1/10 linear scale.
+type realGraph struct {
+	Name       string
+	V, E       int     // paper's sizes
+	Triads     float64 // triadic-closure fraction steering triangle density
+	PaperTris  int     // paper-reported triangle count, for EXPERIMENTS.md
+	QuickScale int     // linear downscale in quick mode (triangle-rich graphs shrink more)
+}
+
+var realGraphs = []realGraph{
+	{"netscience", 1589, 2742, 0.75, 3764, 10},
+	{"power", 4941, 6594, 0.15, 651, 10},
+	{"1138_bus", 1138, 2596, 0.10, 128, 10},
+	{"bcspwr10", 5300, 13571, 0.10, 721, 10},
+	{"gemat12", 4929, 33111, 0.02, 592, 12},
+	{"ca-GrQc", 5242, 14496, 0.80, 48260, 25},
+	{"ca-HepTh", 9877, 25998, 0.55, 28339, 30},
+}
+
+func (r realGraph) generate(cfg Config, seed int64) *graph.Graph {
+	scale := r.QuickScale
+	if cfg.Paper {
+		scale = 1
+	}
+	return graph.RandomClustered(noise.NewRand(seed), r.V/scale, r.E/scale, r.Triads)
+}
+
+// Fig6 reproduces Fig. 6: stand-in real-graph sizes, triangle counts and
+// recursive-mechanism running times under both privacy models.
+func Fig6(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "fig6",
+		Title: "real-graph stand-ins: sizes and triangle-counting running time",
+		Columns: []string{"graph", "|V|", "|E|", "triangles", "paper tris",
+			"time(node)", "time(edge)"},
+	}
+	for gi, rg := range benchGraphs(cfg) {
+		g := rg.generate(cfg, seedFor(cfg, int64(gi)))
+		tris := subgraph.CountTriangles(g)
+		rn, err := runRecursive(g, Triangle, subgraph.NodePrivacy, epsilonDefault, cfg, seedFor(cfg, 21))
+		if err != nil {
+			return nil, err
+		}
+		re, err := runRecursive(g, Triangle, subgraph.EdgePrivacy, epsilonDefault, cfg, seedFor(cfg, 22))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(rg.Name, g.NumNodes(), g.NumEdges(), tris, rg.PaperTris,
+			fmtDuration(rn.Prepare+rn.PerRelease), fmtDuration(re.Prepare+re.PerRelease))
+	}
+	t.Notes = append(t.Notes,
+		"stand-ins are clustered random graphs at reduced linear scale (1/10 for sparse graphs, 1/25–1/30 for the triangle-rich collaboration networks); -paper restores full sizes",
+		"'paper tris' is the triangle count of the full-scale original for reference")
+	return t, nil
+}
+
+// Fig7 reproduces Fig. 7: accuracy of the four mechanisms for triangle
+// counting on the real-graph stand-ins.
+func Fig7(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig7",
+		Title:   fmt.Sprintf("triangle counting on real-graph stand-ins (ε=%g)", epsilonDefault),
+		Columns: []string{"graph", "triangles", "rec(node)", "rec(edge)", "local-sens", "RHMS"},
+	}
+	for gi, rg := range benchGraphs(cfg) {
+		g := rg.generate(cfg, seedFor(cfg, int64(gi)))
+		row, err := fig4Row(cfg, g, Triangle, epsilonDefault)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(rg.Name, row.truth, row.recNode, row.recEdge, row.local, row.rhms)
+	}
+	return t, nil
+}
+
+// krelPoint evaluates the recursive mechanism on one random K-relation and
+// returns (median relative error, ŨS/(ε·answer), elapsed).
+func krelPoint(s *krel.Sensitive, cfg Config, seed int64) (float64, float64, time.Duration, error) {
+	seq, err := mechanism.NewEfficientFromSensitive(s, krel.CountQuery)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	core, err := mechanism.NewCore(seq, mechanism.Params{
+		Epsilon1: epsilonDefault / 2, Epsilon2: epsilonDefault / 2,
+		Beta: epsilonDefault / 5, Theta: 1, Mu: 0.5,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start := time.Now()
+	if err := core.Prepare(); err != nil {
+		return 0, 0, 0, err
+	}
+	rng := noise.NewRand(seed)
+	releases := make([]float64, cfg.Trials)
+	for i := range releases {
+		releases[i], err = core.Release(rng)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	truth := s.TrueAnswer(krel.CountQuery)
+	return stats.MedianRelativeError(releases, truth), relativeUS(s, epsilonDefault), elapsed, nil
+}
+
+// benchGraphs restricts the stand-in list to the smallest graph in
+// benchmark mode.
+func benchGraphs(cfg Config) []realGraph {
+	if cfg.Bench {
+		return []realGraph{realGraphs[2]} // 1138_bus: the smallest stand-in
+	}
+	return realGraphs
+}

@@ -1,0 +1,66 @@
+package exper
+
+import (
+	"fmt"
+
+	"recmech/internal/krelgen"
+	"recmech/internal/noise"
+)
+
+// Fig8 reproduces Fig. 8: error and running time vs the number of clauses
+// per annotation, at fixed |supp(R)|, for 3-DNF and 3-CNF K-relations. The
+// dotted reference curve ŨS/(ε·q(P,R)) of the paper is reported alongside.
+func Fig8(cfg Config) (*Table, error) {
+	clauses := []int{2, 3, 4}
+	size := 40
+	if cfg.Paper {
+		clauses = []int{2, 4, 6, 8, 10}
+		size = 1000
+	}
+	clauses = takeInts(cfg, clauses)
+	t := &Table{
+		ID:      "fig8",
+		Title:   fmt.Sprintf("random K-relations: error vs clauses per annotation (|supp(R)|=%d, ε=%g)", size, epsilonDefault),
+		Columns: []string{"form", "clauses", "median rel err", "ŨS/(ε·answer)", "time"},
+	}
+	for _, form := range []krelgen.Form{krelgen.DNF3, krelgen.CNF3} {
+		for _, c := range clauses {
+			s := krelgen.Generate(noise.NewRand(seedFor(cfg, int64(form), int64(c))),
+				krelgen.Config{Tuples: size, Clauses: c, Form: form})
+			med, ref, elapsed, err := krelPoint(s, cfg, seedFor(cfg, 31, int64(c)))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(form.String(), c, med, ref, fmtDuration(elapsed))
+		}
+	}
+	t.Notes = append(t.Notes, "ŨS/(ε·answer) is the paper's dotted reference curve")
+	return t, nil
+}
+
+// Fig9 reproduces Fig. 9: error and running time vs |supp(R)| at 3 clauses
+// per annotation.
+func Fig9(cfg Config) (*Table, error) {
+	sizes := []int{20, 40, 60, 80}
+	if cfg.Paper {
+		sizes = []int{100, 200, 400, 600, 800, 1000}
+	}
+	sizes = takeInts(cfg, sizes)
+	t := &Table{
+		ID:      "fig9",
+		Title:   fmt.Sprintf("random K-relations: error vs |supp(R)| (3 clauses, ε=%g)", epsilonDefault),
+		Columns: []string{"form", "|supp(R)|", "median rel err", "ŨS/(ε·answer)", "time"},
+	}
+	for _, form := range []krelgen.Form{krelgen.DNF3, krelgen.CNF3} {
+		for _, size := range sizes {
+			s := krelgen.Generate(noise.NewRand(seedFor(cfg, int64(form), int64(size))),
+				krelgen.Config{Tuples: size, Clauses: 3, Form: form})
+			med, ref, elapsed, err := krelPoint(s, cfg, seedFor(cfg, 41, int64(size)))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(form.String(), size, med, ref, fmtDuration(elapsed))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,46 @@
+package exper
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one reproducible table/figure generator.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(Config) (*Table, error)
+}
+
+var registry = []Experiment{
+	{"fig1", "measured comparison table across query classes (paper Fig. 1)", Fig1},
+	{"fig4a", "error vs number of nodes (paper Fig. 4a)", Fig4a},
+	{"fig4b", "error vs average degree (paper Fig. 4b)", Fig4b},
+	{"fig4c", "error vs ε (paper Fig. 4c)", Fig4c},
+	{"fig5", "running time vs number of nodes (paper Fig. 5)", Fig5},
+	{"fig6", "real-graph stand-ins: sizes and running time (paper Fig. 6)", Fig6},
+	{"fig7", "accuracy on real-graph stand-ins (paper Fig. 7)", Fig7},
+	{"fig8", "K-relations: error vs clause count (paper Fig. 8)", Fig8},
+	{"fig9", "K-relations: error vs relation size (paper Fig. 9)", Fig9},
+	{"abl-dnf", "ablation: raw vs DNF-normalized annotations", AblationDNF},
+	{"abl-beta", "ablation: smoothing rate β sweep", AblationBeta},
+	{"abl-split", "ablation: ε₁:ε₂ budget split sweep", AblationSplit},
+	{"abl-lp", "ablation: production vs reference LP solver", AblationLP},
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exper: unknown experiment %q (try 'list')", id)
+}
+
+// All returns every registered experiment in a stable order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

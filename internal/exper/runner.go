@@ -1,0 +1,198 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"recmech/internal/graph"
+	"recmech/internal/krel"
+	"recmech/internal/mechanism"
+	"recmech/internal/noise"
+	"recmech/internal/stats"
+	"recmech/internal/subgraph"
+)
+
+// Config sizes an experiment run. The defaults reproduce the paper's
+// curves at a scale a single CPU core finishes in minutes; Paper restores
+// the published parameters (|V| up to 200, avgdeg up to 16, |supp(R)| up to
+// 1000) at a cost of hours to days — see EXPERIMENTS.md.
+type Config struct {
+	Trials int   // noise draws per data point (the paper runs "many")
+	Seed   int64 // base RNG seed; every point derives its own stream
+	Paper  bool  // use paper-scale workload sizes
+	Bench  bool  // benchmark mode: keep only the smallest point of each sweep
+}
+
+// takeInts truncates a sweep to its first point in benchmark mode.
+func takeInts(cfg Config, xs []int) []int {
+	if cfg.Bench && len(xs) > 1 {
+		return xs[:1]
+	}
+	return xs
+}
+
+// takeFloats truncates a sweep to its first point in benchmark mode.
+func takeFloats(cfg Config, xs []float64) []float64 {
+	if cfg.Bench && len(xs) > 1 {
+		return xs[:1]
+	}
+	return xs
+}
+
+// Quick returns the default scaled-down configuration.
+func Quick() Config { return Config{Trials: 15, Seed: 1} }
+
+// QueryKind selects the subgraph statistic of §6.1.
+type QueryKind int8
+
+// The three workloads of Fig. 4/5.
+const (
+	Triangle QueryKind = iota
+	TwoStar
+	TwoTriangle
+)
+
+func (k QueryKind) String() string {
+	switch k {
+	case Triangle:
+		return "triangle"
+	case TwoStar:
+		return "2-star"
+	case TwoTriangle:
+		return "2-triangle"
+	}
+	return "?"
+}
+
+// buildRelation constructs the sensitive K-relation for the query kind.
+func buildRelation(g *graph.Graph, kind QueryKind, privacy subgraph.Privacy) *krel.Sensitive {
+	switch kind {
+	case Triangle:
+		return subgraph.TriangleRelation(g, privacy)
+	case TwoStar:
+		return subgraph.KStarRelation(g, 2, privacy)
+	case TwoTriangle:
+		return subgraph.KTriangleRelation(g, 2, privacy)
+	}
+	panic("exper: unknown query kind")
+}
+
+func trueCount(g *graph.Graph, kind QueryKind) float64 {
+	switch kind {
+	case Triangle:
+		return float64(subgraph.CountTriangles(g))
+	case TwoStar:
+		return subgraph.CountKStars(g, 2)
+	case TwoTriangle:
+		return subgraph.CountKTriangles(g, 2)
+	}
+	panic("exper: unknown query kind")
+}
+
+// recResult is one evaluation of the recursive mechanism on a graph.
+type recResult struct {
+	MedianRelErr float64
+	Prepare      time.Duration // Δ computation (the dominant LP work)
+	PerRelease   time.Duration // average over the trials
+	Tuples       int
+}
+
+// runRecursive evaluates the recursive mechanism: one Prepare, then
+// cfg.Trials independent releases sharing the memoized H values, exactly as
+// the paper's error-distribution experiments do.
+func runRecursive(g *graph.Graph, kind QueryKind, privacy subgraph.Privacy,
+	epsilon float64, cfg Config, seed int64) (recResult, error) {
+
+	s := buildRelation(g, kind, privacy)
+	truth := s.TrueAnswer(krel.CountQuery)
+	seq, err := mechanism.NewEfficientFromSensitive(s, krel.CountQuery)
+	if err != nil {
+		return recResult{}, err
+	}
+	core, err := mechanism.NewCore(seq, mechanism.DefaultParams(epsilon, privacy == subgraph.NodePrivacy))
+	if err != nil {
+		return recResult{}, err
+	}
+	start := time.Now()
+	if err := core.Prepare(); err != nil {
+		return recResult{}, err
+	}
+	prep := time.Since(start)
+
+	rng := noise.NewRand(seed)
+	start = time.Now()
+	releases := make([]float64, cfg.Trials)
+	for i := range releases {
+		releases[i], err = core.Release(rng)
+		if err != nil {
+			return recResult{}, err
+		}
+	}
+	rel := time.Since(start)
+	return recResult{
+		MedianRelErr: stats.MedianRelativeError(releases, truth),
+		Prepare:      prep,
+		PerRelease:   rel / time.Duration(cfg.Trials),
+		Tuples:       s.Rel.Size(),
+	}, nil
+}
+
+// BaselineKind selects a comparison mechanism.
+type BaselineKind int8
+
+// Baseline identifiers for runBaseline.
+const (
+	BaselineLocalSens BaselineKind = iota // NRS / Karwa smooth-sensitivity family
+	BaselineRHMS
+	BaselineGlobal
+)
+
+// runBaseline evaluates the query-appropriate baseline mechanism:
+// NRS smooth triangles, Karwa 2-star, Karwa (ε,δ) 2-triangle, or RHMS.
+func runBaseline(g *graph.Graph, kind QueryKind, which BaselineKind,
+	epsilon, delta float64, cfg Config, seed int64) float64 {
+
+	truth := trueCount(g, kind)
+	rng := noise.NewRand(seed)
+	releases := make([]float64, cfg.Trials)
+	for i := range releases {
+		releases[i] = releaseBaseline(g, kind, which, epsilon, delta, rng)
+	}
+	return stats.MedianRelativeError(releases, truth)
+}
+
+func releaseBaseline(g *graph.Graph, kind QueryKind, which BaselineKind,
+	epsilon, delta float64, rng *noiseRand) float64 {
+	switch which {
+	case BaselineGlobal:
+		return baselineGlobal(g, kind, epsilon, rng)
+	case BaselineLocalSens:
+		return baselineLocal(g, kind, epsilon, delta, rng)
+	case BaselineRHMS:
+		return baselineRHMS(g, kind, epsilon, rng)
+	}
+	panic("exper: unknown baseline")
+}
+
+// relativeUS returns the dotted reference curve of Fig. 8/9:
+// ŨS_q / (ε · q(P,R)).
+func relativeUS(s *krel.Sensitive, epsilon float64) float64 {
+	truth := s.TrueAnswer(krel.CountQuery)
+	if truth == 0 {
+		return math.NaN()
+	}
+	return s.UniversalSensitivity(krel.CountQuery) / (epsilon * truth)
+}
+
+func seedFor(cfg Config, parts ...int64) int64 {
+	h := cfg.Seed
+	for _, p := range parts {
+		h = h*1000003 + p
+	}
+	return h
+}
+
+func fmtDuration(d time.Duration) string {
+	return fmt.Sprintf("%.3gs", d.Seconds())
+}

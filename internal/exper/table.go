@@ -1,0 +1,118 @@
+// Package exper defines one reproducible experiment per table and figure of
+// the paper's evaluation (§6), plus the ablations listed in DESIGN.md. Each
+// experiment returns a Table that cmd/repro prints; bench_test.go wraps the
+// same entry points as benchmarks.
+package exper
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row; values are stringified with %v unless they
+// are float64 (rendered compactly).
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x != x: // NaN
+		return "-"
+	case x == 0:
+		return "0"
+	case x >= 1000 || x < 0.001:
+		return fmt.Sprintf("%.3g", x)
+	default:
+		return fmt.Sprintf("%.4g", x)
+	}
+}
+
+// Fprint writes an aligned text rendering.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, r := range t.Rows {
+		printRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if n := w - len([]rune(s)); n > 0 {
+		return s + strings.Repeat(" ", n)
+	}
+	return s
+}
+
+// WriteCSV writes the table as CSV (comma-separated, quotes only when
+// needed).
+func (t *Table) WriteCSV(w io.Writer) error {
+	write := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the parser never panics and that accepted graphs
+// round-trip through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("# nodes 3\n0 1\n1 2\n")
+	f.Add("0 1\n")
+	f.Add("# comment\n\n5 5\n")
+	f.Add("999999999999999999999 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.NumNodes() > 1<<20 {
+			return // absurd declared node counts would make the round trip slow
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed graph: %d/%d vs %d/%d",
+				back.NumNodes(), back.NumEdges(), g.NumNodes(), g.NumEdges())
+		}
+	})
+}

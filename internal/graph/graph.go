@@ -1,0 +1,295 @@
+// Package graph provides the undirected-graph substrate for the subgraph
+// counting experiments of §6.1: adjacency structure, degree and
+// common-neighbor statistics, random generators matching the paper's
+// synthetic workloads, and edge-list text I/O.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Graph is a simple undirected graph on nodes 0..N-1 with no self-loops and
+// no parallel edges.
+type Graph struct {
+	n   int
+	adj []map[int]struct{}
+	m   int
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	g := &Graph{n: n, adj: make([]map[int]struct{}, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]struct{})
+	}
+	return g
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.m }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicates are
+// ignored; out-of-range endpoints panic.
+func (g *Graph) AddEdge(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if u == v {
+		return
+	}
+	if _, dup := g.adj[u][v]; dup {
+		return
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.m++
+}
+
+// HasEdge reports whether {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// RemoveEdge deletes {u, v} if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	if !g.HasEdge(u, v) {
+		return
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.m--
+}
+
+// Degree returns deg(v).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Neighbors returns the sorted neighbor list of v (a fresh slice).
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EachNeighbor calls f for every neighbor of v in unspecified order.
+func (g *Graph) EachNeighbor(v int, f func(u int)) {
+	for u := range g.adj[v] {
+		f(u)
+	}
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct{ U, V int }
+
+// Edges returns all edges sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				out = append(out, Edge{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// CommonNeighbors returns |N(u) ∩ N(v)| — the quantity a_uv that drives the
+// local sensitivity of triangle and k-triangle counting.
+func (g *Graph) CommonNeighbors(u, v int) int {
+	a, b := g.adj[u], g.adj[v]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	c := 0
+	for w := range a {
+		if _, ok := b[w]; ok {
+			c++
+		}
+	}
+	return c
+}
+
+// MaxCommonNeighbors returns max over node pairs of |N(u) ∩ N(v)| (the
+// paper's a_max). Only adjacent-or-linked pairs can exceed zero interestingly,
+// but the maximum is taken over all pairs as in [7]; pairs at distance > 2
+// contribute 0, so scanning 2-neighborhoods suffices.
+func (g *Graph) MaxCommonNeighbors() int {
+	best := 0
+	seen := make(map[[2]int]struct{})
+	for w := 0; w < g.n; w++ {
+		nbrs := g.Neighbors(w)
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				key := [2]int{nbrs[i], nbrs[j]}
+				if _, done := seen[key]; done {
+					continue
+				}
+				seen[key] = struct{}{}
+				if c := g.CommonNeighbors(nbrs[i], nbrs[j]); c > best {
+					best = c
+				}
+			}
+		}
+	}
+	return best
+}
+
+// AverageDegree returns 2|E|/|V| (0 for the empty graph).
+func (g *Graph) AverageDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.n)
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	h := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				h.AddEdge(u, v)
+			}
+		}
+	}
+	return h
+}
+
+// RemoveNode removes all edges incident to v (the node index stays valid but
+// isolated). This is the node-withdrawal operation of node differential
+// privacy.
+func (g *Graph) RemoveNode(v int) {
+	for u := range g.adj[v] {
+		delete(g.adj[u], v)
+		g.m--
+	}
+	g.adj[v] = make(map[int]struct{})
+}
+
+// InducedSubgraph returns the subgraph induced by keep (nodes renumbered
+// 0..len(keep)-1 in the given order).
+func (g *Graph) InducedSubgraph(keep []int) *Graph {
+	idx := make(map[int]int, len(keep))
+	for i, v := range keep {
+		idx[v] = i
+	}
+	h := New(len(keep))
+	for i, v := range keep {
+		for u := range g.adj[v] {
+			if j, ok := idx[u]; ok && i < j {
+				h.AddEdge(i, j)
+			}
+		}
+	}
+	return h
+}
+
+// WriteEdgeList writes "u v" lines preceded by a "# nodes N" header.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d\n", g.n); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' other than the header are comments; the header is optional (the
+// node count then defaults to 1 + the maximum endpoint).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	n := -1
+	type pair struct{ u, v int }
+	var edges []pair
+	maxNode := -1
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			var declared int
+			if _, err := fmt.Sscanf(text, "# nodes %d", &declared); err == nil {
+				n = declared
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", line)
+		}
+		if u > maxNode {
+			maxNode = u
+		}
+		if v > maxNode {
+			maxNode = v
+		}
+		edges = append(edges, pair{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = maxNode + 1
+	}
+	if maxNode >= n {
+		return nil, fmt.Errorf("graph: node %d exceeds declared count %d", maxNode, n)
+	}
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e.u, e.v)
+	}
+	return g, nil
+}

@@ -1,0 +1,282 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func completeGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(2, 2) // self-loop ignored
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge should be symmetric")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(0, 0) || g.HasEdge(-1, 0) {
+		t.Error("HasEdge false positives")
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddEdge(0, 5)
+}
+
+func TestRemoveEdgeAndNode(t *testing.T) {
+	g := completeGraph(4)
+	g.RemoveEdge(0, 1)
+	if g.NumEdges() != 5 || g.HasEdge(0, 1) {
+		t.Error("RemoveEdge failed")
+	}
+	g.RemoveEdge(0, 1) // no-op
+	if g.NumEdges() != 5 {
+		t.Error("double remove changed count")
+	}
+	g.RemoveNode(2)
+	if g.Degree(2) != 0 {
+		t.Error("RemoveNode left edges")
+	}
+	if g.NumEdges() != 2 { // remaining: {0,3},{1,3}
+		t.Errorf("NumEdges after RemoveNode = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := pathGraph(5)
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Error("Degree wrong")
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+	nb := g.Neighbors(2)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 3 {
+		t.Errorf("Neighbors(2) = %v", nb)
+	}
+	count := 0
+	g.EachNeighbor(2, func(int) { count++ })
+	if count != 2 {
+		t.Error("EachNeighbor visit count wrong")
+	}
+	if got := g.AverageDegree(); got != 1.6 {
+		t.Errorf("AverageDegree = %v, want 1.6", got)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 2)
+	g.AddEdge(1, 0)
+	edges := g.Edges()
+	if len(edges) != 2 || edges[0] != (Edge{0, 1}) || edges[1] != (Edge{2, 3}) {
+		t.Errorf("Edges = %v", edges)
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := completeGraph(5)
+	if got := g.CommonNeighbors(0, 1); got != 3 {
+		t.Errorf("CommonNeighbors in K5 = %d, want 3", got)
+	}
+	if got := g.MaxCommonNeighbors(); got != 3 {
+		t.Errorf("MaxCommonNeighbors in K5 = %d, want 3", got)
+	}
+	p := pathGraph(4)
+	if got := p.CommonNeighbors(0, 2); got != 1 {
+		t.Errorf("CommonNeighbors path = %d, want 1", got)
+	}
+	if got := p.MaxCommonNeighbors(); got != 1 {
+		t.Errorf("MaxCommonNeighbors path = %d, want 1", got)
+	}
+	if New(3).MaxCommonNeighbors() != 0 {
+		t.Error("empty graph MaxCommonNeighbors should be 0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := completeGraph(3)
+	h := g.Clone()
+	h.RemoveEdge(0, 1)
+	if !g.HasEdge(0, 1) {
+		t.Error("Clone shares state")
+	}
+	if h.NumEdges() != 2 || g.NumEdges() != 3 {
+		t.Error("edge counts wrong after clone mutation")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := completeGraph(5)
+	h := g.InducedSubgraph([]int{0, 2, 4})
+	if h.NumNodes() != 3 || h.NumEdges() != 3 {
+		t.Errorf("induced K3: nodes=%d edges=%d", h.NumNodes(), h.NumEdges())
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := RandomGNP(rng, 20, 0.3)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d vs %d/%d nodes/edges",
+			h.NumNodes(), h.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !h.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestReadEdgeListWithoutHeader(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n# comment\n\n2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Errorf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",
+		"a b\n",
+		"0 x\n",
+		"-1 2\n",
+		"# nodes 2\n0 5\n",
+	}
+	for _, src := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadEdgeList(%q) should fail", src)
+		}
+	}
+}
+
+func TestRandomGNPDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := RandomGNP(rng, 100, 0.1)
+	want := 0.1 * 100 * 99 / 2
+	if m := float64(g.NumEdges()); m < want*0.7 || m > want*1.3 {
+		t.Errorf("G(100,0.1) edges = %v, expected ≈%v", m, want)
+	}
+	if RandomGNP(rng, 10, 0).NumEdges() != 0 {
+		t.Error("p=0 should give empty graph")
+	}
+	if g := RandomGNP(rng, 5, 1); g.NumEdges() != 10 {
+		t.Error("p=1 should give complete graph")
+	}
+}
+
+func TestRandomAverageDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := RandomAverageDegree(rng, 200, 10)
+	if avg := g.AverageDegree(); avg < 8 || avg > 12 {
+		t.Errorf("average degree = %v, want ≈10", avg)
+	}
+	if RandomAverageDegree(rng, 1, 10).NumNodes() != 1 {
+		t.Error("single node graph")
+	}
+	if RandomAverageDegree(rng, 0, 10).NumNodes() != 0 {
+		t.Error("empty graph")
+	}
+	// Saturated probability clamps to the complete graph.
+	if g := RandomAverageDegree(rng, 4, 100); g.NumEdges() != 6 {
+		t.Errorf("clamped avgdeg should give K4, got %d edges", g.NumEdges())
+	}
+}
+
+func TestRandomGNMExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := RandomGNM(rng, 30, 50)
+	if g.NumEdges() != 50 {
+		t.Errorf("G(n,m) edges = %d, want 50", g.NumEdges())
+	}
+	// Request beyond the complete graph caps.
+	if g := RandomGNM(rng, 5, 100); g.NumEdges() != 10 {
+		t.Errorf("capped edges = %d, want 10", g.NumEdges())
+	}
+}
+
+func TestRandomClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	lo := RandomClustered(rng, 120, 300, 0.05)
+	hi := RandomClustered(rng, 120, 300, 0.8)
+	if lo.NumEdges() != 300 || hi.NumEdges() != 300 {
+		t.Fatalf("edge counts: %d, %d, want 300", lo.NumEdges(), hi.NumEdges())
+	}
+	countTriangles := func(g *Graph) int {
+		c := 0
+		for u := 0; u < g.NumNodes(); u++ {
+			nb := g.Neighbors(u)
+			for i := 0; i < len(nb); i++ {
+				for j := i + 1; j < len(nb); j++ {
+					if nb[i] > u && g.HasEdge(nb[i], nb[j]) {
+						_ = j
+					}
+				}
+			}
+		}
+		// Count each triangle once via ordered enumeration.
+		c = 0
+		for u := 0; u < g.NumNodes(); u++ {
+			nb := g.Neighbors(u)
+			for i := 0; i < len(nb); i++ {
+				if nb[i] < u {
+					continue
+				}
+				for j := i + 1; j < len(nb); j++ {
+					if g.HasEdge(nb[i], nb[j]) {
+						c++
+					}
+				}
+			}
+		}
+		return c
+	}
+	if tl, th := countTriangles(lo), countTriangles(hi); th <= tl {
+		t.Errorf("triadFraction should raise triangle count: %d vs %d", tl, th)
+	}
+	// Degenerate parameters clamp instead of panicking.
+	if RandomClustered(rng, 10, 20, -1).NumEdges() != 20 {
+		t.Error("negative triadFraction should clamp")
+	}
+	if RandomClustered(rng, 10, 1000, 2).NumEdges() != 45 {
+		t.Error("oversized m should cap at complete graph")
+	}
+}

@@ -1,0 +1,194 @@
+package krel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"recmech/internal/boolexpr"
+)
+
+// randomRelation builds a small random relation over the given attributes
+// with values drawn from a tiny domain (to force join/union collisions).
+func randomRelation(rng *rand.Rand, attrs []string, nVars int) *Relation {
+	r := NewRelation(attrs...)
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		t := make(Tuple, len(attrs))
+		for j := range t {
+			t[j] = fmt.Sprintf("v%d", rng.Intn(3))
+		}
+		r.Add(t, boolexpr.Random(rng, nVars, 2))
+	}
+	return r
+}
+
+// equalSupportAndTruthTables reports whether two relations have the same
+// support and truth-table-equivalent annotations tuple by tuple.
+func equalSupportAndTruthTables(a, b *Relation) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	equal := true
+	a.Each(func(t Tuple, ann *boolexpr.Expr) {
+		other := b.Annotation(t)
+		if other.Op() == boolexpr.OpFalse && ann.Op() != boolexpr.OpFalse {
+			equal = false
+			return
+		}
+		if !boolexpr.EqualTruthTable(ann, other) {
+			equal = false
+		}
+	})
+	return equal
+}
+
+func TestUnionCommutativeUpToTruthTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		r1 := randomRelation(rng, []string{"x", "y"}, 4)
+		r2 := randomRelation(rng, []string{"x", "y"}, 4)
+		if !equalSupportAndTruthTables(Union(r1, r2), Union(r2, r1)) {
+			t.Fatalf("trial %d: union not commutative", trial)
+		}
+	}
+}
+
+func TestUnionAssociativeUpToTruthTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		r1 := randomRelation(rng, []string{"x"}, 4)
+		r2 := randomRelation(rng, []string{"x"}, 4)
+		r3 := randomRelation(rng, []string{"x"}, 4)
+		lhs := Union(Union(r1, r2), r3)
+		rhs := Union(r1, Union(r2, r3))
+		if !equalSupportAndTruthTables(lhs, rhs) {
+			t.Fatalf("trial %d: union not associative", trial)
+		}
+	}
+}
+
+func TestJoinCommutativeUpToTruthTablesAndColumnOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		r1 := randomRelation(rng, []string{"x", "y"}, 4)
+		r2 := randomRelation(rng, []string{"y", "z"}, 4)
+		j12 := Join(r1, r2) // schema x, y, z
+		j21 := Join(r2, r1) // schema y, z, x
+		if j12.Size() != j21.Size() {
+			t.Fatalf("trial %d: join sizes differ: %d vs %d", trial, j12.Size(), j21.Size())
+		}
+		j12.Each(func(t12 Tuple, ann *boolexpr.Expr) {
+			// Reorder (x,y,z) -> (y,z,x).
+			t21 := Tuple{t12[1], t12[2], t12[0]}
+			other := j21.Annotation(t21)
+			if !boolexpr.EqualTruthTable(ann, other) {
+				t.Fatalf("trial %d: annotations differ for %v", trial, t12)
+			}
+		})
+	}
+}
+
+func TestProjectionComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		r := randomRelation(rng, []string{"x", "y", "z"}, 4)
+		direct := Project(r, "x")
+		staged := Project(Project(r, "x", "y"), "x")
+		if !equalSupportAndTruthTables(direct, staged) {
+			t.Fatalf("trial %d: π_x ≠ π_x∘π_xy", trial)
+		}
+	}
+}
+
+func TestSelectionCommutesWithUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pred := func(get func(string) string) bool { return get("x") == "v0" }
+	for trial := 0; trial < 100; trial++ {
+		r1 := randomRelation(rng, []string{"x"}, 4)
+		r2 := randomRelation(rng, []string{"x"}, 4)
+		lhs := Select(Union(r1, r2), pred)
+		rhs := Union(Select(r1, pred), Select(r2, pred))
+		if !equalSupportAndTruthTables(lhs, rhs) {
+			t.Fatalf("trial %d: σ(R∪S) ≠ σ(R)∪σ(S)", trial)
+		}
+	}
+}
+
+func TestJoinDistributesOverUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		r1 := randomRelation(rng, []string{"x", "y"}, 4)
+		r2 := randomRelation(rng, []string{"y", "z"}, 4)
+		r3 := randomRelation(rng, []string{"y", "z"}, 4)
+		lhs := Join(r1, Union(r2, r3))
+		rhs := Union(Join(r1, r2), Join(r1, r3))
+		if !equalSupportAndTruthTables(lhs, rhs) {
+			t.Fatalf("trial %d: R⋈(S∪T) ≠ (R⋈S)∪(R⋈T)", trial)
+		}
+	}
+}
+
+func TestRenameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		r := randomRelation(rng, []string{"x", "y"}, 4)
+		back := Rename(Rename(r, map[string]string{"x": "a"}), map[string]string{"a": "x"})
+		if !equalSupportAndTruthTables(r, back) {
+			t.Fatalf("trial %d: rename round trip changed the relation", trial)
+		}
+	}
+}
+
+// Semiring homomorphism: evaluating annotations under a Boolean assignment
+// and then running classical relational algebra agrees with running the
+// annotated algebra and then evaluating. This is the fundamental theorem of
+// provenance semirings specialized to PosBool.
+func TestProvenanceCommutesWithEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		r1 := randomRelation(rng, []string{"x", "y"}, 4)
+		r2 := randomRelation(rng, []string{"y", "z"}, 4)
+		mask := rng.Intn(16)
+		present := func(v boolexpr.Var) bool { return mask&(1<<v) != 0 }
+
+		// Path A: annotated join, then evaluate.
+		joined := Join(r1, r2)
+		gotSupport := make(map[string]bool)
+		joined.Each(func(t Tuple, ann *boolexpr.Expr) {
+			if ann.Eval(present) {
+				gotSupport[t.key()] = true
+			}
+		})
+
+		// Path B: evaluate each input, then classical join.
+		eval := func(r *Relation) map[string]Tuple {
+			out := make(map[string]Tuple)
+			r.Each(func(t Tuple, ann *boolexpr.Expr) {
+				if ann.Eval(present) {
+					out[t.key()] = t
+				}
+			})
+			return out
+		}
+		e1, e2 := eval(r1), eval(r2)
+		wantSupport := make(map[string]bool)
+		for _, t1 := range e1 {
+			for _, t2 := range e2 {
+				if t1[1] == t2[0] { // shared attribute y
+					joinedTuple := Tuple{t1[0], t1[1], t2[1]}
+					wantSupport[joinedTuple.key()] = true
+				}
+			}
+		}
+		if len(gotSupport) != len(wantSupport) {
+			t.Fatalf("trial %d mask %b: supports differ: %d vs %d",
+				trial, mask, len(gotSupport), len(wantSupport))
+		}
+		for k := range wantSupport {
+			if !gotSupport[k] {
+				t.Fatalf("trial %d: tuple missing from annotated path", trial)
+			}
+		}
+	}
+}

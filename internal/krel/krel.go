@@ -1,0 +1,277 @@
+// Package krel implements sensitive K-relations: relations whose tuples are
+// annotated with positive Boolean expressions over participant variables
+// (c-tables), together with the positive relational algebra of Green,
+// Karvounarakis & Tannen ("Provenance semirings", PODS'07) generalized to
+// annotated relations, as used in §2.4 and §3.2 of the paper.
+//
+// The semiring here is PosBool(P): + is ∨ and · is ∧. Union and projection
+// therefore combine annotations with ∨, and natural join combines them with
+// ∧ — which is how a participant's influence propagates through unrestricted
+// joins into every output tuple it contributed to.
+package krel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"recmech/internal/boolexpr"
+)
+
+// Tuple is an ordered list of attribute values, positionally matching the
+// relation's attribute list.
+type Tuple []string
+
+func (t Tuple) key() string { return strings.Join(t, "\x1f") }
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string { return "(" + strings.Join(t, ", ") + ")" }
+
+// Relation is a K-relation: a finite map from tuples to positive Boolean
+// annotations. Tuples annotated False are not stored (they are outside the
+// support).
+type Relation struct {
+	attrs []string
+	index map[string]int
+	rows  []row
+	byKey map[string]int
+}
+
+type row struct {
+	tuple Tuple
+	ann   *boolexpr.Expr
+}
+
+// NewRelation creates an empty relation with the given attribute names.
+// Attribute names must be distinct and non-empty.
+func NewRelation(attrs ...string) *Relation {
+	idx := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a == "" {
+			panic("krel: empty attribute name")
+		}
+		if _, dup := idx[a]; dup {
+			panic(fmt.Sprintf("krel: duplicate attribute %q", a))
+		}
+		idx[a] = i
+	}
+	return &Relation{
+		attrs: append([]string(nil), attrs...),
+		index: idx,
+		byKey: make(map[string]int),
+	}
+}
+
+// Attrs returns the attribute names (a copy).
+func (r *Relation) Attrs() []string { return append([]string(nil), r.attrs...) }
+
+// Size returns |supp(R)|.
+func (r *Relation) Size() int { return len(r.rows) }
+
+// Add inserts tuple t with the given annotation. If the tuple already exists
+// the annotations are combined with ∨ (semiring addition), matching union
+// semantics. Annotations equal to False are dropped entirely.
+func (r *Relation) Add(t Tuple, ann *boolexpr.Expr) {
+	if len(t) != len(r.attrs) {
+		panic(fmt.Sprintf("krel: tuple arity %d, relation arity %d", len(t), len(r.attrs)))
+	}
+	if ann.Op() == boolexpr.OpFalse {
+		return
+	}
+	k := t.key()
+	if i, ok := r.byKey[k]; ok {
+		r.rows[i].ann = boolexpr.Or(r.rows[i].ann, ann)
+		return
+	}
+	r.byKey[k] = len(r.rows)
+	r.rows = append(r.rows, row{tuple: append(Tuple(nil), t...), ann: ann})
+}
+
+// Annotation returns the annotation of t, or False if t is not in the support.
+func (r *Relation) Annotation(t Tuple) *boolexpr.Expr {
+	if i, ok := r.byKey[t.key()]; ok {
+		return r.rows[i].ann
+	}
+	return boolexpr.False()
+}
+
+// Each iterates over the support in insertion order.
+func (r *Relation) Each(f func(t Tuple, ann *boolexpr.Expr)) {
+	for _, rw := range r.rows {
+		f(rw.tuple, rw.ann)
+	}
+}
+
+// Support returns the tuples in insertion order.
+func (r *Relation) Support() []Tuple {
+	out := make([]Tuple, len(r.rows))
+	for i, rw := range r.rows {
+		out[i] = rw.tuple
+	}
+	return out
+}
+
+// Get returns the value of attribute attr in tuple t (which must belong to a
+// relation with this schema).
+func (r *Relation) Get(t Tuple, attr string) string {
+	i, ok := r.index[attr]
+	if !ok {
+		panic(fmt.Sprintf("krel: unknown attribute %q", attr))
+	}
+	return t[i]
+}
+
+// TotalAnnotationLength returns L = Σ_t Size(R(t)), the LP size parameter of
+// Theorem 6.
+func (r *Relation) TotalAnnotationLength() int {
+	n := 0
+	for _, rw := range r.rows {
+		n += rw.ann.Size()
+	}
+	return n
+}
+
+// ---- Positive relational algebra ----
+
+// Union returns R1 ∪ R2 (same schema required); annotations combine with ∨.
+func Union(r1, r2 *Relation) *Relation {
+	if !sameAttrs(r1.attrs, r2.attrs) {
+		panic(fmt.Sprintf("krel: union schema mismatch: %v vs %v", r1.attrs, r2.attrs))
+	}
+	out := NewRelation(r1.attrs...)
+	r1.Each(out.Add)
+	r2.Each(out.Add)
+	return out
+}
+
+// Project returns π_attrs(R); annotations of merged tuples combine with ∨.
+func Project(r *Relation, attrs ...string) *Relation {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		j, ok := r.index[a]
+		if !ok {
+			panic(fmt.Sprintf("krel: project: unknown attribute %q", a))
+		}
+		cols[i] = j
+	}
+	out := NewRelation(attrs...)
+	r.Each(func(t Tuple, ann *boolexpr.Expr) {
+		proj := make(Tuple, len(cols))
+		for i, c := range cols {
+			proj[i] = t[c]
+		}
+		out.Add(proj, ann)
+	})
+	return out
+}
+
+// Select returns σ_pred(R): tuples for which pred returns true, annotations
+// unchanged. The predicate receives attribute values by name via the getter.
+func Select(r *Relation, pred func(get func(attr string) string) bool) *Relation {
+	out := NewRelation(r.attrs...)
+	r.Each(func(t Tuple, ann *boolexpr.Expr) {
+		get := func(attr string) string { return r.Get(t, attr) }
+		if pred(get) {
+			out.Add(t, ann)
+		}
+	})
+	return out
+}
+
+// Join returns the natural join R1 ⋈ R2 on the shared attributes;
+// annotations combine with ∧. The output schema is R1's attributes followed
+// by R2's non-shared attributes.
+func Join(r1, r2 *Relation) *Relation {
+	shared := make([][2]int, 0)
+	var extraAttrs []string
+	var extraCols []int
+	for j2, a := range r2.attrs {
+		if j1, ok := r1.index[a]; ok {
+			shared = append(shared, [2]int{j1, j2})
+		} else {
+			extraAttrs = append(extraAttrs, a)
+			extraCols = append(extraCols, j2)
+		}
+	}
+	out := NewRelation(append(r1.Attrs(), extraAttrs...)...)
+
+	// Hash r2 on the shared columns.
+	type bucketEntry struct {
+		t   Tuple
+		ann *boolexpr.Expr
+	}
+	buckets := make(map[string][]bucketEntry)
+	r2.Each(func(t Tuple, ann *boolexpr.Expr) {
+		parts := make([]string, len(shared))
+		for i, s := range shared {
+			parts[i] = t[s[1]]
+		}
+		k := strings.Join(parts, "\x1f")
+		buckets[k] = append(buckets[k], bucketEntry{t, ann})
+	})
+	r1.Each(func(t1 Tuple, ann1 *boolexpr.Expr) {
+		parts := make([]string, len(shared))
+		for i, s := range shared {
+			parts[i] = t1[s[0]]
+		}
+		for _, e := range buckets[strings.Join(parts, "\x1f")] {
+			joined := make(Tuple, 0, len(t1)+len(extraCols))
+			joined = append(joined, t1...)
+			for _, c := range extraCols {
+				joined = append(joined, e.t[c])
+			}
+			out.Add(joined, boolexpr.And(ann1, e.ann))
+		}
+	})
+	return out
+}
+
+// Rename returns ρ(R) with attributes renamed per the mapping; attributes not
+// in the map keep their names.
+func Rename(r *Relation, mapping map[string]string) *Relation {
+	attrs := make([]string, len(r.attrs))
+	for i, a := range r.attrs {
+		if n, ok := mapping[a]; ok {
+			attrs[i] = n
+		} else {
+			attrs[i] = a
+		}
+	}
+	out := NewRelation(attrs...)
+	r.Each(out.Add)
+	return out
+}
+
+func sameAttrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as a small table with annotations, sorted by
+// tuple for stable output.
+func (r *Relation) String() string {
+	return r.Format(nil)
+}
+
+// Format renders the relation; if u is non-nil annotations use its names.
+func (r *Relation) Format(u *boolexpr.Universe) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s | annotation\n", strings.Join(r.attrs, ", "))
+	rows := append([]row(nil), r.rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].tuple.key() < rows[j].tuple.key() })
+	for _, rw := range rows {
+		ann := rw.ann.String()
+		if u != nil {
+			ann = u.Format(rw.ann)
+		}
+		fmt.Fprintf(&b, "%s | %s\n", strings.Join(rw.tuple, ", "), ann)
+	}
+	return b.String()
+}

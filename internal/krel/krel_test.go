@@ -1,0 +1,395 @@
+package krel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"recmech/internal/boolexpr"
+)
+
+func TestAddAndAnnotation(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	a, b := u.Var("a"), u.Var("b")
+	r := NewRelation("x")
+	r.Add(Tuple{"1"}, boolexpr.NewVar(a))
+	r.Add(Tuple{"1"}, boolexpr.NewVar(b)) // merges with ∨
+	r.Add(Tuple{"2"}, boolexpr.False())   // dropped
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", r.Size())
+	}
+	ann := r.Annotation(Tuple{"1"})
+	if !ann.Equal(boolexpr.Or(boolexpr.NewVar(a), boolexpr.NewVar(b))) {
+		t.Errorf("annotation = %v, want a ∨ b", ann)
+	}
+	if r.Annotation(Tuple{"9"}).Op() != boolexpr.OpFalse {
+		t.Error("missing tuple must annotate False")
+	}
+}
+
+func TestAddArityMismatchPanics(t *testing.T) {
+	r := NewRelation("x", "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Add(Tuple{"1"}, boolexpr.True())
+}
+
+func TestDuplicateAttrsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRelation("x", "x")
+}
+
+func TestUnionAnnotations(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	a, b := u.Var("a"), u.Var("b")
+	r1 := NewRelation("x")
+	r1.Add(Tuple{"1"}, boolexpr.NewVar(a))
+	r2 := NewRelation("x")
+	r2.Add(Tuple{"1"}, boolexpr.NewVar(b))
+	r2.Add(Tuple{"2"}, boolexpr.NewVar(b))
+	un := Union(r1, r2)
+	if un.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", un.Size())
+	}
+	if !un.Annotation(Tuple{"1"}).Equal(boolexpr.Or(boolexpr.NewVar(a), boolexpr.NewVar(b))) {
+		t.Error("union should ∨ annotations")
+	}
+}
+
+func TestUnionSchemaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Union(NewRelation("x"), NewRelation("y"))
+}
+
+func TestProjectMergesWithOr(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	a, b := u.Var("a"), u.Var("b")
+	r := NewRelation("x", "y")
+	r.Add(Tuple{"1", "p"}, boolexpr.NewVar(a))
+	r.Add(Tuple{"1", "q"}, boolexpr.NewVar(b))
+	pr := Project(r, "x")
+	if pr.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", pr.Size())
+	}
+	if !pr.Annotation(Tuple{"1"}).Equal(boolexpr.Or(boolexpr.NewVar(a), boolexpr.NewVar(b))) {
+		t.Error("projection should ∨ annotations of merged tuples")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := NewRelation("x", "y")
+	r.Add(Tuple{"1", "p"}, boolexpr.True())
+	r.Add(Tuple{"2", "q"}, boolexpr.True())
+	sel := Select(r, func(get func(string) string) bool { return get("y") == "q" })
+	if sel.Size() != 1 || sel.Support()[0][0] != "2" {
+		t.Errorf("selection wrong: %v", sel.Support())
+	}
+}
+
+func TestJoinCombinesWithAnd(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	a, b := u.Var("a"), u.Var("b")
+	r1 := NewRelation("x", "y")
+	r1.Add(Tuple{"1", "j"}, boolexpr.NewVar(a))
+	r2 := NewRelation("y", "z")
+	r2.Add(Tuple{"j", "9"}, boolexpr.NewVar(b))
+	r2.Add(Tuple{"k", "8"}, boolexpr.NewVar(b))
+	jn := Join(r1, r2)
+	if got := jn.Attrs(); len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "z" {
+		t.Fatalf("join schema = %v", got)
+	}
+	if jn.Size() != 1 {
+		t.Fatalf("join size = %d, want 1", jn.Size())
+	}
+	ann := jn.Annotation(Tuple{"1", "j", "9"})
+	if !ann.Equal(boolexpr.And(boolexpr.NewVar(a), boolexpr.NewVar(b))) {
+		t.Errorf("join annotation = %v, want a ∧ b", ann)
+	}
+}
+
+func TestJoinCrossProductWhenDisjoint(t *testing.T) {
+	r1 := NewRelation("x")
+	r1.Add(Tuple{"1"}, boolexpr.True())
+	r1.Add(Tuple{"2"}, boolexpr.True())
+	r2 := NewRelation("y")
+	r2.Add(Tuple{"a"}, boolexpr.True())
+	jn := Join(r1, r2)
+	if jn.Size() != 2 {
+		t.Errorf("cross product size = %d, want 2", jn.Size())
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := NewRelation("x", "y")
+	r.Add(Tuple{"1", "2"}, boolexpr.True())
+	rn := Rename(r, map[string]string{"x": "u"})
+	attrs := rn.Attrs()
+	if attrs[0] != "u" || attrs[1] != "y" {
+		t.Errorf("renamed attrs = %v", attrs)
+	}
+	if rn.Size() != 1 {
+		t.Error("rename lost tuples")
+	}
+}
+
+// Fig. 2(a): triangle counting over a path of triangles a-b-c-d-e.
+// Build the K-relation via the relational algebra pipeline and check the
+// node-privacy annotations match the paper's table (up to φ-equivalence; the
+// pipeline repeats variables where the paper's table writes each node once).
+func TestFig2aTriangleAnnotations(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	vars := make(map[string]boolexpr.Var)
+	for _, n := range names {
+		vars[n] = u.Var(n)
+	}
+	// Graph of Fig. 2: triangles abc, bcd, cde + pendant edge ef is implied by
+	// the figure's graph; edges: ab, ac, bc, bd, cd, ce, de, ef.
+	edges := [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}, {"b", "d"},
+		{"c", "d"}, {"c", "e"}, {"d", "e"}, {"e", "f"}}
+	// Node-privacy edge relation: E(x,y) annotated x ∧ y, both directions.
+	e := NewRelation("x", "y")
+	for _, ed := range edges {
+		ann := boolexpr.And(boolexpr.NewVar(vars[ed[0]]), boolexpr.NewVar(vars[ed[1]]))
+		e.Add(Tuple{ed[0], ed[1]}, ann)
+		e.Add(Tuple{ed[1], ed[0]}, ann)
+	}
+	// Triangles: E(x,y) ⋈ ρ(E)(y,z) ⋈ ρ(E)(x,z), x < y < z.
+	exy := e
+	eyz := Rename(e, map[string]string{"x": "y", "y": "z"})
+	exz := Rename(e, map[string]string{"y": "z"})
+	tri := Select(Join(Join(exy, eyz), exz), func(get func(string) string) bool {
+		return get("x") < get("y") && get("y") < get("z")
+	})
+	if tri.Size() != 3 {
+		t.Fatalf("triangle count = %d, want 3: %s", tri.Size(), tri.Format(u))
+	}
+	for _, want := range []Tuple{{"a", "b", "c"}, {"b", "c", "d"}, {"c", "d", "e"}} {
+		ann := tri.Annotation(want)
+		if ann.Op() == boolexpr.OpFalse {
+			t.Fatalf("missing triangle %v", want)
+		}
+		// Truth-table equal to the conjunction of its three nodes.
+		conj := boolexpr.And(boolexpr.NewVar(vars[want[0]]),
+			boolexpr.NewVar(vars[want[1]]), boolexpr.NewVar(vars[want[2]]))
+		if !boolexpr.EqualTruthTable(ann, conj) {
+			t.Errorf("triangle %v annotation %v not equivalent to %v", want, u.Format(ann), u.Format(conj))
+		}
+	}
+}
+
+// Fig. 2(b): pairs of friends with a common friend. The paper's table lists,
+// e.g., tuple bc with annotation b ∧ c ∧ (a ∨ d).
+func TestFig2bCommonFriendAnnotations(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		u.Var(n)
+	}
+	edges := [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}, {"b", "d"},
+		{"c", "d"}, {"c", "e"}, {"d", "e"}}
+	e := NewRelation("x", "y")
+	for _, ed := range edges {
+		va, _ := u.Lookup(ed[0])
+		vb, _ := u.Lookup(ed[1])
+		ann := boolexpr.And(boolexpr.NewVar(va), boolexpr.NewVar(vb))
+		e.Add(Tuple{ed[0], ed[1]}, ann)
+		e.Add(Tuple{ed[1], ed[0]}, ann)
+	}
+	// Pairs (x,y) adjacent with a common neighbor w:
+	// π_{x,y}( E(x,y) ⋈ E(x,w) ⋈ E(y,w) ), x < y.
+	exw := Rename(e, map[string]string{"y": "w"})
+	eyw := Rename(e, map[string]string{"x": "y", "y": "w"})
+	pairs := Project(Select(Join(Join(e, exw), eyw), func(get func(string) string) bool {
+		return get("x") < get("y") && get("w") != get("x") && get("w") != get("y")
+	}), "x", "y")
+	wantTuples := map[string]string{
+		"ab": "a ∧ b ∧ c", "ac": "a ∧ c ∧ b", "bc": "b ∧ c ∧ (a ∨ d)",
+		"bd": "b ∧ d ∧ c", "cd": "c ∧ d ∧ (b ∨ e)", "ce": "c ∧ e ∧ d",
+		"de": "d ∧ e ∧ c",
+	}
+	if pairs.Size() != len(wantTuples) {
+		t.Fatalf("pair count = %d, want %d\n%s", pairs.Size(), len(wantTuples), pairs.Format(u))
+	}
+	for key, wantExpr := range wantTuples {
+		tu := Tuple{key[:1], key[1:]}
+		ann := pairs.Annotation(tu)
+		want, err := boolexpr.Parse(strings.NewReplacer("∧", "&", "∨", "|").Replace(wantExpr), u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !boolexpr.EqualTruthTable(ann, want) {
+			t.Errorf("tuple %v: annotation %s, want truth-table of %s",
+				tu, u.Format(ann), wantExpr)
+		}
+	}
+}
+
+func TestSensitiveTrueAnswerAndWithdraw(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	a, b, c := u.Var("a"), u.Var("b"), u.Var("c")
+	r := NewRelation("x")
+	r.Add(Tuple{"1"}, boolexpr.Conj(a, b))
+	r.Add(Tuple{"2"}, boolexpr.Conj(b, c))
+	r.Add(Tuple{"3"}, boolexpr.Or(boolexpr.NewVar(a), boolexpr.NewVar(c)))
+	s := NewSensitive(u, r)
+	if got := s.TrueAnswer(CountQuery); got != 3 {
+		t.Errorf("TrueAnswer = %v, want 3", got)
+	}
+	w := s.Withdraw(a)
+	// Tuple 1 drops (a∧b → false); tuple 3 survives as c.
+	if got := w.TrueAnswer(CountQuery); got != 2 {
+		t.Errorf("after withdrawing a: answer = %v, want 2", got)
+	}
+	if !w.Rel.Annotation(Tuple{"3"}).Equal(boolexpr.NewVar(c)) {
+		t.Errorf("tuple 3 annotation after withdrawal = %v", w.Rel.Annotation(Tuple{"3"}))
+	}
+	// Original is unchanged.
+	if s.TrueAnswer(CountQuery) != 3 {
+		t.Error("Withdraw mutated the original")
+	}
+}
+
+func TestImpactAndUniversalSensitivity(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	a, b, c := u.Var("a"), u.Var("b"), u.Var("c")
+	r := NewRelation("x")
+	r.Add(Tuple{"1"}, boolexpr.Conj(a, b))
+	r.Add(Tuple{"2"}, boolexpr.Conj(a, c))
+	r.Add(Tuple{"3"}, boolexpr.NewVar(b))
+	s := NewSensitive(u, r)
+	if got := len(s.Impact(a)); got != 2 {
+		t.Errorf("impact(a) = %d tuples, want 2", got)
+	}
+	if got := s.UniversalSensitivityOf(a, CountQuery); got != 2 {
+		t.Errorf("ŨS(a) = %v, want 2", got)
+	}
+	if got := s.UniversalSensitivity(CountQuery); got != 2 {
+		t.Errorf("ŨS = %v, want 2", got)
+	}
+	// Weighted query.
+	wq := func(t Tuple) float64 {
+		if t[0] == "1" {
+			return 5
+		}
+		return 1
+	}
+	if got := s.UniversalSensitivity(wq); got != 6 {
+		t.Errorf("weighted ŨS = %v, want 6 (tuples 1 and 2 via a)", got)
+	}
+}
+
+func TestLocalEmpiricalSensitivity(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	a, b, c := u.Var("a"), u.Var("b"), u.Var("c")
+	r := NewRelation("x")
+	r.Add(Tuple{"1"}, boolexpr.Conj(a, b))
+	r.Add(Tuple{"2"}, boolexpr.Or(boolexpr.NewVar(b), boolexpr.NewVar(c)))
+	s := NewSensitive(u, r)
+	// Withdrawing b removes tuple 1 only (tuple 2 survives via c): diff 1.
+	// Withdrawing a removes tuple 1: diff 1. Withdrawing c: diff 0.
+	if got := s.LocalEmpiricalSensitivity(CountQuery); got != 1 {
+		t.Errorf("L̃S = %v, want 1", got)
+	}
+}
+
+func TestAnnotatedAndLengths(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	a, b := u.Var("a"), u.Var("b")
+	r := NewRelation("x")
+	r.Add(Tuple{"1"}, boolexpr.Conj(a, b))
+	r.Add(Tuple{"2"}, boolexpr.NewVar(b))
+	s := NewSensitive(u, r)
+	ann := s.Annotated(CountQuery)
+	if len(ann) != 2 || ann[0].Weight != 1 {
+		t.Fatalf("Annotated = %+v", ann)
+	}
+	if got := r.TotalAnnotationLength(); got != 3 {
+		t.Errorf("L = %d, want 3", got)
+	}
+}
+
+func TestAnnotatedRejectsNegativeWeights(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	r := NewRelation("x")
+	r.Add(Tuple{"1"}, boolexpr.NewVar(u.Var("a")))
+	s := NewSensitive(u, r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Annotated(func(Tuple) float64 { return -1 })
+}
+
+func TestSensitiveToDNF(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	a, b, c := u.Var("a"), u.Var("b"), u.Var("c")
+	r := NewRelation("x")
+	r.Add(Tuple{"1"}, boolexpr.And(
+		boolexpr.Or(boolexpr.NewVar(a), boolexpr.NewVar(b)),
+		boolexpr.Or(boolexpr.NewVar(a), boolexpr.NewVar(c))))
+	s := NewSensitive(u, r)
+	if got := s.MaxPhiSensitivity(); got != 2 {
+		t.Fatalf("CNF max φ-sensitivity = %v, want 2", got)
+	}
+	d, err := s.ToDNF(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.MaxPhiSensitivity(); got != 1 {
+		t.Errorf("DNF max φ-sensitivity = %v, want 1", got)
+	}
+	if math.Abs(d.TrueAnswer(CountQuery)-1) > 0 {
+		t.Error("DNF conversion changed the support")
+	}
+}
+
+func TestMonotonicityUnderWithdrawal(t *testing.T) {
+	// Withdrawing any participant never increases the true answer
+	// (monotone class of sensitive relations, Definition 13).
+	u := boolexpr.NewUniverse()
+	var vars []boolexpr.Var
+	for i := 0; i < 6; i++ {
+		vars = append(vars, u.Var(string(rune('a'+i))))
+	}
+	rng := newTestRand(77)
+	for trial := 0; trial < 100; trial++ {
+		r := NewRelation("x")
+		nt := 1 + rng.Intn(8)
+		for i := 0; i < nt; i++ {
+			r.Add(Tuple{string(rune('0' + i))}, boolexpr.Random(rng, 6, 3))
+		}
+		s := NewSensitive(u, r)
+		full := s.TrueAnswer(CountQuery)
+		for _, p := range vars {
+			if got := s.Withdraw(p).TrueAnswer(CountQuery); got > full {
+				t.Fatalf("trial %d: withdrawal increased answer %v → %v", trial, full, got)
+			}
+		}
+	}
+}
+
+func TestFormatOutput(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	a := u.Var("alice")
+	r := NewRelation("x", "y")
+	r.Add(Tuple{"1", "2"}, boolexpr.NewVar(a))
+	out := r.Format(u)
+	if !strings.Contains(out, "alice") || !strings.Contains(out, "1, 2") {
+		t.Errorf("Format output missing content:\n%s", out)
+	}
+	if !strings.Contains(r.String(), "v0") {
+		t.Errorf("String should use v<N> names:\n%s", r.String())
+	}
+}

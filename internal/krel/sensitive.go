@@ -1,0 +1,181 @@
+package krel
+
+import (
+	"math"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/relax"
+)
+
+// LinearQuery assigns the non-negative weight q(t) to each tuple
+// (Definition 11/12). CountQuery is the common case q(t) = 1.
+type LinearQuery func(t Tuple) float64
+
+// CountQuery weights every tuple 1, so the true answer is |supp(R)|.
+func CountQuery(Tuple) float64 { return 1 }
+
+// Sensitive pairs a K-relation with the participant universe that its
+// annotation variables range over — the sensitive K-relation (P, R) of
+// Definition 13/14. NumParticipants may exceed the number of variables that
+// actually occur (participants who contributed nothing).
+type Sensitive struct {
+	Universe *boolexpr.Universe
+	Rel      *Relation
+}
+
+// NewSensitive builds a sensitive K-relation.
+func NewSensitive(u *boolexpr.Universe, r *Relation) *Sensitive {
+	return &Sensitive{Universe: u, Rel: r}
+}
+
+// NumParticipants returns |P|.
+func (s *Sensitive) NumParticipants() int { return s.Universe.Len() }
+
+// TrueAnswer computes q(supp(R)), the exact (non-private) query answer.
+func (s *Sensitive) TrueAnswer(q LinearQuery) float64 {
+	total := 0.0
+	s.Rel.Each(func(t Tuple, _ *boolexpr.Expr) {
+		total += q(t)
+	})
+	return total
+}
+
+// Withdraw returns the neighboring sensitive K-relation obtained by
+// participant p opting out: every annotation has p substituted with False
+// (Definition 14) and tuples whose annotation collapses to False leave the
+// support. The universe is shared (the participant set of the neighbor is
+// P − {p}; keeping the variable allocated is harmless since it no longer
+// occurs).
+func (s *Sensitive) Withdraw(p boolexpr.Var) *Sensitive {
+	out := NewRelation(s.Rel.attrs...)
+	s.Rel.Each(func(t Tuple, ann *boolexpr.Expr) {
+		out.Add(t, ann.Substitute(p, false))
+	})
+	return &Sensitive{Universe: s.Universe, Rel: out}
+}
+
+// Impact returns the tuples in impact(p, R) (Definition 15): those whose
+// annotation changes when p withdraws. Occurrence of p in the annotation is
+// used as the change criterion; for the constant-folded annotations this
+// package produces, an occurrence of p always admits an assignment of the
+// remaining variables under which φ changes, so occurrence coincides with
+// Definition 15's φ-inequivalence.
+func (s *Sensitive) Impact(p boolexpr.Var) []Tuple {
+	var out []Tuple
+	s.Rel.Each(func(t Tuple, ann *boolexpr.Expr) {
+		if ann.HasVar(p) {
+			out = append(out, t)
+		}
+	})
+	return out
+}
+
+// UniversalSensitivityOf computes ŨS_q(p, R) = Σ_{t ∈ impact(p,R)} q(t)
+// (Definition 16).
+func (s *Sensitive) UniversalSensitivityOf(p boolexpr.Var, q LinearQuery) float64 {
+	total := 0.0
+	s.Rel.Each(func(t Tuple, ann *boolexpr.Expr) {
+		if ann.HasVar(p) {
+			total += q(t)
+		}
+	})
+	return total
+}
+
+// UniversalSensitivity computes ŨS_q(P, R) = max_p ŨS_q(p, R), the quantity
+// the error bound of the efficient mechanism is proportional to.
+func (s *Sensitive) UniversalSensitivity(q LinearQuery) float64 {
+	// Accumulate per-participant sums in one pass.
+	sums := make(map[boolexpr.Var]float64)
+	s.Rel.Each(func(t Tuple, ann *boolexpr.Expr) {
+		w := q(t)
+		for _, p := range ann.Vars(nil) {
+			sums[p] += w
+		}
+	})
+	best := 0.0
+	for _, v := range sums {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// LocalEmpiricalSensitivity computes L̃S_q(P, R) = max_p |q(R) − q(R−p)|
+// exactly, by evaluating the withdrawal of every occurring participant
+// (Definition 9 instantiated on the K-relation).
+func (s *Sensitive) LocalEmpiricalSensitivity(q LinearQuery) float64 {
+	full := s.TrueAnswer(q)
+	vars := make(map[boolexpr.Var]struct{})
+	s.Rel.Each(func(_ Tuple, ann *boolexpr.Expr) {
+		for _, p := range ann.Vars(nil) {
+			vars[p] = struct{}{}
+		}
+	})
+	best := 0.0
+	for p := range vars {
+		diff := math.Abs(full - s.Withdraw(p).TrueAnswer(q))
+		if diff > best {
+			best = diff
+		}
+	}
+	return best
+}
+
+// MaxPhiSensitivity returns S = max over tuples t and participants p of the
+// φ-sensitivity S(R(t), p). The paper bounds G_{|P|} ≤ 2·S·ŨS_q (§5.2).
+func (s *Sensitive) MaxPhiSensitivity() float64 {
+	best := 0.0
+	s.Rel.Each(func(_ Tuple, ann *boolexpr.Expr) {
+		if m := relax.MaxSensitivity(ann); m > best {
+			best = m
+		}
+	})
+	return best
+}
+
+// Annotated is the minimal view of one tuple the mechanism needs: its query
+// weight and its annotation.
+type Annotated struct {
+	Weight float64
+	Ann    *boolexpr.Expr
+}
+
+// Annotated flattens the relation under q into the weight/annotation pairs
+// consumed by internal/mechanism. Tuples with weight 0 are kept (they are
+// harmless) but weights must be non-negative (Definition 12).
+func (s *Sensitive) Annotated(q LinearQuery) []Annotated {
+	out := make([]Annotated, 0, s.Rel.Size())
+	s.Rel.Each(func(t Tuple, ann *boolexpr.Expr) {
+		w := q(t)
+		if w < 0 {
+			panic("krel: linear query yielded a negative weight; split the query per Definition 12")
+		}
+		out = append(out, Annotated{Weight: w, Ann: ann})
+	})
+	return out
+}
+
+// ToDNF returns a copy of the sensitive relation with every annotation
+// converted to canonical irredundant DNF (the alternative safe annotation
+// scheme of §5.2 with S(k,p) ≤ 1). maxClauses bounds each conversion.
+func (s *Sensitive) ToDNF(maxClauses int) (*Sensitive, error) {
+	out := NewRelation(s.Rel.attrs...)
+	var convErr error
+	s.Rel.Each(func(t Tuple, ann *boolexpr.Expr) {
+		if convErr != nil {
+			return
+		}
+		d, err := boolexpr.ToDNF(ann, maxClauses)
+		if err != nil {
+			convErr = err
+			return
+		}
+		out.Add(t, d.Expr())
+	})
+	if convErr != nil {
+		return nil, convErr
+	}
+	return &Sensitive{Universe: s.Universe, Rel: out}, nil
+}

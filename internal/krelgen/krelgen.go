@@ -1,0 +1,97 @@
+// Package krelgen generates the random sensitive K-relations of §6.2: every
+// tuple is annotated with a random 3-DNF or 3-CNF expression of a given
+// clause count. A 3-DNF K-relation models a union of many join results; a
+// 3-CNF one models a join of many unions. As in the paper, |P| (the number
+// of participant variables) equals |supp(R)| (the number of tuples) and
+// every annotation has the same length.
+package krelgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/krel"
+)
+
+// Form selects the annotation shape.
+type Form int8
+
+// Annotation shapes of §6.2.
+const (
+	DNF3 Form = iota // disjunction of clauses, each a conjunction of 3 variables
+	CNF3             // conjunction of clauses, each a disjunction of 3 variables
+)
+
+func (f Form) String() string {
+	if f == DNF3 {
+		return "3-DNF"
+	}
+	return "3-CNF"
+}
+
+// Config describes one random K-relation.
+type Config struct {
+	Tuples  int  // |supp(R)| = |P|
+	Clauses int  // clauses per annotation
+	Form    Form // DNF3 or CNF3
+}
+
+// Generate builds a random sensitive K-relation per the configuration.
+// Within each clause the three variables are distinct; clauses are drawn
+// independently.
+func Generate(rng *rand.Rand, cfg Config) *krel.Sensitive {
+	if cfg.Tuples < 1 {
+		panic("krelgen: need at least one tuple")
+	}
+	if cfg.Clauses < 1 {
+		panic("krelgen: need at least one clause")
+	}
+	nVars := cfg.Tuples
+	u := boolexpr.NewUniverse()
+	for i := 0; i < nVars; i++ {
+		u.Var(fmt.Sprintf("p%d", i))
+	}
+	width := 3
+	if width > nVars {
+		width = nVars
+	}
+	r := krel.NewRelation("id")
+	for t := 0; t < cfg.Tuples; t++ {
+		clauses := make([]*boolexpr.Expr, cfg.Clauses)
+		for c := range clauses {
+			vars := pickDistinct(rng, nVars, width)
+			lits := make([]*boolexpr.Expr, width)
+			for i, v := range vars {
+				lits[i] = boolexpr.NewVar(v)
+			}
+			if cfg.Form == DNF3 {
+				clauses[c] = boolexpr.And(lits...)
+			} else {
+				clauses[c] = boolexpr.Or(lits...)
+			}
+		}
+		var ann *boolexpr.Expr
+		if cfg.Form == DNF3 {
+			ann = boolexpr.Or(clauses...)
+		} else {
+			ann = boolexpr.And(clauses...)
+		}
+		r.Add(krel.Tuple{fmt.Sprintf("t%d", t)}, ann)
+	}
+	return krel.NewSensitive(u, r)
+}
+
+func pickDistinct(rng *rand.Rand, n, k int) []boolexpr.Var {
+	out := make([]boolexpr.Var, 0, k)
+	seen := make(map[int]struct{}, k)
+	for len(out) < k {
+		v := rng.Intn(n)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, boolexpr.Var(v))
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package krelgen
+
+import (
+	"testing"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/krel"
+	"recmech/internal/noise"
+)
+
+func TestGenerateDNFShape(t *testing.T) {
+	rng := noise.NewRand(1)
+	s := Generate(rng, Config{Tuples: 50, Clauses: 4, Form: DNF3})
+	if s.NumParticipants() != 50 {
+		t.Fatalf("|P| = %d, want 50", s.NumParticipants())
+	}
+	if s.Rel.Size() != 50 {
+		t.Fatalf("|supp(R)| = %d, want 50", s.Rel.Size())
+	}
+	s.Rel.Each(func(_ krel.Tuple, ann *boolexpr.Expr) {
+		if ann.Op() != boolexpr.OpOr {
+			t.Fatalf("DNF root should be ∨, got %v in %v", ann.Op(), ann)
+		}
+		if got := ann.Size(); got != 12 {
+			t.Fatalf("annotation length = %d, want 12 (4 clauses × 3 vars)", got)
+		}
+		// DNF φ-sensitivities are ≤ 1.
+	})
+	if got := s.MaxPhiSensitivity(); got > 1 {
+		t.Errorf("DNF max φ-sensitivity = %v, want ≤ 1", got)
+	}
+}
+
+func TestGenerateCNFShape(t *testing.T) {
+	rng := noise.NewRand(2)
+	s := Generate(rng, Config{Tuples: 40, Clauses: 5, Form: CNF3})
+	s.Rel.Each(func(_ krel.Tuple, ann *boolexpr.Expr) {
+		if ann.Op() != boolexpr.OpAnd {
+			t.Fatalf("CNF root should be ∧, got %v", ann.Op())
+		}
+	})
+	// CNF sensitivities can reach the clause count.
+	if got := s.MaxPhiSensitivity(); got < 1 || got > 5 {
+		t.Errorf("CNF max φ-sensitivity = %v, want in [1,5]", got)
+	}
+}
+
+func TestGenerateDistinctVarsPerClause(t *testing.T) {
+	rng := noise.NewRand(3)
+	s := Generate(rng, Config{Tuples: 30, Clauses: 3, Form: DNF3})
+	s.Rel.Each(func(_ krel.Tuple, ann *boolexpr.Expr) {
+		for _, clause := range ann.Children() {
+			vars := clause.Vars(nil)
+			if clause.Op() == boolexpr.OpAnd && len(vars) != 3 {
+				t.Fatalf("clause %v has %d distinct vars, want 3", clause, len(vars))
+			}
+		}
+	})
+}
+
+func TestGenerateTinyUniverse(t *testing.T) {
+	// Fewer participants than the clause width clamps the width.
+	rng := noise.NewRand(4)
+	s := Generate(rng, Config{Tuples: 2, Clauses: 2, Form: CNF3})
+	if s.NumParticipants() != 2 {
+		t.Fatal("universe should have 2 participants")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := noise.NewRand(5)
+	for name, cfg := range map[string]Config{
+		"no tuples":  {Tuples: 0, Clauses: 1},
+		"no clauses": {Tuples: 1, Clauses: 0},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			Generate(rng, cfg)
+		})
+	}
+}
+
+func TestFormString(t *testing.T) {
+	if DNF3.String() != "3-DNF" || CNF3.String() != "3-CNF" {
+		t.Error("Form strings wrong")
+	}
+}
+
+func TestUniversalSensitivityReasonable(t *testing.T) {
+	// ŨS is the max number of tuples sharing a participant; with 50 tuples,
+	// 3 clauses × 3 vars = 9 slots over 50 participants, the expected load
+	// is ~9 and ŨS should be far below 50.
+	rng := noise.NewRand(6)
+	s := Generate(rng, Config{Tuples: 50, Clauses: 3, Form: DNF3})
+	us := s.UniversalSensitivity(krel.CountQuery)
+	if us < 1 || us > 30 {
+		t.Errorf("ŨS = %v, expected moderate", us)
+	}
+}

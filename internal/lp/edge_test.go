@@ -1,0 +1,178 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNoConstraints(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 2, 5)
+	got, ref := solveBoth(t, p)
+	if got.X[x] != 2 || math.Abs(got.Objective-2) > 1e-9 {
+		t.Errorf("Solve: x=%v obj=%v, want 2", got.X[x], got.Objective)
+	}
+	if math.Abs(ref.Objective-2) > 1e-9 {
+		t.Errorf("Reference obj=%v", ref.Objective)
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	p := NewProblem()
+	got, err := p.Solve()
+	if err != nil || got.Status != Optimal || got.Objective != 0 {
+		t.Errorf("empty problem: %+v, %v", got, err)
+	}
+}
+
+func TestAllVariablesFixed(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(3, 2, 2)
+	y := p.AddVar(1, 1, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 10)
+	got, ref := solveBoth(t, p)
+	if math.Abs(got.Objective-7) > 1e-9 || math.Abs(ref.Objective-7) > 1e-9 {
+		t.Errorf("objectives %v/%v, want 7", got.Objective, ref.Objective)
+	}
+}
+
+func TestAllVariablesFixedInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(3, 2, 2)
+	p.AddConstraint([]Term{{x, 1}}, GE, 5)
+	got, ref := solveBoth(t, p)
+	if got.Status != Infeasible || ref.Status != Infeasible {
+		t.Errorf("statuses %v/%v, want infeasible", got.Status, ref.Status)
+	}
+}
+
+func TestDuplicateTermsInRow(t *testing.T) {
+	// x + x ≥ 4 means 2x ≥ 4.
+	p := NewProblem()
+	x := p.AddVar(1, 0, 10)
+	p.AddConstraint([]Term{{x, 1}, {x, 1}}, GE, 4)
+	got, ref := solveBoth(t, p)
+	if math.Abs(got.Objective-2) > 1e-8 || math.Abs(ref.Objective-2) > 1e-8 {
+		t.Errorf("objectives %v/%v, want 2", got.Objective, ref.Objective)
+	}
+}
+
+func TestZeroRHSGEConstraint(t *testing.T) {
+	// v ≥ x with min v: the φ-encoding's ∨-row shape.
+	p := NewProblem()
+	x := p.AddVar(0, 0.7, 0.7)
+	v := p.AddVar(1, 0, math.Inf(1))
+	p.AddConstraint([]Term{{v, 1}, {x, -1}}, GE, 0)
+	got, ref := solveBoth(t, p)
+	if math.Abs(got.Objective-0.7) > 1e-8 || math.Abs(ref.Objective-0.7) > 1e-8 {
+		t.Errorf("objectives %v/%v, want 0.7", got.Objective, ref.Objective)
+	}
+}
+
+func TestDegenerateEqualityZero(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 0, 5)
+	y := p.AddVar(1, 0, 5)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, EQ, 0)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 4)
+	got, ref := solveBoth(t, p)
+	if math.Abs(got.Objective-4) > 1e-8 || math.Abs(ref.Objective-4) > 1e-8 {
+		t.Errorf("objectives %v/%v, want 4 (x=y=2)", got.Objective, ref.Objective)
+	}
+}
+
+func TestManyBoundFlips(t *testing.T) {
+	// Maximize Σ x_i (= min −Σ) subject to a single knapsack row: the
+	// optimum sits on many upper bounds, exercising the bound-flip path.
+	p := NewProblem()
+	n := 20
+	var terms []Term
+	for i := 0; i < n; i++ {
+		x := p.AddVar(-1, 0, 1)
+		terms = append(terms, Term{x, 1})
+	}
+	p.AddConstraint(terms, LE, 7.5)
+	got, ref := solveBoth(t, p)
+	if math.Abs(got.Objective+7.5) > 1e-8 || math.Abs(ref.Objective+7.5) > 1e-8 {
+		t.Errorf("objectives %v/%v, want −7.5", got.Objective, ref.Objective)
+	}
+}
+
+func TestLargerRandomProblems(t *testing.T) {
+	// Bigger random instances than the main cross-check, fewer trials.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		p := NewProblem()
+		n := 20 + rng.Intn(30)
+		m := 10 + rng.Intn(20)
+		x0 := make([]float64, n)
+		for j := 0; j < n; j++ {
+			hi := 1 + 4*rng.Float64()
+			p.AddVar(rng.Float64()*10, 0, hi)
+			x0[j] = hi * rng.Float64()
+		}
+		for i := 0; i < m; i++ {
+			var terms []Term
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				if rng.Intn(4) != 0 {
+					continue
+				}
+				c := rng.NormFloat64()
+				terms = append(terms, Term{j, c})
+				lhs += c * x0[j]
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0:
+				p.AddConstraint(terms, LE, lhs+rng.Float64())
+			case 1:
+				p.AddConstraint(terms, GE, lhs-rng.Float64())
+			default:
+				p.AddConstraint(terms, EQ, lhs)
+			}
+		}
+		got, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref, err := p.SolveReference()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Status != Optimal || ref.Status != Optimal {
+			t.Fatalf("trial %d: statuses %v/%v", trial, got.Status, ref.Status)
+		}
+		scale := 1 + math.Abs(ref.Objective)
+		if math.Abs(got.Objective-ref.Objective)/scale > 1e-5 {
+			t.Fatalf("trial %d: %v vs %v", trial, got.Objective, ref.Objective)
+		}
+		checkFeasible(t, p, got.X, "Solve", trial)
+	}
+}
+
+func TestNegativeCostUnboundedAboveVariable(t *testing.T) {
+	// Negative cost on a var with a finite bound is fine; with infinite
+	// bound and no blocking row it is unbounded.
+	p := NewProblem()
+	x := p.AddVar(-2, 0, 3)
+	p.AddConstraint([]Term{{x, 1}}, GE, 0)
+	got, ref := solveBoth(t, p)
+	if math.Abs(got.Objective+6) > 1e-9 || math.Abs(ref.Objective+6) > 1e-9 {
+		t.Errorf("objectives %v/%v, want −6", got.Objective, ref.Objective)
+	}
+}
+
+func TestFreeVariablePanics(t *testing.T) {
+	p := NewProblem()
+	p.AddVar(1, math.Inf(-1), 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for free variable")
+		}
+	}()
+	p.Solve() //nolint:errcheck // panics before returning
+}

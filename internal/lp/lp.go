@@ -1,0 +1,149 @@
+// Package lp is a from-scratch dense linear programming solver used to
+// compute the sequences H (Eq. 16) and G (Eq. 19) of the efficient recursive
+// mechanism. The paper observes (§5.3) that each H_i and G_i is a linear
+// program with O(L) variables, L the total annotation length; this package
+// supplies the solver the authors presumably took off the shelf.
+//
+// Two implementations are provided:
+//
+//   - Solve: a bounded-variable two-phase primal simplex. Variable bounds
+//     l ≤ x ≤ u are handled implicitly by nonbasic-at-bound statuses, which
+//     keeps the tableau at one row per structural constraint. This is the
+//     production solver.
+//   - SolveReference: an independently written textbook two-phase simplex
+//     where every finite upper bound becomes an explicit row. It is slower
+//     and exists as a cross-checking oracle for randomized tests.
+//
+// Both solve min cᵀx subject to Ax {≤,=,≥} b, l ≤ x ≤ u.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the relational operator of a constraint row.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // Σ aᵢxᵢ ≤ b
+	GE              // Σ aᵢxᵢ ≥ b
+	EQ              // Σ aᵢxᵢ = b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Term is one nonzero coefficient of a constraint row.
+type Term struct {
+	Col  int
+	Coef float64
+}
+
+type row struct {
+	terms []Term
+	sense Sense
+	rhs   float64
+}
+
+// Problem accumulates a linear program. Build with AddVar/AddConstraint and
+// call Solve (or SolveReference in tests).
+type Problem struct {
+	costs  []float64
+	lower  []float64
+	upper  []float64 // math.Inf(1) when unbounded above
+	rows   []row
+	minimz bool
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem {
+	return &Problem{minimz: true}
+}
+
+// AddVar adds a variable with objective coefficient cost and bounds
+// lower ≤ x ≤ upper (use math.Inf(1) for no upper bound), returning its
+// column index.
+func (p *Problem) AddVar(cost, lower, upper float64) int {
+	if upper < lower {
+		panic(fmt.Sprintf("lp: variable bounds inverted: [%v, %v]", lower, upper))
+	}
+	p.costs = append(p.costs, cost)
+	p.lower = append(p.lower, lower)
+	p.upper = append(p.upper, upper)
+	return len(p.costs) - 1
+}
+
+// SetCost replaces the objective coefficient of column j.
+func (p *Problem) SetCost(j int, cost float64) { p.costs[j] = cost }
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.costs) }
+
+// NumRows returns the number of constraints added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddConstraint adds the row Σ terms {sense} rhs. The term list is copied.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) {
+	for _, t := range terms {
+		if t.Col < 0 || t.Col >= len(p.costs) {
+			panic(fmt.Sprintf("lp: term references unknown column %d", t.Col))
+		}
+	}
+	p.rows = append(p.rows, row{terms: append([]Term(nil), terms...), sense: sense, rhs: rhs})
+}
+
+// Status reports the outcome of a solve.
+type Status int8
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Result is a solve outcome. X has one entry per structural variable and is
+// only meaningful when Status == Optimal.
+type Result struct {
+	Status    Status
+	Objective float64
+	X         []float64
+}
+
+// ErrIterationLimit is returned when the simplex exceeds its pivot budget,
+// which indicates numerical cycling on pathological input.
+var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
+
+const (
+	tolPivot  = 1e-9 // minimum magnitude of an eligible pivot element
+	tolCost   = 1e-9 // reduced-cost optimality tolerance
+	tolFeas   = 1e-7 // feasibility tolerance on phase-1 objective
+	tolBounds = 1e-9 // slack when comparing values against bounds
+)
+
+// infinity is exported via math.Inf(1); alias for readability.
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,343 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveBoth(t *testing.T, p *Problem) (Result, Result) {
+	t.Helper()
+	got, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	ref, err := p.SolveReference()
+	if err != nil {
+		t.Fatalf("SolveReference: %v", err)
+	}
+	return got, ref
+}
+
+func TestSimpleMinimization(t *testing.T) {
+	// min x + 2y  s.t. x + y ≥ 3, 0 ≤ x ≤ 2, 0 ≤ y ≤ 5.  Optimum: x=2, y=1, obj=4.
+	p := NewProblem()
+	x := p.AddVar(1, 0, 2)
+	y := p.AddVar(2, 0, 5)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 3)
+	got, ref := solveBoth(t, p)
+	for name, r := range map[string]Result{"Solve": got, "Reference": ref} {
+		if r.Status != Optimal {
+			t.Fatalf("%s status = %v", name, r.Status)
+		}
+		if math.Abs(r.Objective-4) > 1e-8 {
+			t.Errorf("%s objective = %v, want 4", name, r.Objective)
+		}
+		if math.Abs(r.X[x]-2) > 1e-8 || math.Abs(r.X[y]-1) > 1e-8 {
+			t.Errorf("%s solution = %v, want [2 1]", name, r.X)
+		}
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min 3x + y  s.t. x + y = 10, x − y ≤ 2, x,y ≥ 0.
+	// Optimum: x=0, y=10, obj=10.
+	p := NewProblem()
+	x := p.AddVar(3, 0, math.Inf(1))
+	y := p.AddVar(1, 0, math.Inf(1))
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 10)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, LE, 2)
+	got, ref := solveBoth(t, p)
+	if math.Abs(got.Objective-10) > 1e-8 || math.Abs(ref.Objective-10) > 1e-8 {
+		t.Errorf("objectives = %v, %v, want 10", got.Objective, ref.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 0, 1)
+	p.AddConstraint([]Term{{x, 1}}, GE, 5)
+	got, ref := solveBoth(t, p)
+	if got.Status != Infeasible || ref.Status != Infeasible {
+		t.Errorf("statuses = %v, %v, want infeasible", got.Status, ref.Status)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 0, math.Inf(1))
+	y := p.AddVar(0, 0, math.Inf(1))
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 4)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 6)
+	got, ref := solveBoth(t, p)
+	if got.Status != Infeasible || ref.Status != Infeasible {
+		t.Errorf("statuses = %v, %v, want infeasible", got.Status, ref.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min −x with x unbounded above.
+	p := NewProblem()
+	x := p.AddVar(-1, 0, math.Inf(1))
+	p.AddConstraint([]Term{{x, 1}}, GE, 0)
+	got, ref := solveBoth(t, p)
+	if got.Status != Unbounded || ref.Status != Unbounded {
+		t.Errorf("statuses = %v, %v, want unbounded", got.Status, ref.Status)
+	}
+}
+
+func TestRedundantRows(t *testing.T) {
+	// Duplicate equalities produce a redundant row after phase 1.
+	p := NewProblem()
+	x := p.AddVar(1, 0, math.Inf(1))
+	y := p.AddVar(1, 0, math.Inf(1))
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 5)
+	p.AddConstraint([]Term{{x, 2}, {y, 2}}, EQ, 10)
+	p.AddConstraint([]Term{{x, 1}}, GE, 1)
+	got, ref := solveBoth(t, p)
+	if math.Abs(got.Objective-5) > 1e-8 || math.Abs(ref.Objective-5) > 1e-8 {
+		t.Errorf("objectives = %v, %v, want 5", got.Objective, ref.Objective)
+	}
+}
+
+func TestNonzeroLowerBounds(t *testing.T) {
+	// min x + y  s.t. x + y ≥ 5, x ≥ 2, y ∈ [1, 10].
+	p := NewProblem()
+	x := p.AddVar(1, 2, math.Inf(1))
+	y := p.AddVar(1, 1, 10)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 5)
+	got, ref := solveBoth(t, p)
+	if math.Abs(got.Objective-5) > 1e-8 || math.Abs(ref.Objective-5) > 1e-8 {
+		t.Errorf("objectives = %v, %v, want 5", got.Objective, ref.Objective)
+	}
+	if got.X[x] < 2-1e-9 || got.X[y] < 1-1e-9 {
+		t.Errorf("solution %v violates lower bounds", got.X)
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	// A variable with lower == upper is pinned.
+	p := NewProblem()
+	x := p.AddVar(1, 3, 3)
+	y := p.AddVar(1, 0, math.Inf(1))
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 7)
+	got, ref := solveBoth(t, p)
+	if math.Abs(got.Objective-7) > 1e-8 || math.Abs(ref.Objective-7) > 1e-8 {
+		t.Errorf("objectives = %v, %v, want 7", got.Objective, ref.Objective)
+	}
+	if math.Abs(got.X[x]-3) > 1e-9 {
+		t.Errorf("x = %v, want 3 (fixed)", got.X[x])
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min y  s.t. −x − y ≤ −4 (i.e. x + y ≥ 4), x ≤ 1.
+	p := NewProblem()
+	x := p.AddVar(0, 0, 1)
+	y := p.AddVar(1, 0, math.Inf(1))
+	p.AddConstraint([]Term{{x, -1}, {y, -1}}, LE, -4)
+	got, ref := solveBoth(t, p)
+	if math.Abs(got.Objective-3) > 1e-8 || math.Abs(ref.Objective-3) > 1e-8 {
+		t.Errorf("objectives = %v, %v, want 3", got.Objective, ref.Objective)
+	}
+}
+
+func TestMaxViaNegation(t *testing.T) {
+	// max 2x + 3y  s.t. x + y ≤ 4, x + 3y ≤ 6  → min −2x − 3y. Optimum (3,1): 9.
+	p := NewProblem()
+	x := p.AddVar(-2, 0, math.Inf(1))
+	y := p.AddVar(-3, 0, math.Inf(1))
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 4)
+	p.AddConstraint([]Term{{x, 1}, {y, 3}}, LE, 6)
+	got, ref := solveBoth(t, p)
+	if math.Abs(got.Objective+9) > 1e-8 || math.Abs(ref.Objective+9) > 1e-8 {
+		t.Errorf("objectives = %v, %v, want −9", got.Objective, ref.Objective)
+	}
+}
+
+// feasibleRandomProblem builds a random LP that is feasible by construction:
+// a random point x0 inside the box is chosen and every constraint's rhs is
+// set so x0 satisfies it. All costs are non-negative and all variables
+// bounded, so the LP is never unbounded.
+func feasibleRandomProblem(rng *rand.Rand) *Problem {
+	p := NewProblem()
+	n := 2 + rng.Intn(6)
+	m := 1 + rng.Intn(6)
+	x0 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lo := float64(rng.Intn(3))
+		hi := lo + 1 + 4*rng.Float64()
+		p.AddVar(rng.Float64()*10, lo, hi)
+		x0[j] = lo + (hi-lo)*rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		var terms []Term
+		lhs := 0.0
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			c := rng.NormFloat64() * 3
+			terms = append(terms, Term{j, c})
+			lhs += c * x0[j]
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.AddConstraint(terms, LE, lhs+rng.Float64()*2)
+		case 1:
+			p.AddConstraint(terms, GE, lhs-rng.Float64()*2)
+		case 2:
+			p.AddConstraint(terms, EQ, lhs)
+		}
+	}
+	return p
+}
+
+func checkFeasible(t *testing.T, p *Problem, x []float64, label string, trial int) {
+	t.Helper()
+	const tol = 1e-6
+	for j := range x {
+		if x[j] < p.lower[j]-tol || x[j] > p.upper[j]+tol {
+			t.Fatalf("trial %d (%s): x[%d]=%v outside [%v,%v]",
+				trial, label, j, x[j], p.lower[j], p.upper[j])
+		}
+	}
+	for ri, r := range p.rows {
+		lhs := 0.0
+		for _, term := range r.terms {
+			lhs += term.Coef * x[term.Col]
+		}
+		ok := true
+		switch r.sense {
+		case LE:
+			ok = lhs <= r.rhs+tol
+		case GE:
+			ok = lhs >= r.rhs-tol
+		case EQ:
+			ok = math.Abs(lhs-r.rhs) <= tol
+		}
+		if !ok {
+			t.Fatalf("trial %d (%s): row %d violated: %v %v %v",
+				trial, label, ri, lhs, r.sense, r.rhs)
+		}
+	}
+}
+
+func TestRandomCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 1500; trial++ {
+		p := feasibleRandomProblem(rng)
+		got, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		ref, err := p.SolveReference()
+		if err != nil {
+			t.Fatalf("trial %d: SolveReference: %v", trial, err)
+		}
+		if got.Status != Optimal || ref.Status != Optimal {
+			t.Fatalf("trial %d: statuses %v / %v on a feasible bounded problem",
+				trial, got.Status, ref.Status)
+		}
+		scale := 1 + math.Abs(ref.Objective)
+		if math.Abs(got.Objective-ref.Objective)/scale > 1e-6 {
+			t.Fatalf("trial %d: objective mismatch: %v vs %v",
+				trial, got.Objective, ref.Objective)
+		}
+		checkFeasible(t, p, got.X, "Solve", trial)
+		checkFeasible(t, p, ref.X, "Reference", trial)
+	}
+}
+
+func TestRandomInfeasibleAgreement(t *testing.T) {
+	// Add a directly contradictory pair of constraints and check both solvers
+	// report infeasible.
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		p := feasibleRandomProblem(rng)
+		j := rng.Intn(p.NumVars())
+		p.AddConstraint([]Term{{j, 1}}, GE, p.upper[j]+1+rng.Float64())
+		got, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref, err := p.SolveReference()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Status != Infeasible || ref.Status != Infeasible {
+			t.Fatalf("trial %d: statuses %v / %v, want infeasible", trial, got.Status, ref.Status)
+		}
+	}
+}
+
+func TestPhiLPShape(t *testing.T) {
+	// The H_i LP of the mechanism in miniature:
+	// min v   s.t. v ≥ f_a + f_b − 1,  f_a + f_b = i,  f ∈ [0,1], v ≥ 0.
+	// For i ≤ 1 the optimum is 0; for i = 2 it is 1; for i = 1.5 it is 0.5.
+	for _, tc := range []struct{ i, want float64 }{
+		{0, 0}, {1, 0}, {1.5, 0.5}, {2, 1},
+	} {
+		p := NewProblem()
+		fa := p.AddVar(0, 0, 1)
+		fb := p.AddVar(0, 0, 1)
+		v := p.AddVar(1, 0, math.Inf(1))
+		p.AddConstraint([]Term{{v, 1}, {fa, -1}, {fb, -1}}, GE, -1)
+		p.AddConstraint([]Term{{fa, 1}, {fb, 1}}, EQ, tc.i)
+		got, ref := solveBoth(t, p)
+		if math.Abs(got.Objective-tc.want) > 1e-8 {
+			t.Errorf("i=%v: Solve objective = %v, want %v", tc.i, got.Objective, tc.want)
+		}
+		if math.Abs(ref.Objective-tc.want) > 1e-8 {
+			t.Errorf("i=%v: Reference objective = %v, want %v", tc.i, ref.Objective, tc.want)
+		}
+	}
+}
+
+func TestAddConstraintValidation(t *testing.T) {
+	p := NewProblem()
+	p.AddVar(1, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown column")
+		}
+	}()
+	p.AddConstraint([]Term{{5, 1}}, LE, 1)
+}
+
+func TestAddVarValidation(t *testing.T) {
+	p := NewProblem()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted bounds")
+		}
+	}()
+	p.AddVar(1, 2, 1)
+}
+
+func TestSenseAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Sense strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" {
+		t.Error("Status strings wrong")
+	}
+	if Sense(9).String() != "?" || Status(9).String() != "unknown" {
+		t.Error("fallback strings wrong")
+	}
+}
+
+func TestSetCost(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(5, 0, 10)
+	p.AddConstraint([]Term{{x, 1}}, GE, 2)
+	p.SetCost(x, 1)
+	got, _ := solveBoth(t, p)
+	if math.Abs(got.Objective-2) > 1e-8 {
+		t.Errorf("objective = %v, want 2 after SetCost", got.Objective)
+	}
+}

@@ -1,0 +1,213 @@
+package lp
+
+import "math"
+
+// SolveReference solves the same problem as Solve with an independently
+// written classic dense two-phase simplex: every finite upper bound becomes
+// an explicit row, every row gets an artificial variable, and the right-hand
+// side lives inside the tableau. It is O(rows²·cols) per pivot budget and
+// exists purely as a cross-checking oracle for randomized tests; production
+// code must call Solve.
+func (p *Problem) SolveReference() (Result, error) {
+	nStruct := len(p.costs)
+
+	// Shift all variables to lower bound zero.
+	type stdRow struct {
+		coefs []float64 // dense over structural columns
+		sense Sense
+		rhs   float64
+	}
+	var rows []stdRow
+	for _, r := range p.rows {
+		dense := make([]float64, nStruct)
+		rhs := r.rhs
+		for _, t := range r.terms {
+			dense[t.Col] += t.Coef
+			rhs -= t.Coef * p.lower[t.Col]
+		}
+		rows = append(rows, stdRow{dense, r.sense, rhs})
+	}
+	for j := 0; j < nStruct; j++ {
+		if u := p.upper[j] - p.lower[j]; !math.IsInf(u, 1) {
+			dense := make([]float64, nStruct)
+			dense[j] = 1
+			rows = append(rows, stdRow{dense, LE, u})
+		}
+	}
+
+	m := len(rows)
+	nSlack := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	// Columns: structural | slack | artificial | rhs.
+	n := nStruct + nSlack + m
+	width := n + 1
+	t := make([]float64, (m+2)*width) // +2: phase-2 and phase-1 objective rows
+	basisVar := make([]int, m)
+
+	slackCol := nStruct
+	for i, r := range rows {
+		rhs := r.rhs
+		coefs := append([]float64(nil), r.coefs...)
+		slackCoef := 0.0
+		sCol := -1
+		switch r.sense {
+		case LE:
+			sCol, slackCoef = slackCol, 1
+			slackCol++
+		case GE:
+			sCol, slackCoef = slackCol, -1
+			slackCol++
+		}
+		if rhs < 0 {
+			rhs = -rhs
+			slackCoef = -slackCoef
+			for j := range coefs {
+				coefs[j] = -coefs[j]
+			}
+		}
+		row := t[i*width : (i+1)*width]
+		copy(row, coefs)
+		if sCol >= 0 {
+			row[sCol] = slackCoef
+		}
+		art := nStruct + nSlack + i
+		row[art] = 1
+		row[n] = rhs
+		basisVar[i] = art
+	}
+
+	objRow := t[m*width : (m+1)*width]     // phase-2 costs
+	artRow := t[(m+1)*width : (m+2)*width] // phase-1 costs
+	for j := 0; j < nStruct; j++ {
+		objRow[j] = p.costs[j]
+	}
+	for j := nStruct + nSlack; j < n; j++ {
+		artRow[j] = 1 // phase-1 cost: minimize the sum of artificials
+	}
+	for i := 0; i < m; i++ {
+		// Price out the artificial basis in the phase-1 row.
+		row := t[i*width : (i+1)*width]
+		for j := 0; j <= n; j++ {
+			artRow[j] -= row[j]
+		}
+	}
+
+	pivotTableau := func(r, c int) {
+		row := t[r*width : (r+1)*width]
+		pv := row[c]
+		for j := range row {
+			row[j] /= pv
+		}
+		row[c] = 1
+		for i := 0; i < m+2; i++ {
+			if i == r {
+				continue
+			}
+			other := t[i*width : (i+1)*width]
+			f := other[c]
+			if f == 0 {
+				continue
+			}
+			for j := range other {
+				other[j] -= f * row[j]
+			}
+			other[c] = 0
+		}
+		basisVar[r] = c
+	}
+
+	runPhase := func(costRow []float64, maxCol int) Status {
+		limit := 300*(m+n) + 5000
+		consecutiveDegenerate := 0
+		for iter := 0; iter < limit; iter++ {
+			bland := consecutiveDegenerate > 2*(m+1)
+			enter := -1
+			best := -tolCost
+			for j := 0; j < maxCol; j++ {
+				if costRow[j] < best {
+					if bland {
+						if enter < 0 {
+							enter = j
+						}
+						continue
+					}
+					best = costRow[j]
+					enter = j
+				}
+			}
+			if enter < 0 {
+				return Optimal
+			}
+			leave := -1
+			bestRatio := math.Inf(1)
+			for i := 0; i < m; i++ {
+				a := t[i*width+enter]
+				if a <= tolPivot {
+					continue
+				}
+				ratio := t[i*width+n] / a
+				if ratio < bestRatio-tolBounds ||
+					(ratio < bestRatio+tolBounds && (leave < 0 || a > t[leave*width+enter])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+			if leave < 0 {
+				return Unbounded
+			}
+			if bestRatio <= tolBounds {
+				consecutiveDegenerate++
+			} else {
+				consecutiveDegenerate = 0
+			}
+			pivotTableau(leave, enter)
+		}
+		return Infeasible // treated as a failure by the caller below
+	}
+
+	// Phase 1.
+	if st := runPhase(artRow, n); st == Unbounded {
+		return Result{}, ErrIterationLimit // cannot happen on a bounded phase-1
+	}
+	if -artRow[n] > tolFeas { // phase-1 objective value = −artRow[n]
+		return Result{Status: Infeasible}, nil
+	}
+	// Drive basic artificials out where possible.
+	for i := 0; i < m; i++ {
+		if basisVar[i] < nStruct+nSlack {
+			continue
+		}
+		for j := 0; j < nStruct+nSlack; j++ {
+			if math.Abs(t[i*width+j]) > tolPivot {
+				pivotTableau(i, j)
+				break
+			}
+		}
+	}
+
+	// Phase 2: restrict entering columns to non-artificials.
+	st := runPhase(objRow, nStruct+nSlack)
+	switch st {
+	case Unbounded:
+		return Result{Status: Unbounded}, nil
+	case Infeasible:
+		return Result{}, ErrIterationLimit
+	}
+
+	x := make([]float64, nStruct)
+	for i := 0; i < m; i++ {
+		if j := basisVar[i]; j < nStruct {
+			x[j] = t[i*width+n]
+		}
+	}
+	obj := 0.0
+	for j := range x {
+		x[j] += p.lower[j]
+		obj += p.costs[j] * x[j]
+	}
+	return Result{Status: Optimal, Objective: obj, X: x}, nil
+}

@@ -1,0 +1,454 @@
+package lp
+
+import (
+	"math"
+)
+
+// variable statuses inside the simplex.
+type varStatus int8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	basic
+)
+
+// Solve runs the bounded-variable two-phase primal simplex and returns the
+// optimum, or a Result with Status Infeasible/Unbounded. Lower bounds must be
+// finite (they are in every LP this repository builds).
+func (p *Problem) Solve() (Result, error) {
+	for j, l := range p.lower {
+		if math.IsInf(l, -1) {
+			panic("lp: free variables (lower = -inf) are not supported")
+		}
+		_ = j
+	}
+	s := newSimplex(p)
+	return s.run(p)
+}
+
+// simplex holds the dense working state. All structural variables are shifted
+// so their lower bound is 0; slack/surplus and artificial variables follow.
+type simplex struct {
+	m, nStruct, nTotal int
+	firstArt           int       // column index of the first artificial
+	a                  []float64 // m × nTotal tableau, row-major
+	rhs                []float64 // current values of the basic variables
+	ub                 []float64 // upper bound per column (shifted space)
+	d                  []float64 // reduced-cost row
+	basis              []int     // basic column per row
+	status             []varStatus
+	shift              []float64 // original lower bound per structural column
+	unboundedFlag      bool      // set by iterate on an unblocked direction
+}
+
+func (s *simplex) at(i, j int) float64     { return s.a[i*s.nTotal+j] }
+func (s *simplex) set(i, j int, v float64) { s.a[i*s.nTotal+j] = v }
+
+func newSimplex(p *Problem) *simplex {
+	m := len(p.rows)
+	nStruct := len(p.costs)
+
+	// First pass: shifted right-hand sides and, per row, whether the slack
+	// can serve as the initial basic variable. GE rows with rhs ≤ 0 and LE
+	// rows with rhs ≥ 0 are normalized so the slack enters with +1 —
+	// removing the artificial (and its phase-1 pivot) for the vast majority
+	// of the φ-encoding rows, which are GE with non-positive right-hand
+	// sides. Only EQ rows and sign-stuck inequalities need artificials.
+	shiftedRHS := make([]float64, m)
+	negate := make([]bool, m)
+	needArt := make([]bool, m)
+	nSlack, nArt := 0, 0
+	for i, r := range p.rows {
+		rhs := r.rhs
+		for _, t := range r.terms {
+			rhs -= t.Coef * p.lower[t.Col]
+		}
+		switch r.sense {
+		case LE:
+			nSlack++
+			if rhs < 0 {
+				negate[i] = true
+				rhs = -rhs
+				needArt[i] = true // slack coefficient becomes −1
+			}
+		case GE:
+			nSlack++
+			if rhs <= 0 {
+				negate[i] = true
+				rhs = -rhs // slack coefficient becomes +1
+			} else {
+				needArt[i] = true
+			}
+		case EQ:
+			if rhs < 0 {
+				negate[i] = true
+				rhs = -rhs
+			}
+			needArt[i] = true
+		}
+		if needArt[i] {
+			nArt++
+		}
+		shiftedRHS[i] = rhs
+	}
+
+	firstArt := nStruct + nSlack
+	nTotal := firstArt + nArt
+	s := &simplex{
+		m: m, nStruct: nStruct, nTotal: nTotal, firstArt: firstArt,
+		a:      make([]float64, m*nTotal),
+		rhs:    shiftedRHS,
+		ub:     make([]float64, nTotal),
+		d:      make([]float64, nTotal),
+		basis:  make([]int, m),
+		status: make([]varStatus, nTotal),
+		shift:  append([]float64(nil), p.lower...),
+	}
+	for j := 0; j < nStruct; j++ {
+		s.ub[j] = p.upper[j] - p.lower[j]
+	}
+	for j := nStruct; j < firstArt; j++ {
+		s.ub[j] = inf()
+	}
+	slackCol, artCol := nStruct, firstArt
+	for i, r := range p.rows {
+		sign := 1.0
+		if negate[i] {
+			sign = -1
+		}
+		for _, t := range r.terms {
+			s.set(i, t.Col, s.at(i, t.Col)+sign*t.Coef)
+		}
+		if r.sense != EQ {
+			slackCoef := sign
+			if r.sense == GE {
+				slackCoef = -sign
+			}
+			s.set(i, slackCol, slackCoef)
+			if !needArt[i] {
+				s.basis[i] = slackCol
+				s.status[slackCol] = basic
+			}
+			slackCol++
+		}
+		if needArt[i] {
+			s.set(i, artCol, 1)
+			s.ub[artCol] = inf()
+			s.basis[i] = artCol
+			s.status[artCol] = basic
+			artCol++
+		}
+	}
+	return s
+}
+
+func (s *simplex) run(p *Problem) (Result, error) {
+	// ---- Phase 1: minimize the sum of artificial variables. ----
+	needPhase1 := false
+	for j := s.firstArt; j < s.nTotal; j++ {
+		if s.status[j] == basic {
+			needPhase1 = true
+		}
+	}
+	if needPhase1 {
+		for j := range s.d {
+			s.d[j] = 0
+		}
+		for j := s.firstArt; j < s.nTotal; j++ {
+			if !math.IsInf(s.ub[j], 1) {
+				continue // never activated
+			}
+			s.d[j] = 1
+		}
+		s.priceOutBasis()
+		if err := s.iterate(); err != nil {
+			return Result{}, err
+		}
+		infeas := 0.0
+		for i := 0; i < s.m; i++ {
+			if s.basis[i] >= s.firstArt {
+				infeas += s.rhs[i]
+			}
+		}
+		if infeas > tolFeas {
+			return Result{Status: Infeasible}, nil
+		}
+		s.evictArtificials()
+	}
+	// Lock every artificial out of the basis entry candidates.
+	for j := s.firstArt; j < s.nTotal; j++ {
+		s.ub[j] = 0
+		if s.status[j] != basic {
+			s.status[j] = atLower
+		}
+	}
+
+	// ---- Phase 2: minimize the real objective. ----
+	for j := range s.d {
+		s.d[j] = 0
+	}
+	for j := 0; j < s.nStruct; j++ {
+		s.d[j] = p.costs[j]
+	}
+	s.priceOutBasis()
+	if err := s.iterate(); err != nil {
+		return Result{}, err
+	}
+	if s.unboundedFlag {
+		return Result{Status: Unbounded}, nil
+	}
+
+	// Extract the solution in original coordinates.
+	x := make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		switch s.status[j] {
+		case atLower:
+			x[j] = s.shift[j]
+		case atUpper:
+			x[j] = s.shift[j] + s.ub[j]
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		if j := s.basis[i]; j < s.nStruct {
+			v := s.rhs[i]
+			if v < 0 && v > -1e-6 {
+				v = 0
+			}
+			x[j] = s.shift[j] + v
+		}
+	}
+	obj := 0.0
+	for j, c := range p.costs {
+		obj += c * x[j]
+	}
+	return Result{Status: Optimal, Objective: obj, X: x}, nil
+}
+
+// priceOutBasis zeroes the reduced costs of the basic variables:
+// d ← d − Σ_i d[basis[i]]·row_i.
+func (s *simplex) priceOutBasis() {
+	for i := 0; i < s.m; i++ {
+		j := s.basis[i]
+		if c := s.d[j]; c != 0 {
+			for k := 0; k < s.nTotal; k++ {
+				s.d[k] -= c * s.at(i, k)
+			}
+			s.d[j] = 0 // exact
+		}
+	}
+}
+
+// iterate runs primal simplex pivots until optimality, unboundedness or the
+// iteration cap.
+func (s *simplex) iterate() error {
+	limit := 200*(s.m+s.nTotal) + 5000
+	degenerate := 0
+	bland := false
+	s.unboundedFlag = false
+	for iter := 0; iter < limit; iter++ {
+		enter, dir := s.chooseEntering(bland)
+		if enter < 0 {
+			return nil // optimal
+		}
+		delta, leaveRow, leaveToUpper := s.ratioTest(enter, dir)
+		if math.IsInf(delta, 1) {
+			s.unboundedFlag = true
+			return nil
+		}
+		if delta <= tolBounds {
+			degenerate++
+			if degenerate > 2*(s.m+1) {
+				bland = true
+			}
+		} else {
+			degenerate = 0
+			bland = false
+		}
+		s.applyStep(enter, dir, delta, leaveRow, leaveToUpper)
+	}
+	return ErrIterationLimit
+}
+
+// chooseEntering returns an improving nonbasic column and its direction
+// (+1: increase from lower bound, −1: decrease from upper bound), or (-1, 0)
+// at optimality. Dantzig rule by default, Bland's rule under degeneracy.
+func (s *simplex) chooseEntering(bland bool) (int, float64) {
+	best, bestScore, bestDir := -1, tolCost, 0.0
+	for j := 0; j < s.nTotal; j++ {
+		if s.status[j] == basic {
+			continue
+		}
+		if s.ub[j] <= tolBounds {
+			continue // fixed variable or locked artificial: cannot move
+		}
+		var score, dir float64
+		switch s.status[j] {
+		case atLower:
+			if s.d[j] < -tolCost {
+				score, dir = -s.d[j], 1
+			}
+		case atUpper:
+			if s.d[j] > tolCost {
+				score, dir = s.d[j], -1
+			}
+		default:
+			continue
+		}
+		if dir == 0 {
+			continue
+		}
+		if bland {
+			return j, dir
+		}
+		if score > bestScore {
+			best, bestScore, bestDir = j, score, dir
+		}
+	}
+	return best, bestDir
+}
+
+// ratioTest computes the maximum step for entering column `enter` moving in
+// direction dir, the blocking row (−1 for a bound flip of the entering
+// variable itself) and whether the blocking basic leaves at its upper bound.
+func (s *simplex) ratioTest(enter int, dir float64) (float64, int, bool) {
+	delta := s.ub[enter] // bound-flip distance (may be +inf)
+	leaveRow := -1
+	leaveToUpper := false
+	bestPivot := 0.0
+	for i := 0; i < s.m; i++ {
+		a := s.at(i, enter)
+		if a > -tolPivot && a < tolPivot {
+			continue
+		}
+		rate := a * dir // basic value changes by −rate·δ
+		var lim float64
+		var toUpper bool
+		if rate > 0 {
+			// Basic variable decreases toward 0 (its shifted lower bound).
+			lim = s.rhs[i] / rate
+			if lim < 0 {
+				lim = 0
+			}
+		} else {
+			ubi := s.ub[s.basis[i]]
+			if math.IsInf(ubi, 1) {
+				continue
+			}
+			// Basic variable increases toward its upper bound.
+			lim = (ubi - s.rhs[i]) / -rate
+			if lim < 0 {
+				lim = 0
+			}
+			toUpper = true
+		}
+		if lim < delta-tolBounds || (lim < delta+tolBounds && math.Abs(a) > bestPivot) {
+			delta = lim
+			leaveRow = i
+			leaveToUpper = toUpper
+			bestPivot = math.Abs(a)
+		}
+	}
+	return delta, leaveRow, leaveToUpper
+}
+
+// applyStep moves the entering variable by delta, updates basic values, and
+// either flips the entering variable's bound status or pivots.
+func (s *simplex) applyStep(enter int, dir, delta float64, leaveRow int, leaveToUpper bool) {
+	if delta > 0 {
+		for i := 0; i < s.m; i++ {
+			if a := s.at(i, enter); a != 0 {
+				s.rhs[i] -= a * dir * delta
+			}
+		}
+	}
+	// New value of the entering variable in shifted coordinates.
+	var enterVal float64
+	if dir > 0 {
+		enterVal = delta
+	} else {
+		enterVal = s.ub[enter] - delta
+	}
+	if leaveRow < 0 {
+		// Bound flip.
+		if dir > 0 {
+			s.status[enter] = atUpper
+		} else {
+			s.status[enter] = atLower
+		}
+		return
+	}
+	leave := s.basis[leaveRow]
+	if leaveToUpper {
+		s.status[leave] = atUpper
+	} else {
+		s.status[leave] = atLower
+	}
+	s.basis[leaveRow] = enter
+	s.status[enter] = basic
+	s.rhs[leaveRow] = enterVal
+	s.pivot(leaveRow, enter)
+}
+
+// pivot performs the row eliminations for a basis change at (r, c).
+func (s *simplex) pivot(r, c int) {
+	base := r * s.nTotal
+	pv := s.a[base+c]
+	invPv := 1 / pv
+	for j := 0; j < s.nTotal; j++ {
+		s.a[base+j] *= invPv
+	}
+	s.a[base+c] = 1 // exact
+	for i := 0; i < s.m; i++ {
+		if i == r {
+			continue
+		}
+		f := s.at(i, c)
+		if f == 0 {
+			continue
+		}
+		ibase := i * s.nTotal
+		for j := 0; j < s.nTotal; j++ {
+			s.a[ibase+j] -= f * s.a[base+j]
+		}
+		s.a[ibase+c] = 0 // exact
+	}
+	if f := s.d[c]; f != 0 {
+		for j := 0; j < s.nTotal; j++ {
+			s.d[j] -= f * s.a[base+j]
+		}
+		s.d[c] = 0 // exact
+	}
+}
+
+// evictArtificials pivots basic artificials (at value ≈0 after phase 1) out
+// of the basis where possible; rows where no pivot exists are redundant and
+// keep a locked artificial at level 0.
+func (s *simplex) evictArtificials() {
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < s.firstArt {
+			continue
+		}
+		pivotCol := -1
+		bestAbs := tolPivot
+		for j := 0; j < s.firstArt; j++ {
+			// Only variables sitting at value 0 may enter without a step,
+			// since the redundant basic artificial is itself at level 0.
+			if s.status[j] != atLower {
+				continue
+			}
+			if abs := math.Abs(s.at(i, j)); abs > bestAbs {
+				pivotCol, bestAbs = j, abs
+			}
+		}
+		if pivotCol < 0 {
+			continue // redundant row
+		}
+		old := s.basis[i]
+		s.basis[i] = pivotCol
+		s.status[pivotCol] = basic
+		s.status[old] = atLower
+		s.rhs[i] = 0
+		s.pivot(i, pivotCol)
+	}
+}

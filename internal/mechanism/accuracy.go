@@ -1,0 +1,55 @@
+package mechanism
+
+import (
+	"math"
+)
+
+// AccuracyBound evaluates the utility guarantee of Theorem 1: with
+// probability at least 1 − e^{−µε₁/β} − e^{−c}, the released answer X̂
+// satisfies
+//
+//	|X̂ − q(D)| ≤ e^{2µ}·Δ*·c/ε₂ + g·⌈ln(Δ*/θ)/β⌉·G_{|P|}
+//
+// where Δ* = max(θ, e^β·G_{|P|}). The first term is the Laplace noise at the
+// inflated scale Δ̂; the second is the clamping loss of X.
+type AccuracyBound struct {
+	Error       float64 // the (ε,δ)-accuracy ε: the error magnitude bound
+	FailureProb float64 // the (ε,δ)-accuracy δ: probability the bound fails
+	DeltaStar   float64 // Δ* = max(θ, e^β·G_{|P|})
+	NoiseTerm   float64 // e^{2µ}·Δ*·c/ε₂
+	ClampTerm   float64 // g·⌈ln(Δ*/θ)/β⌉·G_{|P|}
+}
+
+// TheoreticalAccuracy computes the Theorem 1 bound for the given parameters,
+// the bounding-sequence endpoint gLast = G_{|P|}, the bounding factor g
+// (2 for the efficient mechanism, 1 for the general one) and the tail
+// parameter c > 0.
+func TheoreticalAccuracy(p Params, gLast float64, g int, c float64) AccuracyBound {
+	if c <= 0 {
+		panic("mechanism: tail parameter c must be positive")
+	}
+	deltaStar := math.Max(p.Theta, math.Exp(p.Beta)*gLast)
+	noise := math.Exp(2*p.Mu) * deltaStar * c / p.Epsilon2
+	clamp := 0.0
+	if deltaStar > p.Theta {
+		clamp = float64(g) * math.Ceil(math.Log(deltaStar/p.Theta)/p.Beta) * gLast
+	}
+	return AccuracyBound{
+		Error:       noise + clamp,
+		FailureProb: math.Exp(-p.Mu*p.Epsilon1/p.Beta) + math.Exp(-c),
+		DeltaStar:   deltaStar,
+		NoiseTerm:   noise,
+		ClampTerm:   clamp,
+	}
+}
+
+// Accuracy computes the Theorem 1 bound for a prepared Core, reading
+// G_{|P|} from its sequences. The bounding factor g must match the
+// Sequences implementation (2 for Efficient, 1 for General).
+func (c *Core) Accuracy(g int, tail float64) (AccuracyBound, error) {
+	gLast, err := c.g(c.seq.NumParticipants())
+	if err != nil {
+		return AccuracyBound{}, err
+	}
+	return TheoreticalAccuracy(c.params, gLast, g, tail), nil
+}

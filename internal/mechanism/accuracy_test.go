@@ -1,0 +1,108 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"recmech/internal/krel"
+	"recmech/internal/noise"
+)
+
+func TestTheoreticalAccuracyShape(t *testing.T) {
+	p := DefaultParams(0.5, true)
+	b := TheoreticalAccuracy(p, 10, 2, 3)
+	if b.Error <= 0 || b.FailureProb <= 0 || b.FailureProb >= 1 {
+		t.Fatalf("degenerate bound: %+v", b)
+	}
+	if math.Abs(b.Error-(b.NoiseTerm+b.ClampTerm)) > 1e-9 {
+		t.Error("Error must be the sum of its terms")
+	}
+	if b.DeltaStar < 10 {
+		t.Errorf("Δ* = %v, want ≥ G", b.DeltaStar)
+	}
+	// Zero G: pure noise at scale θ, no clamping loss.
+	b0 := TheoreticalAccuracy(p, 0, 2, 3)
+	if b0.ClampTerm != 0 {
+		t.Errorf("clamp term = %v for G = 0, want 0", b0.ClampTerm)
+	}
+	if b0.DeltaStar != p.Theta {
+		t.Errorf("Δ* = %v for G = 0, want θ", b0.DeltaStar)
+	}
+}
+
+func TestTheoreticalAccuracyMonotoneInG(t *testing.T) {
+	p := DefaultParams(0.5, false)
+	prev := -1.0
+	for _, g := range []float64{0, 1, 5, 25, 125} {
+		b := TheoreticalAccuracy(p, g, 2, 2)
+		if b.Error < prev {
+			t.Fatalf("bound not monotone in G at %v: %v < %v", g, b.Error, prev)
+		}
+		prev = b.Error
+	}
+}
+
+func TestTheoreticalAccuracyPanicsOnBadTail(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TheoreticalAccuracy(DefaultParams(0.5, true), 1, 2, 0)
+}
+
+// The measured error distribution must respect the Theorem 1 bound: the
+// empirical (1 − δ)-quantile of |X̂ − truth| stays below the theoretical
+// error bound at the matching failure probability.
+func TestMeasuredErrorWithinTheorem1(t *testing.T) {
+	rng := noise.NewRand(31)
+	s := randomConjunctiveSensitive(rng, 8, 6)
+	e := mustEfficient(t, s)
+	params := DefaultParams(1.0, false)
+	c := mustCore(t, e, params)
+	truth, err := c.TrueAnswer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tail = 3.0
+	bound, err := c.Accuracy(2, tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 400
+	exceed := 0
+	for i := 0; i < trials; i++ {
+		v, err := c.Release(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-truth) > bound.Error {
+			exceed++
+		}
+	}
+	// Allow generous slack over the theoretical failure probability.
+	allowed := int(math.Ceil((bound.FailureProb + 0.05) * trials))
+	if exceed > allowed {
+		t.Errorf("bound %v exceeded %d/%d times (theoretical failure prob %v)",
+			bound.Error, exceed, trials, bound.FailureProb)
+	}
+}
+
+func TestCoreAccuracyMatchesDirectComputation(t *testing.T) {
+	s := randomConjunctiveSensitive(noise.NewRand(32), 6, 5)
+	e := mustEfficient(t, s)
+	c := mustCore(t, e, DefaultParams(0.5, true))
+	got, err := c.Accuracy(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gLast, err := e.G(e.NumParticipants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TheoreticalAccuracy(c.Params(), gLast, 2, 2)
+	if got != want {
+		t.Errorf("Accuracy = %+v, want %+v", got, want)
+	}
+	_ = krel.CountQuery
+}

@@ -1,0 +1,215 @@
+package mechanism
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"recmech/internal/noise"
+)
+
+// Sequences exposes the recursive sequence H and its g-bounding sequence G
+// for one sensitive database. Implementations must satisfy Definition 17/18:
+// H and G are recursive sequences with H_{|P|} equal to the true answer, and
+// H_j ≤ H_i + (|P|−i)·G_k for k = |P|−⌊(|P|−j)/g⌋.
+//
+// Both accessors must be deterministic (they are consulted by the noise-free
+// part of the mechanism) and may be expensive; Core memoizes every call.
+type Sequences interface {
+	// NumParticipants returns |P|.
+	NumParticipants() int
+	// H returns H_i for 0 ≤ i ≤ |P|.
+	H(i int) (float64, error)
+	// G returns G_i for 0 ≤ i ≤ |P|.
+	G(i int) (float64, error)
+}
+
+// Core runs the recursive mechanism framework of §4.1 over any Sequences
+// implementation. A Core is prepared once per database (computing the
+// deterministic Δ) and can then produce any number of independent releases —
+// each release costs the same privacy budget; the sharing only saves
+// computation in experiments that study the error distribution.
+type Core struct {
+	seq    Sequences
+	params Params
+
+	hMemo map[int]float64
+	gMemo map[int]float64
+
+	delta      float64
+	deltaIndex int // the i with Δ = e^{iβ}θ
+	prepared   bool
+}
+
+// NewCore wraps seq with the given parameters.
+func NewCore(seq Sequences, params Params) (*Core, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Core{
+		seq:    seq,
+		params: params,
+		hMemo:  make(map[int]float64),
+		gMemo:  make(map[int]float64),
+	}, nil
+}
+
+func (c *Core) h(i int) (float64, error) {
+	if v, ok := c.hMemo[i]; ok {
+		return v, nil
+	}
+	v, err := c.seq.H(i)
+	if err != nil {
+		return 0, fmt.Errorf("mechanism: H_%d: %w", i, err)
+	}
+	c.hMemo[i] = v
+	return v, nil
+}
+
+func (c *Core) g(i int) (float64, error) {
+	if v, ok := c.gMemo[i]; ok {
+		return v, nil
+	}
+	v, err := c.seq.G(i)
+	if err != nil {
+		return 0, fmt.Errorf("mechanism: G_%d: %w", i, err)
+	}
+	c.gMemo[i] = v
+	return v, nil
+}
+
+// Prepare computes the deterministic Δ of Eq. 11:
+//
+//	Δ = min{ e^{iβ}θ : G_{|P|−i} ≤ e^{iβ}θ }.
+//
+// The predicate is monotone in i — G_{|P|−i} is non-increasing in i while
+// e^{iβ}θ increases — so the smallest feasible i is found by binary search
+// (§5.3), touching O(log |P|) entries of G. i = |P| is always feasible
+// because G_0 = 0.
+func (c *Core) Prepare() error {
+	if c.prepared {
+		return nil
+	}
+	nP := c.seq.NumParticipants()
+	feasible := func(i int) (bool, error) {
+		g, err := c.g(nP - i)
+		if err != nil {
+			return false, err
+		}
+		return g <= math.Exp(float64(i)*c.params.Beta)*c.params.Theta, nil
+	}
+	lo, hi := 0, nP // invariant: hi is feasible (i = |P| always is, since G_0 = 0)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ok, err := feasible(mid)
+		if err != nil {
+			return err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	c.deltaIndex = hi
+	c.delta = math.Exp(float64(hi)*c.params.Beta) * c.params.Theta
+	c.prepared = true
+	return nil
+}
+
+// Delta returns the deterministic sensitivity proxy Δ (Prepare must have
+// succeeded). Δ is NOT differentially private — only its noisy version
+// released through Release is.
+func (c *Core) Delta() (float64, error) {
+	if err := c.Prepare(); err != nil {
+		return 0, err
+	}
+	return c.delta, nil
+}
+
+// DeltaIndex returns the ladder index i with Δ = e^{iβ}θ.
+func (c *Core) DeltaIndex() (int, error) {
+	if err := c.Prepare(); err != nil {
+		return 0, err
+	}
+	return c.deltaIndex, nil
+}
+
+// NoisyDelta draws Δ̂ = e^{µ+Y}·Δ with Y ~ Lap(β/ε₁) (Step 2 of §4.1). Its
+// release satisfies ε₁-differential privacy (Lemma 4).
+func (c *Core) NoisyDelta(rng *rand.Rand) (float64, error) {
+	if err := c.Prepare(); err != nil {
+		return 0, err
+	}
+	y := noise.Laplace(rng, c.params.Beta/c.params.Epsilon1)
+	return math.Exp(c.params.Mu+y) * c.delta, nil
+}
+
+// XGiven computes X = min_i { H_i + (|P|−i)·Δ̂ } (Eq. 12) for a fixed Δ̂.
+// H is convex in i (Lemma 10) and the linear term preserves convexity, so
+// the integer minimizer is found by ternary search over 0..|P|, touching
+// O(log |P|) entries of H.
+func (c *Core) XGiven(deltaHat float64) (float64, error) {
+	nP := c.seq.NumParticipants()
+	val := func(i int) (float64, error) {
+		h, err := c.h(i)
+		if err != nil {
+			return 0, err
+		}
+		return h + float64(nP-i)*deltaHat, nil
+	}
+	lo, hi := 0, nP
+	for hi-lo > 2 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		v1, err := val(m1)
+		if err != nil {
+			return 0, err
+		}
+		v2, err := val(m2)
+		if err != nil {
+			return 0, err
+		}
+		if v1 <= v2 {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	best := math.Inf(1)
+	for i := lo; i <= hi; i++ {
+		v, err := val(i)
+		if err != nil {
+			return 0, err
+		}
+		if v < best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// Release produces one ε₁+ε₂ differentially private answer:
+// X̂ = X + Lap(Δ̂/ε₂) with X per Eq. 12 and Δ̂ per Step 2.
+func (c *Core) Release(rng *rand.Rand) (float64, error) {
+	deltaHat, err := c.NoisyDelta(rng)
+	if err != nil {
+		return 0, err
+	}
+	x, err := c.XGiven(deltaHat)
+	if err != nil {
+		return 0, err
+	}
+	return x + noise.Laplace(rng, deltaHat/c.params.Epsilon2), nil
+}
+
+// TrueAnswer returns H_{|P|}, the exact query answer (not private).
+func (c *Core) TrueAnswer() (float64, error) {
+	return c.h(c.seq.NumParticipants())
+}
+
+// Params returns the configured parameters.
+func (c *Core) Params() Params { return c.params }
+
+// NumParticipants returns |P|.
+func (c *Core) NumParticipants() int { return c.seq.NumParticipants() }

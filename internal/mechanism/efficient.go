@@ -1,0 +1,289 @@
+package mechanism
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/krel"
+	"recmech/internal/lp"
+	"recmech/internal/relax"
+)
+
+// Efficient is the LP-based Sequences implementation of §5 for nonnegative
+// linear queries on sensitive K-relations:
+//
+//	H_i = min_{f ∈ [0,1]^P, |f| = i} Σ_t q(t)·φ_{R(t)}(f)                (Eq. 16)
+//	G_i = 2·min_{f ∈ [0,1]^P, |f| = i} max_p Σ_t q(t)·φ_{R(t)}(f)·S(R(t),p)  (Eq. 19)
+//
+// Each φ_{R(t)} is encoded exactly as LP rows: one variable per internal
+// expression node, rows v ≥ Σ children − (n−1) for ∧ and v ≥ child for each
+// ∨ child. Because every objective (and z-row) coefficient on the node
+// variables is non-negative and the constraints only bound them from below,
+// the LP optimum equals the true minimum of the piecewise-linear convex
+// objective. G's inner max over p becomes a scalar z with one row per
+// participant.
+//
+// Participants that occur in no annotation cannot affect the objective, so
+// their total mass is pooled into a single "free mass" variable — the LP size
+// depends on the annotation length L, not on |P| (Theorem 6).
+type Efficient struct {
+	nP     int
+	tuples []krel.Annotated
+
+	used     []boolexpr.Var             // occurring participants, ascending
+	usedIdx  map[boolexpr.Var]int       // participant -> dense index
+	sens     []map[boolexpr.Var]float64 // per-tuple φ-sensitivities
+	weights  []float64                  // per-tuple q(t), aligned with tuples
+	constSum float64                    // Σ q(t) over tuples with constant-True annotation
+}
+
+// NewEfficient builds the LP-backed sequences for a flattened relation. The
+// annotation list is the output of (*krel.Sensitive).Annotated; nP is |P|
+// (which may exceed the number of occurring variables).
+func NewEfficient(nP int, tuples []krel.Annotated) (*Efficient, error) {
+	if nP < 0 {
+		return nil, fmt.Errorf("mechanism: negative participant count %d", nP)
+	}
+	e := &Efficient{nP: nP, usedIdx: make(map[boolexpr.Var]int)}
+	seen := make(map[boolexpr.Var]struct{})
+	for _, t := range tuples {
+		if t.Weight < 0 {
+			return nil, fmt.Errorf("mechanism: negative tuple weight %v", t.Weight)
+		}
+		if t.Weight == 0 || t.Ann.Op() == boolexpr.OpFalse {
+			continue // contributes nothing to any H_i or G_i
+		}
+		if t.Ann.Op() == boolexpr.OpTrue {
+			e.constSum += t.Weight
+			continue
+		}
+		for _, v := range t.Ann.Vars(nil) {
+			if int(v) >= nP {
+				return nil, fmt.Errorf("mechanism: annotation variable v%d outside universe of %d participants", v, nP)
+			}
+			seen[v] = struct{}{}
+		}
+		e.tuples = append(e.tuples, t)
+		e.weights = append(e.weights, t.Weight)
+		e.sens = append(e.sens, relax.Sensitivities(t.Ann))
+	}
+	for v := range seen {
+		e.used = append(e.used, v)
+	}
+	sortVars(e.used)
+	for i, v := range e.used {
+		e.usedIdx[v] = i
+	}
+	return e, nil
+}
+
+// NewEfficientFromSensitive is the common entry point: flatten s under q.
+func NewEfficientFromSensitive(s *krel.Sensitive, q krel.LinearQuery) (*Efficient, error) {
+	return NewEfficient(s.NumParticipants(), s.Annotated(q))
+}
+
+// NumParticipants implements Sequences.
+func (e *Efficient) NumParticipants() int { return e.nP }
+
+// lpBuild constructs the shared part of the H/G LPs: participant variables,
+// the free-mass pool, the expression-node rows, and the cardinality row
+// Σ f = i. It returns the problem and the per-tuple root terms.
+type rootTerm struct {
+	col  int     // -1 if the root folded to a constant
+	cons float64 // constant offset (value = x_col + cons, clipped ≥ 0 by rows)
+}
+
+func (e *Efficient) lpBuild(i int) (*lp.Problem, []rootTerm, []int) {
+	p := lp.NewProblem()
+	fCols := make([]int, len(e.used))
+	for j := range e.used {
+		fCols[j] = p.AddVar(0, 0, 1)
+	}
+	// Mass assigned to non-occurring participants.
+	freeCap := float64(e.nP - len(e.used))
+	freeCol := -1
+	if freeCap > 0 {
+		freeCol = p.AddVar(0, 0, freeCap)
+	}
+	roots := make([]rootTerm, len(e.tuples))
+	for ti, t := range e.tuples {
+		roots[ti] = e.encode(p, fCols, t.Ann)
+	}
+	// Cardinality row: Σ_used f + free = i.
+	terms := make([]lp.Term, 0, len(fCols)+1)
+	for _, c := range fCols {
+		terms = append(terms, lp.Term{Col: c, Coef: 1})
+	}
+	if freeCol >= 0 {
+		terms = append(terms, lp.Term{Col: freeCol, Coef: 1})
+	}
+	p.AddConstraint(terms, lp.EQ, float64(i))
+	return p, roots, fCols
+}
+
+// encode lowers φ of an expression into LP rows, returning the root term.
+func (e *Efficient) encode(p *lp.Problem, fCols []int, ex *boolexpr.Expr) rootTerm {
+	switch ex.Op() {
+	case boolexpr.OpFalse:
+		return rootTerm{col: -1, cons: 0}
+	case boolexpr.OpTrue:
+		return rootTerm{col: -1, cons: 1}
+	case boolexpr.OpVar:
+		return rootTerm{col: fCols[e.usedIdx[ex.Variable()]], cons: 0}
+	case boolexpr.OpAnd:
+		kids := ex.Children()
+		v := p.AddVar(0, 0, math.Inf(1))
+		// v ≥ Σ child values − (n−1): v − Σ childcols ≥ Σ childcons − (n−1).
+		terms := []lp.Term{{Col: v, Coef: 1}}
+		rhs := -float64(len(kids) - 1)
+		for _, k := range kids {
+			kt := e.encode(p, fCols, k)
+			if kt.col >= 0 {
+				terms = append(terms, lp.Term{Col: kt.col, Coef: -1})
+			}
+			rhs += kt.cons
+		}
+		p.AddConstraint(terms, lp.GE, rhs)
+		return rootTerm{col: v, cons: 0}
+	case boolexpr.OpOr:
+		v := p.AddVar(0, 0, math.Inf(1))
+		for _, k := range ex.Children() {
+			kt := e.encode(p, fCols, k)
+			if kt.col >= 0 {
+				p.AddConstraint([]lp.Term{{Col: v, Coef: 1}, {Col: kt.col, Coef: -1}}, lp.GE, kt.cons)
+			} else if kt.cons > 0 {
+				p.AddConstraint([]lp.Term{{Col: v, Coef: 1}}, lp.GE, kt.cons)
+			}
+		}
+		return rootTerm{col: v, cons: 0}
+	}
+	panic("mechanism: invalid op")
+}
+
+// H implements Eq. 16 by one LP solve.
+func (e *Efficient) H(i int) (float64, error) {
+	if i < 0 || i > e.nP {
+		return 0, fmt.Errorf("mechanism: H index %d outside [0,%d]", i, e.nP)
+	}
+	if len(e.tuples) == 0 {
+		return e.constSum, nil
+	}
+	p, roots, _ := e.lpBuild(i)
+	offset := e.constSum
+	// Accumulate: distinct tuples may share a root column when their
+	// annotations are the same single variable.
+	costs := make(map[int]float64)
+	for ti, r := range roots {
+		if r.col >= 0 {
+			costs[r.col] += e.weights[ti]
+		}
+		offset += e.weights[ti] * r.cons
+	}
+	for col, c := range costs {
+		p.SetCost(col, c)
+	}
+	res, err := p.Solve()
+	if err != nil {
+		return 0, err
+	}
+	if res.Status != lp.Optimal {
+		return 0, fmt.Errorf("mechanism: H_%d LP is %v", i, res.Status)
+	}
+	v := res.Objective + offset
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// G implements Eq. 19 by one LP solve (min z over the per-participant rows,
+// doubled).
+func (e *Efficient) G(i int) (float64, error) {
+	if i < 0 || i > e.nP {
+		return 0, fmt.Errorf("mechanism: G index %d outside [0,%d]", i, e.nP)
+	}
+	if len(e.tuples) == 0 || i == 0 {
+		return 0, nil
+	}
+	p, roots, _ := e.lpBuild(i)
+	z := p.AddVar(1, 0, math.Inf(1))
+	// One row per occurring participant: z ≥ Σ_t q(t)·S(R(t),p)·φ_t.
+	for _, pv := range e.used {
+		terms := []lp.Term{{Col: z, Coef: 1}}
+		rhs := 0.0
+		for ti, r := range roots {
+			s := e.sens[ti][pv]
+			if s == 0 {
+				continue
+			}
+			coef := e.weights[ti] * s
+			if r.col >= 0 {
+				terms = append(terms, lp.Term{Col: r.col, Coef: -coef})
+			}
+			rhs += coef * r.cons
+		}
+		if len(terms) > 1 || rhs > 0 {
+			p.AddConstraint(terms, lp.GE, rhs)
+		}
+	}
+	res, err := p.Solve()
+	if err != nil {
+		return 0, err
+	}
+	if res.Status != lp.Optimal {
+		return 0, fmt.Errorf("mechanism: G_%d LP is %v", i, res.Status)
+	}
+	v := 2 * res.Objective
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+func sortVars(vs []boolexpr.Var) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// RunEfficient is the one-call convenience API: build the sequences, prepare
+// Δ, and draw one private release.
+func RunEfficient(s *krel.Sensitive, q krel.LinearQuery, params Params, rng *rand.Rand) (float64, error) {
+	seq, err := NewEfficientFromSensitive(s, q)
+	if err != nil {
+		return 0, err
+	}
+	core, err := NewCore(seq, params)
+	if err != nil {
+		return 0, err
+	}
+	return core.Release(rng)
+}
+
+// BuildHProblem exposes the H_i linear program of a sensitive relation for
+// inspection and benchmarking (used by the LP ablation experiment). The
+// returned problem minimizes Σ_t q(t)·φ_{R(t)}(f) subject to |f| = i.
+func BuildHProblem(s *krel.Sensitive, q krel.LinearQuery, i int) (*lp.Problem, error) {
+	e, err := NewEfficientFromSensitive(s, q)
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i > e.nP {
+		return nil, fmt.Errorf("mechanism: H index %d outside [0,%d]", i, e.nP)
+	}
+	p, roots, _ := e.lpBuild(i)
+	costs := make(map[int]float64)
+	for ti, r := range roots {
+		if r.col >= 0 {
+			costs[r.col] += e.weights[ti]
+		}
+	}
+	for col, c := range costs {
+		p.SetCost(col, c)
+	}
+	return p, nil
+}

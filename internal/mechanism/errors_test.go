@@ -1,0 +1,152 @@
+package mechanism
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"recmech/internal/noise"
+)
+
+// failSeq errors on H and/or G beyond configured indices, exercising the
+// error propagation paths of Core.
+type failSeq struct {
+	n       int
+	failH   bool
+	failG   bool
+	hValues []float64
+	gValues []float64
+}
+
+var errBoom = errors.New("boom")
+
+func (f failSeq) NumParticipants() int { return f.n }
+
+func (f failSeq) H(i int) (float64, error) {
+	if f.failH {
+		return 0, errBoom
+	}
+	return f.hValues[i], nil
+}
+
+func (f failSeq) G(i int) (float64, error) {
+	if f.failG {
+		return 0, errBoom
+	}
+	return f.gValues[i], nil
+}
+
+func linear(n int, slope float64) []float64 {
+	out := make([]float64, n+1)
+	for i := range out {
+		out[i] = slope * float64(i)
+	}
+	return out
+}
+
+func TestCorePropagatesGErrors(t *testing.T) {
+	c := mustCore(t, failSeq{n: 4, failG: true, hValues: linear(4, 1)}, DefaultParams(0.5, false))
+	if err := c.Prepare(); err == nil || !errors.Is(err, errBoom) {
+		t.Fatalf("Prepare error = %v, want boom", err)
+	}
+	if _, err := c.Delta(); err == nil {
+		t.Error("Delta should propagate the failure")
+	}
+	if _, err := c.Release(noise.NewRand(1)); err == nil {
+		t.Error("Release should propagate the failure")
+	}
+}
+
+func TestCorePropagatesHErrors(t *testing.T) {
+	c := mustCore(t, failSeq{n: 4, failH: true, gValues: linear(4, 1)}, DefaultParams(0.5, false))
+	if err := c.Prepare(); err != nil {
+		t.Fatalf("Prepare should succeed (only G used): %v", err)
+	}
+	if _, err := c.XGiven(1); err == nil || !strings.Contains(err.Error(), "H_") {
+		t.Fatalf("XGiven error = %v, want H failure", err)
+	}
+	if _, err := c.Release(noise.NewRand(1)); err == nil {
+		t.Error("Release should propagate H failure")
+	}
+	if _, err := c.TrueAnswer(); err == nil {
+		t.Error("TrueAnswer should propagate H failure")
+	}
+	if _, err := c.Accuracy(2, 1); err != nil {
+		t.Errorf("Accuracy needs only G: %v", err)
+	}
+}
+
+func TestCoreWithWellBehavedStub(t *testing.T) {
+	// H convex increasing, G its exact increments: Δ and X behave.
+	h := []float64{0, 1, 3, 6, 10}
+	g := []float64{0, 1, 2, 3, 4}
+	c := mustCore(t, failSeq{n: 4, hValues: h, gValues: g}, Params{
+		Epsilon1: 0.25, Epsilon2: 0.25, Beta: 0.1, Theta: 1, Mu: 0.5,
+	})
+	delta, err := c.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasibility: smallest i with G_{4−i} ≤ e^{0.1·i}. G_4 = 4 > 1 (i=0),
+	// G_3 = 3 > e^0.1 (i=1), G_2 = 2 > e^0.2, G_1 = 1 ≤ e^0.3 → i = 3.
+	if idx, _ := c.DeltaIndex(); idx != 3 {
+		t.Errorf("Δ index = %d, want 3", idx)
+	}
+	wantDelta := 1.3498588075760032 // e^{0.3}
+	if diff := delta - wantDelta; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("Δ = %v, want e^0.3", delta)
+	}
+	// XGiven with a huge Δ̂ picks i = |P| (no clamping): X = H_4.
+	x, err := c.XGiven(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 10 {
+		t.Errorf("X(∞) = %v, want H_4 = 10", x)
+	}
+	// With Δ̂ = 0 the minimum is H_0 = 0.
+	x, err = c.XGiven(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 0 {
+		t.Errorf("X(0) = %v, want 0", x)
+	}
+	// With Δ̂ = 2.5: D(i) = H_i + (4−i)·2.5 → 10, 8.5, 8, 8.5, 10 → min 8 at i=2.
+	x, err = c.XGiven(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 8 {
+		t.Errorf("X(2.5) = %v, want 8", x)
+	}
+}
+
+func TestNoisyDeltaInflation(t *testing.T) {
+	// With µ > 0, the median of Δ̂ is e^µ·Δ.
+	h := []float64{0, 1, 2}
+	g := []float64{0, 1, 1}
+	c := mustCore(t, failSeq{n: 2, hValues: h, gValues: g}, Params{
+		Epsilon1: 1, Epsilon2: 1, Beta: 0.2, Theta: 1, Mu: 0.7,
+	})
+	delta, err := c.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := noise.NewRand(5)
+	over := 0
+	const trials = 4001
+	for i := 0; i < trials; i++ {
+		dh, err := c.NoisyDelta(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dh > delta*2.0137527074704766 { // e^0.7
+			over++
+		}
+	}
+	frac := float64(over) / trials
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("Pr[Δ̂ > e^µ·Δ] = %v, want ≈ 0.5", frac)
+	}
+}

@@ -1,0 +1,167 @@
+package mechanism
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/krel"
+)
+
+// MonotonicDatabase is the abstract sensitive database (P, M) of
+// Definition 5 restricted to at most 24 participants, with subsets encoded
+// as bitmasks. Query(subset) must equal q(M(P')) and be monotone with
+// Query(0) = 0 (Definition 8).
+type MonotonicDatabase interface {
+	NumParticipants() int
+	Query(subset uint32) float64
+}
+
+// General is the general but inefficient Sequences implementation of §4.2:
+//
+//	H_i = min_{|P'| = i} q(M(P'))                       (Eq. 13)
+//	G_i = min_{|P'| = i} G̃S_q(P', M)                    (Eq. 14)
+//
+// computed by exhaustive enumeration of the 2^|P| subset lattice. It answers
+// any monotonic query and its G is a (g = 1)-bounding sequence, but the cost
+// is exponential — the implementation refuses more than 24 participants. Its
+// role in this repository is (a) completeness of the paper's §4 and (b) a
+// ground-truth oracle against which the LP-based sequences are validated.
+type General struct {
+	nP   int
+	q    []float64 // q(M(S)) per subset bitmask
+	gs   []float64 // G̃S_q(S, M) per subset bitmask
+	hSeq []float64 // H_i per cardinality
+	gSeq []float64 // G_i per cardinality
+}
+
+// MaxGeneralParticipants bounds the exhaustive enumeration.
+const MaxGeneralParticipants = 24
+
+// NewGeneral evaluates the full subset lattice of db.
+func NewGeneral(db MonotonicDatabase) (*General, error) {
+	nP := db.NumParticipants()
+	if nP < 0 || nP > MaxGeneralParticipants {
+		return nil, fmt.Errorf("mechanism: general mechanism supports 0..%d participants, got %d",
+			MaxGeneralParticipants, nP)
+	}
+	size := 1 << nP
+	g := &General{
+		nP:   nP,
+		q:    make([]float64, size),
+		gs:   make([]float64, size),
+		hSeq: make([]float64, nP+1),
+		gSeq: make([]float64, nP+1),
+	}
+	for s := 0; s < size; s++ {
+		g.q[s] = db.Query(uint32(s))
+	}
+	if g.q[0] != 0 {
+		return nil, fmt.Errorf("mechanism: query is not monotonic: q(∅) = %v ≠ 0", g.q[0])
+	}
+	// L̃S(S) = max_{p∈S} q(S) − q(S−p); monotonicity check comes free.
+	for s := 1; s < size; s++ {
+		ls := 0.0
+		for m := s; m != 0; {
+			p := m & -m
+			m ^= p
+			diff := g.q[s] - g.q[s^p]
+			if diff < -1e-12 {
+				return nil, fmt.Errorf("mechanism: query is not monotonic at subset %b minus participant %d",
+					s, bits.TrailingZeros32(uint32(p)))
+			}
+			if diff > ls {
+				ls = diff
+			}
+		}
+		// G̃S(S) = max(L̃S(S), max_{p∈S} G̃S(S−p)) — Definition 10 via lattice DP.
+		gsv := ls
+		for m := s; m != 0; {
+			p := m & -m
+			m ^= p
+			if g.gs[s^p] > gsv {
+				gsv = g.gs[s^p]
+			}
+		}
+		g.gs[s] = gsv
+	}
+	for i := range g.hSeq {
+		g.hSeq[i] = math.Inf(1)
+		g.gSeq[i] = math.Inf(1)
+	}
+	for s := 0; s < size; s++ {
+		i := bits.OnesCount32(uint32(s))
+		if g.q[s] < g.hSeq[i] {
+			g.hSeq[i] = g.q[s]
+		}
+		if g.gs[s] < g.gSeq[i] {
+			g.gSeq[i] = g.gs[s]
+		}
+	}
+	return g, nil
+}
+
+// NumParticipants implements Sequences.
+func (g *General) NumParticipants() int { return g.nP }
+
+// H implements Eq. 13.
+func (g *General) H(i int) (float64, error) {
+	if i < 0 || i > g.nP {
+		return 0, fmt.Errorf("mechanism: H index %d outside [0,%d]", i, g.nP)
+	}
+	return g.hSeq[i], nil
+}
+
+// G implements Eq. 14. Note this G is a 1-bounding sequence (Theorem 2), so
+// the accuracy guarantee of Theorem 1 holds with g = 1.
+func (g *General) G(i int) (float64, error) {
+	if i < 0 || i > g.nP {
+		return 0, fmt.Errorf("mechanism: G index %d outside [0,%d]", i, g.nP)
+	}
+	return g.gSeq[i], nil
+}
+
+// GlobalEmpiricalSensitivity returns G̃S_q(P, M) (Definition 10) for the full
+// participant set.
+func (g *General) GlobalEmpiricalSensitivity() float64 {
+	return g.gs[len(g.gs)-1]
+}
+
+// KRelationDatabase adapts a sensitive K-relation to the MonotonicDatabase
+// interface: Query(S) = Σ q(t) over tuples whose annotation evaluates true
+// when exactly the participants in S are present.
+type KRelationDatabase struct {
+	nP      int
+	weights []float64
+	anns    []*boolexpr.Expr
+}
+
+// NewKRelationDatabase flattens s under q for exhaustive evaluation.
+func NewKRelationDatabase(s *krel.Sensitive, q krel.LinearQuery) (*KRelationDatabase, error) {
+	nP := s.NumParticipants()
+	if nP > MaxGeneralParticipants {
+		return nil, fmt.Errorf("mechanism: %d participants exceed the general mechanism's limit", nP)
+	}
+	db := &KRelationDatabase{nP: nP}
+	for _, a := range s.Annotated(q) {
+		db.weights = append(db.weights, a.Weight)
+		db.anns = append(db.anns, a.Ann)
+	}
+	return db, nil
+}
+
+// NumParticipants implements MonotonicDatabase.
+func (db *KRelationDatabase) NumParticipants() int { return db.nP }
+
+// Query implements MonotonicDatabase.
+func (db *KRelationDatabase) Query(subset uint32) float64 {
+	present := func(v boolexpr.Var) bool { return subset&(1<<uint(v)) != 0 }
+	total := 0.0
+	for i, ann := range db.anns {
+		if ann.Eval(present) {
+			total += db.weights[i]
+		}
+	}
+	return total
+}

@@ -1,0 +1,828 @@
+package mechanism
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/krel"
+	"recmech/internal/noise"
+)
+
+// randomSensitive builds a random sensitive K-relation on nVars participants
+// with nTuples tuples of random positive expressions.
+func randomSensitive(rng *rand.Rand, nVars, nTuples, depth int) *krel.Sensitive {
+	u := boolexpr.NewUniverse()
+	for i := 0; i < nVars; i++ {
+		u.Var(varName(i))
+	}
+	r := krel.NewRelation("id")
+	for i := 0; i < nTuples; i++ {
+		e := boolexpr.Random(rng, nVars, depth)
+		if e.IsConst() {
+			e = boolexpr.NewVar(boolexpr.Var(rng.Intn(nVars)))
+		}
+		r.Add(krel.Tuple{tupleName(i)}, e)
+	}
+	return krel.NewSensitive(u, r)
+}
+
+func varName(i int) string   { return "p" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+func tupleName(i int) string { return "t" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+// withdrawCompact removes participant p (which must be the highest-indexed
+// variable) and returns a sensitive relation over nVars−1 participants —
+// i.e. the genuine neighboring database (P−{p}, R|p→False) of Definition 14.
+func withdrawCompact(s *krel.Sensitive, nVars int) *krel.Sensitive {
+	p := boolexpr.Var(nVars - 1)
+	u := boolexpr.NewUniverse()
+	for i := 0; i < nVars-1; i++ {
+		u.Var(varName(i))
+	}
+	r := krel.NewRelation("id")
+	s.Rel.Each(func(t krel.Tuple, ann *boolexpr.Expr) {
+		r.Add(t, ann.Substitute(p, false))
+	})
+	return krel.NewSensitive(u, r)
+}
+
+func mustEfficient(t *testing.T, s *krel.Sensitive) *Efficient {
+	t.Helper()
+	e, err := NewEfficientFromSensitive(s, krel.CountQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func seqValues(t *testing.T, seq Sequences, f func(int) (float64, error)) []float64 {
+	t.Helper()
+	out := make([]float64, seq.NumParticipants()+1)
+	for i := range out {
+		v, err := f(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestEfficientHBoundaries(t *testing.T) {
+	rng := noise.NewRand(1)
+	for trial := 0; trial < 30; trial++ {
+		s := randomSensitive(rng, 6, 5, 2)
+		e := mustEfficient(t, s)
+		h0, err := e.H(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(h0) > 1e-7 {
+			t.Fatalf("trial %d: H_0 = %v, want 0", trial, h0)
+		}
+		hn, err := e.H(e.NumParticipants())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := s.TrueAnswer(krel.CountQuery)
+		if math.Abs(hn-want) > 1e-6 {
+			t.Fatalf("trial %d: H_|P| = %v, want true answer %v", trial, hn, want)
+		}
+	}
+}
+
+func TestEfficientHMonotoneAndConvex(t *testing.T) {
+	rng := noise.NewRand(2)
+	for trial := 0; trial < 20; trial++ {
+		s := randomSensitive(rng, 6, 5, 2)
+		e := mustEfficient(t, s)
+		h := seqValues(t, e, e.H)
+		for i := 1; i < len(h); i++ {
+			if h[i] < h[i-1]-1e-7 {
+				t.Fatalf("trial %d: H not monotone: %v", trial, h)
+			}
+		}
+		// Lemma 10: H_{i+1} − H_i ≤ H_{i+2} − H_{i+1}.
+		for i := 0; i+2 < len(h); i++ {
+			if h[i+1]-h[i] > h[i+2]-h[i+1]+1e-6 {
+				t.Fatalf("trial %d: H not convex at %d: %v", trial, i, h)
+			}
+		}
+	}
+}
+
+func TestEfficientHLowerBoundsSubsetMinimum(t *testing.T) {
+	// The relaxed H is a lower bound on the subset-minimum H of §4.2 and
+	// agrees at the endpoints.
+	rng := noise.NewRand(3)
+	for trial := 0; trial < 15; trial++ {
+		nVars := 5
+		s := randomSensitive(rng, nVars, 4, 2)
+		e := mustEfficient(t, s)
+		db, err := NewKRelationDatabase(s, krel.CountQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := NewGeneral(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hEff := seqValues(t, e, e.H)
+		hGen := seqValues(t, gen, gen.H)
+		for i := range hEff {
+			if hEff[i] > hGen[i]+1e-6 {
+				t.Fatalf("trial %d: H_eff(%d) = %v exceeds subset minimum %v",
+					trial, i, hEff[i], hGen[i])
+			}
+		}
+		last := len(hEff) - 1
+		if math.Abs(hEff[last]-hGen[last]) > 1e-6 {
+			t.Fatalf("trial %d: endpoint mismatch %v vs %v", trial, hEff[last], hGen[last])
+		}
+	}
+}
+
+// Recursive monotonicity (Definition 17) across genuine neighbors:
+// H_i(P2) ≤ H_i(P1) ≤ H_{i+1}(P2) for the ancestor (P1,R1) = withdraw(P2,R2).
+// H satisfies it for arbitrary annotations (Theorem 3).
+func TestEfficientHRecursiveMonotonicity(t *testing.T) {
+	rng := noise.NewRand(4)
+	for trial := 0; trial < 20; trial++ {
+		nVars := 6
+		s2 := randomSensitive(rng, nVars, 5, 2)
+		s1 := withdrawCompact(s2, nVars)
+		e2 := mustEfficient(t, s2)
+		e1 := mustEfficient(t, s1)
+		h2 := seqValues(t, e2, e2.H)
+		h1 := seqValues(t, e1, e1.H)
+		for i := 0; i <= e1.NumParticipants(); i++ {
+			if h2[i] > h1[i]+1e-6 {
+				t.Fatalf("trial %d: H_%d(P2)=%v > H_%d(P1)=%v", trial, i, h2[i], i, h1[i])
+			}
+			if h1[i] > h2[i+1]+1e-6 {
+				t.Fatalf("trial %d: H_%d(P1)=%v > H_%d(P2)=%v", trial, i, h1[i], i+1, h2[i+1])
+			}
+		}
+	}
+}
+
+// randomConjunctiveSensitive builds a relation whose annotations are
+// duplicate-free conjunctions — the annotation class of every subgraph
+// counting workload (Fig. 2). On this class G of Eq. 19 is a recursive
+// sequence: a withdrawal kills whole tuples (φ = 0 once any conjunct is 0)
+// and surviving tuples keep all their variables, so the per-participant rows
+// of the neighbor are dominated.
+func randomConjunctiveSensitive(rng *rand.Rand, nVars, nTuples int) *krel.Sensitive {
+	u := boolexpr.NewUniverse()
+	for i := 0; i < nVars; i++ {
+		u.Var(varName(i))
+	}
+	r := krel.NewRelation("id")
+	for i := 0; i < nTuples; i++ {
+		r.Add(krel.Tuple{tupleName(i)}, boolexpr.RandomClause(rng, nVars, 1+rng.Intn(3)))
+	}
+	return krel.NewSensitive(u, r)
+}
+
+// G of Eq. 19 is a recursive sequence on conjunction-annotated relations.
+func TestEfficientGRecursiveMonotonicityConjunctive(t *testing.T) {
+	rng := noise.NewRand(40)
+	for trial := 0; trial < 20; trial++ {
+		nVars := 6
+		s2 := randomConjunctiveSensitive(rng, nVars, 5)
+		s1 := withdrawCompact(s2, nVars)
+		e2 := mustEfficient(t, s2)
+		e1 := mustEfficient(t, s1)
+		g2 := seqValues(t, e2, e2.G)
+		g1 := seqValues(t, e1, e1.G)
+		for i := 0; i <= e1.NumParticipants(); i++ {
+			if g2[i] > g1[i]+1e-6 {
+				t.Fatalf("trial %d: G_%d(P2)=%v > G_%d(P1)=%v", trial, i, g2[i], i, g1[i])
+			}
+			if g1[i] > g2[i+1]+1e-6 {
+				t.Fatalf("trial %d: G_%d(P1)=%v > G_%d(P2)=%v", trial, i, g1[i], i+1, g2[i+1])
+			}
+		}
+	}
+}
+
+// Reproduction finding (documented in DESIGN.md): for annotations containing
+// ∨, the G of Eq. 19 is NOT a recursive sequence, contrary to the proof
+// sketch of Theorem 4. Withdrawing a participant p can strip another
+// participant p′ from a *surviving* tuple's annotation, so the neighbor's
+// p′-row loses φ-mass that the larger database's row keeps, and
+// G_i(P2) > G_i(P1) becomes possible. This test pins a concrete
+// counterexample so the deviation from the paper stays visible: a single
+// tuple (p∧p′)∨(a∧b) over P2 = {a, b, p′, p}, with p withdrawn.
+func TestG19NotRecursiveForDisjunctiveAnnotations(t *testing.T) {
+	// Counterexample found by randomized search (seed 4, trial 17 of the
+	// random-expression generator). Variables a..e survive; f is withdrawn.
+	// G_2 rises from 1.0 (neighbor) to 1.2 (full database).
+	mk := func(withF bool) *krel.Sensitive {
+		u := boolexpr.NewUniverse()
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		n := len(names)
+		if !withF {
+			n--
+		}
+		vars := make(map[string]*boolexpr.Expr)
+		for i := 0; i < n; i++ {
+			vars[names[i]] = boolexpr.NewVar(u.Var(names[i]))
+		}
+		f := boolexpr.False()
+		if withF {
+			f = vars["f"]
+		}
+		r := krel.NewRelation("id")
+		r.Add(krel.Tuple{"t00"}, boolexpr.And(f, vars["e"], vars["c"]))
+		r.Add(krel.Tuple{"t01"}, boolexpr.Or(vars["d"], vars["a"], f, vars["d"]))
+		r.Add(krel.Tuple{"t02"}, vars["a"])
+		r.Add(krel.Tuple{"t03"}, boolexpr.And(boolexpr.Or(f, vars["a"]), vars["b"]))
+		r.Add(krel.Tuple{"t04"}, boolexpr.Or(vars["e"], vars["a"], vars["b"], vars["a"],
+			f, vars["d"], boolexpr.And(vars["c"], f, f)))
+		return krel.NewSensitive(u, r)
+	}
+	s2 := mk(true)
+	s1 := mk(false)
+
+	e2 := mustEfficient(t, s2)
+	e1 := mustEfficient(t, s1)
+	violated := false
+	for i := 0; i <= e1.NumParticipants(); i++ {
+		g2, err := e2.G(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1, err := e1.G(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2 > g1+1e-9 {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("expected the documented counterexample to violate G's recursive monotonicity; " +
+			"if this fails the finding in DESIGN.md should be re-examined")
+	}
+}
+
+// Theorem 4: G is a 2-bounding sequence of H:
+// H_j ≤ H_i + (|P|−i)·G_k with k = |P|−⌊(|P|−j)/2⌋.
+func TestEfficientTwoBoundingProperty(t *testing.T) {
+	rng := noise.NewRand(5)
+	for trial := 0; trial < 15; trial++ {
+		s := randomSensitive(rng, 6, 5, 2)
+		e := mustEfficient(t, s)
+		nP := e.NumParticipants()
+		h := seqValues(t, e, e.H)
+		g := seqValues(t, e, e.G)
+		for i := 0; i <= nP; i++ {
+			for j := i; j <= nP; j++ {
+				k := nP - (nP-j)/2
+				if h[j] > h[i]+float64(nP-i)*g[k]+1e-6 {
+					t.Fatalf("trial %d: 2-bounding violated at i=%d j=%d k=%d: %v > %v + %d·%v",
+						trial, i, j, k, h[j], h[i], nP-i, g[k])
+				}
+			}
+		}
+	}
+}
+
+// Lemma 1: the deterministic Δ has GS(ln Δ) ≤ β over neighboring databases.
+// This is the heart of the privacy proof and is fully deterministic, so it
+// can be tested exactly. Restricted to conjunction-annotated relations, where
+// G is a recursive sequence (see TestG19NotRecursiveForDisjunctiveAnnotations
+// for why general annotations are excluded).
+func TestDeltaLogSensitivity(t *testing.T) {
+	rng := noise.NewRand(6)
+	params := DefaultParams(0.5, true)
+	for trial := 0; trial < 25; trial++ {
+		nVars := 6
+		s2 := randomConjunctiveSensitive(rng, nVars, 5)
+		s1 := withdrawCompact(s2, nVars)
+		c2 := mustCore(t, mustEfficient(t, s2), params)
+		c1 := mustCore(t, mustEfficient(t, s1), params)
+		d2, err := c2.Delta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err := c1.Delta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(math.Log(d2) - math.Log(d1)); diff > params.Beta+1e-9 {
+			t.Fatalf("trial %d: |ln Δ₂ − ln Δ₁| = %v > β = %v (Δ₂=%v Δ₁=%v)",
+				trial, diff, params.Beta, d2, d1)
+		}
+	}
+}
+
+// Lemma 2: Δ ≤ max(θ, e^β·G_{|P|}); Lemma 3: G_{|P|−ln(Δ/θ)/β} ≤ Δ.
+func TestDeltaBounds(t *testing.T) {
+	rng := noise.NewRand(7)
+	params := DefaultParams(0.5, true)
+	for trial := 0; trial < 20; trial++ {
+		s := randomSensitive(rng, 6, 5, 2)
+		e := mustEfficient(t, s)
+		c := mustCore(t, e, params)
+		delta, err := c.Delta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gLast, err := e.G(e.NumParticipants())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if delta > math.Max(params.Theta, math.Exp(params.Beta)*gLast)+1e-6 {
+			t.Fatalf("trial %d: Lemma 2 violated: Δ=%v, θ=%v, e^β·G=%v",
+				trial, delta, params.Theta, math.Exp(params.Beta)*gLast)
+		}
+		j := int(math.Round(math.Log(delta/params.Theta) / params.Beta))
+		idx := e.NumParticipants() - j
+		if idx >= 0 {
+			gAt, err := e.G(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gAt > delta+1e-6 {
+				t.Fatalf("trial %d: Lemma 3 violated: G_%d = %v > Δ = %v", trial, idx, gAt, delta)
+			}
+		}
+	}
+}
+
+// Lemma 7: for a fixed Δ̂, X has global sensitivity ≤ Δ̂ over neighbors.
+func TestXSensitivityGivenDeltaHat(t *testing.T) {
+	rng := noise.NewRand(8)
+	params := DefaultParams(0.5, true)
+	for trial := 0; trial < 20; trial++ {
+		nVars := 6
+		s2 := randomSensitive(rng, nVars, 5, 2)
+		s1 := withdrawCompact(s2, nVars)
+		c2 := mustCore(t, mustEfficient(t, s2), params)
+		c1 := mustCore(t, mustEfficient(t, s1), params)
+		for _, dh := range []float64{0.3, 1, 2.5, 10} {
+			x2, err := c2.XGiven(dh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x1, err := c1.XGiven(dh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Proof of Lemma 7: X(P1) ≤ X(P2) ≤ X(P1) + Δ̂.
+			if x1 > x2+1e-6 || x2 > x1+dh+1e-6 {
+				t.Fatalf("trial %d Δ̂=%v: X₁=%v X₂=%v violate X₁ ≤ X₂ ≤ X₁+Δ̂",
+					trial, dh, x1, x2)
+			}
+		}
+	}
+}
+
+// Lemma 8: if Δ̂ ≥ Δ then X ≤ H_{|P|} (the clamp never overshoots the truth).
+func TestXUpperBound(t *testing.T) {
+	rng := noise.NewRand(9)
+	params := DefaultParams(0.5, true)
+	for trial := 0; trial < 20; trial++ {
+		s := randomSensitive(rng, 6, 5, 2)
+		e := mustEfficient(t, s)
+		c := mustCore(t, e, params)
+		delta, err := c.Delta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := c.TrueAnswer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mult := range []float64{1, 1.5, 3} {
+			x, err := c.XGiven(delta * mult)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if x > truth+1e-6 {
+				t.Fatalf("trial %d: X = %v > true answer %v with Δ̂ ≥ Δ", trial, x, truth)
+			}
+		}
+	}
+}
+
+// XGiven's ternary search must agree with a full scan over i.
+func TestXGivenMatchesFullScan(t *testing.T) {
+	rng := noise.NewRand(10)
+	params := DefaultParams(0.5, false)
+	for trial := 0; trial < 15; trial++ {
+		s := randomSensitive(rng, 7, 6, 2)
+		e := mustEfficient(t, s)
+		c := mustCore(t, e, params)
+		for _, dh := range []float64{0.1, 0.7, 2, 8} {
+			got, err := c.XGiven(dh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			best := math.Inf(1)
+			for i := 0; i <= e.NumParticipants(); i++ {
+				h, err := e.H(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v := h + float64(e.NumParticipants()-i)*dh; v < best {
+					best = v
+				}
+			}
+			if math.Abs(got-best) > 1e-6 {
+				t.Fatalf("trial %d Δ̂=%v: ternary %v vs scan %v", trial, dh, got, best)
+			}
+		}
+	}
+}
+
+func mustCore(t *testing.T, seq Sequences, params Params) *Core {
+	t.Helper()
+	c, err := NewCore(seq, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGeneralSequencesTinyRelation(t *testing.T) {
+	// Two participants, two tuples: t1 ~ a, t2 ~ a∧b.
+	u := boolexpr.NewUniverse()
+	a, b := u.Var("a"), u.Var("b")
+	r := krel.NewRelation("id")
+	r.Add(krel.Tuple{"t1"}, boolexpr.NewVar(a))
+	r.Add(krel.Tuple{"t2"}, boolexpr.Conj(a, b))
+	s := krel.NewSensitive(u, r)
+	db, err := NewKRelationDatabase(s, krel.CountQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGeneral(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q(∅)=0, q({a})=1, q({b})=0, q({a,b})=2.
+	wantH := []float64{0, 0, 2} // H_1 = min(q{a}, q{b}) = 0
+	for i, want := range wantH {
+		if got, _ := gen.H(i); got != want {
+			t.Errorf("H_%d = %v, want %v", i, got, want)
+		}
+	}
+	// L̃S({a})=1, L̃S({b})=0, L̃S({a,b}) = max(q−q({b}), q−q({a})) = max(2,1) = 2.
+	// G̃S({a,b}) = 2, G̃S({a}) = 1, G̃S({b}) = 0.
+	if got := gen.GlobalEmpiricalSensitivity(); got != 2 {
+		t.Errorf("G̃S = %v, want 2", got)
+	}
+	wantG := []float64{0, 0, 2} // G_1 = min over singletons = 0
+	for i, want := range wantG {
+		if got, _ := gen.G(i); got != want {
+			t.Errorf("G_%d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestGeneralRejectsNonMonotone(t *testing.T) {
+	db := funcDB{n: 2, f: func(s uint32) float64 {
+		if s == 1 {
+			return 2
+		}
+		if s == 3 {
+			return 1 // removing b increases the answer: non-monotone
+		}
+		return 0
+	}}
+	if _, err := NewGeneral(db); err == nil {
+		t.Fatal("expected non-monotonicity error")
+	}
+	db2 := funcDB{n: 1, f: func(s uint32) float64 { return 1 }} // q(∅) ≠ 0
+	if _, err := NewGeneral(db2); err == nil {
+		t.Fatal("expected q(∅)≠0 error")
+	}
+}
+
+type funcDB struct {
+	n int
+	f func(uint32) float64
+}
+
+func (d funcDB) NumParticipants() int   { return d.n }
+func (d funcDB) Query(s uint32) float64 { return d.f(s) }
+
+func TestGeneralTooManyParticipants(t *testing.T) {
+	db := funcDB{n: 30, f: func(uint32) float64 { return 0 }}
+	if _, err := NewGeneral(db); err == nil {
+		t.Fatal("expected participant-limit error")
+	}
+}
+
+// The general mechanism's Δ also satisfies Lemma 1 (its G is a recursive
+// sequence by Theorem 2).
+func TestGeneralDeltaLogSensitivity(t *testing.T) {
+	rng := noise.NewRand(11)
+	params := DefaultParams(0.5, true)
+	for trial := 0; trial < 20; trial++ {
+		nVars := 6
+		s2 := randomSensitive(rng, nVars, 5, 2)
+		s1 := withdrawCompact(s2, nVars)
+		mk := func(s *krel.Sensitive) *Core {
+			db, err := NewKRelationDatabase(s, krel.CountQuery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := NewGeneral(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mustCore(t, gen, params)
+		}
+		d2, err := mk(s2).Delta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err := mk(s1).Delta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(math.Log(d2) - math.Log(d1)); diff > params.Beta+1e-9 {
+			t.Fatalf("trial %d: general mechanism GS(lnΔ) = %v > β", trial, diff)
+		}
+	}
+}
+
+func TestReleaseDistributionCentersOnTruth(t *testing.T) {
+	// On a relation where every tuple depends on a distinct participant, the
+	// sensitivities are 1 and the mechanism should track the truth closely.
+	u := boolexpr.NewUniverse()
+	r := krel.NewRelation("id")
+	const n = 20
+	for i := 0; i < n; i++ {
+		r.Add(krel.Tuple{tupleName(i)}, boolexpr.NewVar(u.Var(varName(i))))
+	}
+	s := krel.NewSensitive(u, r)
+	e := mustEfficient(t, s)
+	c := mustCore(t, e, DefaultParams(1.0, false))
+	rng := noise.NewRand(12)
+	const trials = 201
+	errs := make([]float64, trials)
+	for i := range errs {
+		got, err := c.Release(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(got - n)
+	}
+	sort.Float64s(errs)
+	if med := errs[trials/2]; med > 15 {
+		t.Errorf("median absolute error = %v, want moderate (≲15) for ŨS=1, ε=1", med)
+	}
+}
+
+func TestReleaseDeterministicUnderSeed(t *testing.T) {
+	s := randomSensitive(noise.NewRand(13), 5, 4, 2)
+	e := mustEfficient(t, s)
+	c := mustCore(t, e, DefaultParams(0.5, true))
+	a, err := c.Release(noise.NewRand(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Release(noise.NewRand(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed gave %v and %v", a, b)
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	u.Var("a")
+	s := krel.NewSensitive(u, krel.NewRelation("id"))
+	e := mustEfficient(t, s)
+	c := mustCore(t, e, DefaultParams(0.5, true))
+	delta, err := c.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != c.Params().Theta {
+		t.Errorf("empty relation Δ = %v, want θ", delta)
+	}
+	got, err := c.Release(noise.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 100 {
+		t.Errorf("empty relation release = %v, expect small noise", got)
+	}
+}
+
+func TestZeroParticipants(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	s := krel.NewSensitive(u, krel.NewRelation("id"))
+	e := mustEfficient(t, s)
+	if e.NumParticipants() != 0 {
+		t.Fatal("want 0 participants")
+	}
+	c := mustCore(t, e, DefaultParams(0.5, false))
+	if _, err := c.Release(noise.NewRand(2)); err != nil {
+		t.Fatalf("release on empty database: %v", err)
+	}
+}
+
+func TestNewEfficientValidation(t *testing.T) {
+	if _, err := NewEfficient(-1, nil); err == nil {
+		t.Error("negative participant count should fail")
+	}
+	if _, err := NewEfficient(1, []krel.Annotated{{Weight: -1, Ann: boolexpr.True()}}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewEfficient(1, []krel.Annotated{{Weight: 1, Ann: boolexpr.NewVar(5)}}); err == nil {
+		t.Error("variable outside universe should fail")
+	}
+}
+
+func TestHGIndexValidation(t *testing.T) {
+	s := randomSensitive(noise.NewRand(14), 4, 3, 2)
+	e := mustEfficient(t, s)
+	if _, err := e.H(-1); err == nil {
+		t.Error("H(-1) should fail")
+	}
+	if _, err := e.H(e.NumParticipants() + 1); err == nil {
+		t.Error("H beyond |P| should fail")
+	}
+	if _, err := e.G(-1); err == nil {
+		t.Error("G(-1) should fail")
+	}
+	if _, err := e.G(e.NumParticipants() + 1); err == nil {
+		t.Error("G beyond |P| should fail")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	good := DefaultParams(0.5, true)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := good.TotalEpsilon(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TotalEpsilon = %v", got)
+	}
+	bad := []Params{
+		{Epsilon1: 0, Epsilon2: 1, Beta: 1, Theta: 1},
+		{Epsilon1: 1, Epsilon2: 0, Beta: 1, Theta: 1},
+		{Epsilon1: 1, Epsilon2: 1, Beta: 0, Theta: 1},
+		{Epsilon1: 1, Epsilon2: 1, Beta: 1, Theta: 0},
+		{Epsilon1: 1, Epsilon2: 1, Beta: 1, Theta: 1, Mu: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := NewCore(nil, bad[0]); err == nil {
+		t.Error("NewCore must reject bad params")
+	}
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams(0.5, false)
+	if p.Theta != 1 || math.Abs(p.Beta-0.1) > 1e-12 || p.Mu != 0.5 {
+		t.Errorf("edge-privacy params = %+v", p)
+	}
+	pn := DefaultParams(0.5, true)
+	if pn.Mu != 1 {
+		t.Errorf("node-privacy µ = %v, want 1", pn.Mu)
+	}
+	if p.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestRunEfficientEndToEnd(t *testing.T) {
+	s := randomSensitive(noise.NewRand(15), 5, 4, 2)
+	got, err := RunEfficient(s, krel.CountQuery, DefaultParams(0.5, true), noise.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("release = %v", got)
+	}
+}
+
+func TestWeightedQuery(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	a, b := u.Var("a"), u.Var("b")
+	r := krel.NewRelation("id")
+	r.Add(krel.Tuple{"x"}, boolexpr.NewVar(a))
+	r.Add(krel.Tuple{"y"}, boolexpr.Conj(a, b))
+	s := krel.NewSensitive(u, r)
+	wq := func(t krel.Tuple) float64 {
+		if t[0] == "x" {
+			return 3
+		}
+		return 7
+	}
+	e, err := NewEfficientFromSensitive(s, wq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn, err := e.H(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hn-10) > 1e-7 {
+		t.Errorf("weighted H_|P| = %v, want 10", hn)
+	}
+	// G_|P| = 2·max_p Σ q(t)·S: participant a touches both tuples → 2·10=20.
+	gn, err := e.G(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gn-20) > 1e-6 {
+		t.Errorf("weighted G_|P| = %v, want 20", gn)
+	}
+}
+
+func TestConstantAnnotations(t *testing.T) {
+	// Tuples annotated True contribute a constant to every H_i and nothing
+	// to G.
+	u := boolexpr.NewUniverse()
+	a := u.Var("a")
+	r := krel.NewRelation("id")
+	r.Add(krel.Tuple{"x"}, boolexpr.True())
+	r.Add(krel.Tuple{"y"}, boolexpr.NewVar(a))
+	s := krel.NewSensitive(u, r)
+	e := mustEfficient(t, s)
+	h0, _ := e.H(0)
+	h1, _ := e.H(1)
+	if math.Abs(h0-1) > 1e-9 || math.Abs(h1-2) > 1e-7 {
+		t.Errorf("H = [%v %v], want [1 2]", h0, h1)
+	}
+	g1, _ := e.G(1)
+	if math.Abs(g1-2) > 1e-7 { // only tuple y counts: 2·1·1
+		t.Errorf("G_1 = %v, want 2", g1)
+	}
+}
+
+func TestTinyParticipantCounts(t *testing.T) {
+	// nP = 0, 1, 2 exercise the ternary search and binary search boundaries.
+	for nP := 0; nP <= 2; nP++ {
+		u := boolexpr.NewUniverse()
+		r := krel.NewRelation("id")
+		for i := 0; i < nP; i++ {
+			r.Add(krel.Tuple{tupleName(i)}, boolexpr.NewVar(u.Var(varName(i))))
+		}
+		s := krel.NewSensitive(u, r)
+		e := mustEfficient(t, s)
+		c := mustCore(t, e, DefaultParams(1, false))
+		idx, err := c.DeltaIndex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx < 0 || idx > nP {
+			t.Errorf("nP=%d: Δ index %d out of range", nP, idx)
+		}
+		v, err := c.Release(noise.NewRand(int64(nP)))
+		if err != nil {
+			t.Fatalf("nP=%d: %v", nP, err)
+		}
+		if math.IsNaN(v) {
+			t.Errorf("nP=%d: NaN release", nP)
+		}
+	}
+}
+
+func TestXGivenNegativeDeltaHat(t *testing.T) {
+	// Δ̂ can never be negative in practice (it is e^{µ+Y}·Δ), but XGiven must
+	// still behave: with a zero Δ̂ it returns H_0-ish minima.
+	s := randomConjunctiveSensitive(noise.NewRand(60), 5, 4)
+	e := mustEfficient(t, s)
+	c := mustCore(t, e, DefaultParams(0.5, false))
+	x, err := c.XGiven(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 0 {
+		t.Errorf("X(0) = %v, want 0 (H_0)", x)
+	}
+}
+
+func TestPrepareIdempotent(t *testing.T) {
+	s := randomConjunctiveSensitive(noise.NewRand(61), 5, 4)
+	e := mustEfficient(t, s)
+	c := mustCore(t, e, DefaultParams(0.5, false))
+	if err := c.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := c.Delta()
+	if err := c.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := c.Delta()
+	if d1 != d2 {
+		t.Error("Prepare must be idempotent")
+	}
+}

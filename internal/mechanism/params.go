@@ -1,0 +1,66 @@
+// Package mechanism implements the paper's contribution: the recursive
+// mechanism framework of §4 (sequences H and G, the private sensitivity
+// proxy Δ of Eq. 11 and the clamped statistic X of Eq. 12), its efficient
+// LP-based instantiation for linear queries on sensitive K-relations (§5),
+// and the general but inefficient instantiation for arbitrary monotonic
+// queries (§4.2).
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params are the privacy and calibration parameters of Theorem 1. The
+// mechanism satisfies (Epsilon1 + Epsilon2)-differential privacy: Epsilon1
+// randomizes the sensitivity proxy Δ̂ = e^{µ+Lap(β/ε₁)}·Δ, Epsilon2 the final
+// Laplace release X̂ = X + Lap(Δ̂/ε₂).
+type Params struct {
+	Epsilon1 float64 // budget for the noisy Δ̂
+	Epsilon2 float64 // budget for the final Laplace noise
+	Beta     float64 // smoothing rate β: GS(ln Δ) ≤ β (Lemma 1)
+	Theta    float64 // floor θ of the Δ ladder (Eq. 11)
+	Mu       float64 // upward bias µ making Δ̂ ≥ Δ likely (Lemma 6)
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Epsilon1 <= 0:
+		return errors.New("mechanism: Epsilon1 must be positive")
+	case p.Epsilon2 <= 0:
+		return errors.New("mechanism: Epsilon2 must be positive")
+	case p.Beta <= 0:
+		return errors.New("mechanism: Beta must be positive")
+	case p.Theta <= 0:
+		return errors.New("mechanism: Theta must be positive")
+	case p.Mu < 0:
+		return errors.New("mechanism: Mu must be non-negative")
+	}
+	return nil
+}
+
+// TotalEpsilon returns the overall privacy budget ε₁ + ε₂.
+func (p Params) TotalEpsilon() float64 { return p.Epsilon1 + p.Epsilon2 }
+
+// DefaultParams reproduces the experimental setting of §6.1: θ = 1,
+// β = ε/5, µ = 0.5 for edge privacy and µ = 1 for node privacy, with the
+// total budget split evenly between ε₁ and ε₂ (the paper leaves the split
+// unstated).
+func DefaultParams(epsilon float64, nodePrivacy bool) Params {
+	mu := 0.5
+	if nodePrivacy {
+		mu = 1.0
+	}
+	return Params{
+		Epsilon1: epsilon / 2,
+		Epsilon2: epsilon / 2,
+		Beta:     epsilon / 5,
+		Theta:    1,
+		Mu:       mu,
+	}
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("ε₁=%g ε₂=%g β=%g θ=%g µ=%g", p.Epsilon1, p.Epsilon2, p.Beta, p.Theta, p.Mu)
+}

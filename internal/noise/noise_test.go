@@ -1,0 +1,138 @@
+package noise
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestLaplaceZeroScale(t *testing.T) {
+	rng := NewRand(1)
+	for i := 0; i < 100; i++ {
+		if got := Laplace(rng, 0); got != 0 {
+			t.Fatalf("Laplace(rng, 0) = %v, want 0", got)
+		}
+	}
+}
+
+func TestLaplaceNegativeScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative scale")
+		}
+	}()
+	Laplace(NewRand(1), -1)
+}
+
+func TestLaplaceMedianAndSpread(t *testing.T) {
+	// The Laplace distribution has median 0 and mean absolute deviation b.
+	const n = 200000
+	const b = 2.5
+	rng := NewRand(42)
+	samples := make([]float64, n)
+	var sumAbs float64
+	for i := range samples {
+		samples[i] = Laplace(rng, b)
+		sumAbs += math.Abs(samples[i])
+	}
+	sort.Float64s(samples)
+	median := samples[n/2]
+	if math.Abs(median) > 0.05 {
+		t.Errorf("median = %v, want ≈0", median)
+	}
+	mad := sumAbs / n
+	if math.Abs(mad-b) > 0.05*b {
+		t.Errorf("mean |X| = %v, want ≈%v", mad, b)
+	}
+}
+
+func TestLaplaceTailProbability(t *testing.T) {
+	// Pr[|X| > c·b] = e^{-c}; check c = 1 and c = 3.
+	const n = 200000
+	const b = 1.0
+	rng := NewRand(7)
+	var over1, over3 int
+	for i := 0; i < n; i++ {
+		x := math.Abs(Laplace(rng, b))
+		if x > 1 {
+			over1++
+		}
+		if x > 3 {
+			over3++
+		}
+	}
+	p1 := float64(over1) / n
+	p3 := float64(over3) / n
+	if math.Abs(p1-math.Exp(-1)) > 0.01 {
+		t.Errorf("Pr[|X|>b] = %v, want ≈%v", p1, math.Exp(-1))
+	}
+	if math.Abs(p3-math.Exp(-3)) > 0.005 {
+		t.Errorf("Pr[|X|>3b] = %v, want ≈%v", p3, math.Exp(-3))
+	}
+}
+
+func TestCauchyMedianAbsoluteDeviation(t *testing.T) {
+	// The standard Cauchy has median 0 and median |X| = 1 (quartiles at ±1).
+	const n = 200000
+	rng := NewRand(99)
+	abs := make([]float64, n)
+	for i := range abs {
+		abs[i] = math.Abs(Cauchy(rng))
+	}
+	sort.Float64s(abs)
+	med := abs[n/2]
+	if math.Abs(med-1) > 0.03 {
+		t.Errorf("median |Cauchy| = %v, want ≈1", med)
+	}
+}
+
+func TestCauchyFinite(t *testing.T) {
+	rng := NewRand(3)
+	for i := 0; i < 100000; i++ {
+		z := Cauchy(rng)
+		if math.IsInf(z, 0) || math.IsNaN(z) {
+			t.Fatalf("non-finite Cauchy sample %v", z)
+		}
+	}
+}
+
+func TestLaplaceMechanismCentering(t *testing.T) {
+	const n = 100000
+	rng := NewRand(5)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += LaplaceMechanism(rng, 10, 2, 1)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.1 {
+		t.Errorf("mean release = %v, want ≈10", mean)
+	}
+}
+
+func TestLaplaceMechanismValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		sens, eps float64
+	}{
+		{"zero epsilon", 1, 0},
+		{"negative epsilon", 1, -1},
+		{"negative sensitivity", -1, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			LaplaceMechanism(NewRand(1), 0, tc.sens, tc.eps)
+		})
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(17), NewRand(17)
+	for i := 0; i < 1000; i++ {
+		if x, y := Laplace(a, 1), Laplace(b, 1); x != y {
+			t.Fatalf("seeded streams diverge at %d: %v vs %v", i, x, y)
+		}
+	}
+}

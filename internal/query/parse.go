@@ -1,0 +1,273 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the query language of this package.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks}
+	q := &Query{}
+	for {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		q.Selects = append(q.Selects, *sel)
+		if !p.acceptKeyword("union") {
+			break
+		}
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("query: unexpected %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type tok struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkString // quoted literal
+	tkNumber
+	tkSymbol // punctuation / comparison operators
+)
+
+func lex(src string) ([]tok, error) {
+	var out []tok
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'' || c == '"':
+			quote := src[i]
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j == len(src) {
+				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+			}
+			out = append(out, tok{tkString, src[i+1 : j], i})
+			i = j + 1
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.') {
+				j++
+			}
+			out = append(out, tok{tkNumber, src[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			out = append(out, tok{tkIdent, src[i:j], i})
+			i = j
+		case strings.HasPrefix(src[i:], "<=") || strings.HasPrefix(src[i:], ">=") ||
+			strings.HasPrefix(src[i:], "!=") || strings.HasPrefix(src[i:], "<>"):
+			out = append(out, tok{tkSymbol, src[i : i+2], i})
+			i += 2
+		case strings.ContainsRune("=<>(),*", c):
+			out = append(out, tok{tkSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, tok{tkEOF, "", len(src)})
+	return out, nil
+}
+
+type qparser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *qparser) peek() tok   { return p.toks[p.pos] }
+func (p *qparser) next() tok   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *qparser) atEOF() bool { return p.peek().kind == tkEOF }
+
+func (p *qparser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tkIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *qparser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("query: expected %s, got %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+func (p *qparser) acceptSymbol(s string) bool {
+	if t := p.peek(); t.kind == tkSymbol && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *qparser) expectIdent() (string, error) {
+	if t := p.peek(); t.kind == tkIdent {
+		p.pos++
+		return strings.ToLower(t.text), nil
+	}
+	return "", fmt.Errorf("query: expected identifier, got %q", p.peek().text)
+}
+
+func (p *qparser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{}
+	if p.acceptSymbol("*") {
+		sel.Columns = nil
+	} else {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			sel.Columns = append(sel.Columns, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		src := Source{Table: name}
+		if p.acceptSymbol("(") {
+			for {
+				col, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				src.Rename = append(src.Rename, col)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if !p.acceptSymbol(")") {
+				return nil, fmt.Errorf("query: expected ')' in rename list, got %q", p.peek().text)
+			}
+		}
+		sel.Sources = append(sel.Sources, src)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = cond
+	}
+	return sel, nil
+}
+
+func (p *qparser) parseOr() (Cond, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Cond{left}
+	for p.acceptKeyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return orCond{kids}, nil
+}
+
+func (p *qparser) parseAnd() (Cond, error) {
+	left, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Cond{left}
+	for p.acceptKeyword("and") {
+		right, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return andCond{kids}, nil
+}
+
+func (p *qparser) parseComparison() (Cond, error) {
+	if p.acceptSymbol("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptSymbol(")") {
+			return nil, fmt.Errorf("query: expected ')' in condition, got %q", p.peek().text)
+		}
+		return inner, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.peek()
+	switch opTok.text {
+	case "=", "!=", "<>", "<", "<=", ">", ">=":
+		p.pos++
+	default:
+		return nil, fmt.Errorf("query: expected comparison operator, got %q", opTok.text)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return cmpCond{left: left, right: right, op: opTok.text}, nil
+}
+
+func (p *qparser) parseOperand() (operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkIdent:
+		p.pos++
+		return operand{column: strings.ToLower(t.text)}, nil
+	case tkString, tkNumber:
+		p.pos++
+		return operand{literal: t.text}, nil
+	}
+	return operand{}, fmt.Errorf("query: expected column or literal, got %q", t.text)
+}

@@ -1,0 +1,279 @@
+// Package query compiles a small SQL-like language to the positive
+// relational algebra over sensitive K-relations — the paper's motivating
+// interface ("a user may pose a relational algebra query on a sensitive
+// database, and desires differentially private aggregation on the result",
+// §1). Supported:
+//
+//	query  := select { "UNION" select }
+//	select := "SELECT" ("*" | col {"," col})
+//	          "FROM" source {"," source}
+//	          [ "WHERE" condition ]
+//	source := table [ "(" col {"," col} ")" ]      -- positional rename ρ
+//	cond   := disjunctions/conjunctions of comparisons over columns/literals
+//
+// Multiple FROM sources are combined by natural join (⋈) on shared column
+// names — unrestricted joins included. UNION requires identical output
+// schemas. The condition becomes a selection σ; the column list a projection
+// π. Only the positive operators exist: there is no difference/negation of
+// relations (comparison operators inside WHERE are fine — selection
+// predicates do not touch annotations).
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"recmech/internal/krel"
+)
+
+// Database is the catalogue of named annotated tables a query runs against.
+type Database struct {
+	tables map[string]*krel.Relation
+}
+
+// NewDatabase returns an empty catalogue.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*krel.Relation)}
+}
+
+// Register adds (or replaces) a table.
+func (d *Database) Register(name string, r *krel.Relation) {
+	d.tables[strings.ToLower(name)] = r
+}
+
+// Table returns a registered table.
+func (d *Database) Table(name string) (*krel.Relation, bool) {
+	r, ok := d.tables[strings.ToLower(name)]
+	return r, ok
+}
+
+// Names returns the registered table names (unsorted).
+func (d *Database) Names() []string {
+	out := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Run parses and evaluates a query against the database, returning the
+// output K-relation with its provenance annotations intact.
+func Run(db *Database, src string) (*krel.Relation, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return q.Eval(db)
+}
+
+// Query is a parsed query: one or more SELECT blocks combined by UNION.
+type Query struct {
+	Selects []SelectStmt
+}
+
+// SelectStmt is one SELECT block.
+type SelectStmt struct {
+	Columns []string // nil means *
+	Sources []Source
+	Where   Cond // nil when absent
+}
+
+// Source is one FROM entry.
+type Source struct {
+	Table  string
+	Rename []string // positional attribute rebinding; nil keeps the schema
+}
+
+// Eval runs the query.
+func (q *Query) Eval(db *Database) (*krel.Relation, error) {
+	var out *krel.Relation
+	for i := range q.Selects {
+		r, err := q.Selects[i].eval(db)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = r
+			continue
+		}
+		if !sameSchema(out.Attrs(), r.Attrs()) {
+			return nil, fmt.Errorf("query: UNION schema mismatch: %v vs %v", out.Attrs(), r.Attrs())
+		}
+		out = krel.Union(out, r)
+	}
+	return out, nil
+}
+
+func (s *SelectStmt) eval(db *Database) (*krel.Relation, error) {
+	if len(s.Sources) == 0 {
+		return nil, fmt.Errorf("query: SELECT without FROM")
+	}
+	var cur *krel.Relation
+	for _, src := range s.Sources {
+		base, ok := db.Table(src.Table)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown table %q", src.Table)
+		}
+		r := base
+		if src.Rename != nil {
+			attrs := base.Attrs()
+			if len(src.Rename) != len(attrs) {
+				return nil, fmt.Errorf("query: table %s has %d columns, rename lists %d",
+					src.Table, len(attrs), len(src.Rename))
+			}
+			mapping := make(map[string]string, len(attrs))
+			for i, a := range attrs {
+				mapping[a] = src.Rename[i]
+			}
+			r = krel.Rename(base, mapping)
+		}
+		if cur == nil {
+			cur = r
+		} else {
+			cur = krel.Join(cur, r)
+		}
+	}
+	if s.Where != nil {
+		cond := s.Where
+		attrs := cur.Attrs()
+		if err := cond.check(attrs); err != nil {
+			return nil, err
+		}
+		cur = krel.Select(cur, func(get func(string) string) bool {
+			return cond.eval(get)
+		})
+	}
+	if s.Columns != nil {
+		for _, c := range s.Columns {
+			if !hasAttr(cur.Attrs(), c) {
+				return nil, fmt.Errorf("query: unknown column %q (have %v)", c, cur.Attrs())
+			}
+		}
+		cur = krel.Project(cur, s.Columns...)
+	}
+	return cur, nil
+}
+
+func sameSchema(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasAttr(attrs []string, name string) bool {
+	for _, a := range attrs {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- Conditions ----
+
+// Cond is a WHERE condition.
+type Cond interface {
+	eval(get func(string) string) bool
+	check(attrs []string) error
+}
+
+type andCond struct{ kids []Cond }
+type orCond struct{ kids []Cond }
+
+func (c andCond) eval(get func(string) string) bool {
+	for _, k := range c.kids {
+		if !k.eval(get) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c orCond) eval(get func(string) string) bool {
+	for _, k := range c.kids {
+		if k.eval(get) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c andCond) check(attrs []string) error {
+	for _, k := range c.kids {
+		if err := k.check(attrs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c orCond) check(attrs []string) error {
+	return andCond(c).check(attrs)
+}
+
+// operand is a column reference or a literal.
+type operand struct {
+	column  string // "" for literals
+	literal string
+}
+
+func (o operand) value(get func(string) string) string {
+	if o.column != "" {
+		return get(o.column)
+	}
+	return o.literal
+}
+
+type cmpCond struct {
+	left, right operand
+	op          string
+}
+
+func (c cmpCond) check(attrs []string) error {
+	for _, o := range []operand{c.left, c.right} {
+		if o.column != "" && !hasAttr(attrs, o.column) {
+			return fmt.Errorf("query: unknown column %q in WHERE (have %v)", o.column, attrs)
+		}
+	}
+	return nil
+}
+
+func (c cmpCond) eval(get func(string) string) bool {
+	l, r := c.left.value(get), c.right.value(get)
+	// Numeric comparison when both sides parse as numbers, else lexical.
+	lf, lerr := strconv.ParseFloat(l, 64)
+	rf, rerr := strconv.ParseFloat(r, 64)
+	var cmp int
+	if lerr == nil && rerr == nil {
+		switch {
+		case lf < rf:
+			cmp = -1
+		case lf > rf:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(l, r)
+	}
+	switch c.op {
+	case "=":
+		return cmp == 0
+	case "!=", "<>":
+		return cmp != 0
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	}
+	panic("query: invalid comparison operator " + c.op)
+}

@@ -1,0 +1,219 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/krel"
+)
+
+// fixture builds the Fig. 2 social-network edge table under node privacy.
+func fixture() (*Database, *boolexpr.Universe) {
+	u := boolexpr.NewUniverse()
+	edges := [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}, {"b", "d"},
+		{"c", "d"}, {"c", "e"}, {"d", "e"}}
+	e := krel.NewRelation("x", "y")
+	for _, ed := range edges {
+		ann := boolexpr.And(boolexpr.NewVar(u.Var(ed[0])), boolexpr.NewVar(u.Var(ed[1])))
+		e.Add(krel.Tuple{ed[0], ed[1]}, ann)
+		e.Add(krel.Tuple{ed[1], ed[0]}, ann)
+	}
+	db := NewDatabase()
+	db.Register("E", e)
+	return db, u
+}
+
+func TestSelectStar(t *testing.T) {
+	db, _ := fixture()
+	r, err := Run(db, "SELECT * FROM E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 14 {
+		t.Errorf("size = %d, want 14 (directed edges)", r.Size())
+	}
+}
+
+func TestSelectColumnsAndWhere(t *testing.T) {
+	db, _ := fixture()
+	r, err := Run(db, "SELECT x FROM E WHERE y = 'c'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neighbors of c: a, b, d, e.
+	if r.Size() != 4 {
+		t.Errorf("size = %d, want 4: %v", r.Size(), r.Support())
+	}
+}
+
+func TestTriangleQuery(t *testing.T) {
+	// Triangles via a triple self-join with renames — the paper's Fig. 2(a)
+	// query expressed in the query language.
+	db, u := fixture()
+	r, err := Run(db, `
+		SELECT x, y, z
+		FROM E, E(y, z), E(x, z)
+		WHERE x < y AND y < z`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 2 { // abc and bcd? graph has triangles abc, bcd, cde
+		// count: edges ab,ac,bc → abc; bc,bd,cd → bcd; cd,ce,de → cde
+		t.Logf("support: %v", r.Support())
+	}
+	want := map[string]bool{"abc": true, "bcd": true, "cde": true}
+	if r.Size() != len(want) {
+		t.Fatalf("triangles = %d, want %d: %s", r.Size(), len(want), r.Format(u))
+	}
+	r.Each(func(tu krel.Tuple, ann *boolexpr.Expr) {
+		key := strings.Join(tu, "")
+		if !want[key] {
+			t.Errorf("unexpected triangle %v", tu)
+		}
+		// Node-privacy annotation must be truth-table equal to the node conjunction.
+		var vars []*boolexpr.Expr
+		for _, n := range tu {
+			v, _ := u.Lookup(n)
+			vars = append(vars, boolexpr.NewVar(v))
+		}
+		if !boolexpr.EqualTruthTable(ann, boolexpr.And(vars...)) {
+			t.Errorf("triangle %v annotation %s wrong", tu, u.Format(ann))
+		}
+	})
+}
+
+func TestCommonFriendQuery(t *testing.T) {
+	db, _ := fixture()
+	r, err := Run(db, `
+		SELECT x, y
+		FROM E, E(x, w), E(y, w)
+		WHERE x < y AND w != x AND w != y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 7 { // the Fig. 2(b) table has 7 pairs
+		t.Errorf("pairs = %d, want 7: %v", r.Size(), r.Support())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	db, u := fixture()
+	extra := krel.NewRelation("x", "y")
+	extra.Add(krel.Tuple{"z", "w"}, boolexpr.NewVar(u.Var("z")))
+	db.Register("Extra", extra)
+	r, err := Run(db, "SELECT x, y FROM E WHERE x = 'a' UNION SELECT x, y FROM Extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 3 { // (a,b), (a,c), (z,w)
+		t.Errorf("size = %d, want 3: %v", r.Size(), r.Support())
+	}
+}
+
+func TestUnionMergesAnnotations(t *testing.T) {
+	u := boolexpr.NewUniverse()
+	a, b := u.Var("a"), u.Var("b")
+	t1 := krel.NewRelation("x")
+	t1.Add(krel.Tuple{"1"}, boolexpr.NewVar(a))
+	t2 := krel.NewRelation("x")
+	t2.Add(krel.Tuple{"1"}, boolexpr.NewVar(b))
+	db := NewDatabase()
+	db.Register("T1", t1)
+	db.Register("T2", t2)
+	r, err := Run(db, "SELECT x FROM T1 UNION SELECT x FROM T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := r.Annotation(krel.Tuple{"1"})
+	if !boolexpr.EqualTruthTable(ann, boolexpr.Or(boolexpr.NewVar(a), boolexpr.NewVar(b))) {
+		t.Errorf("union annotation = %v, want a ∨ b", ann)
+	}
+}
+
+func TestNumericComparison(t *testing.T) {
+	db := NewDatabase()
+	r := krel.NewRelation("name", "age")
+	u := boolexpr.NewUniverse()
+	r.Add(krel.Tuple{"ann", "9"}, boolexpr.NewVar(u.Var("ann")))
+	r.Add(krel.Tuple{"ben", "10"}, boolexpr.NewVar(u.Var("ben")))
+	r.Add(krel.Tuple{"cal", "30"}, boolexpr.NewVar(u.Var("cal")))
+	db.Register("people", r)
+	// Numeric: 9 < 10 < 30 (lexically "10" < "9" would be wrong).
+	out, err := Run(db, "SELECT name FROM people WHERE age >= 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 2 {
+		t.Errorf("numeric filter size = %d, want 2: %v", out.Size(), out.Support())
+	}
+}
+
+func TestWhereOrAndParens(t *testing.T) {
+	db, _ := fixture()
+	r, err := Run(db, "SELECT x, y FROM E WHERE (x = 'a' OR x = 'b') AND y = 'c'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 2 { // (a,c), (b,c)
+		t.Errorf("size = %d, want 2: %v", r.Size(), r.Support())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db, _ := fixture()
+	for _, src := range []string{
+		"",
+		"SELECT",
+		"SELECT x",
+		"SELECT x FROM",
+		"SELECT x FROM E WHERE",
+		"SELECT x FROM E WHERE x",
+		"SELECT x FROM E WHERE x = ",
+		"SELECT x FROM E EXTRA",
+		"SELECT x FROM E(a, b, c)",      // arity mismatch at eval
+		"SELECT nope FROM E",            // unknown column at eval
+		"SELECT x FROM Nope",            // unknown table
+		"SELECT x FROM E WHERE z = 'a'", // unknown column in WHERE
+		"SELECT x FROM E WHERE x = 'unterminated",
+		"SELECT x FROM E UNION SELECT x, y FROM E", // schema mismatch
+		"SELECT x FROM E WHERE (x = 'a'",
+	} {
+		if _, err := Run(db, src); err == nil {
+			t.Errorf("Run(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexerSymbols(t *testing.T) {
+	toks, err := lex("<= >= != <> = < > ( ) , *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", "*", ""}
+	if len(toks) != len(want) {
+		t.Fatalf("token count %d, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].text, w)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywordsAndTables(t *testing.T) {
+	db, _ := fixture()
+	if _, err := Run(db, "select X, Y from e where X = 'a'"); err != nil {
+		t.Fatalf("case-insensitive query failed: %v", err)
+	}
+}
+
+func TestDatabaseNames(t *testing.T) {
+	db, _ := fixture()
+	if len(db.Names()) != 1 || db.Names()[0] != "e" {
+		t.Errorf("Names = %v", db.Names())
+	}
+	if _, ok := db.Table("missing"); ok {
+		t.Error("missing table lookup should fail")
+	}
+}

@@ -1,0 +1,215 @@
+// Package relax implements the relaxation mapping φ of Chen & Zhou (SIGMOD
+// 2013), §5.1–5.2: every positive Boolean expression k is mapped to a convex
+// piecewise-linear function φ_k : [0,1]^P → [0,1] defined recursively by
+//
+//	φ_False(f) = 0                φ_True(f) = 1
+//	φ_p(f)     = f(p)
+//	φ_{x∧y}(f) = max(0, φ_x(f) + φ_y(f) − 1)
+//	φ_{x∨y}(f) = max(φ_x(f), φ_y(f))
+//
+// φ agrees with Boolean evaluation on 0/1 assignments (correctness) and is
+// monotone and convex; these properties are what make the sequences H and G
+// of the efficient recursive mechanism computable by linear programming.
+//
+// The package also computes the φ-sensitivities S(k,p) — upper bounds on the
+// partial derivative of φ_k with respect to f(p):
+//
+//	S(True,p) = S(False,p) = 0      S(p,p) = 1
+//	S(x∧y,p) = S(x,p) + S(y,p)      S(x∨y,p) = max(S(x,p), S(y,p))
+package relax
+
+import (
+	"recmech/internal/boolexpr"
+)
+
+// Assignment is a fractional participant assignment f : P → [0,1].
+// Implementations must return values in [0,1] for every variable the
+// expression mentions.
+type Assignment func(boolexpr.Var) float64
+
+// Phi evaluates φ_e(f). The n-ary forms used by boolexpr fold exactly as the
+// binary definitions: φ of an n-ary ∧ is max(0, Σφ_i − (n−1)) and φ of an
+// n-ary ∨ is max_i φ_i (both follow from associativity of the binary φ).
+func Phi(e *boolexpr.Expr, f Assignment) float64 {
+	switch e.Op() {
+	case boolexpr.OpFalse:
+		return 0
+	case boolexpr.OpTrue:
+		return 1
+	case boolexpr.OpVar:
+		return clamp01(f(e.Variable()))
+	case boolexpr.OpAnd:
+		kids := e.Children()
+		s := 1.0 - float64(len(kids))
+		for _, k := range kids {
+			s += Phi(k, f)
+		}
+		if s < 0 {
+			return 0
+		}
+		return s
+	case boolexpr.OpOr:
+		m := 0.0
+		for _, k := range e.Children() {
+			if p := Phi(k, f); p > m {
+				m = p
+			}
+		}
+		return m
+	}
+	panic("relax: invalid op")
+}
+
+// PhiStar evaluates φ*_k(f) = 1 − φ_k(1 − ψ∘f) with ψ(x) = min(1, x), the
+// dual used to state the truncated-linearity property (§5.1). f may take
+// values above 1 (they are truncated by ψ).
+func PhiStar(e *boolexpr.Expr, f func(boolexpr.Var) float64) float64 {
+	return 1 - Phi(e, func(v boolexpr.Var) float64 {
+		x := f(v)
+		if x > 1 {
+			x = 1
+		}
+		if x < 0 {
+			x = 0
+		}
+		return 1 - x
+	})
+}
+
+// Sensitivities returns the map p ↦ S(e,p) for all variables occurring in e.
+// Variables not present have sensitivity 0 and are omitted.
+func Sensitivities(e *boolexpr.Expr) map[boolexpr.Var]float64 {
+	out := make(map[boolexpr.Var]float64)
+	accumulate(e, out)
+	return out
+}
+
+// accumulate adds S(e,·) pointwise into out.
+func accumulate(e *boolexpr.Expr, out map[boolexpr.Var]float64) {
+	switch e.Op() {
+	case boolexpr.OpFalse, boolexpr.OpTrue:
+	case boolexpr.OpVar:
+		out[e.Variable()]++
+	case boolexpr.OpAnd:
+		// S(x∧y,p) = S(x,p) + S(y,p): accumulate children into the same map.
+		for _, k := range e.Children() {
+			accumulate(k, out)
+		}
+	case boolexpr.OpOr:
+		// S(x∨y,p) = max: evaluate children separately, take the pointwise
+		// max across children, then add that to out.
+		m := make(map[boolexpr.Var]float64)
+		for _, k := range e.Children() {
+			sub := make(map[boolexpr.Var]float64)
+			accumulate(k, sub)
+			for v, s := range sub {
+				if s > m[v] {
+					m[v] = s
+				}
+			}
+		}
+		for v, s := range m {
+			out[v] += s
+		}
+	default:
+		panic("relax: invalid op")
+	}
+}
+
+// Sensitivity returns S(e,p) for a single variable.
+func Sensitivity(e *boolexpr.Expr, p boolexpr.Var) float64 {
+	switch e.Op() {
+	case boolexpr.OpFalse, boolexpr.OpTrue:
+		return 0
+	case boolexpr.OpVar:
+		if e.Variable() == p {
+			return 1
+		}
+		return 0
+	case boolexpr.OpAnd:
+		s := 0.0
+		for _, k := range e.Children() {
+			s += Sensitivity(k, p)
+		}
+		return s
+	case boolexpr.OpOr:
+		s := 0.0
+		for _, k := range e.Children() {
+			if ks := Sensitivity(k, p); ks > s {
+				s = ks
+			}
+		}
+		return s
+	}
+	panic("relax: invalid op")
+}
+
+// MaxSensitivity returns max_p S(e,p), the quantity the paper calls S when
+// bounding G_{|P|} ≤ 2·S·ŨS_q (§5.2). For DNF expressions it is ≤ 1.
+func MaxSensitivity(e *boolexpr.Expr) float64 {
+	m := 0.0
+	for _, s := range Sensitivities(e) {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Equivalent reports whether φ_a = φ_b by sampling: it compares φ on all
+// Boolean assignments (which decides truth-table equality) and on random
+// fractional assignments. It is a semi-decision procedure adequate for tests
+// and for impact computation on small expressions; agreement on all sampled
+// points with equal truth tables is reported as equivalent.
+func Equivalent(a, b *boolexpr.Expr, samples int, randFloat func() float64) bool {
+	vars := a.Vars(nil)
+	vars = b.Vars(vars)
+	seen := make(map[boolexpr.Var]struct{})
+	uniq := vars[:0]
+	for _, v := range vars {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			uniq = append(uniq, v)
+		}
+	}
+	vars = uniq
+	if len(vars) <= 16 {
+		for mask := 0; mask < 1<<len(vars); mask++ {
+			f := func(v boolexpr.Var) float64 {
+				for i, w := range vars {
+					if w == v {
+						if mask&(1<<i) != 0 {
+							return 1
+						}
+						return 0
+					}
+				}
+				return 0
+			}
+			if Phi(a, f) != Phi(b, f) {
+				return false
+			}
+		}
+	}
+	for s := 0; s < samples; s++ {
+		vals := make(map[boolexpr.Var]float64, len(vars))
+		for _, v := range vars {
+			vals[v] = randFloat()
+		}
+		f := func(v boolexpr.Var) float64 { return vals[v] }
+		if diff := Phi(a, f) - Phi(b, f); diff > 1e-12 || diff < -1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,438 @@
+package relax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"recmech/internal/boolexpr"
+)
+
+func v(i int) *boolexpr.Expr { return boolexpr.NewVar(boolexpr.Var(i)) }
+
+func mapAssign(m map[boolexpr.Var]float64) Assignment {
+	return func(x boolexpr.Var) float64 { return m[x] }
+}
+
+func randomAssign(rng *rand.Rand, numVars int) (map[boolexpr.Var]float64, Assignment) {
+	m := make(map[boolexpr.Var]float64, numVars)
+	for i := 0; i < numVars; i++ {
+		m[boolexpr.Var(i)] = rng.Float64()
+	}
+	return m, mapAssign(m)
+}
+
+func TestPhiBaseCases(t *testing.T) {
+	f := mapAssign(map[boolexpr.Var]float64{0: 0.3})
+	if Phi(boolexpr.False(), f) != 0 {
+		t.Error("φ(false) ≠ 0")
+	}
+	if Phi(boolexpr.True(), f) != 1 {
+		t.Error("φ(true) ≠ 1")
+	}
+	if Phi(v(0), f) != 0.3 {
+		t.Error("φ(p) ≠ f(p)")
+	}
+}
+
+func TestPhiConnectives(t *testing.T) {
+	a, b := v(0), v(1)
+	f := mapAssign(map[boolexpr.Var]float64{0: 0.7, 1: 0.6})
+	if got := Phi(boolexpr.And(a, b), f); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("φ(a∧b) = %v, want 0.3", got)
+	}
+	if got := Phi(boolexpr.Or(a, b), f); got != 0.7 {
+		t.Errorf("φ(a∨b) = %v, want 0.7", got)
+	}
+	// Truncation at zero.
+	g := mapAssign(map[boolexpr.Var]float64{0: 0.2, 1: 0.3})
+	if got := Phi(boolexpr.And(a, b), g); got != 0 {
+		t.Errorf("φ(a∧b) = %v, want 0", got)
+	}
+}
+
+func TestPhiNaryAndMatchesBinaryFold(t *testing.T) {
+	// φ of an n-ary ∧ must equal the binary left fold (associativity).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(4)
+		_, f := randomAssign(rng, n)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += f(boolexpr.Var(i))
+		}
+		nary := math.Max(0, sum-float64(n-1))
+		// Binary fold.
+		fold := f(0)
+		for i := 1; i < n; i++ {
+			fold = math.Max(0, fold+f(boolexpr.Var(i))-1)
+		}
+		if math.Abs(nary-fold) > 1e-12 {
+			t.Fatalf("n-ary/binary mismatch: %v vs %v", nary, fold)
+		}
+		vars := make([]boolexpr.Var, n)
+		for i := range vars {
+			vars[i] = boolexpr.Var(i)
+		}
+		if got := Phi(boolexpr.Conj(vars...), f); math.Abs(got-nary) > 1e-12 {
+			t.Fatalf("Phi(n-ary) = %v, want %v", got, nary)
+		}
+	}
+}
+
+// Correctness: φ_k(f) = k(f) for Boolean f (Theorem 5).
+func TestPhiCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 400; trial++ {
+		e := boolexpr.Random(rng, 6, 3)
+		for mask := 0; mask < 64; mask++ {
+			present := func(x boolexpr.Var) bool { return mask&(1<<x) != 0 }
+			f := func(x boolexpr.Var) float64 {
+				if present(x) {
+					return 1
+				}
+				return 0
+			}
+			want := 0.0
+			if e.Eval(present) {
+				want = 1
+			}
+			if got := Phi(e, f); got != want {
+				t.Fatalf("trial %d mask %b: φ = %v, Boolean eval = %v for %v",
+					trial, mask, got, want, e)
+			}
+		}
+	}
+}
+
+// Naturalness: f(p)=0 ⇒ φ_k(f) = φ_{k|p→False}(f); f(p)=1 ⇒ φ_{k|p→True}(f).
+func TestPhiNaturalness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		e := boolexpr.Random(rng, 6, 3)
+		m, _ := randomAssign(rng, 6)
+		p := boolexpr.Var(rng.Intn(6))
+		for _, val := range []float64{0, 1} {
+			m[p] = val
+			f := mapAssign(m)
+			sub := e.Substitute(p, val == 1)
+			if got, want := Phi(e, f), Phi(sub, f); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d: naturalness fails at f(p)=%v: φ(e)=%v φ(sub)=%v e=%v",
+					trial, val, got, want, e)
+			}
+		}
+	}
+}
+
+// Monotonicity: f ≤ g ⇒ φ_k(f) ≤ φ_k(g).
+func TestPhiMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 400; trial++ {
+		e := boolexpr.Random(rng, 6, 3)
+		fm, _ := randomAssign(rng, 6)
+		gm := make(map[boolexpr.Var]float64, len(fm))
+		for k, x := range fm {
+			gm[k] = x + (1-x)*rng.Float64()
+		}
+		if Phi(e, mapAssign(fm)) > Phi(e, mapAssign(gm))+1e-12 {
+			t.Fatalf("trial %d: monotonicity violated for %v", trial, e)
+		}
+	}
+}
+
+// Convexity: φ_k((f+g)/2) ≤ (φ_k(f)+φ_k(g))/2.
+func TestPhiConvexity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 400; trial++ {
+		e := boolexpr.Random(rng, 6, 3)
+		fm, _ := randomAssign(rng, 6)
+		gm, _ := randomAssign(rng, 6)
+		mid := make(map[boolexpr.Var]float64, len(fm))
+		for k := range fm {
+			mid[k] = (fm[k] + gm[k]) / 2
+		}
+		lhs := Phi(e, mapAssign(mid))
+		rhs := (Phi(e, mapAssign(fm)) + Phi(e, mapAssign(gm))) / 2
+		if lhs > rhs+1e-12 {
+			t.Fatalf("trial %d: convexity violated for %v: φ(mid)=%v > %v", trial, e, lhs, rhs)
+		}
+	}
+}
+
+// Truncated linearity: φ*_k(c·f) = min(1, c·φ*_k(f)) for c ≥ 1.
+func TestPhiTruncatedLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 400; trial++ {
+		e := boolexpr.Random(rng, 5, 3)
+		fm, _ := randomAssign(rng, 5)
+		c := 1 + 3*rng.Float64()
+		f := func(x boolexpr.Var) float64 { return fm[x] }
+		cf := func(x boolexpr.Var) float64 { return c * fm[x] }
+		lhs := PhiStar(e, cf)
+		rhs := math.Min(1, c*PhiStar(e, f))
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("trial %d: truncated linearity fails for %v: φ*(cf)=%v min(1,cφ*)=%v c=%v",
+				trial, e, lhs, rhs, c)
+		}
+	}
+}
+
+// S(k,p) bounds the partial difference quotient of φ (Eq. 17).
+func TestSensitivityBoundsPartialDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		e := boolexpr.Random(rng, 6, 3)
+		fm, _ := randomAssign(rng, 6)
+		p := boolexpr.Var(rng.Intn(6))
+		gm := make(map[boolexpr.Var]float64, len(fm))
+		for k, x := range fm {
+			gm[k] = x
+		}
+		gm[p] = fm[p] + (1-fm[p])*rng.Float64()
+		diff := Phi(e, mapAssign(gm)) - Phi(e, mapAssign(fm))
+		bound := (gm[p] - fm[p]) * Sensitivity(e, p)
+		if diff > bound+1e-9 {
+			t.Fatalf("trial %d: φ-sensitivity bound violated for %v at p=%d: Δφ=%v > %v",
+				trial, e, p, diff, bound)
+		}
+	}
+}
+
+// Lemma 9: φ_k(g) − φ_k(f) ≤ Σ_p (g(p)−f(p))·S(k,p) for f ≤ g.
+func TestLemma9(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 500; trial++ {
+		e := boolexpr.Random(rng, 6, 3)
+		fm, _ := randomAssign(rng, 6)
+		gm := make(map[boolexpr.Var]float64, len(fm))
+		for k, x := range fm {
+			gm[k] = x + (1-x)*rng.Float64()
+		}
+		sens := Sensitivities(e)
+		bound := 0.0
+		for p, s := range sens {
+			bound += (gm[p] - fm[p]) * s
+		}
+		diff := Phi(e, mapAssign(gm)) - Phi(e, mapAssign(fm))
+		if diff > bound+1e-9 {
+			t.Fatalf("trial %d: Lemma 9 violated for %v: %v > %v", trial, e, diff, bound)
+		}
+	}
+}
+
+// Fig. 3 of the paper: worked φ-sensitivity examples.
+func TestSensitivityFig3Examples(t *testing.T) {
+	a, b, c, d := v(0), v(1), v(2), v(3)
+	// a∧b∧c: all 1.
+	s := Sensitivities(boolexpr.And(a, b, c))
+	for i := 0; i < 3; i++ {
+		if s[boolexpr.Var(i)] != 1 {
+			t.Errorf("S(a∧b∧c, v%d) = %v, want 1", i, s[boolexpr.Var(i)])
+		}
+	}
+	// (a∨b)∧(a∨c)∧(b∨d): S_a = S_b = 2, S_c = S_d = 1.
+	k := boolexpr.And(boolexpr.Or(a, b), boolexpr.Or(a, c), boolexpr.Or(b, d))
+	s = Sensitivities(k)
+	want := map[boolexpr.Var]float64{0: 2, 1: 2, 2: 1, 3: 1}
+	for p, w := range want {
+		if s[p] != w {
+			t.Errorf("S(CNF, v%d) = %v, want %v", p, s[p], w)
+		}
+	}
+	// (a∧b)∨(a∧c)∨(b∧d): all 1 (DNF property).
+	k = boolexpr.Or(boolexpr.And(a, b), boolexpr.And(a, c), boolexpr.And(b, d))
+	s = Sensitivities(k)
+	for i := 0; i < 4; i++ {
+		if s[boolexpr.Var(i)] != 1 {
+			t.Errorf("S(DNF, v%d) = %v, want 1", i, s[boolexpr.Var(i)])
+		}
+	}
+}
+
+// §5.2 property 3: any DNF expression has S(k,p) ≤ 1 for all p.
+func TestDNFSensitivityAtMostOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		e := boolexpr.Random(rng, 6, 3)
+		d, err := boolexpr.ToDNF(e, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, s := range Sensitivities(d.Expr()) {
+			if s > 1 {
+				t.Fatalf("trial %d: DNF sensitivity S(%v, v%d) = %v > 1", trial, d.Expr(), p, s)
+			}
+		}
+	}
+}
+
+// S(k,p) is bounded by the number of occurrences of p (§5.2 property 1).
+func TestSensitivityBoundedByOccurrences(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var count func(e *boolexpr.Expr, p boolexpr.Var) int
+	count = func(e *boolexpr.Expr, p boolexpr.Var) int {
+		switch e.Op() {
+		case boolexpr.OpVar:
+			if e.Variable() == p {
+				return 1
+			}
+			return 0
+		case boolexpr.OpAnd, boolexpr.OpOr:
+			n := 0
+			for _, k := range e.Children() {
+				n += count(k, p)
+			}
+			return n
+		}
+		return 0
+	}
+	for trial := 0; trial < 300; trial++ {
+		e := boolexpr.Random(rng, 6, 4)
+		for p, s := range Sensitivities(e) {
+			if occ := count(e, p); s > float64(occ) {
+				t.Fatalf("trial %d: S = %v > %d occurrences of v%d in %v", trial, s, occ, p, e)
+			}
+		}
+	}
+}
+
+// The invariant transformations of §5.2 leave φ unchanged; idempotence does not.
+func TestPhiInvariantTransformations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rf := rng.Float64
+	a, b, c := v(0), v(1), v(2)
+	equiv := []struct {
+		name string
+		x, y *boolexpr.Expr
+	}{
+		{"identity ∧", boolexpr.And(a, boolexpr.True()), a},
+		{"identity ∨", boolexpr.Or(a, boolexpr.False()), a},
+		{"annihilator ∧", boolexpr.And(a, boolexpr.False()), boolexpr.False()},
+		{"annihilator ∨", boolexpr.Or(a, boolexpr.True()), boolexpr.True()},
+		{"distributivity", boolexpr.And(a, boolexpr.Or(b, c)),
+			boolexpr.Or(boolexpr.And(a, b), boolexpr.And(a, c))},
+		{"absorption", boolexpr.Or(a, boolexpr.And(a, b)), a},
+		{"∨ idempotence", boolexpr.Or(a, a), a},
+	}
+	for _, tc := range equiv {
+		if !Equivalent(tc.x, tc.y, 200, rf) {
+			t.Errorf("%s: φ should be invariant (%v vs %v)", tc.name, tc.x, tc.y)
+		}
+	}
+	// ∧-idempotence changes φ: φ(a∧a)(0.5) = 0 but φ(a)(0.5) = 0.5.
+	if Equivalent(boolexpr.And(a, a), a, 200, rf) {
+		t.Error("∧-idempotence must NOT be φ-invariant")
+	}
+	// The §2.4 example: (b1∨b2)∧(b1∨b3) vs b1∨(b2∧b3) — same truth table,
+	// different φ.
+	lhs := boolexpr.And(boolexpr.Or(a, b), boolexpr.Or(a, c))
+	rhs := boolexpr.Or(a, boolexpr.And(b, c))
+	if !boolexpr.EqualTruthTable(lhs, rhs) {
+		t.Fatal("setup: expressions should share a truth table")
+	}
+	if Equivalent(lhs, rhs, 500, rf) {
+		t.Error("(a∨b)∧(a∨c) must not be φ-equivalent to a∨(b∧c)")
+	}
+}
+
+// For inputs that are already disjunctions of duplicate-free conjunctions,
+// normalization only applies absorption and ∨-idempotence, both φ-safe, so
+// ToDNF preserves φ.
+func TestDNFPreservesPhiOnClauseShapedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rf := rng.Float64
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		terms := make([]*boolexpr.Expr, n)
+		for i := range terms {
+			terms[i] = boolexpr.RandomClause(rng, 5, 1+rng.Intn(4))
+		}
+		e := boolexpr.Or(terms...)
+		d, err := boolexpr.ToDNF(e, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equivalent(e, d.Expr(), 100, rf) {
+			t.Fatalf("trial %d: DNF changed φ on clause-shaped input: %v vs %v",
+				trial, e, d.Expr())
+		}
+	}
+}
+
+// Safety of the DNF annotation scheme (Definition 14): converting to DNF and
+// then withdrawing a participant gives the same annotation as withdrawing the
+// participant and then converting. This is the property that makes "always
+// keep annotations in DNF" a valid annotation convention.
+func TestDNFAnnotationSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	rf := rng.Float64
+	for trial := 0; trial < 200; trial++ {
+		e := boolexpr.Random(rng, 5, 3)
+		p := boolexpr.Var(rng.Intn(5))
+
+		// Path 1: DNF first, then withdraw p.
+		d1, err := boolexpr.ToDNF(e, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		afterWithdraw := d1.Expr().Substitute(p, false)
+		d1b, err := boolexpr.ToDNF(afterWithdraw, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Path 2: withdraw p first, then DNF.
+		d2, err := boolexpr.ToDNF(e.Substitute(p, false), 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !Equivalent(d1b.Expr(), d2.Expr(), 100, rf) {
+			t.Fatalf("trial %d: DNF does not commute with withdrawal of v%d for %v: %v vs %v",
+				trial, p, e, d1b.Expr(), d2.Expr())
+		}
+	}
+}
+
+func TestPhiRangeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	err := quick.Check(func(seed int64, raw []float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := boolexpr.Random(r, 5, 3)
+		f := func(x boolexpr.Var) float64 {
+			if len(raw) == 0 {
+				return 0
+			}
+			val := raw[int(x)%len(raw)]
+			return math.Abs(val) - math.Floor(math.Abs(val)) // fractional part in [0,1)
+		}
+		p := Phi(e, f)
+		return p >= 0 && p <= 1
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxSensitivity(t *testing.T) {
+	a, b := v(0), v(1)
+	if got := MaxSensitivity(boolexpr.And(a, a, b)); got != 2 {
+		t.Errorf("MaxSensitivity(a∧a∧b) = %v, want 2", got)
+	}
+	if got := MaxSensitivity(boolexpr.True()); got != 0 {
+		t.Errorf("MaxSensitivity(true) = %v, want 0", got)
+	}
+}
+
+func TestPhiClampsAssignment(t *testing.T) {
+	f := func(boolexpr.Var) float64 { return 1.7 }
+	if got := Phi(v(0), f); got != 1 {
+		t.Errorf("Phi should clamp to [0,1], got %v", got)
+	}
+	g := func(boolexpr.Var) float64 { return -0.3 }
+	if got := Phi(v(0), g); got != 0 {
+		t.Errorf("Phi should clamp to [0,1], got %v", got)
+	}
+}

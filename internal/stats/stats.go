@@ -1,0 +1,82 @@
+// Package stats provides the accuracy metric of §6 (median relative error
+// over repeated randomized releases on the same input) and small numeric
+// helpers shared by the experiment harness.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (NaN for empty input). The input is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	// Halve before adding so extreme magnitudes cannot overflow to ±Inf.
+	return cp[n/2-1]/2 + cp[n/2]/2
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank on the sorted
+// copy of xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(math.Ceil(q*float64(len(cp)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MedianRelativeError is the paper's accuracy measure: the median of
+// |release − truth| / truth over the releases. A zero truth makes relative
+// error undefined; the absolute error median is returned instead (this
+// matches how sparse-graph runs with zero subgraphs must be read).
+func MedianRelativeError(releases []float64, truth float64) float64 {
+	errs := make([]float64, len(releases))
+	for i, r := range releases {
+		if truth != 0 {
+			errs[i] = math.Abs(r-truth) / math.Abs(truth)
+		} else {
+			errs[i] = math.Abs(r - truth)
+		}
+	}
+	return Median(errs)
+}
+
+// RunTrials invokes release() n times and returns the collected values.
+// Release functions share whatever deterministic state their closure holds,
+// which is how experiments amortize the LP work across noise draws.
+func RunTrials(n int, release func() float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = release()
+	}
+	return out
+}

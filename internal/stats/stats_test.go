@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 2, 3}, 2.5},
+		{[]float64{7}, 7},
+		{[]float64{1, 1, 1, 9}, 1},
+	}
+	for _, tc := range cases {
+		if got := Median(tc.in); got != tc.want {
+			t.Errorf("Median(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Quantile(xs, 0.5); got != 5 {
+		t.Errorf("Q50 = %v, want 5", got)
+	}
+	if got := Quantile(xs, 0.9); got != 9 {
+		t.Errorf("Q90 = %v, want 9", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("Q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 10 {
+		t.Errorf("Q100 = %v, want 10", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestMedianRelativeError(t *testing.T) {
+	rel := MedianRelativeError([]float64{90, 110, 100}, 100)
+	if math.Abs(rel-0.1) > 1e-12 {
+		t.Errorf("median relative error = %v, want 0.1", rel)
+	}
+	rel = MedianRelativeError([]float64{50, 150, 200}, 100)
+	if rel != 0.5 {
+		t.Errorf("median relative error = %v, want 0.5", rel)
+	}
+	// Zero truth falls back to absolute error.
+	abs := MedianRelativeError([]float64{-2, 3, 1}, 0)
+	if abs != 2 {
+		t.Errorf("zero-truth fallback = %v, want 2", abs)
+	}
+}
+
+func TestRunTrials(t *testing.T) {
+	i := 0
+	vals := RunTrials(5, func() float64 { i++; return float64(i) })
+	if len(vals) != 5 || vals[4] != 5 {
+		t.Errorf("RunTrials = %v", vals)
+	}
+}
+
+func TestMedianQuickProperties(t *testing.T) {
+	// The median lies between min and max.
+	err := quick.Check(func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		m := Median(xs)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return m >= lo && m <= hi
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}

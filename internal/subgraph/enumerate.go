@@ -1,0 +1,217 @@
+// Package subgraph enumerates subgraph occurrences (triangles, k-stars,
+// k-triangles and arbitrary connected patterns) and builds the sensitive
+// K-relations of Fig. 2: one tuple per matched subgraph, annotated with the
+// conjunction of its node variables (node differential privacy) or its edge
+// variables (edge differential privacy).
+package subgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"recmech/internal/graph"
+)
+
+// Match is one subgraph occurrence: the sorted node set and the edge set of
+// the image.
+type Match struct {
+	Nodes []int
+	Edges []graph.Edge
+}
+
+// Triangles enumerates all triangles {u < v < w}.
+func Triangles(g *graph.Graph) []Match {
+	var out []Match
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		nbrs := g.Neighbors(u)
+		for i := 0; i < len(nbrs); i++ {
+			v := nbrs[i]
+			if v <= u {
+				continue
+			}
+			for j := i + 1; j < len(nbrs); j++ {
+				w := nbrs[j]
+				if g.HasEdge(v, w) {
+					out = append(out, Match{
+						Nodes: []int{u, v, w},
+						Edges: []graph.Edge{{U: u, V: v}, {U: u, V: w}, {U: v, V: w}},
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CountTriangles returns the number of triangles without materializing them.
+func CountTriangles(g *graph.Graph) int {
+	c := 0
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		nbrs := g.Neighbors(u)
+		for i := 0; i < len(nbrs); i++ {
+			if nbrs[i] <= u {
+				continue
+			}
+			for j := i + 1; j < len(nbrs); j++ {
+				if g.HasEdge(nbrs[i], nbrs[j]) {
+					c++
+				}
+			}
+		}
+	}
+	return c
+}
+
+// KStars enumerates all k-stars: a center node c and a set of k distinct
+// leaves adjacent to c. The count equals Σ_v C(deg(v), k).
+func KStars(g *graph.Graph, k int) []Match {
+	if k < 1 {
+		panic("subgraph: k-star needs k ≥ 1")
+	}
+	var out []Match
+	for c := 0; c < g.NumNodes(); c++ {
+		nbrs := g.Neighbors(c)
+		if len(nbrs) < k {
+			continue
+		}
+		combinations(len(nbrs), k, func(idx []int) {
+			nodes := make([]int, 0, k+1)
+			edges := make([]graph.Edge, 0, k)
+			nodes = append(nodes, c)
+			for _, i := range idx {
+				leaf := nbrs[i]
+				nodes = append(nodes, leaf)
+				edges = append(edges, orderedEdge(c, leaf))
+			}
+			sort.Ints(nodes)
+			out = append(out, Match{Nodes: nodes, Edges: edges})
+		})
+	}
+	return out
+}
+
+// CountKStars returns Σ_v C(deg(v), k) as a float (it can be astronomically
+// large on dense graphs).
+func CountKStars(g *graph.Graph, k int) float64 {
+	total := 0.0
+	for v := 0; v < g.NumNodes(); v++ {
+		total += Binomial(g.Degree(v), k)
+	}
+	return total
+}
+
+// KTriangles enumerates all k-triangles: an edge {u,v} together with k
+// distinct common neighbors of u and v (each common neighbor forms a triangle
+// over the shared edge). The count equals Σ_{(u,v)∈E} C(a_uv, k).
+func KTriangles(g *graph.Graph, k int) []Match {
+	if k < 1 {
+		panic("subgraph: k-triangle needs k ≥ 1")
+	}
+	var out []Match
+	for _, e := range g.Edges() {
+		var common []int
+		g.EachNeighbor(e.U, func(w int) {
+			if w != e.V && g.HasEdge(e.V, w) {
+				common = append(common, w)
+			}
+		})
+		sort.Ints(common)
+		if len(common) < k {
+			continue
+		}
+		combinations(len(common), k, func(idx []int) {
+			nodes := []int{e.U, e.V}
+			edges := []graph.Edge{e}
+			for _, i := range idx {
+				w := common[i]
+				nodes = append(nodes, w)
+				edges = append(edges, orderedEdge(e.U, w), orderedEdge(e.V, w))
+			}
+			sort.Ints(nodes)
+			sortEdges(edges)
+			out = append(out, Match{Nodes: nodes, Edges: edges})
+		})
+	}
+	return out
+}
+
+// CountKTriangles returns Σ_{(u,v)∈E} C(a_uv, k).
+func CountKTriangles(g *graph.Graph, k int) float64 {
+	total := 0.0
+	for _, e := range g.Edges() {
+		total += Binomial(g.CommonNeighbors(e.U, e.V), k)
+	}
+	return total
+}
+
+// Binomial returns C(n, k) as a float64 (0 for k > n or negative inputs).
+func Binomial(n, k int) float64 {
+	if k < 0 || n < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// combinations invokes f with every k-subset of 0..n-1 (as an index slice
+// that must not be retained).
+func combinations(n, k int, f func(idx []int)) {
+	if k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		f(idx)
+		// Advance.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+func orderedEdge(u, v int) graph.Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return graph.Edge{U: u, V: v}
+}
+
+func sortEdges(es []graph.Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+}
+
+// Key returns a canonical string for the match's edge set, used to
+// deduplicate occurrences found through different embeddings.
+func (m Match) Key() string {
+	es := append([]graph.Edge(nil), m.Edges...)
+	sortEdges(es)
+	out := make([]byte, 0, len(es)*8)
+	for _, e := range es {
+		out = append(out, fmt.Sprintf("%d-%d;", e.U, e.V)...)
+	}
+	return string(out)
+}

@@ -1,0 +1,238 @@
+package subgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"recmech/internal/graph"
+)
+
+// Pattern is a connected query subgraph on nodes 0..K-1. Matching is
+// subgraph-containment: an occurrence is a set of K data nodes together with
+// an injective mapping under which every pattern edge is present (the data
+// nodes may have additional edges among them). Two embeddings with the same
+// image edge set are the same occurrence — matching Fig. 1's
+// "k-node l-edge connected subgraph counting".
+type Pattern struct {
+	K     int
+	Edges []graph.Edge
+}
+
+// NewPattern validates and returns a pattern. The pattern must be connected
+// and have no isolated nodes (every node in 0..k-1 must appear in an edge,
+// except the trivial k = 1 pattern).
+func NewPattern(k int, edges []graph.Edge) Pattern {
+	if k < 1 {
+		panic("subgraph: pattern needs at least one node")
+	}
+	seen := make([]bool, k)
+	adj := make([][]int, k)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= k || e.V < 0 || e.V >= k || e.U == e.V {
+			panic("subgraph: pattern edge out of range")
+		}
+		seen[e.U], seen[e.V] = true, true
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	if k > 1 {
+		for i, s := range seen {
+			if !s {
+				panicf("subgraph: pattern node %d is isolated", i)
+			}
+		}
+		// Connectivity check.
+		visited := make([]bool, k)
+		stack := []int{0}
+		visited[0] = true
+		count := 1
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range adj[v] {
+				if !visited[u] {
+					visited[u] = true
+					count++
+					stack = append(stack, u)
+				}
+			}
+		}
+		if count != k {
+			panicf("subgraph: pattern is disconnected (%d of %d reachable)", count, k)
+		}
+	}
+	es := append([]graph.Edge(nil), edges...)
+	for i, e := range es {
+		if e.U > e.V {
+			es[i] = graph.Edge{U: e.V, V: e.U}
+		}
+	}
+	sortEdges(es)
+	return Pattern{K: k, Edges: es}
+}
+
+func panicf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}
+
+// TrianglePattern, KStarPattern and KTrianglePattern are convenience
+// constructors for the workloads of §6.1.
+func TrianglePattern() Pattern {
+	return NewPattern(3, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}})
+}
+
+// KStarPattern has node 0 as center and nodes 1..k as leaves.
+func KStarPattern(k int) Pattern {
+	edges := make([]graph.Edge, k)
+	for i := 0; i < k; i++ {
+		edges[i] = graph.Edge{U: 0, V: i + 1}
+	}
+	return NewPattern(k+1, edges)
+}
+
+// KTrianglePattern has the shared edge {0,1} and apexes 2..k+1.
+func KTrianglePattern(k int) Pattern {
+	edges := []graph.Edge{{U: 0, V: 1}}
+	for i := 0; i < k; i++ {
+		apex := i + 2
+		edges = append(edges, graph.Edge{U: 0, V: apex}, graph.Edge{U: 1, V: apex})
+	}
+	return NewPattern(k+2, edges)
+}
+
+// FindMatches enumerates the occurrences of p in g by backtracking search
+// with degree pruning, deduplicating embeddings that share an image edge set.
+// maxMatches > 0 truncates the search (0 means unlimited).
+func FindMatches(g *graph.Graph, p Pattern, maxMatches int) []Match {
+	// Order pattern nodes so each (after the first) is adjacent to an
+	// already-placed node: keeps candidates constrained to neighborhoods.
+	order, parents := searchOrder(p)
+	patDeg := make([]int, p.K)
+	padj := make([][]bool, p.K)
+	for i := range padj {
+		padj[i] = make([]bool, p.K)
+	}
+	for _, e := range p.Edges {
+		patDeg[e.U]++
+		patDeg[e.V]++
+		padj[e.U][e.V] = true
+		padj[e.V][e.U] = true
+	}
+
+	assignment := make([]int, p.K) // pattern node -> data node
+	used := make([]bool, g.NumNodes())
+	seen := make(map[string]struct{})
+	var out []Match
+
+	var rec func(step int) bool
+	rec = func(step int) bool {
+		if step == len(order) {
+			m := buildMatch(p, assignment)
+			key := m.Key()
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
+				out = append(out, m)
+				if maxMatches > 0 && len(out) >= maxMatches {
+					return true
+				}
+			}
+			return false
+		}
+		pn := order[step]
+		tryCandidate := func(cand int) bool {
+			if used[cand] || g.Degree(cand) < patDeg[pn] {
+				return false
+			}
+			// All already-placed pattern neighbors must be adjacent.
+			for prev := 0; prev < step; prev++ {
+				qn := order[prev]
+				if padj[pn][qn] && !g.HasEdge(cand, assignment[qn]) {
+					return false
+				}
+			}
+			assignment[pn] = cand
+			used[cand] = true
+			stop := rec(step + 1)
+			used[cand] = false
+			return stop
+		}
+		if parent := parents[step]; parent >= 0 {
+			anchor := assignment[parent]
+			for _, cand := range g.Neighbors(anchor) {
+				if tryCandidate(cand) {
+					return true
+				}
+			}
+		} else {
+			for cand := 0; cand < g.NumNodes(); cand++ {
+				if tryCandidate(cand) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	rec(0)
+	return out
+}
+
+// CountMatches returns the number of distinct occurrences.
+func CountMatches(g *graph.Graph, p Pattern) int {
+	return len(FindMatches(g, p, 0))
+}
+
+// searchOrder returns a pattern-node visit order in which every node after
+// the first has at least one earlier neighbor, plus for each step the pattern
+// node (not index) of one such earlier neighbor (-1 for the root).
+func searchOrder(p Pattern) (order []int, parents []int) {
+	adj := make([][]int, p.K)
+	for _, e := range p.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	// Root at the max-degree node for tighter early pruning.
+	root := 0
+	for v := 1; v < p.K; v++ {
+		if len(adj[v]) > len(adj[root]) {
+			root = v
+		}
+	}
+	placed := make([]bool, p.K)
+	order = append(order, root)
+	parents = append(parents, -1)
+	placed[root] = true
+	for len(order) < p.K {
+		bestNode, bestParent, bestScore := -1, -1, -1
+		for v := 0; v < p.K; v++ {
+			if placed[v] {
+				continue
+			}
+			score := 0
+			parent := -1
+			for _, u := range adj[v] {
+				if placed[u] {
+					score++
+					parent = u
+				}
+			}
+			if score > bestScore {
+				bestNode, bestParent, bestScore = v, parent, score
+			}
+		}
+		order = append(order, bestNode)
+		parents = append(parents, bestParent)
+		placed[bestNode] = true
+	}
+	return order, parents
+}
+
+func buildMatch(p Pattern, assignment []int) Match {
+	nodes := append([]int(nil), assignment...)
+	sort.Ints(nodes)
+	edges := make([]graph.Edge, len(p.Edges))
+	for i, e := range p.Edges {
+		edges[i] = orderedEdge(assignment[e.U], assignment[e.V])
+	}
+	sortEdges(edges)
+	return Match{Nodes: nodes, Edges: edges}
+}

@@ -1,0 +1,123 @@
+package subgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"recmech/internal/graph"
+)
+
+// bruteCountOccurrences counts distinct edge-image sets over all injective
+// mappings of pattern nodes into g — the definition FindMatches implements
+// with backtracking and symmetry pruning.
+func bruteCountOccurrences(g *graph.Graph, p Pattern) int {
+	n := g.NumNodes()
+	assignment := make([]int, p.K)
+	used := make([]bool, n)
+	seen := make(map[string]struct{})
+	var rec func(step int)
+	rec = func(step int) {
+		if step == p.K {
+			for _, e := range p.Edges {
+				if !g.HasEdge(assignment[e.U], assignment[e.V]) {
+					return
+				}
+			}
+			m := buildMatch(p, assignment)
+			seen[m.Key()] = struct{}{}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			assignment[step] = v
+			used[v] = true
+			rec(step + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return len(seen)
+}
+
+// randomPattern builds a random connected pattern on k nodes by growing a
+// spanning tree and sprinkling extra edges.
+func randomPattern(rng *rand.Rand, k int) Pattern {
+	var edges []graph.Edge
+	for v := 1; v < k; v++ {
+		edges = append(edges, orderedEdge(v, rng.Intn(v)))
+	}
+	extra := rng.Intn(k)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(k), rng.Intn(k)
+		if u != v {
+			edges = append(edges, orderedEdge(u, v))
+		}
+	}
+	// Deduplicate.
+	dedup := make(map[graph.Edge]struct{})
+	var out []graph.Edge
+	for _, e := range edges {
+		if _, dup := dedup[e]; !dup {
+			dedup[e] = struct{}{}
+			out = append(out, e)
+		}
+	}
+	return NewPattern(k, out)
+}
+
+func TestFindMatchesAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		k := 2 + rng.Intn(3) // patterns on 2..4 nodes
+		p := randomPattern(rng, k)
+		g := graph.RandomGNP(rng, 8, 0.4)
+		got := CountMatches(g, p)
+		want := bruteCountOccurrences(g, p)
+		if got != want {
+			t.Fatalf("trial %d: pattern k=%d edges=%v: matcher %d vs brute force %d",
+				trial, k, p.Edges, got, want)
+		}
+	}
+}
+
+func TestFindMatchesHighAutomorphismPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	// Patterns with many automorphisms stress the deduplication: C4, K4,
+	// star, path.
+	square := NewPattern(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 3}})
+	k4 := NewPattern(4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3},
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}})
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomGNP(rng, 9, 0.5)
+		for name, p := range map[string]Pattern{"C4": square, "K4": k4} {
+			got := CountMatches(g, p)
+			want := bruteCountOccurrences(g, p)
+			if got != want {
+				t.Fatalf("trial %d %s: %d vs %d", trial, name, got, want)
+			}
+		}
+	}
+}
+
+func TestKnownPatternCounts(t *testing.T) {
+	// C4 in K4: choosing 4 nodes (1 way) and a 4-cycle among them: 3.
+	k4 := complete(4)
+	square := NewPattern(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 3}})
+	if got := CountMatches(k4, square); got != 3 {
+		t.Errorf("C4 in K4 = %d, want 3", got)
+	}
+	// K4 in K5: C(5,4) = 5.
+	k4pat := NewPattern(4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3},
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}})
+	if got := CountMatches(complete(5), k4pat); got != 5 {
+		t.Errorf("K4 in K5 = %d, want 5", got)
+	}
+	// Single-edge pattern counts edges.
+	edge := NewPattern(2, []graph.Edge{{U: 0, V: 1}})
+	g := complete(6)
+	if got := CountMatches(g, edge); got != g.NumEdges() {
+		t.Errorf("edges = %d, want %d", got, g.NumEdges())
+	}
+}

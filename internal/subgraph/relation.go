@@ -1,0 +1,107 @@
+package subgraph
+
+import (
+	"fmt"
+	"strconv"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/graph"
+	"recmech/internal/krel"
+)
+
+// Privacy selects who the protected participants are (§1.1, Fig. 2): under
+// NodePrivacy every node is a participant and a match is annotated with the
+// conjunction of its node variables; under EdgePrivacy every edge is a
+// participant and a match is annotated with the conjunction of its edge
+// variables. Node privacy is strictly stronger; edge privacy allows better
+// accuracy.
+type Privacy int8
+
+// Privacy models.
+const (
+	NodePrivacy Privacy = iota
+	EdgePrivacy
+)
+
+func (p Privacy) String() string {
+	if p == NodePrivacy {
+		return "node"
+	}
+	return "edge"
+}
+
+// Constraint optionally filters matches ("arbitrary kinds of constraints
+// imposed on any edges or nodes of the subgraph", §1.1). A nil Constraint
+// accepts everything.
+type Constraint func(m Match) bool
+
+// BuildRelation converts a list of matches into a sensitive K-relation with
+// one tuple per match. The participant universe is pre-populated with every
+// node (node privacy) or every edge (edge privacy) of g, so |P| reflects all
+// potential participants, not only those in matches — as required for the
+// node-differential-privacy guarantee to cover participants with no data.
+//
+// Annotations are duplicate-free conjunctions (DNF clauses), so every
+// φ-sensitivity is ≤ 1 and the mechanism's error bound is proportional to
+// the local empirical sensitivity (§5.2).
+func BuildRelation(g *graph.Graph, matches []Match, privacy Privacy, constraint Constraint) *krel.Sensitive {
+	u := boolexpr.NewUniverse()
+	switch privacy {
+	case NodePrivacy:
+		for v := 0; v < g.NumNodes(); v++ {
+			u.Var(nodeName(v))
+		}
+	case EdgePrivacy:
+		for _, e := range g.Edges() {
+			u.Var(edgeName(e))
+		}
+	default:
+		panic("subgraph: unknown privacy model")
+	}
+	rel := krel.NewRelation("match")
+	for _, m := range matches {
+		if constraint != nil && !constraint(m) {
+			continue
+		}
+		var vars []boolexpr.Var
+		if privacy == NodePrivacy {
+			vars = make([]boolexpr.Var, len(m.Nodes))
+			for i, v := range m.Nodes {
+				vars[i] = u.Var(nodeName(v))
+			}
+		} else {
+			vars = make([]boolexpr.Var, len(m.Edges))
+			for i, e := range m.Edges {
+				vars[i] = u.Var(edgeName(e))
+			}
+		}
+		rel.Add(krel.Tuple{m.Key()}, boolexpr.Conj(vars...))
+	}
+	return krel.NewSensitive(u, rel)
+}
+
+// TriangleRelation builds the Fig. 2(a) sensitive K-relation for triangle
+// counting under the chosen privacy model.
+func TriangleRelation(g *graph.Graph, privacy Privacy) *krel.Sensitive {
+	return BuildRelation(g, Triangles(g), privacy, nil)
+}
+
+// KStarRelation builds the k-star counting relation.
+func KStarRelation(g *graph.Graph, k int, privacy Privacy) *krel.Sensitive {
+	return BuildRelation(g, KStars(g, k), privacy, nil)
+}
+
+// KTriangleRelation builds the k-triangle counting relation.
+func KTriangleRelation(g *graph.Graph, k int, privacy Privacy) *krel.Sensitive {
+	return BuildRelation(g, KTriangles(g, k), privacy, nil)
+}
+
+// PatternRelation matches an arbitrary connected pattern and builds its
+// counting relation.
+func PatternRelation(g *graph.Graph, p Pattern, privacy Privacy, constraint Constraint) *krel.Sensitive {
+	return BuildRelation(g, FindMatches(g, p, 0), privacy, constraint)
+}
+
+func nodeName(v int) string { return "n" + strconv.Itoa(v) }
+
+func edgeName(e graph.Edge) string { return fmt.Sprintf("e%d_%d", e.U, e.V) }

@@ -1,0 +1,431 @@
+// Package recmech is a from-scratch Go implementation of the recursive
+// mechanism of Chen & Zhou, "Recursive Mechanism: Towards Node Differential
+// Privacy and Unrestricted Joins" (SIGMOD 2013, arXiv:1304.4795) — an
+// ε-differentially private mechanism for linear statistics over the output
+// of positive relational-algebra queries, including unrestricted joins, and
+// in particular the first node-differentially-private subgraph counting
+// algorithm for arbitrary subgraphs.
+//
+// The package exposes three layers:
+//
+//   - Graph statistics: CountTriangles / CountKStars / CountKTriangles /
+//     CountPattern release differentially private subgraph counts under node
+//     or edge privacy.
+//   - K-relations: build a provenance-annotated relation with the positive
+//     relational algebra (krel aliases below) and release any non-negative
+//     linear statistic of it with QueryRelation.
+//   - The mechanism itself: Counter gives repeated releases and access to
+//     the deterministic sensitivity proxy Δ for experiment harnesses.
+//
+// Internals (the LP solver, the relaxation φ, the sequences H and G) live in
+// internal/ packages; see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduction of every table and figure.
+package recmech
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/graph"
+	"recmech/internal/krel"
+	"recmech/internal/mechanism"
+	"recmech/internal/noise"
+	"recmech/internal/query"
+	"recmech/internal/subgraph"
+)
+
+// Aliases re-exporting the building blocks needed to use the public API.
+// (Aliases to internal types are deliberately part of the API surface: the
+// named types remain usable by importers of this package.)
+type (
+	// Graph is a simple undirected graph (see internal/graph).
+	Graph = graph.Graph
+	// Edge is an undirected edge with U < V.
+	Edge = graph.Edge
+	// Pattern is a connected query subgraph for CountPattern.
+	Pattern = subgraph.Pattern
+	// Match is one subgraph occurrence (for constraints).
+	Match = subgraph.Match
+	// Privacy selects node or edge differential privacy.
+	Privacy = subgraph.Privacy
+	// Relation is a K-relation (provenance-annotated relation).
+	Relation = krel.Relation
+	// Tuple is a relation tuple.
+	Tuple = krel.Tuple
+	// Sensitive pairs a relation with its participant universe.
+	Sensitive = krel.Sensitive
+	// LinearQuery weights tuples for linear statistics.
+	LinearQuery = krel.LinearQuery
+	// Universe names participant variables.
+	Universe = boolexpr.Universe
+	// Expr is a positive Boolean annotation.
+	Expr = boolexpr.Expr
+	// Params are the low-level mechanism parameters of Theorem 1.
+	Params = mechanism.Params
+)
+
+// Privacy models for subgraph counting.
+const (
+	NodePrivacy = subgraph.NodePrivacy
+	EdgePrivacy = subgraph.EdgePrivacy
+)
+
+// NewGraph returns an empty undirected graph on n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewUniverse returns an empty participant universe.
+func NewUniverse() *Universe { return boolexpr.NewUniverse() }
+
+// NewRelation returns an empty K-relation with the given attributes.
+func NewRelation(attrs ...string) *Relation { return krel.NewRelation(attrs...) }
+
+// NewSensitive pairs a universe and a relation.
+func NewSensitive(u *Universe, r *Relation) *Sensitive { return krel.NewSensitive(u, r) }
+
+// Count weights every tuple 1.
+func Count(t Tuple) float64 { return krel.CountQuery(t) }
+
+// NewRand returns a seeded RNG for reproducible releases.
+func NewRand(seed int64) *rand.Rand { return noise.NewRand(seed) }
+
+// Options configure a differentially private release. The zero value is not
+// valid; use an Epsilon > 0. Leave Params nil to use the paper's defaults
+// (θ = 1, β = ε/5, µ = 0.5 edge / 1.0 node, ε split evenly).
+type Options struct {
+	Epsilon float64
+	Privacy Privacy
+	Params  *Params // optional override of all low-level parameters
+}
+
+func (o Options) params() (Params, error) {
+	if o.Params != nil {
+		return *o.Params, o.Params.Validate()
+	}
+	if o.Epsilon <= 0 {
+		return Params{}, fmt.Errorf("recmech: Epsilon must be positive, got %v", o.Epsilon)
+	}
+	return mechanism.DefaultParams(o.Epsilon, o.Privacy == NodePrivacy), nil
+}
+
+// Result is a differentially private release together with the non-private
+// context an experimenter usually wants next to it. Only Value is safe to
+// publish.
+type Result struct {
+	Value        float64 // the differentially private answer
+	TrueAnswer   float64 // exact count — NOT private
+	Delta        float64 // deterministic sensitivity proxy Δ — NOT private
+	Participants int     // |P|
+	Tuples       int     // |supp(R)|
+}
+
+// Counter produces repeated differentially private releases for one
+// prepared query. Each call to Release spends the full privacy budget again;
+// sharing a Counter across releases only amortizes computation (useful in
+// error-distribution experiments), it does not compose budgets.
+type Counter struct {
+	core  *mechanism.Core
+	truth float64
+	nPart int
+	size  int
+}
+
+// NewCounter prepares the recursive mechanism for an arbitrary sensitive
+// K-relation and linear query.
+func NewCounter(s *Sensitive, q LinearQuery, opts Options) (*Counter, error) {
+	p, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
+	seq, err := mechanism.NewEfficientFromSensitive(s, q)
+	if err != nil {
+		return nil, err
+	}
+	core, err := mechanism.NewCore(seq, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.Prepare(); err != nil {
+		return nil, err
+	}
+	return &Counter{
+		core:  core,
+		truth: s.TrueAnswer(q),
+		nPart: s.NumParticipants(),
+		size:  s.Rel.Size(),
+	}, nil
+}
+
+// Release draws one ε-differentially private answer.
+func (c *Counter) Release(rng *rand.Rand) (float64, error) {
+	return c.core.Release(rng)
+}
+
+// Result bundles one release with the non-private context.
+func (c *Counter) Result(rng *rand.Rand) (Result, error) {
+	v, err := c.core.Release(rng)
+	if err != nil {
+		return Result{}, err
+	}
+	delta, err := c.core.Delta()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Value:        v,
+		TrueAnswer:   c.truth,
+		Delta:        delta,
+		Participants: c.nPart,
+		Tuples:       c.size,
+	}, nil
+}
+
+// TrueAnswer returns the exact (non-private) answer.
+func (c *Counter) TrueAnswer() float64 { return c.truth }
+
+// Delta returns the deterministic sensitivity proxy Δ (non-private).
+func (c *Counter) Delta() (float64, error) { return c.core.Delta() }
+
+// ---- Subgraph counting entry points ----
+
+// TriangleCounter prepares node- or edge-private triangle counting on g.
+func TriangleCounter(g *Graph, opts Options) (*Counter, error) {
+	return NewCounter(subgraph.TriangleRelation(g, opts.Privacy), Count, opts)
+}
+
+// KStarCounter prepares k-star counting.
+func KStarCounter(g *Graph, k int, opts Options) (*Counter, error) {
+	return NewCounter(subgraph.KStarRelation(g, k, opts.Privacy), Count, opts)
+}
+
+// KTriangleCounter prepares k-triangle counting.
+func KTriangleCounter(g *Graph, k int, opts Options) (*Counter, error) {
+	return NewCounter(subgraph.KTriangleRelation(g, k, opts.Privacy), Count, opts)
+}
+
+// PatternCounter prepares counting of an arbitrary connected pattern,
+// optionally filtered by a constraint on the matched nodes/edges.
+func PatternCounter(g *Graph, p Pattern, constraint func(Match) bool, opts Options) (*Counter, error) {
+	return NewCounter(subgraph.PatternRelation(g, p, opts.Privacy, constraint), Count, opts)
+}
+
+// CountTriangles is the one-call convenience wrapper: prepare, release once.
+func CountTriangles(g *Graph, opts Options, rng *rand.Rand) (Result, error) {
+	c, err := TriangleCounter(g, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.Result(rng)
+}
+
+// CountKStars releases a differentially private k-star count.
+func CountKStars(g *Graph, k int, opts Options, rng *rand.Rand) (Result, error) {
+	c, err := KStarCounter(g, k, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.Result(rng)
+}
+
+// CountKTriangles releases a differentially private k-triangle count.
+func CountKTriangles(g *Graph, k int, opts Options, rng *rand.Rand) (Result, error) {
+	c, err := KTriangleCounter(g, k, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.Result(rng)
+}
+
+// CountPattern releases a differentially private count of an arbitrary
+// connected subgraph pattern.
+func CountPattern(g *Graph, p Pattern, opts Options, rng *rand.Rand) (Result, error) {
+	c, err := PatternCounter(g, p, nil, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.Result(rng)
+}
+
+// QueryRelation releases a differentially private linear statistic of an
+// arbitrary sensitive K-relation (e.g. the output of a positive relational
+// algebra pipeline over annotated base tables).
+func QueryRelation(s *Sensitive, q LinearQuery, opts Options, rng *rand.Rand) (Result, error) {
+	c, err := NewCounter(s, q, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.Result(rng)
+}
+
+// ---- Relational algebra re-exports ----
+
+// Union returns R1 ∪ R2 (annotations combine with ∨).
+func Union(r1, r2 *Relation) *Relation { return krel.Union(r1, r2) }
+
+// Project returns π_attrs(R) (merged annotations combine with ∨).
+func Project(r *Relation, attrs ...string) *Relation { return krel.Project(r, attrs...) }
+
+// SelectWhere returns σ_pred(R).
+func SelectWhere(r *Relation, pred func(get func(attr string) string) bool) *Relation {
+	return krel.Select(r, pred)
+}
+
+// NaturalJoin returns R1 ⋈ R2 (annotations combine with ∧).
+func NaturalJoin(r1, r2 *Relation) *Relation { return krel.Join(r1, r2) }
+
+// RenameAttrs returns ρ(R) with attributes renamed per the mapping.
+func RenameAttrs(r *Relation, mapping map[string]string) *Relation {
+	return krel.Rename(r, mapping)
+}
+
+// AndVars / OrVars / VarOf build annotations for hand-constructed base
+// tables: VarOf allocates/looks up a participant variable by name.
+func VarOf(u *Universe, name string) *Expr { return boolexpr.NewVar(u.Var(name)) }
+
+// AndExprs is the conjunction of annotations (participant AND participant).
+func AndExprs(xs ...*Expr) *Expr { return boolexpr.And(xs...) }
+
+// OrExprs is the disjunction of annotations.
+func OrExprs(xs ...*Expr) *Expr { return boolexpr.Or(xs...) }
+
+// ---- Pattern constructors ----
+
+// NewPattern validates and returns a connected query pattern on k nodes.
+func NewPattern(k int, edges []Edge) Pattern { return subgraph.NewPattern(k, edges) }
+
+// NewTrianglePattern returns the triangle pattern.
+func NewTrianglePattern() Pattern { return subgraph.TrianglePattern() }
+
+// NewKStarPattern returns the k-star pattern (node 0 is the center).
+func NewKStarPattern(k int) Pattern { return subgraph.KStarPattern(k) }
+
+// NewKTrianglePattern returns the k-triangle pattern (shared edge {0,1}).
+func NewKTrianglePattern(k int) Pattern { return subgraph.KTrianglePattern(k) }
+
+// ---- Graph I/O and generators ----
+
+// ReadGraph parses an edge-list ("u v" lines, optional "# nodes N" header).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteGraph writes the edge-list format ReadGraph parses.
+func WriteGraph(w io.Writer, g *Graph) error { return g.WriteEdgeList(w) }
+
+// RandomGraph generates a G(n, p)-style graph with the given expected
+// average degree, the synthetic workload of the paper's §6.1.
+func RandomGraph(rng *rand.Rand, n int, avgdeg float64) *Graph {
+	return graph.RandomAverageDegree(rng, n, avgdeg)
+}
+
+// RandomClusteredGraph generates an n-node, m-edge graph whose triangle
+// density is steered by triadFraction ∈ [0,1].
+func RandomClusteredGraph(rng *rand.Rand, n, m int, triadFraction float64) *Graph {
+	return graph.RandomClustered(rng, n, m, triadFraction)
+}
+
+// NormalizeDNF returns a copy of s with every annotation converted to
+// canonical irredundant DNF — the alternative safe annotation scheme of
+// §5.2. It deduplicates variables inside clauses (the raw relational-algebra
+// pipeline repeats them), capping every φ-sensitivity at 1, which tightens
+// the mechanism's error bound. maxClauses ≤ 0 uses a default budget.
+func NormalizeDNF(s *Sensitive, maxClauses int) (*Sensitive, error) {
+	return s.ToDNF(maxClauses)
+}
+
+// QuerySigned releases a linear statistic whose weights may be negative by
+// the decomposition of §3.2: q(t) = max(0, q(t)) − max(0, −q(t)). Each
+// component is released with half the budget, so the total privacy cost is
+// still opts.Epsilon (sequential composition); the error is the sum of the
+// two components' errors.
+func QuerySigned(s *Sensitive, q LinearQuery, opts Options, rng *rand.Rand) (Result, error) {
+	if opts.Params != nil {
+		return Result{}, fmt.Errorf("recmech: QuerySigned manages the budget split itself; set Epsilon, not Params")
+	}
+	half := opts
+	half.Epsilon = opts.Epsilon / 2
+	pos := func(t Tuple) float64 { return math.Max(0, q(t)) }
+	neg := func(t Tuple) float64 { return math.Max(0, -q(t)) }
+	rp, err := QueryRelation(s, pos, half, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	rn, err := QueryRelation(s, neg, half, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Value:        rp.Value - rn.Value,
+		TrueAnswer:   rp.TrueAnswer - rn.TrueAnswer,
+		Delta:        math.Max(rp.Delta, rn.Delta),
+		Participants: rp.Participants,
+		Tuples:       rp.Tuples,
+	}, nil
+}
+
+// ---- SQL-like query front end ----
+
+// QueryDatabase is a catalogue of named annotated tables for RunQuery.
+type QueryDatabase = query.Database
+
+// NewQueryDatabase returns an empty table catalogue.
+func NewQueryDatabase() *QueryDatabase { return query.NewDatabase() }
+
+// RunQuery parses and evaluates a SQL-like positive relational-algebra query
+// (SELECT/FROM/WHERE/UNION; multiple FROM sources natural-join) against the
+// catalogue, returning the annotated output relation. Pair the result with
+// the universe the tables were loaded under and release a statistic with
+// QueryRelation.
+func RunQuery(db *QueryDatabase, src string) (*Relation, error) {
+	return query.Run(db, src)
+}
+
+// LoadTable parses the annotated-table text format ("attr names" header,
+// then "values… @ annotation" rows) with variables resolved in u.
+func LoadTable(r io.Reader, u *Universe) (*Relation, error) {
+	return query.LoadTable(r, u)
+}
+
+// WriteTable renders a relation in the format LoadTable parses.
+func WriteTable(w io.Writer, rel *Relation, u *Universe) error {
+	return query.WriteTable(w, rel, u)
+}
+
+// ---- The general mechanism of §4.2 ----
+
+// MonotonicDatabase is the abstract sensitive database (P, M) of
+// Definition 5 for the general (inefficient) mechanism: subsets of at most
+// 24 participants are bitmasks, and Query must be monotone with Query(0)=0.
+type MonotonicDatabase = mechanism.MonotonicDatabase
+
+// GeneralCounter prepares the general recursive mechanism of §4.2, which
+// answers ANY monotonic query — not only linear statistics of K-relations —
+// at exponential preprocessing cost (the full subset lattice is evaluated).
+// Its bounding sequence is exact (G̃S, a 1-bounding sequence), so for small
+// participant sets it is also the accuracy gold standard.
+func GeneralCounter(db MonotonicDatabase, opts Options) (*Counter, error) {
+	p, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := mechanism.NewGeneral(db)
+	if err != nil {
+		return nil, err
+	}
+	core, err := mechanism.NewCore(gen, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.Prepare(); err != nil {
+		return nil, err
+	}
+	truth, err := core.TrueAnswer()
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{
+		core:  core,
+		truth: truth,
+		nPart: db.NumParticipants(),
+	}, nil
+}

@@ -1,0 +1,402 @@
+package recmech
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func smallGraph() *Graph {
+	g := NewGraph(6)
+	edges := [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}, {4, 5}}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestCountTrianglesNodePrivacy(t *testing.T) {
+	g := smallGraph()
+	res, err := CountTriangles(g, Options{Epsilon: 1, Privacy: NodePrivacy}, NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueAnswer != 3 {
+		t.Errorf("true triangles = %v, want 3", res.TrueAnswer)
+	}
+	if res.Participants != 6 {
+		t.Errorf("|P| = %d, want 6", res.Participants)
+	}
+	if res.Tuples != 3 {
+		t.Errorf("tuples = %d, want 3", res.Tuples)
+	}
+	if res.Delta <= 0 {
+		t.Errorf("Δ = %v, want positive", res.Delta)
+	}
+	if math.IsNaN(res.Value) {
+		t.Error("release is NaN")
+	}
+}
+
+func TestCountTrianglesEdgePrivacy(t *testing.T) {
+	g := smallGraph()
+	res, err := CountTriangles(g, Options{Epsilon: 1, Privacy: EdgePrivacy}, NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Participants != g.NumEdges() {
+		t.Errorf("|P| = %d, want %d edges", res.Participants, g.NumEdges())
+	}
+}
+
+func TestCountKStarsAndKTriangles(t *testing.T) {
+	g := smallGraph()
+	rs, err := CountKStars(g, 2, Options{Epsilon: 1, Privacy: EdgePrivacy}, NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.TrueAnswer <= 0 {
+		t.Error("2-star count should be positive")
+	}
+	rt, err := CountKTriangles(g, 2, Options{Epsilon: 1, Privacy: EdgePrivacy}, NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.TrueAnswer < 0 {
+		t.Error("negative 2-triangle count")
+	}
+}
+
+func TestCountPatternWithConstraint(t *testing.T) {
+	g := smallGraph()
+	p := Pattern{}
+	_ = p
+	pat := TrianglePatternPublic()
+	c, err := PatternCounter(g, pat, func(m Match) bool {
+		for _, v := range m.Nodes {
+			if v == 0 {
+				return true
+			}
+		}
+		return false
+	}, Options{Epsilon: 1, Privacy: NodePrivacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TrueAnswer() != 1 { // only triangle {0,1,2} contains node 0
+		t.Errorf("constrained count = %v, want 1", c.TrueAnswer())
+	}
+}
+
+func TestQueryRelationPipeline(t *testing.T) {
+	// Two annotated base tables joined, then counted.
+	u := NewUniverse()
+	users := NewRelation("user", "city")
+	users.Add(Tuple{"alice", "rome"}, VarOf(u, "alice"))
+	users.Add(Tuple{"bob", "rome"}, VarOf(u, "bob"))
+	visits := NewRelation("user", "site")
+	visits.Add(Tuple{"alice", "x"}, VarOf(u, "alice"))
+	visits.Add(Tuple{"bob", "x"}, VarOf(u, "bob"))
+	visits.Add(Tuple{"bob", "y"}, VarOf(u, "bob"))
+	joined := NaturalJoin(users, visits)
+	s := NewSensitive(u, joined)
+	res, err := QueryRelation(s, Count, Options{Epsilon: 2}, NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueAnswer != 3 {
+		t.Errorf("join count = %v, want 3", res.TrueAnswer)
+	}
+}
+
+func TestCounterRepeatedReleases(t *testing.T) {
+	g := smallGraph()
+	c, err := TriangleCounter(g, Options{Epsilon: 1, Privacy: EdgePrivacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRand(6)
+	a, err := c.Release(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Release(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("independent releases should differ almost surely")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := smallGraph()
+	if _, err := TriangleCounter(g, Options{Epsilon: 0}); err == nil {
+		t.Error("zero epsilon should fail")
+	}
+	bad := Params{Epsilon1: -1}
+	if _, err := TriangleCounter(g, Options{Epsilon: 1, Params: &bad}); err == nil {
+		t.Error("bad params should fail")
+	}
+	// Explicit params override epsilon.
+	good := Params{Epsilon1: 0.3, Epsilon2: 0.3, Beta: 0.1, Theta: 1, Mu: 0.5}
+	if _, err := TriangleCounter(g, Options{Params: &good}); err != nil {
+		t.Errorf("explicit params should work: %v", err)
+	}
+}
+
+func TestRelationalAlgebraReExports(t *testing.T) {
+	u := NewUniverse()
+	r1 := NewRelation("x")
+	r1.Add(Tuple{"1"}, VarOf(u, "a"))
+	r2 := NewRelation("x")
+	r2.Add(Tuple{"2"}, VarOf(u, "b"))
+	un := Union(r1, r2)
+	if un.Size() != 2 {
+		t.Error("Union failed")
+	}
+	pr := Project(un, "x")
+	if pr.Size() != 2 {
+		t.Error("Project failed")
+	}
+	sel := SelectWhere(un, func(get func(string) string) bool { return get("x") == "1" })
+	if sel.Size() != 1 {
+		t.Error("SelectWhere failed")
+	}
+	rn := RenameAttrs(un, map[string]string{"x": "y"})
+	if rn.Attrs()[0] != "y" {
+		t.Error("RenameAttrs failed")
+	}
+	ann := AndExprs(VarOf(u, "a"), OrExprs(VarOf(u, "b"), VarOf(u, "c")))
+	if ann == nil {
+		t.Error("annotation builders failed")
+	}
+}
+
+// TrianglePatternPublic exposes the triangle pattern through the public
+// Pattern alias for the constraint test above.
+func TrianglePatternPublic() Pattern {
+	return NewTrianglePattern()
+}
+
+func TestQuerySigned(t *testing.T) {
+	u := NewUniverse()
+	r := NewRelation("id", "w")
+	r.Add(Tuple{"a", "+"}, VarOf(u, "p1"))
+	r.Add(Tuple{"b", "+"}, VarOf(u, "p2"))
+	r.Add(Tuple{"c", "-"}, VarOf(u, "p3"))
+	s := NewSensitive(u, r)
+	signed := func(t Tuple) float64 {
+		if t[1] == "+" {
+			return 2
+		}
+		return -3
+	}
+	res, err := QuerySigned(s, signed, Options{Epsilon: 2}, NewRand(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueAnswer != 1 { // 2 + 2 − 3
+		t.Errorf("true answer = %v, want 1", res.TrueAnswer)
+	}
+	if math.IsNaN(res.Value) {
+		t.Error("release is NaN")
+	}
+	// Explicit params are rejected (the split is managed internally).
+	p := Params{Epsilon1: 1, Epsilon2: 1, Beta: 0.1, Theta: 1, Mu: 0.5}
+	if _, err := QuerySigned(s, signed, Options{Epsilon: 2, Params: &p}, NewRand(9)); err == nil {
+		t.Error("QuerySigned should reject explicit Params")
+	}
+}
+
+func TestNormalizeDNFPublic(t *testing.T) {
+	u := NewUniverse()
+	r := NewRelation("x")
+	a, b := VarOf(u, "a"), VarOf(u, "b")
+	// a ∧ a ∧ b has φ-sensitivity 2 for a; its DNF a∧b has 1.
+	r.Add(Tuple{"t"}, AndExprs(a, a, b))
+	s := NewSensitive(u, r)
+	norm, err := NormalizeDNF(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := norm.MaxPhiSensitivity(); got != 1 {
+		t.Errorf("normalized max S = %v, want 1", got)
+	}
+	if s.MaxPhiSensitivity() != 2 {
+		t.Errorf("raw max S = %v, want 2", s.MaxPhiSensitivity())
+	}
+}
+
+func TestGraphIORoundTrip(t *testing.T) {
+	g := RandomGraph(NewRand(10), 25, 4)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Error("graph I/O round trip mismatch")
+	}
+}
+
+func TestDeltaConsistentAcrossCalls(t *testing.T) {
+	g := smallGraph()
+	c, err := TriangleCounter(g, Options{Epsilon: 1, Privacy: NodePrivacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := c.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("Δ must be deterministic")
+	}
+}
+
+func TestPatternCounterMatchesTriangleCounter(t *testing.T) {
+	g := smallGraph()
+	viaPattern, err := PatternCounter(g, NewTrianglePattern(), nil,
+		Options{Epsilon: 1, Privacy: NodePrivacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaDirect, err := TriangleCounter(g, Options{Epsilon: 1, Privacy: NodePrivacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaPattern.TrueAnswer() != viaDirect.TrueAnswer() {
+		t.Errorf("pattern %v vs direct %v", viaPattern.TrueAnswer(), viaDirect.TrueAnswer())
+	}
+	dp, err := viaPattern.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := viaDirect.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp-dd) > 1e-9 {
+		t.Errorf("Δ differs: %v vs %v", dp, dd)
+	}
+}
+
+func TestPublicQueryFacade(t *testing.T) {
+	u := NewUniverse()
+	tbl, err := LoadTable(strings.NewReader("x y\na b @ pa & pb\nb c @ pb & pc\na c @ pa & pc\n"), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewQueryDatabase()
+	db.Register("E", tbl)
+	out, err := RunQuery(db, "SELECT x, y FROM E WHERE x < y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 3 {
+		t.Fatalf("query size = %d, want 3", out.Size())
+	}
+	res, err := QueryRelation(NewSensitive(u, out), Count, Options{Epsilon: 1}, NewRand(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueAnswer != 3 {
+		t.Errorf("true = %v, want 3", res.TrueAnswer)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, out, u); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTable(&buf, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != out.Size() {
+		t.Error("WriteTable/LoadTable round trip changed size")
+	}
+	if _, err := RunQuery(db, "SELECT nope FROM E"); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestCountPatternConvenience(t *testing.T) {
+	g := smallGraph()
+	res, err := CountPattern(g, NewKStarPattern(2), Options{Epsilon: 1, Privacy: EdgePrivacy}, NewRand(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2-stars: Σ C(d,2) with degrees 2,3,4,3,3,1 → 1+3+6+3+3+0 = 16.
+	if res.TrueAnswer != 16 {
+		t.Errorf("2-star count = %v, want 16", res.TrueAnswer)
+	}
+	if _, err := CountPattern(g, NewKTrianglePattern(2), Options{Epsilon: 1}, NewRand(14)); err != nil {
+		t.Errorf("k-triangle pattern: %v", err)
+	}
+}
+
+type coverageTestDB struct{ sets []uint64 }
+
+func (d coverageTestDB) NumParticipants() int { return len(d.sets) }
+func (d coverageTestDB) Query(subset uint32) float64 {
+	var union uint64
+	for p, s := range d.sets {
+		if subset&(1<<uint(p)) != 0 {
+			union |= s
+		}
+	}
+	n := 0
+	for union != 0 {
+		union &= union - 1
+		n++
+	}
+	return float64(n)
+}
+
+func TestGeneralCounterCoverageFunction(t *testing.T) {
+	db := coverageTestDB{sets: []uint64{0b111, 0b110, 0b1000}}
+	c, err := GeneralCounter(db, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TrueAnswer() != 4 {
+		t.Errorf("true coverage = %v, want 4", c.TrueAnswer())
+	}
+	v, err := c.Release(NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(v) {
+		t.Error("release is NaN")
+	}
+	if _, err := GeneralCounter(db, Options{Epsilon: 0}); err == nil {
+		t.Error("bad options should fail")
+	}
+}
+
+type nonMonotoneDB struct{}
+
+func (nonMonotoneDB) NumParticipants() int { return 2 }
+func (nonMonotoneDB) Query(s uint32) float64 {
+	if s == 1 {
+		return 5
+	}
+	if s == 3 {
+		return 1
+	}
+	return 0
+}
+
+func TestGeneralCounterRejectsNonMonotone(t *testing.T) {
+	if _, err := GeneralCounter(nonMonotoneDB{}, Options{Epsilon: 1}); err == nil {
+		t.Fatal("non-monotone query must be rejected")
+	}
+}
