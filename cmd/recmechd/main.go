@@ -1,0 +1,174 @@
+// Command recmechd serves differentially private query answers over
+// HTTP/JSON: the recursive mechanism behind a dataset registry, a
+// privacy-budget accountant, a bounded worker pool, and a release cache
+// (see internal/service).
+//
+// Datasets are loaded at startup:
+//
+//	recmechd -graph social=graph.txt                   # edge-list graph
+//	recmechd -tables med=visits:v.txt,rx:r.txt         # annotated tables
+//	recmechd -demo                                     # built-in demo graph
+//
+// Every table of one -tables dataset shares a participant universe, so the
+// same annotation variable in two files means the same participant.
+//
+// Endpoints:
+//
+//	POST /v1/query            {"dataset","kind","query"|"k"|pattern…,"epsilon"}
+//	GET  /v1/datasets
+//	GET  /v1/budget/{dataset}
+//	GET  /healthz
+//
+// Example session:
+//
+//	recmechd -demo -budget 5 &
+//	curl -s localhost:8377/v1/datasets
+//	curl -s -X POST localhost:8377/v1/query \
+//	     -d '{"dataset":"demo","kind":"triangles","epsilon":0.5}'
+//	curl -s localhost:8377/v1/budget/demo
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// queries.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/graph"
+	"recmech/internal/krel"
+	"recmech/internal/noise"
+	"recmech/internal/query"
+	"recmech/internal/service"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var graphs, tableSets repeated
+	flag.Var(&graphs, "graph", "NAME=FILE edge-list graph dataset (repeatable)")
+	flag.Var(&tableSets, "tables", "NAME=TBL:FILE[,TBL:FILE…] relational dataset (repeatable)")
+	var (
+		addr     = flag.String("addr", ":8377", "listen address")
+		budget   = flag.Float64("budget", 10, "total privacy budget ε per dataset")
+		epsilon  = flag.Float64("epsilon", 0.5, "default per-query ε when a request omits it")
+		maxEps   = flag.Float64("max-epsilon", 0, "per-query ε ceiling (0 = only the dataset budget caps)")
+		workers  = flag.Int("workers", 0, "max concurrent mechanism runs (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", 1, "base RNG seed for the noise streams")
+		demo     = flag.Bool("demo", false, "also register a built-in 200-node random graph as \"demo\"")
+		drainFor = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		DatasetBudget:  *budget,
+		DefaultEpsilon: *epsilon,
+		MaxEpsilon:     *maxEps,
+		Workers:        *workers,
+		Seed:           *seed,
+	})
+
+	for _, spec := range graphs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fail(fmt.Errorf("bad -graph %q, want NAME=FILE", spec))
+		}
+		g, err := loadGraph(path)
+		if err != nil {
+			fail(fmt.Errorf("-graph %s: %w", name, err))
+		}
+		svc.AddGraph(name, g)
+		log.Printf("dataset %q: graph, %d nodes, %d edges, budget ε=%g", name, g.NumNodes(), g.NumEdges(), *budget)
+	}
+	for _, spec := range tableSets {
+		name, rest, ok := strings.Cut(spec, "=")
+		if !ok {
+			fail(fmt.Errorf("bad -tables %q, want NAME=TBL:FILE[,TBL:FILE…]", spec))
+		}
+		u := boolexpr.NewUniverse()
+		db := query.NewDatabase()
+		for _, ent := range strings.Split(rest, ",") {
+			tbl, path, ok := strings.Cut(ent, ":")
+			if !ok {
+				fail(fmt.Errorf("bad -tables entry %q, want TBL:FILE", ent))
+			}
+			rel, err := loadTable(path, u)
+			if err != nil {
+				fail(fmt.Errorf("-tables %s, table %s: %w", name, tbl, err))
+			}
+			db.Register(tbl, rel)
+		}
+		svc.AddRelational(name, u, db)
+		log.Printf("dataset %q: relational, tables %v, budget ε=%g", name, db.Names(), *budget)
+	}
+	if *demo {
+		g := graph.RandomAverageDegree(noise.NewRand(*seed), 200, 6)
+		svc.AddGraph("demo", g)
+		log.Printf("dataset \"demo\": random graph, %d nodes, %d edges, budget ε=%g", g.NumNodes(), g.NumEdges(), *budget)
+	}
+	if len(svc.Datasets()) == 0 {
+		fmt.Fprintln(os.Stderr, "recmechd: no datasets; pass -graph, -tables, or -demo")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("recmechd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+		log.Printf("recmechd shutting down (draining up to %v)…", *drainFor)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	}
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadEdgeList(f)
+}
+
+func loadTable(path string, u *boolexpr.Universe) (*krel.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return query.LoadTable(f, u)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "recmechd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module recmech
+
+go 1.24

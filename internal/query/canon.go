@@ -1,0 +1,88 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Canonical renders the parsed query in a normalized form: uppercase
+// keywords, lowercase identifiers, single spacing, every literal quoted,
+// every compound condition parenthesized, and "<>" folded into "!=". Two
+// query texts that parse to the same tree render identically, so the
+// canonical form is usable as a cache key; it also re-parses to itself,
+// which the tests verify (Canonical ∘ Parse is a fixpoint).
+func (q *Query) Canonical() string {
+	var b strings.Builder
+	for i := range q.Selects {
+		if i > 0 {
+			b.WriteString(" UNION ")
+		}
+		q.Selects[i].canon(&b)
+	}
+	return b.String()
+}
+
+func (s *SelectStmt) canon(b *strings.Builder) {
+	b.WriteString("SELECT ")
+	if s.Columns == nil {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strings.Join(s.Columns, ", "))
+	}
+	b.WriteString(" FROM ")
+	for i, src := range s.Sources {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(src.Table)
+		if src.Rename != nil {
+			b.WriteString("(")
+			b.WriteString(strings.Join(src.Rename, ", "))
+			b.WriteString(")")
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.canon())
+	}
+}
+
+func (c andCond) canon() string { return joinCanon(c.kids, " AND ") }
+func (c orCond) canon() string  { return joinCanon(c.kids, " OR ") }
+
+func joinCanon(kids []Cond, sep string) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = k.canon()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+func (c cmpCond) canon() string {
+	op := c.op
+	if op == "<>" {
+		op = "!="
+	}
+	return c.left.canon() + " " + op + " " + c.right.canon()
+}
+
+func (o operand) canon() string {
+	if o.column != "" {
+		return o.column
+	}
+	// All literals quote identically: the evaluator compares by text, so
+	// the number 3 and the string '3' are the same operand. The quote
+	// character must not occur in the literal, or two different queries
+	// could render to one canonical string (and collide as cache keys);
+	// the lexer has no escapes, so a literal can contain ' or " but never
+	// both, and one of the two branches is always unambiguous.
+	if !strings.ContainsRune(o.literal, '\'') {
+		return "'" + o.literal + "'"
+	}
+	if !strings.ContainsRune(o.literal, '"') {
+		return `"` + o.literal + `"`
+	}
+	// Unreachable through Parse; hand-built trees fall back to an escaped
+	// form that stays collision-free (though it does not re-parse).
+	return fmt.Sprintf("%q", o.literal)
+}

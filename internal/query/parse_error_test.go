@@ -1,0 +1,163 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/krel"
+)
+
+func TestParseErrorPaths(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unterminated single-quoted string", "SELECT * FROM t WHERE x = 'abc", "unterminated string"},
+		{"unterminated double-quoted string", `SELECT * FROM t WHERE x = "abc`, "unterminated string"},
+		{"trailing tokens after select", "SELECT * FROM t garbage", "unexpected"},
+		{"trailing symbol", "SELECT * FROM t )", "unexpected"},
+		{"unexpected character", "SELECT * FROM t WHERE x = €5", "unexpected character"},
+		{"missing FROM", "SELECT x, y", "expected FROM"},
+		{"missing select", "FROM t", "expected SELECT"},
+		{"missing table name", "SELECT * FROM", "expected identifier"},
+		{"missing column after comma", "SELECT x, , y FROM t", "expected identifier"},
+		{"unclosed rename list", "SELECT * FROM t(a, b", "')' in rename list"},
+		{"unclosed condition paren", "SELECT * FROM t WHERE (x = 1 OR y = 2", "')' in condition"},
+		{"missing comparison operator", "SELECT * FROM t WHERE x 1", "expected comparison operator"},
+		{"missing operand", "SELECT * FROM t WHERE x =", "expected column or literal"},
+		{"empty query", "", "expected SELECT"},
+		{"union without select", "SELECT * FROM t UNION", "expected SELECT"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("%s: Parse(%q) succeeded, want error containing %q", tc.name, tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func testDB(t *testing.T) (*Database, *boolexpr.Universe) {
+	t.Helper()
+	u := boolexpr.NewUniverse()
+	load := func(text string) *krel.Relation {
+		rel, err := LoadTable(strings.NewReader(text), u)
+		if err != nil {
+			t.Fatalf("LoadTable: %v", err)
+		}
+		return rel
+	}
+	db := NewDatabase()
+	db.Register("t", load("x y\na b @ pa\nb c @ pb\n"))
+	db.Register("s", load("x\na @ pa\n"))
+	return db, u
+}
+
+func TestEvalErrorPaths(t *testing.T) {
+	db, _ := testDB(t)
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"union schema mismatch", "SELECT x, y FROM t UNION SELECT x FROM s", "UNION schema mismatch"},
+		{"unknown table", "SELECT * FROM ghosts", `unknown table "ghosts"`},
+		{"unknown projected column", "SELECT z FROM t", `unknown column "z"`},
+		{"unknown column in where", "SELECT * FROM t WHERE z = 1", `unknown column "z" in WHERE`},
+		{"rename arity mismatch", "SELECT * FROM t(a, b, c)", "rename lists 3"},
+	}
+	for _, tc := range cases {
+		_, err := Run(db, tc.src)
+		if err == nil {
+			t.Errorf("%s: Run(%q) succeeded, want error containing %q", tc.name, tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestCanonicalIsFixpoint(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM t",
+		"select   X , y  FROM  T",
+		"SELECT x FROM t, s WHERE x = 'a' AND (y < 3 OR y >= 7)",
+		"SELECT x FROM t(a, b) WHERE a <> \"q\" UNION SELECT a FROM s(a)",
+		"SELECT x FROM t WHERE x != y AND x != 'y'",
+		`SELECT x FROM t WHERE x = "it's"`,
+		`SELECT x FROM t WHERE x = 'say "hi"'`,
+	}
+	for _, src := range cases {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		canon := q1.Canonical()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", canon, err)
+		}
+		if got := q2.Canonical(); got != canon {
+			t.Errorf("Canonical not a fixpoint: %q → %q", canon, got)
+		}
+	}
+}
+
+func TestCanonicalNormalizesVariants(t *testing.T) {
+	variants := []string{
+		"SELECT x, y FROM t WHERE x != 'a'",
+		"select   X ,  Y  from  T  where  X  <>  'a'",
+		"SELECT x,y FROM t WHERE x<>\"a\"",
+	}
+	var canon string
+	for i, src := range variants {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if i == 0 {
+			canon = q.Canonical()
+			continue
+		}
+		if got := q.Canonical(); got != canon {
+			t.Errorf("variant %q canonicalized to %q, want %q", src, got, canon)
+		}
+	}
+	// Distinct trees must not collide.
+	q, err := Parse("SELECT x, y FROM t WHERE x != y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Canonical() == canon {
+		t.Errorf("column comparison collided with literal comparison: %q", canon)
+	}
+}
+
+// Literals containing quote characters must not let two different queries
+// render to one canonical string — the serving layer uses Canonical as a
+// release-cache key, so a collision would replay the wrong answer.
+func TestCanonicalQuotedLiteralsDoNotCollide(t *testing.T) {
+	a, err := Parse(`SELECT * FROM t WHERE "x' = 'y" = 'z'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(`SELECT * FROM t WHERE 'x' = "y' = 'z"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Canonical(), b.Canonical()
+	if ca == cb {
+		t.Fatalf("distinct queries collided: %q", ca)
+	}
+	for _, c := range []string{ca, cb} {
+		q, err := Parse(c)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", c, err)
+		}
+		if got := q.Canonical(); got != c {
+			t.Errorf("not a fixpoint: %q → %q", c, got)
+		}
+	}
+}

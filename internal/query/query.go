@@ -182,6 +182,7 @@ func hasAttr(attrs []string, name string) bool {
 type Cond interface {
 	eval(get func(string) string) bool
 	check(attrs []string) error
+	canon() string
 }
 
 type andCond struct{ kids []Cond }

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/query"
+)
+
+func benchService(b *testing.B) *Service {
+	b.Helper()
+	svc := New(Config{
+		DatasetBudget:  1e18, // effectively unmetered: the benchmark measures the hot path
+		DefaultEpsilon: 0.5,
+		Workers:        1,
+		Seed:           1,
+	})
+	const table = `
+x y
+a b @ pa & pb
+b c @ pb & pc
+c d @ pc & pd
+d e @ pd & pe
+a c @ pa & pc
+b d @ pb & pd
+`
+	u := boolexpr.NewUniverse()
+	rel, err := query.LoadTable(strings.NewReader(table), u)
+	if err != nil {
+		b.Fatalf("LoadTable: %v", err)
+	}
+	db := query.NewDatabase()
+	db.Register("visits", rel)
+	svc.AddRelational("med", u, db)
+	return svc
+}
+
+// BenchmarkServiceQuery measures the executor's full hot path — parse,
+// build the sensitive relation, prepare the mechanism (LP relaxation and
+// the sequences H/G), release — by making every query distinct so the
+// release cache never short-circuits it.
+func BenchmarkServiceQuery(b *testing.B) {
+	svc := benchService(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := Request{
+			Dataset: "med",
+			Kind:    KindSQL,
+			Query:   fmt.Sprintf("SELECT x, y FROM visits WHERE x != 'u%d'", i),
+			Epsilon: 0.5,
+		}
+		resp, err := svc.Query(ctx, req)
+		if err != nil {
+			b.Fatalf("Query: %v", err)
+		}
+		if resp.Cached {
+			b.Fatal("benchmark query unexpectedly cached")
+		}
+	}
+}
+
+// BenchmarkServiceQueryCached measures the replay path: identical queries
+// served from the release cache at zero ε.
+func BenchmarkServiceQueryCached(b *testing.B) {
+	svc := benchService(b)
+	ctx := context.Background()
+	req := Request{Dataset: "med", Kind: KindSQL, Query: "SELECT x FROM visits", Epsilon: 0.5}
+	if _, err := svc.Query(ctx, req); err != nil {
+		b.Fatalf("priming query: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := svc.Query(ctx, req)
+		if err != nil {
+			b.Fatalf("Query: %v", err)
+		}
+		if !resp.Cached {
+			b.Fatal("replay missed the cache")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"math"
+	"sync"
+)
+
+// budgetSlack absorbs floating-point dust when comparing a requested ε
+// against the remaining budget, so that e.g. twenty reservations of 0.1
+// exactly exhaust a budget of 2.0.
+const budgetSlack = 1e-9
+
+// Accountant is the per-dataset privacy-budget ledger. Sequential
+// composition makes ε additive across releases, so the ledger is a simple
+// counter — but concurrent queries must not be able to jointly overdraw it,
+// so spending is a two-phase reserve/commit protocol:
+//
+//	resv, err := acct.Reserve(dataset, eps)   // atomically sets ε aside
+//	…run the mechanism…
+//	resv.Commit()                             // the release happened: ε is spent
+//	resv.Refund()                             // the query failed: ε returns to the pool
+//
+// Reserve fails with a *BudgetError (matching ErrBudgetExhausted) when the
+// unreserved remainder is insufficient; a rejected or refunded query spends
+// nothing. All operations are atomic under one mutex — ledger operations are
+// nanoseconds next to a mechanism run, so finer locking would buy nothing.
+type Accountant struct {
+	mu      sync.Mutex
+	ledgers map[string]*ledger
+}
+
+type ledger struct {
+	total    float64
+	spent    float64
+	reserved float64
+}
+
+func (l *ledger) remaining() float64 { return l.total - l.spent - l.reserved }
+
+// NewAccountant returns an empty accountant.
+func NewAccountant() *Accountant {
+	return &Accountant{ledgers: make(map[string]*ledger)}
+}
+
+// Grant sets (or resets) a dataset's total privacy budget. Spent and
+// reserved amounts are preserved, so raising a live dataset's budget is
+// safe; lowering it below what is already spent just means no further
+// reservations succeed.
+func (a *Accountant) Grant(dataset string, epsilon float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l, ok := a.ledgers[dataset]
+	if !ok {
+		l = &ledger{}
+		a.ledgers[dataset] = l
+	}
+	l.total = epsilon
+}
+
+// BudgetStatus is a point-in-time snapshot of one ledger.
+type BudgetStatus struct {
+	Dataset   string  `json:"dataset"`
+	Total     float64 `json:"total"`
+	Spent     float64 `json:"spent"`
+	Reserved  float64 `json:"reserved"`
+	Remaining float64 `json:"remaining"`
+}
+
+// Status snapshots a dataset's ledger.
+func (a *Accountant) Status(dataset string) (BudgetStatus, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l, ok := a.ledgers[dataset]
+	if !ok {
+		return BudgetStatus{}, false
+	}
+	return BudgetStatus{
+		Dataset:   dataset,
+		Total:     l.total,
+		Spent:     l.spent,
+		Reserved:  l.reserved,
+		Remaining: l.remaining(),
+	}, true
+}
+
+// Reserve atomically sets aside ε of the dataset's budget, failing with a
+// *BudgetError when the unreserved remainder is insufficient. The returned
+// reservation must be settled exactly once, by Commit or Refund.
+func (a *Accountant) Reserve(dataset string, epsilon float64) (*Reservation, error) {
+	// NaN compares false with everything: it would pass both this guard
+	// (if written "epsilon <= 0") and the overdraw check below, and one
+	// "reserved += NaN" poisons the ledger forever. Reject non-finite ε
+	// outright.
+	if math.IsNaN(epsilon) || math.IsInf(epsilon, 0) || epsilon <= 0 {
+		return nil, badRequestf("reservation ε must be positive and finite, got %g", epsilon)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l, ok := a.ledgers[dataset]
+	if !ok {
+		return nil, &DatasetError{Name: dataset}
+	}
+	if epsilon > l.remaining()+budgetSlack {
+		return nil, &BudgetError{Dataset: dataset, Requested: epsilon, Remaining: l.remaining()}
+	}
+	l.reserved += epsilon
+	return &Reservation{acct: a, ledger: l, dataset: dataset, epsilon: epsilon}, nil
+}
+
+// Reservation is ε set aside for one in-flight release. Exactly one of
+// Commit or Refund must be called; a second settlement panics, because it
+// would silently corrupt the ledger.
+type Reservation struct {
+	acct    *Accountant
+	ledger  *ledger
+	dataset string
+	epsilon float64
+	settled bool
+}
+
+// Epsilon returns the reserved ε.
+func (r *Reservation) Epsilon() float64 { return r.epsilon }
+
+// Commit converts the reservation into spent budget: the release happened
+// and its ε is gone for good.
+func (r *Reservation) Commit() {
+	r.settle(true)
+}
+
+// Refund returns the reservation to the pool: the query failed before a
+// release was produced, so no privacy was consumed.
+func (r *Reservation) Refund() {
+	r.settle(false)
+}
+
+func (r *Reservation) settle(commit bool) {
+	r.acct.mu.Lock()
+	defer r.acct.mu.Unlock()
+	if r.settled {
+		panic("service: reservation settled twice")
+	}
+	r.settled = true
+	r.ledger.reserved -= r.epsilon
+	if commit {
+		r.ledger.spent += r.epsilon
+	}
+}

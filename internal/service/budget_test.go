@@ -1,0 +1,186 @@
+package service
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestReserveCommitSpends(t *testing.T) {
+	a := NewAccountant()
+	a.Grant("d", 2)
+	resv, err := a.Reserve("d", 0.5)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	st, _ := a.Status("d")
+	if st.Reserved != 0.5 || st.Spent != 0 || st.Remaining != 1.5 {
+		t.Fatalf("after reserve: %+v", st)
+	}
+	resv.Commit()
+	st, _ = a.Status("d")
+	if st.Reserved != 0 || st.Spent != 0.5 || st.Remaining != 1.5 {
+		t.Fatalf("after commit: %+v", st)
+	}
+}
+
+func TestRefundRestoresBudget(t *testing.T) {
+	a := NewAccountant()
+	a.Grant("d", 1)
+	resv, err := a.Reserve("d", 1)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	if _, err := a.Reserve("d", 0.1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted while fully reserved, got %v", err)
+	}
+	resv.Refund()
+	st, _ := a.Status("d")
+	if st.Spent != 0 || st.Reserved != 0 || st.Remaining != 1 {
+		t.Fatalf("after refund: %+v", st)
+	}
+	if _, err := a.Reserve("d", 1); err != nil {
+		t.Fatalf("Reserve after refund: %v", err)
+	}
+}
+
+func TestBudgetExhaustedIsTyped(t *testing.T) {
+	a := NewAccountant()
+	a.Grant("d", 1)
+	if _, err := a.Reserve("d", 0.75); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	_, err := a.Reserve("d", 0.5)
+	if err == nil {
+		t.Fatal("want rejection")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %T", err)
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatal("want errors.Is(err, ErrBudgetExhausted)")
+	}
+	if be.Dataset != "d" || be.Requested != 0.5 || math.Abs(be.Remaining-0.25) > 1e-12 {
+		t.Fatalf("error fields: %+v", be)
+	}
+}
+
+func TestReserveExactlyExhaustsDespiteFloatDust(t *testing.T) {
+	a := NewAccountant()
+	a.Grant("d", 2)
+	// Twenty reservations of 0.1 must exactly consume a budget of 2.0 even
+	// though 0.1 is not exactly representable.
+	for i := 0; i < 20; i++ {
+		resv, err := a.Reserve("d", 0.1)
+		if err != nil {
+			t.Fatalf("reservation %d: %v", i, err)
+		}
+		resv.Commit()
+	}
+	if _, err := a.Reserve("d", 0.1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("21st reservation: want exhausted, got %v", err)
+	}
+}
+
+func TestReserveUnknownDataset(t *testing.T) {
+	a := NewAccountant()
+	if _, err := a.Reserve("nope", 0.5); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("want ErrUnknownDataset, got %v", err)
+	}
+	if _, err := a.Reserve("nope", -1); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("want ErrBadRequest for ε ≤ 0, got %v", err)
+	}
+}
+
+// A NaN ε compares false with everything, so naive guards wave it through
+// and a single "reserved += NaN" would disable budget enforcement forever.
+func TestReserveRejectsNonFiniteEpsilon(t *testing.T) {
+	a := NewAccountant()
+	a.Grant("d", 1)
+	for _, eps := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := a.Reserve("d", eps); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("Reserve(%v): want ErrBadRequest, got %v", eps, err)
+		}
+	}
+	st, _ := a.Status("d")
+	if st.Reserved != 0 || st.Spent != 0 || st.Remaining != 1 {
+		t.Fatalf("ledger moved: %+v", st)
+	}
+	if _, err := a.Reserve("d", 0.5); err != nil {
+		t.Fatalf("ledger poisoned: %v", err)
+	}
+}
+
+func TestDoubleSettlePanics(t *testing.T) {
+	a := NewAccountant()
+	a.Grant("d", 1)
+	resv, err := a.Reserve("d", 0.5)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	resv.Commit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second settlement must panic")
+		}
+	}()
+	resv.Refund()
+}
+
+// TestAccountantConcurrentHammer drives the ledger from many goroutines and
+// checks the books balance: spent equals ε × commits, nothing stays
+// reserved, and the total is never overdrawn. Run under -race.
+func TestAccountantConcurrentHammer(t *testing.T) {
+	const (
+		workers = 32
+		rounds  = 50
+		eps     = 0.5
+		total   = 100.0
+	)
+	a := NewAccountant()
+	a.Grant("d", total)
+	var commits, rejects atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resv, err := a.Reserve("d", eps)
+				if err != nil {
+					if !errors.Is(err, ErrBudgetExhausted) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					rejects.Add(1)
+					continue
+				}
+				if (w+i)%3 == 0 { // a third of the queries "fail" and refund
+					resv.Refund()
+				} else {
+					resv.Commit()
+					commits.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st, _ := a.Status("d")
+	if st.Reserved != 0 {
+		t.Fatalf("reserved ε leaked: %+v", st)
+	}
+	wantSpent := eps * float64(commits.Load())
+	if math.Abs(st.Spent-wantSpent) > 1e-6 {
+		t.Fatalf("spent %g, want %g (%d commits)", st.Spent, wantSpent, commits.Load())
+	}
+	if st.Spent > total+budgetSlack {
+		t.Fatalf("overdrawn: spent %g of %g", st.Spent, total)
+	}
+	// The workload attempts 1600 × 0.5 = 800 ε against a budget of 100, so
+	// exhaustion must actually have been exercised.
+	if rejects.Load() == 0 {
+		t.Fatal("hammer never hit the budget limit; workload too small")
+	}
+}

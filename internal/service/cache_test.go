@@ -1,0 +1,56 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func cacheResp(v float64) func() (Response, error) {
+	return func() (Response, error) { return Response{Value: v}, nil }
+}
+
+func TestCacheReplayAndFailureRetry(t *testing.T) {
+	c := NewReleaseCache(10)
+	ctx := context.Background()
+
+	resp, cached, err := c.Do(ctx, "k", cacheResp(1))
+	if err != nil || cached || resp.Value != 1 {
+		t.Fatalf("first Do: %v %v %v", resp, cached, err)
+	}
+	resp, cached, err = c.Do(ctx, "k", cacheResp(2))
+	if err != nil || !cached || resp.Value != 1 {
+		t.Fatalf("replay: %v %v %v (must not recompute)", resp, cached, err)
+	}
+
+	boom := errors.New("boom")
+	_, _, err = c.Do(ctx, "fail", func() (Response, error) { return Response{}, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("failed flight: %v", err)
+	}
+	// Failures are not recorded: the next attempt recomputes.
+	resp, cached, err = c.Do(ctx, "fail", cacheResp(3))
+	if err != nil || cached || resp.Value != 3 {
+		t.Fatalf("retry after failure: %v %v %v", resp, cached, err)
+	}
+}
+
+func TestCacheEvictsOldestBeyondCapacity(t *testing.T) {
+	c := NewReleaseCache(2)
+	ctx := context.Background()
+	for i, key := range []string{"a", "b", "c"} {
+		if _, _, err := c.Do(ctx, key, cacheResp(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	// "a" was evicted and recomputes; "b" and "c" still replay.
+	if _, cached, _ := c.Do(ctx, "a", cacheResp(9)); cached {
+		t.Fatal("evicted key replayed")
+	}
+	if _, cached, _ := c.Do(ctx, "c", cacheResp(9)); !cached {
+		t.Fatal("resident key recomputed")
+	}
+}

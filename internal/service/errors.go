@@ -1,0 +1,77 @@
+// Package service is the serving layer of the repository: a concurrent
+// differentially private query service over the recursive mechanism. It
+// combines a dataset registry (named sensitive graphs and relational
+// catalogues), a privacy-budget accountant (a per-dataset ε ledger with
+// atomic reserve/commit/refund semantics), a query executor (a bounded
+// worker pool running the SQL-like front end and the built-in subgraph-count
+// workloads through internal/mechanism), and a release cache that replays a
+// previously released noisy answer instead of spending fresh budget —
+// privacy-sound because republishing a recorded ε-DP release costs zero ε.
+//
+// cmd/recmechd exposes the service over HTTP/JSON; NewHandler builds the
+// http.Handler it serves.
+package service
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for errors.Is checks across the package boundary. The
+// concrete errors carry more context (see BudgetError, DatasetError,
+// RequestError) but always match the corresponding sentinel.
+var (
+	// ErrBudgetExhausted rejects a query whose ε cannot be reserved from
+	// the dataset's remaining privacy budget. No budget is spent by a
+	// rejected query.
+	ErrBudgetExhausted = errors.New("service: privacy budget exhausted")
+	// ErrUnknownDataset rejects a query against an unregistered dataset.
+	ErrUnknownDataset = errors.New("service: unknown dataset")
+	// ErrBadRequest rejects a malformed or inapplicable request (unknown
+	// kind, parse failure, wrong dataset kind, invalid ε, …).
+	ErrBadRequest = errors.New("service: bad request")
+)
+
+// BudgetError is the typed rejection returned when a reservation would
+// overdraw a dataset's ε ledger. errors.Is(err, ErrBudgetExhausted) is true.
+type BudgetError struct {
+	Dataset   string  // ledger the reservation was attempted against
+	Requested float64 // ε the query asked for
+	Remaining float64 // ε still unreserved at rejection time
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("service: privacy budget exhausted for dataset %q: requested ε=%g, remaining ε=%g",
+		e.Dataset, e.Requested, e.Remaining)
+}
+
+// Is makes errors.Is(err, ErrBudgetExhausted) succeed.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExhausted }
+
+// DatasetError identifies a missing dataset. errors.Is(err,
+// ErrUnknownDataset) is true.
+type DatasetError struct {
+	Name string
+}
+
+func (e *DatasetError) Error() string {
+	return fmt.Sprintf("service: unknown dataset %q", e.Name)
+}
+
+// Is makes errors.Is(err, ErrUnknownDataset) succeed.
+func (e *DatasetError) Is(target error) bool { return target == ErrUnknownDataset }
+
+// RequestError reports an invalid request. errors.Is(err, ErrBadRequest) is
+// true.
+type RequestError struct {
+	Reason string
+}
+
+func (e *RequestError) Error() string { return "service: bad request: " + e.Reason }
+
+// Is makes errors.Is(err, ErrBadRequest) succeed.
+func (e *RequestError) Is(target error) bool { return target == ErrBadRequest }
+
+func badRequestf(format string, args ...any) error {
+	return &RequestError{Reason: fmt.Sprintf(format, args...)}
+}

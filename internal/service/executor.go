@@ -1,0 +1,109 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+
+	"recmech/internal/krel"
+	"recmech/internal/mechanism"
+	"recmech/internal/noise"
+	"recmech/internal/query"
+	"recmech/internal/subgraph"
+)
+
+// Executor runs queries through the recursive mechanism on a bounded worker
+// pool. The mechanism's prepare step (building the sequences H and G via
+// the LP relaxation) is CPU-heavy, so admission is a counting semaphore:
+// at most workers queries run at once and the rest queue, which keeps tail
+// latency bounded instead of letting every goroutine thrash the CPUs.
+type Executor struct {
+	sem  chan struct{}
+	seed int64
+	next atomic.Int64 // per-release RNG stream counter
+}
+
+// NewExecutor returns an executor running at most workers queries
+// concurrently (workers < 1 means 1). seed makes the noise streams
+// reproducible: release i draws from noise.NewRand(seed+i).
+func NewExecutor(workers int, seed int64) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Executor{sem: make(chan struct{}, workers), seed: seed}
+}
+
+// Execute evaluates one normalized request against a dataset snapshot and
+// returns a single ε-DP release. It blocks while the pool is full (honoring
+// ctx) and never touches the budget — the caller reserves before and
+// commits after, so a failure here is refundable.
+func (e *Executor) Execute(ctx context.Context, ds *Dataset, req *Request) (float64, error) {
+	select {
+	case e.sem <- struct{}{}:
+		defer func() { <-e.sem }()
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+
+	sens, err := buildSensitive(ds, req)
+	if err != nil {
+		return 0, err
+	}
+	params := mechanism.DefaultParams(req.Epsilon, req.nodeLike())
+	seq, err := mechanism.NewEfficientFromSensitive(sens, krel.CountQuery)
+	if err != nil {
+		return 0, err
+	}
+	core, err := mechanism.NewCore(seq, params)
+	if err != nil {
+		return 0, err
+	}
+	if err := core.Prepare(); err != nil {
+		return 0, err
+	}
+	rng := noise.NewRand(e.seed + e.next.Add(1))
+	return core.Release(rng)
+}
+
+// buildSensitive compiles the request into the sensitive K-relation the
+// mechanism releases a count of.
+func buildSensitive(ds *Dataset, req *Request) (*krel.Sensitive, error) {
+	switch req.Kind {
+	case KindSQL:
+		if ds.DB == nil {
+			return nil, badRequestf("dataset %q is a graph; kind %q needs a relational dataset", ds.Name, req.Kind)
+		}
+		q := req.parsed // cacheKey already parsed the text; don't lex twice
+		if q == nil {
+			var err error
+			if q, err = query.Parse(req.Query); err != nil {
+				return nil, &RequestError{Reason: err.Error()}
+			}
+		}
+		out, err := q.Eval(ds.DB)
+		if err != nil {
+			return nil, &RequestError{Reason: err.Error()}
+		}
+		return krel.NewSensitive(ds.Universe, out), nil
+	case KindTriangles, KindKStars, KindKTriangles, KindPattern:
+		if ds.Graph == nil {
+			return nil, badRequestf("dataset %q is relational; kind %q needs a graph dataset", ds.Name, req.Kind)
+		}
+	default:
+		return nil, badRequestf("unknown kind %q", req.Kind)
+	}
+	priv := req.privacy()
+	switch req.Kind {
+	case KindTriangles:
+		return subgraph.TriangleRelation(ds.Graph, priv), nil
+	case KindKStars:
+		return subgraph.KStarRelation(ds.Graph, req.K, priv), nil
+	case KindKTriangles:
+		return subgraph.KTriangleRelation(ds.Graph, req.K, priv), nil
+	default: // KindPattern
+		p, err := req.pattern()
+		if err != nil {
+			return nil, err
+		}
+		return subgraph.PatternRelation(ds.Graph, p, priv, nil), nil
+	}
+}

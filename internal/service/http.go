@@ -1,0 +1,94 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxBodyBytes bounds a /v1/query body; queries are short texts.
+const maxBodyBytes = 1 << 20
+
+// NewHandler adapts a Service to HTTP/JSON:
+//
+//	POST /v1/query            Request  → Response
+//	GET  /v1/datasets         → {"datasets": [DatasetInfo…]}
+//	GET  /v1/budget/{dataset} → BudgetStatus
+//	GET  /healthz             → {"status": "ok"}
+//
+// Errors come back as {"error": {"code", "message"}} with the status
+// mirroring the typed error: 429 for an exhausted budget, 404 for an
+// unknown dataset, 400 for a bad request, 500 otherwise.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, badRequestf("invalid JSON body: %v", err))
+			return
+		}
+		resp, err := s.Query(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Datasets()})
+	})
+	mux.HandleFunc("GET /v1/budget/{dataset}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Budget(r.PathValue("dataset"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Remaining reports the unreserved ε on budget_exhausted errors so a
+	// client can lower its ask instead of blindly retrying.
+	Remaining *float64 `json:"remaining,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	detail := errorDetail{Code: "internal", Message: err.Error()}
+	status := http.StatusInternalServerError
+	var be *BudgetError
+	switch {
+	case errors.As(err, &be):
+		status = http.StatusTooManyRequests
+		detail.Code = "budget_exhausted"
+		rem := be.Remaining
+		detail.Remaining = &rem
+	case errors.Is(err, ErrUnknownDataset):
+		status = http.StatusNotFound
+		detail.Code = "unknown_dataset"
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+		detail.Code = "bad_request"
+	}
+	writeJSON(w, status, errorBody{Error: detail})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is already out; nothing left to do
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/graph"
+	"recmech/internal/query"
+)
+
+// Dataset is one named sensitive database held by the registry: either a
+// graph (for the subgraph-count workloads) or a relational catalogue (for
+// the SQL-like front end). A Dataset is an immutable snapshot — re-register
+// under the same name to replace it; readers holding the old handle keep a
+// consistent view, and the bumped Gen fences stale release-cache entries.
+type Dataset struct {
+	Name string
+	Gen  uint64 // registration generation, part of every cache key
+
+	// Exactly one of the two shapes is populated.
+	Graph    *graph.Graph      // graph dataset
+	DB       *query.Database   // relational dataset: table catalogue …
+	Universe *boolexpr.Universe // … and its participant universe
+}
+
+// Kind returns "graph" or "relational".
+func (d *Dataset) Kind() string {
+	if d.Graph != nil {
+		return "graph"
+	}
+	return "relational"
+}
+
+// DatasetInfo is the public (non-sensitive) description of a dataset. Sizes
+// are course metadata the operator registered knowingly; tuple-level content
+// never leaves the service.
+type DatasetInfo struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"`
+	Nodes  int      `json:"nodes,omitempty"`  // graph datasets
+	Edges  int      `json:"edges,omitempty"`  // graph datasets
+	Tables []string `json:"tables,omitempty"` // relational datasets
+}
+
+// Registry holds the named datasets behind a read-write lock: lookups take
+// the read side, (re-)registration the write side.
+type Registry struct {
+	mu   sync.RWMutex
+	sets map[string]*Dataset
+	gen  uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sets: make(map[string]*Dataset)}
+}
+
+func (r *Registry) put(d *Dataset) *Dataset {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen++
+	d.Gen = r.gen
+	r.sets[d.Name] = d
+	return d
+}
+
+// PutGraph registers (or replaces) a graph dataset.
+func (r *Registry) PutGraph(name string, g *graph.Graph) *Dataset {
+	return r.put(&Dataset{Name: canonName(name), Graph: g})
+}
+
+// PutRelational registers (or replaces) a relational dataset: a table
+// catalogue together with the participant universe its annotations were
+// loaded under.
+func (r *Registry) PutRelational(name string, u *boolexpr.Universe, db *query.Database) *Dataset {
+	return r.put(&Dataset{Name: canonName(name), DB: db, Universe: u})
+}
+
+// Get returns the current snapshot of a dataset, or a *DatasetError
+// (matching ErrUnknownDataset).
+func (r *Registry) Get(name string) (*Dataset, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.sets[canonName(name)]
+	if !ok {
+		return nil, &DatasetError{Name: name}
+	}
+	return d, nil
+}
+
+// List describes every registered dataset, sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(r.sets))
+	for _, d := range r.sets {
+		info := DatasetInfo{Name: d.Name, Kind: d.Kind()}
+		if d.Graph != nil {
+			info.Nodes = d.Graph.NumNodes()
+			info.Edges = d.Graph.NumEdges()
+		} else {
+			info.Tables = d.DB.Names()
+			sort.Strings(info.Tables)
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func canonName(name string) string { return strings.ToLower(strings.TrimSpace(name)) }

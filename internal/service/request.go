@@ -1,0 +1,194 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"recmech/internal/graph"
+	"recmech/internal/query"
+	"recmech/internal/subgraph"
+)
+
+// Query kinds accepted by the service.
+const (
+	KindSQL        = "sql"        // SQL-like query against a relational dataset
+	KindTriangles  = "triangles"  // triangle count on a graph dataset
+	KindKStars     = "kstars"     // k-star count (K required)
+	KindKTriangles = "ktriangles" // k-triangle count (K required)
+	KindPattern    = "pattern"    // arbitrary connected pattern count
+)
+
+// Workload size ceilings. Subgraph enumeration is combinatorial in k and in
+// the pattern size, so an unbounded request could pin a worker (and its ε
+// reservation) indefinitely — a cheap denial of service on an endpoint that
+// accepts untrusted JSON. The caps comfortably cover the paper's workloads
+// (k ≤ 5, patterns on ≤ 5 nodes).
+const (
+	MaxK            = 10 // kstars/ktriangles
+	MaxPatternNodes = 8
+	MaxPatternEdges = 28 // complete graph on MaxPatternNodes nodes
+)
+
+// Request is one differentially private query. Exactly the fields relevant
+// to Kind must be set; Epsilon ≤ 0 takes the server's default.
+type Request struct {
+	Dataset string `json:"dataset"`
+	Kind    string `json:"kind"`
+
+	Query string `json:"query,omitempty"` // sql: the query text
+
+	K            int      `json:"k,omitempty"`            // kstars/ktriangles: the k
+	PatternNodes int      `json:"patternNodes,omitempty"` // pattern: node count
+	PatternEdges [][2]int `json:"patternEdges,omitempty"` // pattern: edges on 0..patternNodes-1
+
+	Privacy string  `json:"privacy,omitempty"` // "node" (default) or "edge"; graph kinds only
+	Epsilon float64 `json:"epsilon,omitempty"` // privacy budget for this release
+
+	// parsed carries the SQL parse tree from cacheKey to the executor so
+	// the text is lexed once per fresh query.
+	parsed *query.Query
+}
+
+// Response is one differentially private answer. Only already-released
+// values appear here — never the true answer or the sensitivity proxy Δ,
+// which are not private.
+type Response struct {
+	Dataset string  `json:"dataset"`
+	Kind    string  `json:"kind"`
+	Value   float64 `json:"value"`   // the ε-DP answer
+	Epsilon float64 `json:"epsilon"` // ε charged when the release was produced
+	// Cached reports that this reply replayed a recorded release (or joined
+	// an in-flight identical query) and therefore cost zero additional ε.
+	Cached bool `json:"cached"`
+	// RemainingBudget is the dataset's unreserved ε after this reply.
+	RemainingBudget float64 `json:"remainingBudget"`
+}
+
+// normalize validates the request in place, lowercasing the enum-ish fields
+// and substituting defaults. All failures are RequestErrors.
+func (r *Request) normalize(cfg Config) error {
+	r.Dataset = canonName(r.Dataset)
+	r.Kind = strings.ToLower(strings.TrimSpace(r.Kind))
+	r.Privacy = strings.ToLower(strings.TrimSpace(r.Privacy))
+	if r.Dataset == "" {
+		return badRequestf("dataset is required")
+	}
+	if r.Epsilon == 0 {
+		r.Epsilon = cfg.DefaultEpsilon
+	}
+	// NaN compares false with everything, so "<= 0" alone would let a NaN
+	// ε through validation and poison the ledger.
+	if math.IsNaN(r.Epsilon) || math.IsInf(r.Epsilon, 0) || r.Epsilon <= 0 {
+		return badRequestf("epsilon must be positive and finite, got %g", r.Epsilon)
+	}
+	if cfg.MaxEpsilon > 0 && r.Epsilon > cfg.MaxEpsilon {
+		return badRequestf("epsilon %g exceeds the per-query ceiling %g", r.Epsilon, cfg.MaxEpsilon)
+	}
+	switch r.Privacy {
+	case "", "node":
+		r.Privacy = "node"
+	case "edge":
+	default:
+		return badRequestf("privacy must be \"node\" or \"edge\", got %q", r.Privacy)
+	}
+	switch r.Kind {
+	case KindSQL:
+		if strings.TrimSpace(r.Query) == "" {
+			return badRequestf("kind %q requires a query", r.Kind)
+		}
+		if r.Privacy == "edge" {
+			return badRequestf("privacy applies to graph kinds only; kind %q always protects participants", r.Kind)
+		}
+	case KindTriangles:
+	case KindKStars, KindKTriangles:
+		if r.K < 1 || r.K > MaxK {
+			return badRequestf("kind %q requires 1 ≤ k ≤ %d, got %d", r.Kind, MaxK, r.K)
+		}
+	case KindPattern:
+		if r.PatternNodes < 1 || r.PatternNodes > MaxPatternNodes {
+			return badRequestf("kind %q requires 1 ≤ patternNodes ≤ %d, got %d", r.Kind, MaxPatternNodes, r.PatternNodes)
+		}
+		if len(r.PatternEdges) > MaxPatternEdges {
+			return badRequestf("at most %d pattern edges, got %d", MaxPatternEdges, len(r.PatternEdges))
+		}
+		for _, e := range r.PatternEdges {
+			if e[0] < 0 || e[0] >= r.PatternNodes || e[1] < 0 || e[1] >= r.PatternNodes || e[0] == e[1] {
+				return badRequestf("pattern edge [%d,%d] out of range for %d nodes", e[0], e[1], r.PatternNodes)
+			}
+		}
+	case "":
+		return badRequestf("kind is required (one of sql, triangles, kstars, ktriangles, pattern)")
+	default:
+		return badRequestf("unknown kind %q (one of sql, triangles, kstars, ktriangles, pattern)", r.Kind)
+	}
+	return nil
+}
+
+// privacy returns the subgraph privacy model (normalize must have run).
+func (r *Request) privacy() subgraph.Privacy {
+	if r.Privacy == "edge" {
+		return subgraph.EdgePrivacy
+	}
+	return subgraph.NodePrivacy
+}
+
+// nodeLike reports whether the mechanism should use the node-privacy
+// parameter defaults (µ = 1). Relational queries protect arbitrary
+// participants, the stronger setting.
+func (r *Request) nodeLike() bool {
+	return r.Kind == KindSQL || r.privacy() == subgraph.NodePrivacy
+}
+
+// pattern builds the validated subgraph pattern for KindPattern, converting
+// subgraph.NewPattern's panics (disconnected, isolated node) into
+// RequestErrors.
+func (r *Request) pattern() (p subgraph.Pattern, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = badRequestf("invalid pattern: %v", rec)
+		}
+	}()
+	edges := make([]graph.Edge, len(r.PatternEdges))
+	for i, e := range r.PatternEdges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		edges[i] = graph.Edge{U: u, V: v}
+	}
+	return subgraph.NewPattern(r.PatternNodes, edges), nil
+}
+
+// cacheKey derives the release-cache key: two requests share a key exactly
+// when they would replay the same recorded release — same dataset snapshot
+// (name and generation), same canonicalized query, same privacy model and
+// budget. SQL text is canonicalized through the parser, so formatting and
+// keyword-case differences still hit the cache.
+func (r *Request) cacheKey(ds *Dataset) (string, error) {
+	detail := ""
+	switch r.Kind {
+	case KindSQL:
+		q, err := query.Parse(r.Query)
+		if err != nil {
+			return "", &RequestError{Reason: err.Error()}
+		}
+		r.parsed = q
+		detail = q.Canonical()
+	case KindKStars, KindKTriangles:
+		detail = fmt.Sprintf("k=%d", r.K)
+	case KindPattern:
+		edges := make([]string, len(r.PatternEdges))
+		for i, e := range r.PatternEdges {
+			u, v := e[0], e[1]
+			if u > v {
+				u, v = v, u
+			}
+			edges[i] = fmt.Sprintf("%d-%d", u, v)
+		}
+		sort.Strings(edges)
+		detail = fmt.Sprintf("n=%d;%s", r.PatternNodes, strings.Join(edges, ","))
+	}
+	return fmt.Sprintf("%s#%d|%s|%s|eps=%.17g|%s", ds.Name, ds.Gen, r.Kind, r.Privacy, r.Epsilon, detail), nil
+}

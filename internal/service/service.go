@@ -1,0 +1,155 @@
+package service
+
+import (
+	"context"
+	"runtime"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/graph"
+	"recmech/internal/query"
+)
+
+// Config tunes a Service. The zero value is usable: every field has a
+// sensible default filled in by New.
+type Config struct {
+	// DatasetBudget is the total ε granted to each dataset at registration
+	// (individually adjustable later with GrantBudget). Default 10.
+	DatasetBudget float64
+	// DefaultEpsilon is charged when a request omits ε. Default 0.5.
+	DefaultEpsilon float64
+	// MaxEpsilon caps any single request's ε, so one query cannot drain a
+	// dataset. 0 disables the cap (the dataset budget still applies).
+	MaxEpsilon float64
+	// Workers bounds concurrent mechanism runs. Default GOMAXPROCS.
+	Workers int
+	// Seed makes the noise streams reproducible across runs. Default 1.
+	Seed int64
+	// CacheEntries bounds the release cache; the oldest recorded releases
+	// are evicted beyond it (a repeat then spends fresh ε). Default 4096.
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DatasetBudget <= 0 {
+		c.DatasetBudget = 10
+	}
+	if c.DefaultEpsilon <= 0 {
+		c.DefaultEpsilon = 0.5
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 4096
+	}
+	return c
+}
+
+// Service is the concurrent DP query service: registry + accountant +
+// executor + release cache behind one Query method. Construct with New,
+// register datasets, then serve Query calls from any number of goroutines
+// (NewHandler adapts it to HTTP for cmd/recmechd).
+type Service struct {
+	cfg   Config
+	reg   *Registry
+	acct  *Accountant
+	cache *ReleaseCache
+	exec  *Executor
+}
+
+// New returns an empty service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:   cfg,
+		reg:   NewRegistry(),
+		acct:  NewAccountant(),
+		cache: NewReleaseCache(cfg.CacheEntries),
+		exec:  NewExecutor(cfg.Workers, cfg.Seed),
+	}
+}
+
+// AddGraph registers a graph dataset and grants it the default budget.
+func (s *Service) AddGraph(name string, g *graph.Graph) {
+	d := s.reg.PutGraph(name, g)
+	s.acct.Grant(d.Name, s.cfg.DatasetBudget)
+}
+
+// AddRelational registers a relational dataset (a table catalogue plus the
+// universe its annotations resolve in) and grants it the default budget.
+func (s *Service) AddRelational(name string, u *boolexpr.Universe, db *query.Database) {
+	d := s.reg.PutRelational(name, u, db)
+	s.acct.Grant(d.Name, s.cfg.DatasetBudget)
+}
+
+// GrantBudget overrides a dataset's total ε budget.
+func (s *Service) GrantBudget(name string, epsilon float64) {
+	s.acct.Grant(canonName(name), epsilon)
+}
+
+// Datasets lists the registered datasets.
+func (s *Service) Datasets() []DatasetInfo { return s.reg.List() }
+
+// Budget snapshots a dataset's ε ledger.
+func (s *Service) Budget(name string) (BudgetStatus, error) {
+	st, ok := s.acct.Status(canonName(name))
+	if !ok {
+		return BudgetStatus{}, &DatasetError{Name: name}
+	}
+	return st, nil
+}
+
+// Query answers one differentially private query. The life of a request:
+//
+//  1. normalize and resolve the dataset snapshot;
+//  2. consult the release cache — a recorded identical release is replayed
+//     at zero additional ε, and concurrent identical queries coalesce into
+//     one flight;
+//  3. otherwise reserve ε from the dataset's ledger (typed rejection when
+//     exhausted, spending nothing), run the mechanism on the worker pool,
+//     then commit the reservation — or refund it if execution failed.
+//
+// Any error leaves the ledger exactly as it was.
+func (s *Service) Query(ctx context.Context, req Request) (Response, error) {
+	if err := req.normalize(s.cfg); err != nil {
+		return Response{}, err
+	}
+	ds, err := s.reg.Get(req.Dataset)
+	if err != nil {
+		return Response{}, err
+	}
+	key, err := req.cacheKey(ds)
+	if err != nil {
+		return Response{}, err
+	}
+	// The flight runs detached from the initiating caller's context:
+	// coalesced waiters must not fail because the first arrival hung up,
+	// and once ε is reserved the release should complete and be recorded
+	// rather than waste the reservation. Request size caps (normalize)
+	// bound each run, so orphaned flights cannot pile up unboundedly.
+	flightCtx := context.WithoutCancel(ctx)
+	resp, cached, err := s.cache.Do(ctx, key, func() (Response, error) {
+		resv, err := s.acct.Reserve(ds.Name, req.Epsilon)
+		if err != nil {
+			return Response{}, err
+		}
+		value, err := s.exec.Execute(flightCtx, ds, &req)
+		if err != nil {
+			resv.Refund()
+			return Response{}, err
+		}
+		resv.Commit()
+		return Response{Dataset: ds.Name, Kind: req.Kind, Value: value, Epsilon: req.Epsilon}, nil
+	})
+	if err != nil {
+		return Response{}, err
+	}
+	resp.Cached = cached
+	if st, ok := s.acct.Status(ds.Name); ok {
+		resp.RemainingBudget = st.Remaining
+	}
+	return resp, nil
+}

@@ -1,0 +1,358 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"recmech"
+)
+
+const visitsTable = `
+# annotated visits table: four participants
+x y
+a b @ pa & pb
+b c @ pb & pc
+c d @ pc & pd
+a c @ pa & pc
+`
+
+// newTestServer builds a service with one graph dataset ("g") and one
+// relational dataset ("med"), both with the given total budget, behind an
+// in-process HTTP server.
+func newTestServer(t testing.TB, budget float64) (*httptest.Server, *recmech.Service) {
+	t.Helper()
+	svc := recmech.NewService(recmech.ServiceConfig{
+		DatasetBudget:  budget,
+		DefaultEpsilon: 0.5,
+		Workers:        4,
+		Seed:           7,
+	})
+
+	g := recmech.NewGraph(8)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}, {5, 6}, {6, 7}} {
+		g.AddEdge(e[0], e[1])
+	}
+	svc.AddGraph("g", g)
+
+	u := recmech.NewUniverse()
+	rel, err := recmech.LoadTable(strings.NewReader(visitsTable), u)
+	if err != nil {
+		t.Fatalf("LoadTable: %v", err)
+	}
+	db := recmech.NewQueryDatabase()
+	db.Register("visits", rel)
+	svc.AddRelational("med", u, db)
+
+	ts := httptest.NewServer(recmech.NewServiceHandler(svc))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func postQuery(t testing.TB, ts *httptest.Server, req recmech.ServiceRequest) (int, recmech.ServiceResponse, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	httpResp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/query: %v", err)
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if httpResp.StatusCode == http.StatusOK {
+		var resp recmech.ServiceResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatalf("unmarshal %q: %v", raw, err)
+		}
+		return httpResp.StatusCode, resp, nil
+	}
+	var errBody map[string]any
+	if err := json.Unmarshal(raw, &errBody); err != nil {
+		t.Fatalf("unmarshal error body %q: %v", raw, err)
+	}
+	return httpResp.StatusCode, recmech.ServiceResponse{}, errBody
+}
+
+func errCode(t testing.TB, errBody map[string]any) string {
+	t.Helper()
+	inner, ok := errBody["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("error body without error object: %v", errBody)
+	}
+	code, _ := inner["code"].(string)
+	return code
+}
+
+func getJSON(t testing.TB, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, 2.0)
+
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz: code %d body %v", code, health)
+	}
+
+	var dsBody struct {
+		Datasets []recmech.DatasetInfo `json:"datasets"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/datasets", &dsBody); code != 200 {
+		t.Fatalf("datasets: code %d", code)
+	}
+	if len(dsBody.Datasets) != 2 || dsBody.Datasets[0].Name != "g" || dsBody.Datasets[1].Name != "med" {
+		t.Fatalf("datasets: %+v", dsBody.Datasets)
+	}
+	if dsBody.Datasets[0].Kind != "graph" || dsBody.Datasets[0].Nodes != 8 {
+		t.Fatalf("graph dataset info: %+v", dsBody.Datasets[0])
+	}
+	if dsBody.Datasets[1].Kind != "relational" || len(dsBody.Datasets[1].Tables) != 1 {
+		t.Fatalf("relational dataset info: %+v", dsBody.Datasets[1])
+	}
+
+	// First release spends ε = 0.5 of the graph budget.
+	code, resp, _ := postQuery(t, ts, recmech.ServiceRequest{Dataset: "g", Kind: recmech.KindTriangles, Epsilon: 0.5})
+	if code != 200 {
+		t.Fatalf("triangles: code %d", code)
+	}
+	if resp.Cached || math.Abs(resp.RemainingBudget-1.5) > 1e-9 || resp.Epsilon != 0.5 {
+		t.Fatalf("first release: %+v", resp)
+	}
+	if math.IsNaN(resp.Value) || math.IsInf(resp.Value, 0) {
+		t.Fatalf("released value not finite: %v", resp.Value)
+	}
+	triValue := resp.Value
+
+	// The identical query replays the recorded release: same value, zero ε.
+	code, again, _ := postQuery(t, ts, recmech.ServiceRequest{Dataset: "g", Kind: recmech.KindTriangles, Epsilon: 0.5})
+	if code != 200 || !again.Cached {
+		t.Fatalf("replay not cached: code %d %+v", code, again)
+	}
+	if again.Value != resp.Value {
+		t.Fatalf("replay changed the answer: %v vs %v", again.Value, resp.Value)
+	}
+	if math.Abs(again.RemainingBudget-1.5) > 1e-9 {
+		t.Fatalf("replay spent budget: %+v", again)
+	}
+
+	var budget recmech.BudgetStatus
+	if code := getJSON(t, ts.URL+"/v1/budget/g", &budget); code != 200 {
+		t.Fatalf("budget: code %d", code)
+	}
+	if math.Abs(budget.Spent-0.5) > 1e-9 || budget.Reserved != 0 {
+		t.Fatalf("budget after replay: %+v", budget)
+	}
+
+	// SQL against the relational dataset; a formatting variant of the same
+	// query must hit the cache (canonicalization).
+	sql := recmech.ServiceRequest{Dataset: "med", Kind: recmech.KindSQL, Query: "SELECT x FROM visits WHERE y != 'zz'", Epsilon: 0.5}
+	code, sqlResp, _ := postQuery(t, ts, sql)
+	if code != 200 || sqlResp.Cached {
+		t.Fatalf("sql: code %d %+v", code, sqlResp)
+	}
+	variant := sql
+	variant.Query = "select   X  from VISITS where Y <> \"zz\""
+	code, varResp, _ := postQuery(t, ts, variant)
+	if code != 200 || !varResp.Cached || varResp.Value != sqlResp.Value {
+		t.Fatalf("canonicalized variant missed the cache: code %d %+v vs %+v", code, varResp, sqlResp)
+	}
+
+	// Drain the graph budget (1.5 left), then watch a fresh query get the
+	// typed rejection without spending anything.
+	code, resp, _ = postQuery(t, ts, recmech.ServiceRequest{Dataset: "g", Kind: recmech.KindKStars, K: 2, Epsilon: 1.5})
+	if code != 200 || math.Abs(resp.RemainingBudget) > 1e-9 {
+		t.Fatalf("draining query: code %d %+v", code, resp)
+	}
+	code, _, errBody := postQuery(t, ts, recmech.ServiceRequest{Dataset: "g", Kind: recmech.KindTriangles, Privacy: "edge", Epsilon: 0.5})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("exhausted budget: code %d body %v", code, errBody)
+	}
+	if got := errCode(t, errBody); got != "budget_exhausted" {
+		t.Fatalf("exhausted budget: code %q", got)
+	}
+	if code := getJSON(t, ts.URL+"/v1/budget/g", &budget); code != 200 {
+		t.Fatalf("budget: code %d", code)
+	}
+	if math.Abs(budget.Spent-2.0) > 1e-9 || budget.Reserved != 0 {
+		t.Fatalf("rejected query moved the ledger: %+v", budget)
+	}
+
+	// A recorded release still replays after exhaustion — zero ε needed.
+	code, again, _ = postQuery(t, ts, recmech.ServiceRequest{Dataset: "g", Kind: recmech.KindTriangles, Epsilon: 0.5})
+	if code != 200 || !again.Cached || again.Value != triValue {
+		t.Fatalf("replay after exhaustion: code %d %+v (want value %v)", code, again, triValue)
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t, 2.0)
+
+	cases := []struct {
+		name     string
+		req      recmech.ServiceRequest
+		wantCode int
+		wantErr  string
+	}{
+		{"unknown dataset", recmech.ServiceRequest{Dataset: "nope", Kind: recmech.KindTriangles}, 404, "unknown_dataset"},
+		{"unknown kind", recmech.ServiceRequest{Dataset: "g", Kind: "median"}, 400, "bad_request"},
+		{"missing kind", recmech.ServiceRequest{Dataset: "g"}, 400, "bad_request"},
+		{"sql against graph", recmech.ServiceRequest{Dataset: "g", Kind: recmech.KindSQL, Query: "SELECT * FROM t"}, 400, "bad_request"},
+		{"triangles against relational", recmech.ServiceRequest{Dataset: "med", Kind: recmech.KindTriangles}, 400, "bad_request"},
+		{"sql parse error", recmech.ServiceRequest{Dataset: "med", Kind: recmech.KindSQL, Query: "SELECT FROM"}, 400, "bad_request"},
+		{"sql unknown table", recmech.ServiceRequest{Dataset: "med", Kind: recmech.KindSQL, Query: "SELECT * FROM ghosts"}, 400, "bad_request"},
+		{"kstars without k", recmech.ServiceRequest{Dataset: "g", Kind: recmech.KindKStars}, 400, "bad_request"},
+		{"kstars k over cap", recmech.ServiceRequest{Dataset: "g", Kind: recmech.KindKStars, K: 100}, 400, "bad_request"},
+		{"pattern over node cap", recmech.ServiceRequest{Dataset: "g", Kind: recmech.KindPattern, PatternNodes: 50}, 400, "bad_request"},
+		{"edge privacy on sql", recmech.ServiceRequest{Dataset: "med", Kind: recmech.KindSQL, Query: "SELECT * FROM visits", Privacy: "edge"}, 400, "bad_request"},
+		{"bad privacy", recmech.ServiceRequest{Dataset: "g", Kind: recmech.KindTriangles, Privacy: "both"}, 400, "bad_request"},
+		{"bad pattern", recmech.ServiceRequest{Dataset: "g", Kind: recmech.KindPattern, PatternNodes: 3, PatternEdges: [][2]int{{0, 1}}}, 400, "bad_request"},
+		{"negative epsilon", recmech.ServiceRequest{Dataset: "g", Kind: recmech.KindTriangles, Epsilon: -1}, 400, "bad_request"},
+	}
+	for _, tc := range cases {
+		code, _, errBody := postQuery(t, ts, tc.req)
+		if code != tc.wantCode {
+			t.Errorf("%s: code %d, want %d (%v)", tc.name, code, tc.wantCode, errBody)
+			continue
+		}
+		if got := errCode(t, errBody); got != tc.wantErr {
+			t.Errorf("%s: error code %q, want %q", tc.name, got, tc.wantErr)
+		}
+	}
+
+	// Failed queries must not consume budget.
+	var budget recmech.BudgetStatus
+	getJSON(t, ts.URL+"/v1/budget/g", &budget)
+	if budget.Spent != 0 || budget.Reserved != 0 {
+		t.Fatalf("error paths spent budget: %+v", budget)
+	}
+
+	// Malformed JSON and budget for an unknown dataset.
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed JSON: code %d", resp.StatusCode)
+	}
+	var errBody map[string]any
+	if code := getJSON(t, ts.URL+"/v1/budget/nope", &errBody); code != 404 {
+		t.Fatalf("budget of unknown dataset: code %d", code)
+	}
+}
+
+// TestConcurrentDistinctQueriesComposeBudget fires more concurrent distinct
+// queries than the budget can fund and checks that admission is exact:
+// every accepted query's ε is committed, every rejection is the typed
+// budget error, and the ledger balances to exactly the budget.
+func TestConcurrentDistinctQueriesComposeBudget(t *testing.T) {
+	ts, svc := newTestServer(t, 2.0)
+	const (
+		attempts = 16
+		eps      = 0.25 // capacity: 8 of 16
+	)
+	var ok, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := recmech.ServiceRequest{
+				Dataset: "med",
+				Kind:    recmech.KindSQL,
+				Query:   fmt.Sprintf("SELECT x, y FROM visits WHERE x != 'u%d'", i),
+				Epsilon: eps,
+			}
+			code, _, errBody := postQuery(t, ts, req)
+			switch code {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusTooManyRequests:
+				if got := errCode(t, errBody); got != "budget_exhausted" {
+					t.Errorf("rejection code %q", got)
+				}
+				rejected.Add(1)
+			default:
+				t.Errorf("query %d: unexpected status %d (%v)", i, code, errBody)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ok.Load() != 8 || rejected.Load() != 8 {
+		t.Fatalf("admission miscounted: %d ok, %d rejected (want 8/8)", ok.Load(), rejected.Load())
+	}
+	st, err := svc.Budget("med")
+	if err != nil {
+		t.Fatalf("Budget: %v", err)
+	}
+	if math.Abs(st.Spent-2.0) > 1e-9 || st.Reserved != 0 || st.Remaining > 1e-9 {
+		t.Fatalf("ledger unbalanced after storm: %+v", st)
+	}
+}
+
+// TestConcurrentIdenticalQueriesCoalesce checks the singleflight property:
+// a thundering herd of one query spends ε exactly once and everyone gets
+// the same released value.
+func TestConcurrentIdenticalQueriesCoalesce(t *testing.T) {
+	ts, svc := newTestServer(t, 2.0)
+	const herd = 12
+	var fresh atomic.Int64
+	values := make([]float64, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, resp, errBody := postQuery(t, ts, recmech.ServiceRequest{
+				Dataset: "g", Kind: recmech.KindTriangles, Epsilon: 0.5,
+			})
+			if code != http.StatusOK {
+				t.Errorf("query %d: status %d (%v)", i, code, errBody)
+				return
+			}
+			if !resp.Cached {
+				fresh.Add(1)
+			}
+			values[i] = resp.Value
+		}(i)
+	}
+	wg.Wait()
+	if fresh.Load() != 1 {
+		t.Fatalf("%d fresh releases for one identical query, want 1", fresh.Load())
+	}
+	for i := 1; i < herd; i++ {
+		if values[i] != values[0] {
+			t.Fatalf("herd saw different values: %v vs %v", values[i], values[0])
+		}
+	}
+	st, err := svc.Budget("g")
+	if err != nil {
+		t.Fatalf("Budget: %v", err)
+	}
+	if math.Abs(st.Spent-0.5) > 1e-9 || st.Reserved != 0 {
+		t.Fatalf("herd spent more than one ε: %+v", st)
+	}
+}

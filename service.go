@@ -1,0 +1,62 @@
+package recmech
+
+// The serving layer (internal/service, served by cmd/recmechd) re-exported
+// for importers: a concurrent DP query service combining a dataset
+// registry, a per-dataset privacy-budget accountant with atomic
+// reserve/commit/refund, a bounded-worker query executor, and a release
+// cache that replays recorded answers at zero additional ε.
+
+import (
+	"net/http"
+
+	"recmech/internal/service"
+)
+
+// Service types, usable by importers of this package.
+type (
+	// Service is the concurrent DP query service (registry + accountant +
+	// executor + release cache).
+	Service = service.Service
+	// ServiceConfig tunes a Service; the zero value is usable.
+	ServiceConfig = service.Config
+	// ServiceRequest is one DP query against a registered dataset.
+	ServiceRequest = service.Request
+	// ServiceResponse is one DP answer (only released values, never the
+	// true answer).
+	ServiceResponse = service.Response
+	// DatasetInfo publicly describes a registered dataset.
+	DatasetInfo = service.DatasetInfo
+	// BudgetStatus snapshots a dataset's ε ledger.
+	BudgetStatus = service.BudgetStatus
+	// BudgetError is the typed rejection of an over-budget query; it
+	// matches ErrBudgetExhausted under errors.Is.
+	BudgetError = service.BudgetError
+)
+
+// Sentinel errors of the serving layer, for errors.Is checks.
+var (
+	// ErrBudgetExhausted rejects a query whose ε cannot be reserved.
+	ErrBudgetExhausted = service.ErrBudgetExhausted
+	// ErrUnknownDataset rejects a query against an unregistered dataset.
+	ErrUnknownDataset = service.ErrUnknownDataset
+	// ErrServiceBadRequest rejects a malformed or inapplicable request.
+	ErrServiceBadRequest = service.ErrBadRequest
+)
+
+// Query kinds accepted by ServiceRequest.Kind.
+const (
+	KindSQL        = service.KindSQL
+	KindTriangles  = service.KindTriangles
+	KindKStars     = service.KindKStars
+	KindKTriangles = service.KindKTriangles
+	KindPattern    = service.KindPattern
+)
+
+// NewService returns an empty DP query service; register datasets with
+// AddGraph / AddRelational, then answer with Query.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewServiceHandler adapts a Service to the HTTP/JSON API cmd/recmechd
+// serves (POST /v1/query, GET /v1/datasets, GET /v1/budget/{dataset},
+// GET /healthz).
+func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
