@@ -3,32 +3,47 @@
 // privacy-budget accountant, a bounded worker pool, and a release cache
 // (see internal/service).
 //
-// Datasets are loaded at startup:
+// With -data-dir the daemon is durable: the privacy-budget ledger is
+// journalled to a write-ahead log before any ε changes hands, recorded
+// releases replay after a restart at zero additional ε, and datasets
+// uploaded through the admin API persist across restarts. Without it,
+// everything lives (and dies) in memory.
 //
+// Datasets come from the data dir, from startup flags, or from the admin
+// API at runtime:
+//
+//	recmechd -data-dir /var/lib/recmech                # durable, admin-managed
 //	recmechd -graph social=graph.txt                   # edge-list graph
 //	recmechd -tables med=visits:v.txt,rx:r.txt         # annotated tables
 //	recmechd -demo                                     # built-in demo graph
 //
 // Every table of one -tables dataset shares a participant universe, so the
 // same annotation variable in two files means the same participant.
+// Flag-loaded datasets are registered in memory each boot and are not
+// written to the data dir; use PUT /v1/datasets/{name} to persist one.
 //
 // Endpoints:
 //
-//	POST /v1/query            {"dataset","kind","query"|"k"|pattern…,"epsilon"}
-//	GET  /v1/datasets
-//	GET  /v1/budget/{dataset}
-//	GET  /healthz
+//	POST   /v1/query            {"dataset","kind","query"|"k"|pattern…,"epsilon"}
+//	GET    /v1/datasets
+//	PUT    /v1/datasets/{name}  {"kind":"graph","graph":…} | {"kind":"relational","tables":{…}}
+//	DELETE /v1/datasets/{name}
+//	GET    /v1/budget/{dataset}
+//	GET    /healthz
 //
 // Example session:
 //
-//	recmechd -demo -budget 5 &
-//	curl -s localhost:8377/v1/datasets
+//	recmechd -data-dir ./data -budget 5 &
+//	curl -s -X PUT localhost:8377/v1/datasets/demo \
+//	     -d '{"kind":"graph","graph":"0 1\n1 2\n0 2\n"}'
 //	curl -s -X POST localhost:8377/v1/query \
 //	     -d '{"dataset":"demo","kind":"triangles","epsilon":0.5}'
 //	curl -s localhost:8377/v1/budget/demo
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// queries.
+// queries. A SIGKILL is safe too: every spend is journalled before it
+// applies, so a restart can only under-count the remaining budget, never
+// over-grant it.
 package main
 
 import (
@@ -50,6 +65,7 @@ import (
 	"recmech/internal/noise"
 	"recmech/internal/query"
 	"recmech/internal/service"
+	"recmech/internal/store"
 )
 
 type repeated []string
@@ -63,6 +79,7 @@ func main() {
 	flag.Var(&tableSets, "tables", "NAME=TBL:FILE[,TBL:FILE…] relational dataset (repeatable)")
 	var (
 		addr     = flag.String("addr", ":8377", "listen address")
+		dataDir  = flag.String("data-dir", "", "durable store directory: budget WAL, recorded releases, uploaded datasets (empty = in-memory)")
 		budget   = flag.Float64("budget", 10, "total privacy budget ε per dataset")
 		epsilon  = flag.Float64("epsilon", 0.5, "default per-query ε when a request omits it")
 		maxEps   = flag.Float64("max-epsilon", 0, "per-query ε ceiling (0 = only the dataset budget caps)")
@@ -73,13 +90,31 @@ func main() {
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		DatasetBudget:  *budget,
 		DefaultEpsilon: *epsilon,
 		MaxEpsilon:     *maxEps,
 		Workers:        *workers,
 		Seed:           *seed,
-	})
+	}
+	var svc *service.Service
+	if *dataDir != "" {
+		st, err := store.Open(store.Config{Dir: *dataDir})
+		if err != nil {
+			fail(err)
+		}
+		defer st.Close()
+		var warns []error
+		svc, warns = service.NewWithStore(cfg, st)
+		for _, w := range warns {
+			log.Printf("warning: %v", w)
+		}
+		for _, d := range svc.Datasets() {
+			log.Printf("dataset %q: %s, restored from %s", d.Name, d.Kind, *dataDir)
+		}
+	} else {
+		svc = service.New(cfg)
+	}
 
 	for _, spec := range graphs {
 		name, path, ok := strings.Cut(spec, "=")
@@ -90,7 +125,9 @@ func main() {
 		if err != nil {
 			fail(fmt.Errorf("-graph %s: %w", name, err))
 		}
-		svc.AddGraph(name, g)
+		if err := svc.AddGraph(name, g); err != nil {
+			fail(fmt.Errorf("-graph %s: %w", name, err))
+		}
 		log.Printf("dataset %q: graph, %d nodes, %d edges, budget ε=%g", name, g.NumNodes(), g.NumEdges(), *budget)
 	}
 	for _, spec := range tableSets {
@@ -111,16 +148,22 @@ func main() {
 			}
 			db.Register(tbl, rel)
 		}
-		svc.AddRelational(name, u, db)
+		if err := svc.AddRelational(name, u, db); err != nil {
+			fail(fmt.Errorf("-tables %s: %w", name, err))
+		}
 		log.Printf("dataset %q: relational, tables %v, budget ε=%g", name, db.Names(), *budget)
 	}
 	if *demo {
 		g := graph.RandomAverageDegree(noise.NewRand(*seed), 200, 6)
-		svc.AddGraph("demo", g)
+		if err := svc.AddGraph("demo", g); err != nil {
+			fail(err)
+		}
 		log.Printf("dataset \"demo\": random graph, %d nodes, %d edges, budget ε=%g", g.NumNodes(), g.NumEdges(), *budget)
 	}
-	if len(svc.Datasets()) == 0 {
-		fmt.Fprintln(os.Stderr, "recmechd: no datasets; pass -graph, -tables, or -demo")
+	// A durable daemon may legitimately boot empty: datasets arrive at
+	// runtime through PUT /v1/datasets/{name}.
+	if len(svc.Datasets()) == 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "recmechd: no datasets; pass -graph, -tables, -demo, or -data-dir")
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -22,11 +22,34 @@ const budgetSlack = 1e-9
 //
 // Reserve fails with a *BudgetError (matching ErrBudgetExhausted) when the
 // unreserved remainder is insufficient; a rejected or refunded query spends
-// nothing. All operations are atomic under one mutex — ledger operations are
-// nanoseconds next to a mechanism run, so finer locking would buy nothing.
+// nothing. All operations are atomic under one mutex. Without a journal,
+// ledger operations are nanoseconds next to a mechanism run; with one,
+// each transition carries a synced journal append, so the mutex serializes
+// spending at the disk's sync rate — a deliberate correctness-first choice
+// (durable order equals ledger order). Group commit is the upgrade path if
+// ledger throughput ever becomes the bottleneck.
+//
+// With a BudgetJournal attached (SetJournal), every transition is written
+// to the journal *before* it applies in memory, under the same mutex, so
+// the durable event order matches the ledger order exactly. The journal's
+// failure contract is asymmetric on purpose: a grant or reserve that can't
+// be journalled fails outright (handing out unjournalled ε would let a
+// restart re-grant it), while a commit or refund that can't be journalled
+// still applies in memory — the durable reserve record already covers it
+// conservatively, because recovery folds unsettled reservations into spent.
 type Accountant struct {
 	mu      sync.Mutex
 	ledgers map[string]*ledger
+	journal BudgetJournal
+}
+
+// BudgetJournal persists ledger transitions; *store.Store implements it.
+// Reserve returns the durable id Commit/Refund settle later.
+type BudgetJournal interface {
+	Grant(dataset string, total float64) error
+	Reserve(dataset string, epsilon float64) (id uint64, err error)
+	Commit(id uint64) error
+	Refund(id uint64) error
 }
 
 type ledger struct {
@@ -42,19 +65,41 @@ func NewAccountant() *Accountant {
 	return &Accountant{ledgers: make(map[string]*ledger)}
 }
 
+// SetJournal attaches the durable journal. Attach before serving traffic;
+// transitions made earlier are not journalled.
+func (a *Accountant) SetJournal(j BudgetJournal) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.journal = j
+}
+
+// Restore seeds a dataset's ledger from recovered durable state without
+// journalling (the journal is where the state came from).
+func (a *Accountant) Restore(dataset string, total, spent float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ledgers[dataset] = &ledger{total: total, spent: spent}
+}
+
 // Grant sets (or resets) a dataset's total privacy budget. Spent and
 // reserved amounts are preserved, so raising a live dataset's budget is
 // safe; lowering it below what is already spent just means no further
 // reservations succeed.
-func (a *Accountant) Grant(dataset string, epsilon float64) {
+func (a *Accountant) Grant(dataset string, epsilon float64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.journal != nil {
+		if err := a.journal.Grant(dataset, epsilon); err != nil {
+			return err
+		}
+	}
 	l, ok := a.ledgers[dataset]
 	if !ok {
 		l = &ledger{}
 		a.ledgers[dataset] = l
 	}
 	l.total = epsilon
+	return nil
 }
 
 // BudgetStatus is a point-in-time snapshot of one ledger.
@@ -103,19 +148,31 @@ func (a *Accountant) Reserve(dataset string, epsilon float64) (*Reservation, err
 	if epsilon > l.remaining()+budgetSlack {
 		return nil, &BudgetError{Dataset: dataset, Requested: epsilon, Remaining: l.remaining()}
 	}
+	var journalID uint64
+	if a.journal != nil {
+		// Journal before the in-memory reservation exists: if the append
+		// fails, no ε changed hands anywhere. Once it succeeds, a crash
+		// before settlement replays this reservation as spent.
+		id, err := a.journal.Reserve(dataset, epsilon)
+		if err != nil {
+			return nil, err
+		}
+		journalID = id
+	}
 	l.reserved += epsilon
-	return &Reservation{acct: a, ledger: l, dataset: dataset, epsilon: epsilon}, nil
+	return &Reservation{acct: a, ledger: l, dataset: dataset, epsilon: epsilon, journalID: journalID}, nil
 }
 
 // Reservation is ε set aside for one in-flight release. Exactly one of
 // Commit or Refund must be called; a second settlement panics, because it
 // would silently corrupt the ledger.
 type Reservation struct {
-	acct    *Accountant
-	ledger  *ledger
-	dataset string
-	epsilon float64
-	settled bool
+	acct      *Accountant
+	ledger    *ledger
+	dataset   string
+	epsilon   float64
+	journalID uint64
+	settled   bool
 }
 
 // Epsilon returns the reserved ε.
@@ -138,6 +195,18 @@ func (r *Reservation) settle(commit bool) {
 	defer r.acct.mu.Unlock()
 	if r.settled {
 		panic("service: reservation settled twice")
+	}
+	if j := r.acct.journal; j != nil && r.journalID != 0 {
+		// Settlement journal failures are deliberately swallowed: the
+		// durable reserve record already accounts for this ε, and an
+		// unsettled reservation recovers as spent — conservative for a
+		// commit (exactly right) and for a refund (the pool keeps less
+		// than it could, never more).
+		if commit {
+			_ = j.Commit(r.journalID)
+		} else {
+			_ = j.Refund(r.journalID)
+		}
 	}
 	r.settled = true
 	r.ledger.reserved -= r.epsilon

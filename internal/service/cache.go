@@ -43,6 +43,25 @@ func NewReleaseCache(maxEntries int) *ReleaseCache {
 	return &ReleaseCache{entries: make(map[string]*cacheEntry), maxEntries: maxEntries}
 }
 
+// Preload installs an already-recorded release, as replayed from a durable
+// store at startup. A later Preload of the same key replaces the earlier
+// one (the journal appends re-records after eviction, so last wins).
+// Preloaded entries count toward the eviction bound like any other.
+func (c *ReleaseCache) Preload(key string, resp Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &cacheEntry{ready: make(chan struct{}), resp: resp}
+	close(e.ready)
+	if _, exists := c.entries[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = e
+	for len(c.order) > c.maxEntries {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
 // Len returns the number of entries (recorded and in-flight).
 func (c *ReleaseCache) Len() int {
 	c.mu.Lock()

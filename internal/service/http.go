@@ -9,12 +9,26 @@ import (
 // maxBodyBytes bounds a /v1/query body; queries are short texts.
 const maxBodyBytes = 1 << 20
 
+// maxUploadBytes bounds a dataset upload body.
+const maxUploadBytes = 64 << 20
+
+// UploadRequest is the body of PUT /v1/datasets/{name}: an edge-list graph
+// or a set of annotated tables, carried as text in the formats the loaders
+// accept (see graph.ReadEdgeList and query.LoadTable).
+type UploadRequest struct {
+	Kind   string            `json:"kind"`             // "graph" or "relational"
+	Graph  string            `json:"graph,omitempty"`  // kind "graph": edge-list text
+	Tables map[string]string `json:"tables,omitempty"` // kind "relational": table name → table text
+}
+
 // NewHandler adapts a Service to HTTP/JSON:
 //
-//	POST /v1/query            Request  → Response
-//	GET  /v1/datasets         → {"datasets": [DatasetInfo…]}
-//	GET  /v1/budget/{dataset} → BudgetStatus
-//	GET  /healthz             → {"status": "ok"}
+//	POST   /v1/query            Request  → Response
+//	GET    /v1/datasets         → {"datasets": [DatasetInfo…]} (with budgets)
+//	PUT    /v1/datasets/{name}  UploadRequest → DatasetInfo
+//	DELETE /v1/datasets/{name}  → 204
+//	GET    /v1/budget/{dataset} → BudgetStatus
+//	GET    /healthz             → {"status": "ok"}
 //
 // Errors come back as {"error": {"code", "message"}} with the status
 // mirroring the typed error: 429 for an exhausted budget, 404 for an
@@ -38,6 +52,44 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Datasets()})
+	})
+	mux.HandleFunc("PUT /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var up UploadRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&up); err != nil {
+			writeError(w, badRequestf("invalid JSON body: %v", err))
+			return
+		}
+		name := r.PathValue("name")
+		var (
+			info DatasetInfo
+			err  error
+		)
+		switch up.Kind {
+		case "graph":
+			info, err = s.UploadGraph(name, []byte(up.Graph))
+		case "relational":
+			tables := make(map[string][]byte, len(up.Tables))
+			for tbl, text := range up.Tables {
+				tables[tbl] = []byte(text)
+			}
+			info, err = s.UploadTables(name, tables)
+		default:
+			err = badRequestf("kind must be \"graph\" or \"relational\", got %q", up.Kind)
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("DELETE /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.DeleteDataset(r.PathValue("name")); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("GET /v1/budget/{dataset}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Budget(r.PathValue("dataset"))

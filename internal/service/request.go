@@ -166,6 +166,11 @@ func (r *Request) pattern() (p subgraph.Pattern, err error) {
 // (name and generation), same canonicalized query, same privacy model and
 // budget. SQL text is canonicalized through the parser, so formatting and
 // keyword-case differences still hit the cache.
+//
+// Durable and in-memory snapshots key in disjoint namespaces ("@v" store
+// versions vs "#" per-boot generations): a flag-loaded dataset's gen 1 and
+// a later upload's store version 1 are different data and must never share
+// a recorded release.
 func (r *Request) cacheKey(ds *Dataset) (string, error) {
 	detail := ""
 	switch r.Kind {
@@ -190,5 +195,9 @@ func (r *Request) cacheKey(ds *Dataset) (string, error) {
 		sort.Strings(edges)
 		detail = fmt.Sprintf("n=%d;%s", r.PatternNodes, strings.Join(edges, ","))
 	}
-	return fmt.Sprintf("%s#%d|%s|%s|eps=%.17g|%s", ds.Name, ds.Gen, r.Kind, r.Privacy, r.Epsilon, detail), nil
+	genTag := "#"
+	if ds.Durable {
+		genTag = "@v"
+	}
+	return fmt.Sprintf("%s%s%d|%s|%s|eps=%.17g|%s", ds.Name, genTag, ds.Gen, r.Kind, r.Privacy, r.Epsilon, detail), nil
 }

@@ -1,12 +1,18 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"runtime"
+	"sync"
 
 	"recmech/internal/boolexpr"
 	"recmech/internal/graph"
 	"recmech/internal/query"
+	"recmech/internal/store"
 )
 
 // Config tunes a Service. The zero value is usable: every field has a
@@ -58,9 +64,17 @@ type Service struct {
 	acct  *Accountant
 	cache *ReleaseCache
 	exec  *Executor
+	store *store.Store // nil for a purely in-memory service
+
+	// adminMu serializes dataset mutations (upload/delete) so the durable
+	// store and the in-memory registry can never diverge: without it a
+	// DELETE racing a PUT could tombstone the manifest while the PUT's
+	// registration resurrects the dataset in memory only.
+	adminMu sync.Mutex
 }
 
-// New returns an empty service.
+// New returns an empty in-memory service: budget and releases die with the
+// process. Production deployments should use NewWithStore.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
@@ -72,26 +86,203 @@ func New(cfg Config) *Service {
 	}
 }
 
-// AddGraph registers a graph dataset and grants it the default budget.
-func (s *Service) AddGraph(name string, g *graph.Graph) {
+// NewWithStore returns a service backed by a durable store: the accountant
+// journals every budget transition to the store's WAL before applying it,
+// recovered ledgers are restored (reservations in flight at a crash count
+// as spent — recovery can only shrink remaining budget, never grow it),
+// datasets persisted under the store load into the registry at their
+// durable versions, and previously recorded releases replay from the cache
+// at zero additional ε. Datasets that fail to load are skipped and
+// returned as warnings; the service always comes up.
+func NewWithStore(cfg Config, st *store.Store) (*Service, []error) {
+	s := New(cfg)
+	s.store = st
+	st.SetMaxReleases(s.cfg.CacheEntries) // retain at least what the cache can replay
+	s.acct.SetJournal(st)
+	for name, l := range st.Ledgers() {
+		s.acct.Restore(name, l.Total, l.Spent)
+	}
+	files, warns := st.Datasets().LoadAll()
+	for _, df := range files {
+		if _, err := s.registerFile(df); err != nil {
+			warns = append(warns, fmt.Errorf("service: dataset %q: funding ledger: %w", df.Name, err))
+		}
+	}
+	for _, rel := range st.Releases() {
+		var resp Response
+		if err := json.Unmarshal(rel.Payload, &resp); err != nil {
+			warns = append(warns, fmt.Errorf("service: skipping undecodable recorded release %q: %w", rel.Key, err))
+			continue
+		}
+		s.cache.Preload(rel.Key, resp)
+	}
+	return s, warns
+}
+
+// registerFile installs a store-loaded dataset at its durable version and
+// funds it. The dataset is registered even when funding fails (the caller
+// decides whether that is a boot warning or a request error).
+func (s *Service) registerFile(df *store.DatasetFile) (*Dataset, error) {
+	var d *Dataset
+	if df.Kind == store.KindGraph {
+		d = s.reg.PutGraphVersion(df.Name, df.Graph, df.Version)
+	} else {
+		d = s.reg.PutRelationalVersion(df.Name, df.Universe, df.DB, df.Version)
+	}
+	return d, s.fund(d)
+}
+
+// fund grants the default budget to a dataset with no ledger yet. An
+// existing ledger — recovered from the journal, or operator-adjusted — is
+// left untouched, so re-registration and delete/re-create cycles can
+// never reset spent ε.
+func (s *Service) fund(d *Dataset) error {
+	if _, ok := s.acct.Status(d.Name); ok {
+		return nil
+	}
+	return s.acct.Grant(d.Name, s.cfg.DatasetBudget)
+}
+
+// AddGraph registers a graph dataset and grants it the default budget
+// (in-memory only — not persisted to the store; use UploadGraph for that).
+func (s *Service) AddGraph(name string, g *graph.Graph) error {
 	d := s.reg.PutGraph(name, g)
-	s.acct.Grant(d.Name, s.cfg.DatasetBudget)
+	return s.acct.Grant(d.Name, s.cfg.DatasetBudget)
 }
 
 // AddRelational registers a relational dataset (a table catalogue plus the
-// universe its annotations resolve in) and grants it the default budget.
-func (s *Service) AddRelational(name string, u *boolexpr.Universe, db *query.Database) {
+// universe its annotations resolve in) and grants it the default budget
+// (in-memory only — not persisted; use UploadTables for that).
+func (s *Service) AddRelational(name string, u *boolexpr.Universe, db *query.Database) error {
 	d := s.reg.PutRelational(name, u, db)
-	s.acct.Grant(d.Name, s.cfg.DatasetBudget)
+	return s.acct.Grant(d.Name, s.cfg.DatasetBudget)
 }
 
 // GrantBudget overrides a dataset's total ε budget.
-func (s *Service) GrantBudget(name string, epsilon float64) {
-	s.acct.Grant(canonName(name), epsilon)
+func (s *Service) GrantBudget(name string, epsilon float64) error {
+	return s.acct.Grant(canonName(name), epsilon)
 }
 
-// Datasets lists the registered datasets.
-func (s *Service) Datasets() []DatasetInfo { return s.reg.List() }
+// UploadGraph validates, persists (when the service is store-backed), and
+// registers an edge-list graph dataset under name. Re-uploading bumps the
+// dataset's version, fencing stale cached releases; an existing ε ledger is
+// preserved, so delete/re-upload cycles cannot reset spent budget.
+func (s *Service) UploadGraph(name string, edgeList []byte) (DatasetInfo, error) {
+	return s.upload(name, "graph",
+		func(canon string) (*store.DatasetFile, error) {
+			return s.store.Datasets().PutGraph(canon, edgeList)
+		},
+		func(canon string) (*Dataset, error) {
+			g, err := graph.ReadEdgeList(bytes.NewReader(edgeList))
+			if err != nil {
+				return nil, err
+			}
+			return s.reg.PutGraph(canon, g), nil
+		})
+}
+
+// UploadTables validates, persists (when store-backed), and registers a
+// relational dataset: named annotated tables sharing one participant
+// universe. Versioning and ledger semantics match UploadGraph.
+func (s *Service) UploadTables(name string, tables map[string][]byte) (DatasetInfo, error) {
+	return s.upload(name, "relational",
+		func(canon string) (*store.DatasetFile, error) {
+			return s.store.Datasets().PutTables(canon, tables)
+		},
+		func(canon string) (*Dataset, error) {
+			u, db, _, err := store.ParseTables(tables)
+			if err != nil {
+				return nil, err
+			}
+			return s.reg.PutRelational(canon, u, db), nil
+		})
+}
+
+// upload is the shared admin-upload flow: validate the name, persist via
+// the store (which parses once; ErrBadData separates the caller's bad
+// payload, a 400, from store I/O faults, a 500) or parse in memory, then
+// fund the ledger if the dataset has none.
+func (s *Service) upload(name, kind string,
+	persist func(canon string) (*store.DatasetFile, error),
+	parseMem func(canon string) (*Dataset, error),
+) (DatasetInfo, error) {
+	canon := canonName(name)
+	if err := store.ValidateName(canon); err != nil {
+		return DatasetInfo{}, badRequestf("%v", err)
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	var d *Dataset
+	if s.store != nil {
+		df, err := persist(canon)
+		if err != nil {
+			if errors.Is(err, store.ErrBadData) {
+				return DatasetInfo{}, badRequestf("%s dataset %q: %v", kind, canon, err)
+			}
+			return DatasetInfo{}, err
+		}
+		if d, err = s.registerFile(df); err != nil {
+			return DatasetInfo{}, err
+		}
+	} else {
+		var err error
+		if d, err = parseMem(canon); err != nil {
+			return DatasetInfo{}, badRequestf("%s dataset %q: %v", kind, canon, err)
+		}
+		if err := s.fund(d); err != nil {
+			return DatasetInfo{}, err
+		}
+	}
+	return s.describe(d), nil
+}
+
+// DeleteDataset unregisters a dataset and removes its persisted data. The
+// ε ledger deliberately survives: budget already spent on releases about
+// this data is spent forever, even across delete/re-create.
+func (s *Service) DeleteDataset(name string) error {
+	name = canonName(name)
+	if err := store.ValidateName(name); err != nil {
+		return badRequestf("%v", err)
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	// Tombstone the durable copy first: if that fails, the dataset stays
+	// registered and queryable, rather than vanishing from memory only to
+	// resurrect from disk at the next restart.
+	storeHad := false
+	if s.store != nil {
+		err := s.store.Datasets().Delete(name)
+		if err != nil && !errors.Is(err, store.ErrNoDataset) {
+			return err
+		}
+		storeHad = err == nil
+	}
+	if !s.reg.Delete(name) && !storeHad {
+		return &DatasetError{Name: name}
+	}
+	return nil
+}
+
+// Datasets lists the registered datasets, each carrying its ε ledger
+// snapshot so operators see data and budget state in one call.
+func (s *Service) Datasets() []DatasetInfo {
+	infos := s.reg.List()
+	for i := range infos {
+		if st, ok := s.acct.Status(infos[i].Name); ok {
+			infos[i].Budget = &st
+		}
+	}
+	return infos
+}
+
+// describe builds the DatasetInfo (with budget) for one dataset snapshot.
+func (s *Service) describe(d *Dataset) DatasetInfo {
+	info := d.info()
+	if st, ok := s.acct.Status(d.Name); ok {
+		info.Budget = &st
+	}
+	return info
+}
 
 // Budget snapshots a dataset's ε ledger.
 func (s *Service) Budget(name string) (BudgetStatus, error) {
@@ -142,7 +333,19 @@ func (s *Service) Query(ctx context.Context, req Request) (Response, error) {
 			return Response{}, err
 		}
 		resv.Commit()
-		return Response{Dataset: ds.Name, Kind: req.Kind, Value: value, Epsilon: req.Epsilon}, nil
+		resp := Response{Dataset: ds.Name, Kind: req.Kind, Value: value, Epsilon: req.Epsilon}
+		if s.store != nil && ds.Durable {
+			// Journal the release so it replays after a restart at zero ε.
+			// Only for durable datasets: their generation is a store
+			// version, stable across restarts, so the key can never alias
+			// different data. A failed append is safe to ignore: the
+			// release just won't replay, and a post-restart repeat spends
+			// fresh ε instead.
+			if payload, err := json.Marshal(resp); err == nil {
+				_ = s.store.Release(key, payload)
+			}
+		}
+		return resp, nil
 	})
 	if err != nil {
 		return Response{}, err

@@ -1,0 +1,91 @@
+// Package store is the durability layer of the serving stack: an
+// append-only, fsync'd write-ahead log plus compacted snapshots for the
+// privacy-budget ledger and the release cache, and an on-disk, versioned
+// dataset store. internal/service journals every budget transition here
+// *before* applying it in memory, so that a crash can only ever lose
+// budget (conservative) — never re-grant ε that was already spent, which
+// would silently break the sequential-composition guarantee the whole
+// service rests on.
+//
+// Layout under the store root:
+//
+//	ledger/wal-<seq>.log    append-only event log (length+CRC framed)
+//	ledger/snap-<seq>.dat   compacted snapshot of all state up to wal-<seq>
+//	datasets/<name>/manifest.json
+//	datasets/<name>/v<version>/…        graph.txt or <table>.tbl files
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record framing: every WAL and snapshot payload is wrapped as
+//
+//	[4-byte little-endian payload length][4-byte CRC32C of payload][payload]
+//
+// A reader stops at the first frame that is short, oversized, or fails its
+// checksum; everything before it is trustworthy. A torn write (power cut
+// mid-append) can only damage the final frame, so recovery is "truncate to
+// the last complete record".
+const (
+	frameHeaderBytes = 8
+	// maxRecordBytes rejects absurd lengths early, so a corrupted length
+	// field can't make the reader allocate gigabytes before the CRC check.
+	maxRecordBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTornRecord marks the first incomplete or corrupt frame in a log; the
+// bytes before it are intact.
+var errTornRecord = errors.New("store: torn or corrupt record")
+
+// encodeRecord wraps payload in a frame. The whole frame is returned as one
+// buffer so the caller can hand it to a single Write, minimising the window
+// a tear can land in.
+func encodeRecord(payload []byte) ([]byte, error) {
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("store: record of %d bytes exceeds the %d-byte frame limit", len(payload), maxRecordBytes)
+	}
+	buf := make([]byte, frameHeaderBytes+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	copy(buf[frameHeaderBytes:], payload)
+	return buf, nil
+}
+
+// scanRecords reads frames from r, calling apply for each intact payload,
+// and returns the byte offset just past the last complete record. It
+// returns errTornRecord when the log ends in a damaged frame — the caller
+// decides whether that is recoverable (tail of the active WAL) or fatal
+// (middle of a snapshot).
+func scanRecords(r io.Reader, apply func(payload []byte) error) (good int64, err error) {
+	var header [frameHeaderBytes]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			if err == io.EOF {
+				return good, nil // clean end of log
+			}
+			return good, errTornRecord // partial header
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		if n > maxRecordBytes {
+			return good, errTornRecord
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return good, errTornRecord // partial payload
+		}
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(header[4:8]) {
+			return good, errTornRecord
+		}
+		if err := apply(payload); err != nil {
+			return good, err
+		}
+		good += int64(frameHeaderBytes) + int64(n)
+	}
+}

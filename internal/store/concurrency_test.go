@@ -1,0 +1,101 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentLedgerWithCompaction hammers reserve/commit/refund and
+// release appends from many goroutines while snapshot compactions run
+// underneath, then reopens the store and checks the recovered ledger
+// matches exactly what the workload committed. Run under -race (CI does).
+func TestConcurrentLedgerWithCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Config{Dir: dir, NoSync: true, CompactBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers = 8
+		rounds  = 150
+	)
+	for w := 0; w < workers; w++ {
+		if err := st.Grant(fmt.Sprintf("ds%d", w), 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	spent := make([]float64, workers) // per-worker committed ε, no sharing
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ds := fmt.Sprintf("ds%d", w)
+			for i := 0; i < rounds; i++ {
+				eps := float64(i%7+1) / 8
+				id, err := st.Reserve(ds, eps)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch i % 3 {
+				case 0, 1:
+					if err := st.Commit(id); err != nil {
+						t.Error(err)
+						return
+					}
+					spent[w] += eps
+				case 2:
+					if err := st.Refund(id); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%10 == 0 {
+					if err := st.Release(fmt.Sprintf("%s-k%d", ds, i), []byte(`{"v":1}`)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Explicit compactions racing the appenders, on top of the automatic
+	// ones the tiny CompactBytes threshold triggers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			if err := st.Compact(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTest(t, dir)
+	defer st2.Close()
+	ledgers := st2.Ledgers()
+	for w := 0; w < workers; w++ {
+		ds := fmt.Sprintf("ds%d", w)
+		l := ledgers[ds]
+		if math.Abs(l.Spent-spent[w]) > 1e-6 {
+			t.Errorf("%s: recovered spent %g, workload committed %g", ds, l.Spent, spent[w])
+		}
+		if l.Total != 1e9 {
+			t.Errorf("%s: recovered total %g", ds, l.Total)
+		}
+	}
+	wantReleases := workers * (rounds / 10)
+	if got := len(st2.Releases()); got != wantReleases {
+		t.Errorf("recovered %d releases, want %d", got, wantReleases)
+	}
+}

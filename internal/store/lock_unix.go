@@ -1,0 +1,36 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive POSIX record lock on <dir>/LOCK so two
+// *processes* can never append to the same budget WAL (independent file
+// offsets would silently overwrite each other's acknowledged records).
+//
+// fcntl locks are chosen deliberately over flock: they are released by the
+// kernel when the process dies (a SIGKILL'd daemon never wedges its data
+// dir) and they are per-process, so the same process may re-open the dir —
+// which is how crash-recovery tests (and an in-process restart) take over
+// from an abandoned store handle.
+func lockDir(dir string) (release func(), err error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	lk := &syscall.Flock_t{Type: syscall.F_WRLCK}
+	if err := syscall.FcntlFlock(f.Fd(), syscall.F_SETLK, lk); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is already in use by another process: %w", dir, err)
+	}
+	return func() {
+		unlk := &syscall.Flock_t{Type: syscall.F_UNLCK}
+		_ = syscall.FcntlFlock(f.Fd(), syscall.F_SETLK, unlk)
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,428 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTest(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func remaining(l LedgerState) float64 { return l.Total - l.Spent }
+
+func TestLedgerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, dir)
+	if err := st.Grant("g", 10); err != nil {
+		t.Fatal(err)
+	}
+	id1, err := st.Reserve("g", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(id1); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := st.Reserve("g", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Refund(id2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Release("key1", []byte(`{"value":1.5}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTest(t, dir)
+	defer st2.Close()
+	l := st2.Ledgers()["g"]
+	if l.Total != 10 || l.Spent != 2 {
+		t.Errorf("recovered ledger %+v, want total 10 spent 2", l)
+	}
+	rels := st2.Releases()
+	if len(rels) != 1 || rels[0].Key != "key1" || string(rels[0].Payload) != `{"value":1.5}` {
+		t.Errorf("recovered releases %+v", rels)
+	}
+}
+
+// TestRecoveryFoldsPendingIntoSpent: a reservation alive at the "crash"
+// (store abandoned without Close) must recover as spent — the release may
+// have reached a client, so the ledger assumes it did.
+func TestRecoveryFoldsPendingIntoSpent(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, dir)
+	st.Grant("g", 10)
+	if _, err := st.Reserve("g", 4); err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL: no Close, no settlement.
+
+	st2 := openTest(t, dir)
+	defer st2.Close()
+	l := st2.Ledgers()["g"]
+	if l.Spent != 4 {
+		t.Errorf("pending reservation recovered as spent=%g, want 4", l.Spent)
+	}
+	if remaining(l) != 6 {
+		t.Errorf("remaining after recovery %g, want 6", remaining(l))
+	}
+}
+
+// TestRecoveryAfterTornWAL truncates the WAL mid-record and asserts the
+// store recovers to the last complete record, with remaining budget never
+// exceeding the pre-crash remaining.
+func TestRecoveryAfterTornWAL(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, dir)
+	st.Grant("g", 10)
+	for i := 0; i < 3; i++ {
+		id, err := st.Reserve("g", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Commit(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preCrash := remaining(st.Ledgers()["g"]) // 7
+
+	// Tear the active WAL mid-way through its final record.
+	walSeqs, _, err := listSegments(filepath.Join(dir, "ledger"))
+	if err != nil || len(walSeqs) == 0 {
+		t.Fatalf("listSegments: %v %v", walSeqs, err)
+	}
+	path := walPath(filepath.Join(dir, "ledger"), walSeqs[len(walSeqs)-1])
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTest(t, dir)
+	defer st2.Close()
+	l := st2.Ledgers()["g"]
+	// The torn record was the final commit; its reservation record is
+	// intact, so recovery folds it into spent: same remaining.
+	if got := remaining(l); got > preCrash {
+		t.Errorf("remaining after torn-WAL recovery %g exceeds pre-crash %g", got, preCrash)
+	}
+	if l.Spent != 3 {
+		t.Errorf("spent after recovery %g, want 3 (2 committed + 1 folded pending)", l.Spent)
+	}
+	// The store must keep working after recovery.
+	id, err := st2.Reserve("g", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Commit(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryMatchesOracleAtEveryCut tears the WAL at every byte offset
+// and checks, against an independently written interpreter, that recovery
+// lands exactly on the state of the last complete record — with surviving
+// unsettled reservations folded into spent, so the recovered remaining
+// never exceeds the most budget any legitimate pre-crash observer could
+// have seen for those records.
+func TestRecoveryMatchesOracleAtEveryCut(t *testing.T) {
+	ref := t.TempDir()
+	st := openTest(t, ref)
+	st.Grant("g", 10)
+	id1, _ := st.Reserve("g", 2)
+	st.Commit(id1)
+	id2, _ := st.Reserve("g", 3)
+	st.Refund(id2)
+	if _, err := st.Reserve("g", 1); err != nil { // left pending at the crash
+		t.Fatal(err)
+	}
+	st.Close()
+
+	ledger := filepath.Join(ref, "ledger")
+	walSeqs, _, err := listSegments(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(walPath(ledger, walSeqs[len(walSeqs)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		oracleSpent, oraclePending, oracleTotal := oracleReplay(t, full[:cut])
+
+		dir := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(dir, "ledger"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(walPath(filepath.Join(dir, "ledger"), 1), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := openTest(t, dir)
+		l := st.Ledgers()["g"]
+		st.Close()
+
+		if l.Total != oracleTotal || l.Spent != oracleSpent+oraclePending {
+			t.Errorf("cut at %d: recovered %+v, oracle total %g spent %g pending %g",
+				cut, l, oracleTotal, oracleSpent, oraclePending)
+		}
+		// The conservative bound: remaining never exceeds what the intact
+		// records alone would allow.
+		if got, most := remaining(l), oracleTotal-oracleSpent; got > most {
+			t.Errorf("cut at %d: remaining %g exceeds upper bound %g", cut, got, most)
+		}
+	}
+}
+
+// oracleReplay is a deliberately independent reimplementation of WAL
+// decoding for one dataset "g": manual framing, manual event fold.
+func oracleReplay(t *testing.T, data []byte) (spent, pending, total float64) {
+	t.Helper()
+	resvs := map[uint64]float64{}
+	for len(data) >= frameHeaderBytes {
+		n := int(uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24)
+		if len(data) < frameHeaderBytes+n {
+			break // torn tail
+		}
+		payload := data[frameHeaderBytes : frameHeaderBytes+n]
+		var e struct {
+			Op    string  `json:"op"`
+			Total float64 `json:"total"`
+			Eps   float64 `json:"eps"`
+			ID    uint64  `json:"id"`
+		}
+		if err := json.Unmarshal(payload, &e); err != nil {
+			t.Fatalf("oracle: bad event %q: %v", payload, err)
+		}
+		switch e.Op {
+		case "grant":
+			total = e.Total
+		case "resv":
+			resvs[e.ID] = e.Eps
+		case "commit":
+			spent += resvs[e.ID]
+			delete(resvs, e.ID)
+		case "refund":
+			delete(resvs, e.ID)
+		}
+		data = data[frameHeaderBytes+n:]
+	}
+	for _, eps := range resvs {
+		pending += eps
+	}
+	return spent, pending, total
+}
+
+// TestCompaction checks a snapshot+fresh-WAL cycle preserves all state,
+// deletes superseded segments, and that recovery works from the snapshot.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, dir)
+	st.Grant("a", 5)
+	st.Grant("b", 7)
+	id, _ := st.Reserve("a", 1)
+	st.Commit(id)
+	pendID, _ := st.Reserve("b", 2) // pending across the compaction
+	st.Release("k", []byte(`{"v":1}`))
+
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Settle the pending reservation in the post-compaction segment: the
+	// snapshot carried the pending entry, the new WAL carries the commit.
+	if err := st.Commit(pendID); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	ledger := filepath.Join(dir, "ledger")
+	walSeqs, snapSeqs, err := listSegments(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walSeqs) != 1 || len(snapSeqs) != 1 || walSeqs[0] != 2 || snapSeqs[0] != 2 {
+		t.Errorf("segments after compaction: wal %v snap %v, want [2] [2]", walSeqs, snapSeqs)
+	}
+
+	st2 := openTest(t, dir)
+	defer st2.Close()
+	ls := st2.Ledgers()
+	if ls["a"].Spent != 1 || ls["a"].Total != 5 {
+		t.Errorf("ledger a %+v", ls["a"])
+	}
+	if ls["b"].Spent != 2 || ls["b"].Total != 7 {
+		t.Errorf("ledger b %+v (commit across compaction boundary lost?)", ls["b"])
+	}
+	if rels := st2.Releases(); len(rels) != 1 || rels[0].Key != "k" {
+		t.Errorf("releases after compaction %+v", rels)
+	}
+}
+
+// TestCrashMidCompaction reconstructs the exact crash window the
+// compaction protocol leaves open: the new segment (wal-2) is live and
+// receiving events, but the process dies before snap-2 is written — or
+// with snap-2 only half-written. Recovery must replay wal-1 then wal-2 in
+// order, skipping the damaged snapshot.
+func TestCrashMidCompaction(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		sabotage func(t *testing.T, ledger string)
+	}{
+		{"no snapshot", func(t *testing.T, ledger string) {}},
+		{"half-written snapshot", func(t *testing.T, ledger string) {
+			// An unrenamed temp snapshot is invisible to recovery; a torn
+			// one that did get renamed must be detected by its framing and
+			// skipped. Fabricate one: a valid frame cut in half.
+			frame, err := encodeRecord([]byte(`{"ledgers":{"g":{"total":999,"spent":0}}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(snapPath(ledger, 2), frame[:len(frame)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ledger := filepath.Join(dir, "ledger")
+
+			// Events in segment 1: grant 10, spend 2.
+			st := openTest(t, dir)
+			st.Grant("g", 10)
+			id, _ := st.Reserve("g", 2)
+			st.Commit(id)
+			st.Close()
+
+			// Hand-rotate: events continue in segment 2 with no snapshot
+			// yet (Compact hasn't finished). Events: spend 1 more.
+			w2, err := openWAL(walPath(ledger, 2), false, func([]byte) error { return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range []string{
+				`{"op":"resv","ds":"g","eps":1,"id":9}`,
+				`{"op":"commit","id":9}`,
+			} {
+				if err := w2.append([]byte(e)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			w2.close()
+			tc.sabotage(t, ledger)
+
+			st2 := openTest(t, dir)
+			defer st2.Close()
+			l := st2.Ledgers()["g"]
+			if l.Total != 10 || l.Spent != 3 {
+				t.Errorf("recovered ledger %+v, want total 10 spent 3 (wal-1 + wal-2)", l)
+			}
+		})
+	}
+}
+
+// TestAutoCompaction: crossing CompactBytes triggers a background
+// compaction that preserves state.
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Config{Dir: dir, CompactBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Grant("g", 1e9)
+	for i := 0; i < 200; i++ {
+		id, err := st.Reserve("g", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Commit(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close() // waits for background compaction
+
+	st2 := openTest(t, dir)
+	defer st2.Close()
+	if l := st2.Ledgers()["g"]; l.Spent != 200 {
+		t.Errorf("spent after auto-compaction %g, want 200", l.Spent)
+	}
+	walSeqs, _, _ := listSegments(filepath.Join(dir, "ledger"))
+	if len(walSeqs) == 0 || walSeqs[0] == 1 {
+		t.Errorf("auto-compaction never rotated the WAL: %v", walSeqs)
+	}
+}
+
+// TestReleasePruning: duplicates collapse to the newest record and the
+// mirror (and snapshots) stay bounded by MaxReleases across compaction
+// and reopen.
+func TestReleasePruning(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Config{Dir: dir, NoSync: true, MaxReleases: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := st.Release(fmt.Sprintf("k%d", i%15), []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	rels := st.Releases()
+	if len(rels) != 10 {
+		t.Fatalf("after compaction: %d releases, want 10", len(rels))
+	}
+	// The newest duplicate wins: k14 was last written at i=29.
+	last := rels[len(rels)-1]
+	if last.Key != "k14" || string(last.Payload) != `{"i":29}` {
+		t.Errorf("newest release %s=%s, want k14={\"i\":29}", last.Key, last.Payload)
+	}
+	st.Close()
+
+	st2, err := Open(Config{Dir: dir, NoSync: true, MaxReleases: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := len(st2.Releases()); got != 10 {
+		t.Errorf("after reopen: %d releases, want 10", got)
+	}
+}
+
+func TestReleasePayloadByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`{"dataset":"g","kind":"triangles","value":12.345678901234567,"epsilon":0.5}`)
+	st := openTest(t, dir)
+	if err := st.Release("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2 := openTest(t, dir)
+	defer st2.Close()
+	rels := st2.Releases()
+	if len(rels) != 1 {
+		t.Fatalf("got %d releases", len(rels))
+	}
+	if string(rels[0].Payload) != string(payload) {
+		t.Errorf("payload not byte-identical:\n got %s\nwant %s", rels[0].Payload, payload)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(rels[0].Payload, &v); err != nil {
+		t.Errorf("recovered payload not valid JSON: %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// wal is one append-only log file. Appends are a single Write followed by
+// an fsync (unless the store runs nosync), so a record is either fully
+// durable or detectably torn — never silently half-applied.
+type wal struct {
+	f      *os.File
+	path   string
+	size   int64
+	nosync bool
+	// broken latches after a failed append could not be rolled back (or an
+	// fsync failed, leaving durability unknowable). Further appends are
+	// refused: acknowledged records must never land after a possible tear,
+	// where recovery's truncate-to-last-complete-record would drop them.
+	broken bool
+}
+
+// openWAL opens (creating if needed) the log at path, replays every intact
+// record through apply, truncates a torn tail, and positions the file for
+// appending.
+func openWAL(path string, nosync bool, apply func(payload []byte) error) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	good, err := scanRecords(bufio.NewReader(f), apply)
+	if err != nil && err != errTornRecord {
+		f.Close()
+		return nil, fmt.Errorf("store: replaying %s: %w", path, err)
+	}
+	if err == errTornRecord {
+		// Crash mid-append: drop the damaged tail so new records don't land
+		// after garbage (a reader would stop at the tear and never see them).
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+		}
+		if !nosync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, path: path, size: good, nosync: nosync}, nil
+}
+
+// append frames payload and makes it durable.
+func (w *wal) append(payload []byte) error {
+	if w.broken {
+		return fmt.Errorf("store: log %s is failed; refusing further appends", w.path)
+	}
+	frame, err := encodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		// A partial write advanced the file past garbage. Roll back to the
+		// last good boundary so a *later* acknowledged append cannot land
+		// after a tear (recovery truncates at the first tear, which would
+		// silently drop it). If the rollback itself fails, latch broken.
+		if terr := w.f.Truncate(w.size); terr != nil {
+			w.broken = true
+		} else if _, serr := w.f.Seek(w.size, 0); serr != nil {
+			w.broken = true
+		}
+		return fmt.Errorf("store: appending to %s: %w", w.path, err)
+	}
+	if !w.nosync {
+		if err := w.f.Sync(); err != nil {
+			// The frame is complete in the page cache but its durability is
+			// unknowable (fsync error state is not generally retryable).
+			// Latch broken: acknowledging later appends stacked on an
+			// uncertain foundation would be lying to the ledger.
+			w.broken = true
+			return fmt.Errorf("store: syncing %s: %w", w.path, err)
+		}
+	}
+	w.size += int64(len(frame))
+	return nil
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+// replayFile streams every intact record of a sealed log through apply.
+// A torn tail is tolerated (it can only be the moment of a crash); any
+// other apply error aborts.
+func replayFile(path string, apply func(payload []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = scanRecords(bufio.NewReader(f), apply)
+	if err == errTornRecord {
+		return nil
+	}
+	return err
+}
+
+// sweepTemps removes orphaned temp files left behind by a crash between
+// CreateTemp and rename in writeFileAtomic. Call only while holding the
+// lock that serializes writers to dir.
+func sweepTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		if strings.HasPrefix(ent.Name(), ".tmp-") {
+			os.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+}
+
+// syncDir fsyncs a directory so renames and creations inside it are
+// durable before the caller depends on them.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeFileAtomic writes data to path via a temp file + rename, fsyncing
+// file and directory, so readers only ever observe the old or the complete
+// new content.
+func writeFileAtomic(path string, data []byte, nosync bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if !nosync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if nosync {
+		return nil
+	}
+	return syncDir(dir)
+}

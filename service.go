@@ -10,6 +10,7 @@ import (
 	"net/http"
 
 	"recmech/internal/service"
+	"recmech/internal/store"
 )
 
 // Service types, usable by importers of this package.
@@ -28,6 +29,14 @@ type (
 	DatasetInfo = service.DatasetInfo
 	// BudgetStatus snapshots a dataset's ε ledger.
 	BudgetStatus = service.BudgetStatus
+	// Store is the durable layer under a Service: an fsync'd write-ahead
+	// log plus compacted snapshots for the ε ledger and recorded releases,
+	// and an on-disk versioned dataset store.
+	Store = store.Store
+	// StoreConfig tunes a Store; only Dir is required.
+	StoreConfig = store.Config
+	// UploadRequest is the body of PUT /v1/datasets/{name}.
+	UploadRequest = service.UploadRequest
 	// BudgetError is the typed rejection of an over-budget query; it
 	// matches ErrBudgetExhausted under errors.Is.
 	BudgetError = service.BudgetError
@@ -52,11 +61,30 @@ const (
 	KindPattern    = service.KindPattern
 )
 
-// NewService returns an empty DP query service; register datasets with
-// AddGraph / AddRelational, then answer with Query.
+// NewService returns an empty in-memory DP query service; register datasets
+// with AddGraph / AddRelational, then answer with Query.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
+// OpenStore opens (creating if needed) a durable store rooted at dir with
+// default tuning, recovering the budget ledger to the last complete
+// journal record.
+func OpenStore(dir string) (*Store, error) { return store.Open(store.Config{Dir: dir}) }
+
+// OpenStoreConfig is OpenStore with full tuning options (compaction
+// threshold, release retention, fsync policy).
+func OpenStoreConfig(cfg StoreConfig) (*Store, error) { return store.Open(cfg) }
+
+// NewServiceWithStore returns a DP query service whose budget ledger,
+// recorded releases, and uploaded datasets survive restarts — including a
+// SIGKILL: every ε transition is journalled before it applies, so recovery
+// can only shrink the remaining budget, never re-grant spent ε. The second
+// result carries per-dataset load warnings (the service always comes up).
+func NewServiceWithStore(cfg ServiceConfig, st *Store) (*Service, []error) {
+	return service.NewWithStore(cfg, st)
+}
+
 // NewServiceHandler adapts a Service to the HTTP/JSON API cmd/recmechd
-// serves (POST /v1/query, GET /v1/datasets, GET /v1/budget/{dataset},
-// GET /healthz).
+// serves: POST /v1/query, GET /v1/datasets, GET /v1/budget/{dataset},
+// GET /healthz, and the mutating admin endpoints PUT and DELETE
+// /v1/datasets/{name} — expose the handler accordingly.
 func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
