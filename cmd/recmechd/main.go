@@ -22,9 +22,16 @@
 // Flag-loaded datasets are registered in memory each boot and are not
 // written to the data dir; use PUT /v1/datasets/{name} to persist one.
 //
-// Endpoints:
+// Endpoints (v2 is the compile/execute lifecycle; v1 remains wire-compatible
+// over the same core):
 //
-//	POST   /v1/query            {"dataset","kind","query"|"k"|pattern…,"epsilon"}
+//	POST   /v2/query            {"dataset","kind","query"|"k"|pattern…,"epsilon"}
+//	POST   /v2/prepare          same body; compiles/warms the plan, spends zero ε
+//	POST   /v2/jobs             {"queries":[…]} async batch, atomic ε reservation
+//	GET    /v2/jobs             list jobs (sorted by id)
+//	GET    /v2/jobs/{id}        per-item status and results
+//	DELETE /v2/jobs/{id}        cancel; un-started items refunded
+//	POST   /v1/query            single query (shim over the v2 core)
 //	GET    /v1/datasets
 //	PUT    /v1/datasets/{name}  {"kind":"graph","graph":…} | {"kind":"relational","tables":{…}}
 //	DELETE /v1/datasets/{name}
@@ -36,8 +43,14 @@
 //	recmechd -data-dir ./data -budget 5 &
 //	curl -s -X PUT localhost:8377/v1/datasets/demo \
 //	     -d '{"kind":"graph","graph":"0 1\n1 2\n0 2\n"}'
-//	curl -s -X POST localhost:8377/v1/query \
+//	curl -s -X POST localhost:8377/v2/prepare \
+//	     -d '{"dataset":"demo","kind":"triangles"}'
+//	curl -s -X POST localhost:8377/v2/query \
 //	     -d '{"dataset":"demo","kind":"triangles","epsilon":0.5}'
+//	curl -s -X POST localhost:8377/v2/jobs \
+//	     -d '{"queries":[{"dataset":"demo","kind":"triangles","epsilon":0.2},
+//	                     {"dataset":"demo","kind":"kstars","k":2,"epsilon":0.2}]}'
+//	curl -s localhost:8377/v2/jobs/job-00000001
 //	curl -s localhost:8377/v1/budget/demo
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
@@ -78,15 +91,19 @@ func main() {
 	flag.Var(&graphs, "graph", "NAME=FILE edge-list graph dataset (repeatable)")
 	flag.Var(&tableSets, "tables", "NAME=TBL:FILE[,TBL:FILE…] relational dataset (repeatable)")
 	var (
-		addr     = flag.String("addr", ":8377", "listen address")
-		dataDir  = flag.String("data-dir", "", "durable store directory: budget WAL, recorded releases, uploaded datasets (empty = in-memory)")
-		budget   = flag.Float64("budget", 10, "total privacy budget ε per dataset")
-		epsilon  = flag.Float64("epsilon", 0.5, "default per-query ε when a request omits it")
-		maxEps   = flag.Float64("max-epsilon", 0, "per-query ε ceiling (0 = only the dataset budget caps)")
-		workers  = flag.Int("workers", 0, "max concurrent mechanism runs (0 = GOMAXPROCS)")
-		seed     = flag.Int64("seed", 1, "base RNG seed for the noise streams")
-		demo     = flag.Bool("demo", false, "also register a built-in 200-node random graph as \"demo\"")
-		drainFor = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		addr      = flag.String("addr", ":8377", "listen address")
+		dataDir   = flag.String("data-dir", "", "durable store directory: budget WAL, recorded releases, uploaded datasets (empty = in-memory)")
+		budget    = flag.Float64("budget", 10, "total privacy budget ε per dataset")
+		epsilon   = flag.Float64("epsilon", 0.5, "default per-query ε when a request omits it")
+		maxEps    = flag.Float64("max-epsilon", 0, "per-query ε ceiling (0 = only the dataset budget caps)")
+		workers   = flag.Int("workers", 0, "max concurrent mechanism runs (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 1, "base RNG seed for the noise streams")
+		demo      = flag.Bool("demo", false, "also register a built-in 200-node random graph as \"demo\"")
+		drainFor  = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		planCache = flag.Int("plan-cache", 0, "max compiled query plans kept hot (0 = default 512)")
+		maxUpload = flag.Int64("max-upload-bytes", 0, "dataset upload body limit in bytes; larger uploads get a 413 (0 = default 64 MiB)")
+		maxBatch  = flag.Int("max-batch", 0, "max queries per /v2/jobs batch (0 = default 64)")
+		maxJobs   = flag.Int("max-jobs", 0, "max active jobs at once and finished jobs retained (0 = default 1024)")
 	)
 	flag.Parse()
 
@@ -96,6 +113,10 @@ func main() {
 		MaxEpsilon:     *maxEps,
 		Workers:        *workers,
 		Seed:           *seed,
+		PlanEntries:    *planCache,
+		MaxUploadBytes: *maxUpload,
+		MaxBatchItems:  *maxBatch,
+		MaxJobs:        *maxJobs,
 	}
 	var svc *service.Service
 	if *dataDir != "" {

@@ -1,0 +1,45 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// buildTestLP returns a small feasible minimization with a known optimum
+// (min x subject to x ≥ 5, 0 ≤ x ≤ 10 → 5).
+func buildTestLP() *Problem {
+	p := NewProblem()
+	x := p.AddVar(1, 0, 10)
+	p.AddConstraint([]Term{{Col: x, Coef: 1}}, GE, 5)
+	return p
+}
+
+func TestSolveInterruptAborts(t *testing.T) {
+	boom := errors.New("caller hung up")
+	p := buildTestLP()
+	calls := 0
+	p.SetInterrupt(func() error { calls++; return boom })
+	if _, err := p.Solve(); !errors.Is(err, boom) {
+		t.Fatalf("Solve under firing interrupt: %v, want %v", err, boom)
+	}
+	if calls == 0 {
+		t.Fatal("interrupt never polled")
+	}
+}
+
+func TestSolveInterruptBenignIsTransparent(t *testing.T) {
+	p := buildTestLP()
+	calls := 0
+	p.SetInterrupt(func() error { calls++; return nil })
+	res, err := p.Solve()
+	if err != nil || res.Status != Optimal {
+		t.Fatalf("Solve: %v %v", res, err)
+	}
+	if math.Abs(res.Objective-5) > 1e-9 {
+		t.Fatalf("objective %v, want 5", res.Objective)
+	}
+	if calls == 0 {
+		t.Fatal("interrupt never polled")
+	}
+}

@@ -60,17 +60,26 @@ type row struct {
 // Problem accumulates a linear program. Build with AddVar/AddConstraint and
 // call Solve (or SolveReference in tests).
 type Problem struct {
-	costs  []float64
-	lower  []float64
-	upper  []float64 // math.Inf(1) when unbounded above
-	rows   []row
-	minimz bool
+	costs     []float64
+	lower     []float64
+	upper     []float64 // math.Inf(1) when unbounded above
+	rows      []row
+	minimz    bool
+	interrupt func() error
 }
 
 // NewProblem returns an empty minimization problem.
 func NewProblem() *Problem {
 	return &Problem{minimz: true}
 }
+
+// SetInterrupt installs a cooperative cancellation hook: Solve polls fn
+// periodically (every few dozen pivots) and aborts with fn's error when it
+// returns one. A large φ-encoding LP can run for minutes, so this is what
+// lets a canceled query release its worker instead of finishing a solve
+// nobody is waiting for. fn must be cheap and safe to call from the solving
+// goroutine; nil (the default) disables polling.
+func (p *Problem) SetInterrupt(fn func() error) { p.interrupt = fn }
 
 // AddVar adds a variable with objective coefficient cost and bounds
 // lower ≤ x ≤ upper (use math.Inf(1) for no upper bound), returning its

@@ -38,8 +38,9 @@ type simplex struct {
 	d                  []float64 // reduced-cost row
 	basis              []int     // basic column per row
 	status             []varStatus
-	shift              []float64 // original lower bound per structural column
-	unboundedFlag      bool      // set by iterate on an unblocked direction
+	shift              []float64    // original lower bound per structural column
+	unboundedFlag      bool         // set by iterate on an unblocked direction
+	interrupt          func() error // polled by iterate; non-nil aborts the solve
 }
 
 func (s *simplex) at(i, j int) float64     { return s.a[i*s.nTotal+j] }
@@ -97,13 +98,14 @@ func newSimplex(p *Problem) *simplex {
 	nTotal := firstArt + nArt
 	s := &simplex{
 		m: m, nStruct: nStruct, nTotal: nTotal, firstArt: firstArt,
-		a:      make([]float64, m*nTotal),
-		rhs:    shiftedRHS,
-		ub:     make([]float64, nTotal),
-		d:      make([]float64, nTotal),
-		basis:  make([]int, m),
-		status: make([]varStatus, nTotal),
-		shift:  append([]float64(nil), p.lower...),
+		a:         make([]float64, m*nTotal),
+		rhs:       shiftedRHS,
+		ub:        make([]float64, nTotal),
+		d:         make([]float64, nTotal),
+		basis:     make([]int, m),
+		status:    make([]varStatus, nTotal),
+		shift:     append([]float64(nil), p.lower...),
+		interrupt: p.interrupt,
 	}
 	for j := 0; j < nStruct; j++ {
 		s.ub[j] = p.upper[j] - p.lower[j]
@@ -247,6 +249,11 @@ func (s *simplex) iterate() error {
 	bland := false
 	s.unboundedFlag = false
 	for iter := 0; iter < limit; iter++ {
+		if s.interrupt != nil && iter%64 == 0 {
+			if err := s.interrupt(); err != nil {
+				return err
+			}
+		}
 		enter, dir := s.chooseEntering(bland)
 		if enter < 0 {
 			return nil // optimal

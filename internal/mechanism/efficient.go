@@ -37,7 +37,16 @@ type Efficient struct {
 	sens     []map[boolexpr.Var]float64 // per-tuple φ-sensitivities
 	weights  []float64                  // per-tuple q(t), aligned with tuples
 	constSum float64                    // Σ q(t) over tuples with constant-True annotation
+
+	interrupt func() error // polled by the LP solver during H/G solves
 }
+
+// SetInterrupt installs a cooperative cancellation hook polled by every
+// subsequent H/G LP solve (see lp.Problem.SetInterrupt). Set it before the
+// sequences are shared across goroutines; fn itself must be safe for
+// concurrent calls. A serving layer uses this to abort solves no live
+// request is waiting for.
+func (e *Efficient) SetInterrupt(fn func() error) { e.interrupt = fn }
 
 // NewEfficient builds the LP-backed sequences for a flattened relation. The
 // annotation list is the output of (*krel.Sensitive).Annotated; nP is |P|
@@ -97,6 +106,9 @@ type rootTerm struct {
 
 func (e *Efficient) lpBuild(i int) (*lp.Problem, []rootTerm, []int) {
 	p := lp.NewProblem()
+	if e.interrupt != nil {
+		p.SetInterrupt(e.interrupt)
+	}
 	fCols := make([]int, len(e.used))
 	for j := range e.used {
 		fCols[j] = p.AddVar(0, 0, 1)

@@ -1,0 +1,21 @@
+package plan
+
+import "recmech/internal/sfcache"
+
+// Cache is a bounded cache of compiled plans with singleflight compilation:
+// concurrent requests for the same key share one Compile instead of each
+// burning a CPU on identical LP encodings. Keys are chosen by the caller
+// and must include the dataset snapshot identity (name and generation) next
+// to the Spec key, so a re-uploaded dataset can never serve a stale plan.
+//
+// Eviction is FIFO over completed compilations. Evicting a plan is always
+// safe — the next request recompiles it — and the bound keeps stale
+// generations of re-registered datasets from accumulating forever. The
+// machinery lives in internal/sfcache, shared with the release cache.
+type Cache = sfcache.Cache[*Plan]
+
+// NewCache returns an empty cache evicting beyond maxEntries compiled plans
+// (maxEntries < 1 means 1).
+func NewCache(maxEntries int) *Cache {
+	return sfcache.New[*Plan](maxEntries)
+}

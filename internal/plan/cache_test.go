@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func compileStub(p *Plan) func() (*Plan, error) {
+	return func() (*Plan, error) { return p, nil }
+}
+
+func TestCacheHitMissAndFailureRetry(t *testing.T) {
+	c := NewCache(10)
+	ctx := context.Background()
+	p1 := &Plan{kind: KindTriangles}
+
+	pl, hit, err := c.Do(ctx, "k", compileStub(p1))
+	if err != nil || hit || pl != p1 {
+		t.Fatalf("first Do: %v %v %v", pl, hit, err)
+	}
+	pl, hit, err = c.Do(ctx, "k", compileStub(&Plan{}))
+	if err != nil || !hit || pl != p1 {
+		t.Fatalf("hit: %v %v %v (must not recompile)", pl, hit, err)
+	}
+
+	boom := errors.New("boom")
+	_, _, err = c.Do(ctx, "fail", func() (*Plan, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("failed compile: %v", err)
+	}
+	// Failures are not recorded: the next attempt recompiles.
+	pl, hit, err = c.Do(ctx, "fail", compileStub(p1))
+	if err != nil || hit || pl != p1 {
+		t.Fatalf("retry after failure: %v %v %v", pl, hit, err)
+	}
+}
+
+func TestCacheEvictsOldestBeyondCapacity(t *testing.T) {
+	c := NewCache(2)
+	ctx := context.Background()
+	for _, key := range []string{"a", "b", "c"} {
+		if _, _, err := c.Do(ctx, key, compileStub(&Plan{})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, hit, _ := c.Do(ctx, "a", compileStub(&Plan{})); hit {
+		t.Fatal("evicted key hit")
+	}
+	if _, hit, _ := c.Do(ctx, "c", compileStub(&Plan{})); !hit {
+		t.Fatal("resident key recompiled")
+	}
+}
+
+// TestCacheSingleflight checks that a herd asking for one key compiles once.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(10)
+	var compiles atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := c.Do(context.Background(), "k", func() (*Plan, error) {
+				compiles.Add(1)
+				<-gate
+				return &Plan{}, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	// Let the herd assemble, then release the one flight.
+	close(gate)
+	wg.Wait()
+	if n := compiles.Load(); n != 1 {
+		t.Fatalf("%d compiles for one key, want 1", n)
+	}
+}

@@ -1,0 +1,75 @@
+package plan
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"recmech/internal/mechanism"
+)
+
+// memoSeq memoizes a Sequences implementation behind a read-write lock so
+// every Core built over one plan — one per release — shares the same H/G
+// values instead of re-solving LPs. mechanism.Core has its own per-instance
+// memo, but a Core lives for exactly one release; this is the cross-release,
+// cross-goroutine layer.
+//
+// A miss computes outside the lock: two goroutines racing on the same index
+// may both solve the LP, but the solver is deterministic so either result
+// is the same value, and not holding the lock across a solve keeps readers
+// of already-memoized entries from stalling behind a miss.
+type memoSeq struct {
+	inner mechanism.Sequences
+
+	mu sync.RWMutex
+	h  map[int]float64
+	g  map[int]float64
+
+	hSolves atomic.Uint64 // LP solves performed (misses), for Plan.Solves
+	gSolves atomic.Uint64
+}
+
+func newMemoSeq(inner mechanism.Sequences) *memoSeq {
+	return &memoSeq{inner: inner, h: make(map[int]float64), g: make(map[int]float64)}
+}
+
+func (m *memoSeq) NumParticipants() int { return m.inner.NumParticipants() }
+
+func (m *memoSeq) H(i int) (float64, error) {
+	m.mu.RLock()
+	v, ok := m.h[i]
+	m.mu.RUnlock()
+	if ok {
+		return v, nil
+	}
+	v, err := m.inner.H(i)
+	if err != nil {
+		return 0, err
+	}
+	m.hSolves.Add(1)
+	m.mu.Lock()
+	m.h[i] = v
+	m.mu.Unlock()
+	return v, nil
+}
+
+func (m *memoSeq) G(i int) (float64, error) {
+	m.mu.RLock()
+	v, ok := m.g[i]
+	m.mu.RUnlock()
+	if ok {
+		return v, nil
+	}
+	v, err := m.inner.G(i)
+	if err != nil {
+		return 0, err
+	}
+	m.gSolves.Add(1)
+	m.mu.Lock()
+	m.g[i] = v
+	m.mu.Unlock()
+	return v, nil
+}
+
+func (m *memoSeq) solves() (h, g uint64) {
+	return m.hSolves.Load(), m.gSolves.Load()
+}

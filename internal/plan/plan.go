@@ -1,0 +1,458 @@
+// Package plan separates the expensive, deterministic analysis of a
+// differentially private query from its cheap, randomized release.
+//
+// The recursive mechanism's cost profile is lopsided: compiling a query —
+// parsing, canonicalizing, deriving the sensitive K-relation, flattening it
+// into the LP encoding of §5, and evaluating entries of the sequences H and
+// G (one LP solve each) — is deterministic and can take milliseconds, while
+// an actual ε-DP release on top of that state is two Laplace draws and a
+// pair of logarithmic searches over memoized sequence values. A Plan
+// captures everything deterministic once; Release then produces any number
+// of independent ε-DP answers, each at full price in privacy budget but
+// near-zero price in computation. Production DP-SQL engines (FLEX,
+// arXiv:1706.09479; Chorus, arXiv:1809.07750) use the same
+// compile/execute split; this package is that split for the recursive
+// mechanism.
+//
+// Concurrency: a Plan is immutable after Compile except for its internal
+// sequence memo, which is guarded by a read-write lock, so any number of
+// goroutines may call Release on one Plan simultaneously. Cache adds a
+// bounded, singleflight-coalescing plan cache for serving layers.
+//
+// Nothing in a Plan is differentially private: Δ, H, G, and the true answer
+// are all sensitive intermediates. Only the value returned by Release may
+// leave the trust boundary.
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/graph"
+	"recmech/internal/krel"
+	"recmech/internal/mechanism"
+	"recmech/internal/query"
+	"recmech/internal/subgraph"
+)
+
+// Query kinds a Spec can describe. These are the wire-level kind strings of
+// the serving layer; internal/service aliases them.
+const (
+	KindSQL        = "sql"        // SQL-like query against a relational dataset
+	KindTriangles  = "triangles"  // triangle count on a graph dataset
+	KindKStars     = "kstars"     // k-star count (K required)
+	KindKTriangles = "ktriangles" // k-triangle count (K required)
+	KindPattern    = "pattern"    // arbitrary connected pattern count
+)
+
+// Workload size ceilings. Subgraph enumeration is combinatorial in k and in
+// the pattern size, so an unbounded spec could pin a CPU indefinitely — a
+// cheap denial of service on an endpoint that accepts untrusted JSON. The
+// caps comfortably cover the paper's workloads (k ≤ 5, patterns on ≤ 5
+// nodes).
+const (
+	MaxK            = 10 // kstars/ktriangles
+	MaxPatternNodes = 8
+	MaxPatternEdges = 28 // complete graph on MaxPatternNodes nodes
+)
+
+// ErrSpec is the sentinel matched (via errors.Is) by every caller-caused
+// compilation failure: unknown kind, parse error, workload over a cap, or a
+// spec aimed at the wrong dataset shape. Anything not matching ErrSpec is
+// an internal fault.
+var ErrSpec = errors.New("plan: invalid spec")
+
+// SpecError is the concrete caller-caused failure; it matches ErrSpec.
+type SpecError struct{ Reason string }
+
+func (e *SpecError) Error() string        { return "plan: " + e.Reason }
+func (e *SpecError) Is(target error) bool { return target == ErrSpec }
+
+func specErrorf(format string, args ...any) error {
+	return &SpecError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// Spec is the deterministic identity of one query workload: what to count,
+// under which privacy model — everything about a request except the dataset
+// it runs against and the ε it spends. Two requests with the same Spec (and
+// the same dataset snapshot) share a Plan.
+//
+// Fields are compared canonically, not textually: SQL is parsed and
+// re-rendered through the query canonicalizer, pattern edges are normalized
+// and sorted. Construct a Spec, call Validate once, then treat it as
+// immutable.
+type Spec struct {
+	Kind string
+
+	Query string // KindSQL: the query text
+
+	K            int      // kstars/ktriangles: the k
+	PatternNodes int      // pattern: node count
+	PatternEdges [][2]int // pattern: edges on 0..PatternNodes-1
+
+	// EdgePrivacy selects the weaker edge-privacy model for graph kinds;
+	// the default (false) is node privacy. SQL always protects
+	// participants, the node-like setting.
+	EdgePrivacy bool
+
+	parsed *query.Query // cached parse tree (KindSQL), set by Validate
+}
+
+// Validate checks the spec's kind-specific invariants and caches the SQL
+// parse tree, so later Detail/Compile calls never re-lex the text. All
+// failures match ErrSpec.
+func (s *Spec) Validate() error {
+	switch s.Kind {
+	case KindSQL:
+		if strings.TrimSpace(s.Query) == "" {
+			return specErrorf("kind %q requires a query", s.Kind)
+		}
+		if s.EdgePrivacy {
+			return specErrorf("privacy applies to graph kinds only; kind %q always protects participants", s.Kind)
+		}
+		q, err := query.Parse(s.Query)
+		if err != nil {
+			return &SpecError{Reason: err.Error()}
+		}
+		s.parsed = q
+	case KindTriangles:
+	case KindKStars, KindKTriangles:
+		if s.K < 1 || s.K > MaxK {
+			return specErrorf("kind %q requires 1 ≤ k ≤ %d, got %d", s.Kind, MaxK, s.K)
+		}
+	case KindPattern:
+		if s.PatternNodes < 1 || s.PatternNodes > MaxPatternNodes {
+			return specErrorf("kind %q requires 1 ≤ patternNodes ≤ %d, got %d", s.Kind, MaxPatternNodes, s.PatternNodes)
+		}
+		if len(s.PatternEdges) > MaxPatternEdges {
+			return specErrorf("at most %d pattern edges, got %d", MaxPatternEdges, len(s.PatternEdges))
+		}
+		for _, e := range s.PatternEdges {
+			if e[0] < 0 || e[0] >= s.PatternNodes || e[1] < 0 || e[1] >= s.PatternNodes || e[0] == e[1] {
+				return specErrorf("pattern edge [%d,%d] out of range for %d nodes", e[0], e[1], s.PatternNodes)
+			}
+		}
+	case "":
+		return specErrorf("kind is required (one of sql, triangles, kstars, ktriangles, pattern)")
+	default:
+		return specErrorf("unknown kind %q (one of sql, triangles, kstars, ktriangles, pattern)", s.Kind)
+	}
+	return nil
+}
+
+// Privacy returns the wire-level privacy model name, "node" or "edge".
+func (s *Spec) Privacy() string {
+	if s.EdgePrivacy {
+		return "edge"
+	}
+	return "node"
+}
+
+// nodeLike reports whether the mechanism should use the node-privacy
+// parameter defaults (µ = 1). Relational queries protect arbitrary
+// participants, the stronger setting.
+func (s *Spec) nodeLike() bool {
+	return s.Kind == KindSQL || !s.EdgePrivacy
+}
+
+// Detail renders the kind-specific canonical identity of the workload: the
+// canonicalized SQL, "k=N", or the sorted normalized pattern edge list.
+// Two specs of the same kind and privacy with equal Detail describe the
+// same computation. Validate must have succeeded.
+func (s *Spec) Detail() (string, error) {
+	switch s.Kind {
+	case KindSQL:
+		q := s.parsed
+		if q == nil {
+			var err error
+			if q, err = query.Parse(s.Query); err != nil {
+				return "", &SpecError{Reason: err.Error()}
+			}
+			s.parsed = q
+		}
+		return q.Canonical(), nil
+	case KindKStars, KindKTriangles:
+		return fmt.Sprintf("k=%d", s.K), nil
+	case KindPattern:
+		edges := make([]string, len(s.PatternEdges))
+		for i, e := range s.PatternEdges {
+			u, v := e[0], e[1]
+			if u > v {
+				u, v = v, u
+			}
+			edges[i] = fmt.Sprintf("%d-%d", u, v)
+		}
+		sort.Strings(edges)
+		return fmt.Sprintf("n=%d;%s", s.PatternNodes, strings.Join(edges, ",")), nil
+	}
+	return "", nil
+}
+
+// Key is the full canonical identity of the spec — kind, privacy model, and
+// Detail — suitable as a plan-cache key once the caller prefixes the
+// dataset snapshot identity. Validate must have succeeded.
+func (s *Spec) Key() (string, error) {
+	detail, err := s.Detail()
+	if err != nil {
+		return "", err
+	}
+	return s.Kind + "|" + s.Privacy() + "|" + detail, nil
+}
+
+// pattern builds the validated subgraph pattern for KindPattern, converting
+// subgraph.NewPattern's panics (disconnected, isolated node) into
+// SpecErrors.
+func (s *Spec) pattern() (p subgraph.Pattern, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = specErrorf("invalid pattern: %v", rec)
+		}
+	}()
+	edges := make([]graph.Edge, len(s.PatternEdges))
+	for i, e := range s.PatternEdges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		edges[i] = graph.Edge{U: u, V: v}
+	}
+	return subgraph.NewPattern(s.PatternNodes, edges), nil
+}
+
+// Source is the sensitive data a plan compiles against: exactly one of the
+// two shapes is populated (a graph, or a relational catalogue with the
+// participant universe its annotations resolve in).
+type Source struct {
+	Graph    *graph.Graph
+	DB       *query.Database
+	Universe *boolexpr.Universe
+}
+
+// Plan is one compiled query: the sensitive K-relation derived, the LP
+// encoding built, and every sequence value computed so far memoized. It is
+// safe for concurrent Release calls and produces releases at any ε — the
+// expensive state is ε-independent, only the O(log |P|) ladder searches and
+// the noise draws are per-release.
+type Plan struct {
+	kind     string
+	nodeLike bool
+	seq      *memoSeq
+	nP       int
+	live     *liveSet
+}
+
+// liveSet tracks the contexts of in-flight releases on one plan. The LP
+// solver polls interrupted during long solves: a solve aborts only when
+// every release that could consume its result has gone away — a memoized
+// H/G value is shared work, so one caller hanging up must not starve the
+// others, but a solve nobody is waiting for should stop burning the worker.
+type liveSet struct {
+	mu   sync.Mutex
+	next uint64
+	ctxs map[uint64]context.Context
+}
+
+func newLiveSet() *liveSet { return &liveSet{ctxs: make(map[uint64]context.Context)} }
+
+func (l *liveSet) add(ctx context.Context) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	l.ctxs[l.next] = ctx
+	return l.next
+}
+
+func (l *liveSet) remove(id uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.ctxs, id)
+}
+
+// interrupted returns nil while at least one registered release is still
+// live (or none are registered — solves from non-release paths run to
+// completion); otherwise the first cancellation cause found.
+func (l *liveSet) interrupted() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ctxs) == 0 {
+		return nil
+	}
+	var cause error
+	for _, ctx := range l.ctxs {
+		err := ctx.Err()
+		if err == nil {
+			return nil
+		}
+		cause = err
+	}
+	return cause
+}
+
+// Compile builds the plan for spec against src: derive the sensitive
+// K-relation (evaluating the SQL query or enumerating the subgraph
+// workload), flatten it into the LP-backed sequences of §5, and wrap them
+// in a shared memo. Caller-caused failures match ErrSpec.
+func Compile(src Source, spec *Spec) (*Plan, error) {
+	sens, err := buildSensitive(src, spec)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := mechanism.NewEfficientFromSensitive(sens, krel.CountQuery)
+	if err != nil {
+		return nil, err
+	}
+	live := newLiveSet()
+	// Long H/G solves poll the live-release set, so a solve whose every
+	// waiter hung up aborts instead of finishing into the memo unobserved.
+	seq.SetInterrupt(live.interrupted)
+	return &Plan{
+		kind:     spec.Kind,
+		nodeLike: spec.nodeLike(),
+		seq:      newMemoSeq(seq),
+		nP:       seq.NumParticipants(),
+		live:     live,
+	}, nil
+}
+
+// buildSensitive compiles the spec into the sensitive K-relation the
+// mechanism releases a count of.
+func buildSensitive(src Source, spec *Spec) (*krel.Sensitive, error) {
+	switch spec.Kind {
+	case KindSQL:
+		if src.DB == nil {
+			return nil, specErrorf("kind %q needs a relational dataset", spec.Kind)
+		}
+		q := spec.parsed
+		if q == nil {
+			var err error
+			if q, err = query.Parse(spec.Query); err != nil {
+				return nil, &SpecError{Reason: err.Error()}
+			}
+		}
+		out, err := q.Eval(src.DB)
+		if err != nil {
+			return nil, &SpecError{Reason: err.Error()}
+		}
+		return krel.NewSensitive(src.Universe, out), nil
+	case KindTriangles, KindKStars, KindKTriangles, KindPattern:
+		if src.Graph == nil {
+			return nil, specErrorf("kind %q needs a graph dataset", spec.Kind)
+		}
+	default:
+		return nil, specErrorf("unknown kind %q", spec.Kind)
+	}
+	priv := subgraph.NodePrivacy
+	if spec.EdgePrivacy {
+		priv = subgraph.EdgePrivacy
+	}
+	switch spec.Kind {
+	case KindTriangles:
+		return subgraph.TriangleRelation(src.Graph, priv), nil
+	case KindKStars:
+		return subgraph.KStarRelation(src.Graph, spec.K, priv), nil
+	case KindKTriangles:
+		return subgraph.KTriangleRelation(src.Graph, spec.K, priv), nil
+	default: // KindPattern
+		p, err := spec.pattern()
+		if err != nil {
+			return nil, err
+		}
+		return subgraph.PatternRelation(src.Graph, p, priv, nil), nil
+	}
+}
+
+// NumParticipants returns |P| of the compiled sensitive relation.
+func (p *Plan) NumParticipants() int { return p.nP }
+
+// Kind returns the compiled spec's kind.
+func (p *Plan) Kind() string { return p.kind }
+
+// Solves reports how many H and G entries have been computed (each one LP
+// solve) over the plan's lifetime — a direct measure of how much work the
+// memo is saving repeat releases.
+func (p *Plan) Solves() (h, g uint64) { return p.seq.solves() }
+
+// Release draws one ε-differentially private answer from the plan: the
+// mechanism of §4.1 with the experimental defaults of §6.1 (ε split evenly
+// between the sensitivity proxy and the final Laplace noise, β = ε/5).
+// Sequence entries already memoized — by earlier releases at any ε — are
+// reused; a fresh ε costs at most the O(log |P|) ladder searches worth of
+// new LP solves, and typically none.
+//
+// ctx is checked between sequence evaluations — and, through the live-set
+// interrupt, every few dozen simplex pivots *inside* a solve — so a
+// canceled release aborts promptly instead of finishing a doomed LP
+// ladder. A solve shared with another still-live release keeps running
+// (its result is memoized for everyone); the memo keeps whatever entries
+// completed, they stay valid.
+func (p *Plan) Release(ctx context.Context, epsilon float64, rng *rand.Rand) (float64, error) {
+	if math.IsNaN(epsilon) || math.IsInf(epsilon, 0) || epsilon <= 0 {
+		return 0, specErrorf("release ε must be positive and finite, got %g", epsilon)
+	}
+	params := mechanism.DefaultParams(epsilon, p.nodeLike)
+	core, err := mechanism.NewCore(ctxSeq{ctx: ctx, inner: p.seq}, params)
+	if err != nil {
+		return 0, err
+	}
+	id := p.live.add(ctx)
+	defer p.live.remove(id)
+	return core.Release(rng)
+}
+
+// Warm materializes the release path's sequence state for ε without
+// drawing any noise: it runs the Δ ladder search of Eq. 11 (the binary
+// search's G probes) and the X minimization of Eq. 12 at the µ-biased
+// center Δ̂ = e^µ·Δ of the noisy-Δ distribution, so those entries land in
+// the memo. Nothing is released and zero ε is spent — everything computed
+// is deterministic, non-private state that never leaves the plan. A
+// release at (or near) this ε afterwards typically finds every probe
+// memoized and pays only the noise draws.
+func (p *Plan) Warm(ctx context.Context, epsilon float64) error {
+	if math.IsNaN(epsilon) || math.IsInf(epsilon, 0) || epsilon <= 0 {
+		return specErrorf("warm ε must be positive and finite, got %g", epsilon)
+	}
+	params := mechanism.DefaultParams(epsilon, p.nodeLike)
+	core, err := mechanism.NewCore(ctxSeq{ctx: ctx, inner: p.seq}, params)
+	if err != nil {
+		return err
+	}
+	id := p.live.add(ctx)
+	defer p.live.remove(id)
+	delta, err := core.Delta()
+	if err != nil {
+		return err
+	}
+	_, err = core.XGiven(math.Exp(params.Mu) * delta)
+	return err
+}
+
+// ctxSeq threads a context through the Sequences interface: each H/G access
+// first checks for cancellation, giving long LP ladders a cooperative abort
+// point without the mechanism knowing about contexts.
+type ctxSeq struct {
+	ctx   context.Context
+	inner mechanism.Sequences
+}
+
+func (s ctxSeq) NumParticipants() int { return s.inner.NumParticipants() }
+
+func (s ctxSeq) H(i int) (float64, error) {
+	if err := s.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return s.inner.H(i)
+}
+
+func (s ctxSeq) G(i int) (float64, error) {
+	if err := s.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return s.inner.G(i)
+}

@@ -64,6 +64,75 @@ func BenchmarkServiceQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkPreparedRelease measures the plan-cache hit path with fresh ε:
+// every iteration is a new release (a new ε means the release cache cannot
+// replay it and its full ε is spent), but the expensive deterministic state
+// — parse, canonicalize, sensitive relation, LP encoding, memoized H/G
+// entries — is shared through the plan compiled on the first iteration.
+// This is the acceptance benchmark: it must be ≥ 5× faster than
+// BenchmarkServiceQuery, the fresh-query path of the same workload.
+func BenchmarkPreparedRelease(b *testing.B) {
+	svc := benchService(b)
+	ctx := context.Background()
+	const query = "SELECT x, y FROM visits WHERE x != 'warm'"
+	// Prepare-only priming: the plan and its sequence memo are warmed the
+	// way a /v2/prepare client would, spending zero ε, so the loop measures
+	// exactly what a prepared client pays per release.
+	if _, err := svc.Prepare(ctx, Request{Dataset: "med", Kind: KindSQL, Query: query, Epsilon: 0.5}); err != nil {
+		b.Fatalf("priming prepare: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := Request{
+			Dataset: "med",
+			Kind:    KindSQL,
+			Query:   query,
+			Epsilon: 0.5 + float64(i+1)*1e-9, // fresh ε: never a release-cache replay
+		}
+		resp, err := svc.Query(ctx, req)
+		if err != nil {
+			b.Fatalf("Query: %v", err)
+		}
+		if resp.Cached {
+			b.Fatal("prepared release unexpectedly replayed")
+		}
+	}
+}
+
+// BenchmarkBatchJob measures the async job pipeline end to end: submit a
+// batch of distinct queries (one atomic reservation), wait for completion.
+// Reported per batch of batchSize queries.
+func BenchmarkBatchJob(b *testing.B) {
+	const batchSize = 8
+	svc := benchService(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := make([]Request, batchSize)
+		for j := range items {
+			items[j] = Request{
+				Dataset: "med",
+				Kind:    KindSQL,
+				Query:   fmt.Sprintf("SELECT x, y FROM visits WHERE x != 'b%d_%d'", i, j),
+				Epsilon: 0.1,
+			}
+		}
+		info, err := svc.SubmitJob(items)
+		if err != nil {
+			b.Fatalf("SubmitJob: %v", err)
+		}
+		final, err := svc.WaitJob(ctx, info.ID)
+		if err != nil {
+			b.Fatalf("WaitJob: %v", err)
+		}
+		if final.State != JobStateDone {
+			b.Fatalf("job state %q: %+v", final.State, final)
+		}
+	}
+}
+
 // BenchmarkServiceQueryCached measures the replay path: identical queries
 // served from the release cache at zero ε.
 func BenchmarkServiceQueryCached(b *testing.B) {

@@ -163,6 +163,72 @@ func (a *Accountant) Reserve(dataset string, epsilon float64) (*Reservation, err
 	return &Reservation{acct: a, ledger: l, dataset: dataset, epsilon: epsilon, journalID: journalID}, nil
 }
 
+// ReserveItem is one line of a batch reservation: ε against one dataset.
+type ReserveItem struct {
+	Dataset string
+	Epsilon float64
+}
+
+// ReserveMany atomically reserves every item or nothing: under one lock it
+// validates all items, checks each dataset's unreserved remainder against
+// the *sum* the batch asks of it, then creates one reservation per item.
+// The first insufficient ledger aborts the whole batch with a *BudgetError
+// naming that dataset, and no ε moves anywhere.
+//
+// Each returned reservation settles independently (per-item commit on
+// release, refund on failure or cancellation), which is what gives batch
+// jobs all-or-nothing admission with pay-per-item execution.
+//
+// With a journal attached, items are journalled in order; a journal append
+// failing mid-batch refunds the already-journalled items (their durable
+// reserve records are settled by refund records) and aborts with no
+// in-memory change.
+func (a *Accountant) ReserveMany(items []ReserveItem) ([]*Reservation, error) {
+	for _, it := range items {
+		if math.IsNaN(it.Epsilon) || math.IsInf(it.Epsilon, 0) || it.Epsilon <= 0 {
+			return nil, badRequestf("reservation ε must be positive and finite, got %g", it.Epsilon)
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Feasibility first, with per-dataset sums, before any state moves.
+	asked := make(map[string]float64, len(items))
+	for _, it := range items {
+		l, ok := a.ledgers[it.Dataset]
+		if !ok {
+			return nil, &DatasetError{Name: it.Dataset}
+		}
+		asked[it.Dataset] += it.Epsilon
+		if asked[it.Dataset] > l.remaining()+budgetSlack {
+			return nil, &BudgetError{Dataset: it.Dataset, Requested: asked[it.Dataset], Remaining: l.remaining()}
+		}
+	}
+	resvs := make([]*Reservation, len(items))
+	for i, it := range items {
+		var journalID uint64
+		if a.journal != nil {
+			id, err := a.journal.Reserve(it.Dataset, it.Epsilon)
+			if err != nil {
+				// Unwind the durable records already written; in-memory
+				// ledgers have not been touched yet. A refund that itself
+				// fails is conservative: recovery folds the unsettled
+				// reservation into spent, shrinking (never growing) the
+				// recoverable remainder.
+				for j := 0; j < i; j++ {
+					_ = a.journal.Refund(resvs[j].journalID)
+				}
+				return nil, err
+			}
+			journalID = id
+		}
+		resvs[i] = &Reservation{acct: a, ledger: a.ledgers[it.Dataset], dataset: it.Dataset, epsilon: it.Epsilon, journalID: journalID}
+	}
+	for _, r := range resvs {
+		r.ledger.reserved += r.epsilon
+	}
+	return resvs, nil
+}
+
 // Reservation is ε set aside for one in-flight release. Exactly one of
 // Commit or Refund must be called; a second settlement panics, because it
 // would silently corrupt the ledger.

@@ -1,12 +1,9 @@
 package service
 
-import (
-	"context"
-	"sync"
-)
+import "recmech/internal/sfcache"
 
 // ReleaseCache remembers noisy answers the service has released, keyed on
-// (dataset generation, canonical query, privacy parameters). Replaying a
+// (dataset generation, canonical query, privacy parameters, ε). Replaying a
 // recorded release is privacy-free — the released value is already public,
 // so repeating it reveals nothing new and costs zero ε — which turns the
 // common "same dashboard query every minute" pattern from a budget drain
@@ -16,100 +13,18 @@ import (
 // first arrival computes, later arrivals wait for and share its release, so
 // a thundering herd of the same query spends ε exactly once.
 //
-// Capacity is bounded: beyond maxEntries, the oldest recorded releases are
+// Capacity is bounded: beyond the limit, the oldest recorded releases are
 // evicted FIFO. Evicting a release is always safe — a repeat of that query
 // simply spends fresh ε — and the bound keeps a long-running daemon from
 // accumulating entries forever (including entries of stale dataset
 // generations, which become unreachable when a dataset is re-registered).
-type ReleaseCache struct {
-	mu         sync.Mutex
-	entries    map[string]*cacheEntry
-	order      []string // completed entries, insertion order, for eviction
-	maxEntries int
-}
-
-type cacheEntry struct {
-	ready chan struct{} // closed once resp/err are set
-	resp  Response
-	err   error
-}
+//
+// The machinery (singleflight, FIFO eviction, failure-not-recorded,
+// startup Preload) lives in internal/sfcache, shared with the plan cache.
+type ReleaseCache = sfcache.Cache[Response]
 
 // NewReleaseCache returns an empty cache evicting beyond maxEntries
 // recorded releases (maxEntries < 1 means 1).
 func NewReleaseCache(maxEntries int) *ReleaseCache {
-	if maxEntries < 1 {
-		maxEntries = 1
-	}
-	return &ReleaseCache{entries: make(map[string]*cacheEntry), maxEntries: maxEntries}
-}
-
-// Preload installs an already-recorded release, as replayed from a durable
-// store at startup. A later Preload of the same key replaces the earlier
-// one (the journal appends re-records after eviction, so last wins).
-// Preloaded entries count toward the eviction bound like any other.
-func (c *ReleaseCache) Preload(key string, resp Response) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e := &cacheEntry{ready: make(chan struct{}), resp: resp}
-	close(e.ready)
-	if _, exists := c.entries[key]; !exists {
-		c.order = append(c.order, key)
-	}
-	c.entries[key] = e
-	for len(c.order) > c.maxEntries {
-		delete(c.entries, c.order[0])
-		c.order = c.order[1:]
-	}
-}
-
-// Len returns the number of entries (recorded and in-flight).
-func (c *ReleaseCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
-
-// Do returns the recorded release for key, or runs compute to produce it.
-// The second result reports whether the response was shared rather than
-// freshly computed by this call (and therefore cost this caller zero ε).
-//
-// A failed compute (budget exhausted, execution error) is not recorded:
-// the entry is removed so a later attempt — perhaps after a budget Grant —
-// retries, but callers already waiting on the failed flight receive its
-// error rather than each spending a fresh reservation on a doomed query.
-func (c *ReleaseCache) Do(ctx context.Context, key string, compute func() (Response, error)) (Response, bool, error) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.mu.Unlock()
-		select {
-		case <-e.ready:
-			if e.err != nil {
-				return Response{}, false, e.err
-			}
-			return e.resp, true, nil
-		case <-ctx.Done():
-			return Response{}, false, ctx.Err()
-		}
-	}
-	e := &cacheEntry{ready: make(chan struct{})}
-	c.entries[key] = e
-	c.mu.Unlock()
-
-	e.resp, e.err = compute()
-
-	c.mu.Lock()
-	if e.err != nil {
-		delete(c.entries, key)
-	} else {
-		c.order = append(c.order, key)
-		for len(c.order) > c.maxEntries {
-			// Every key in order is a completed entry, so eviction never
-			// cuts off waiters of an in-flight computation.
-			delete(c.entries, c.order[0])
-			c.order = c.order[1:]
-		}
-	}
-	c.mu.Unlock()
-	close(e.ready)
-	return e.resp, false, e.err
+	return sfcache.New[Response](maxEntries)
 }

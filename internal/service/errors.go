@@ -30,6 +30,18 @@ var (
 	// ErrBadRequest rejects a malformed or inapplicable request (unknown
 	// kind, parse failure, wrong dataset kind, invalid ε, …).
 	ErrBadRequest = errors.New("service: bad request")
+	// ErrUnknownJob rejects a lookup or cancellation of a job id that is
+	// not retained (never existed, or evicted past the retention bound).
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrJobFinished rejects cancellation of a job already in a terminal
+	// state — there is nothing left to cancel or refund.
+	ErrJobFinished = errors.New("service: job already finished")
+	// ErrRequestTooLarge rejects a request body over the configured size
+	// limit before buffering it.
+	ErrRequestTooLarge = errors.New("service: request body too large")
+	// ErrJobsBusy rejects a job submission while the maximum number of
+	// jobs are already active; retry once some finish.
+	ErrJobsBusy = errors.New("service: too many active jobs")
 )
 
 // BudgetError is the typed rejection returned when a reservation would
@@ -75,3 +87,56 @@ func (e *RequestError) Is(target error) bool { return target == ErrBadRequest }
 func badRequestf(format string, args ...any) error {
 	return &RequestError{Reason: fmt.Sprintf(format, args...)}
 }
+
+// JobError identifies a missing job. errors.Is(err, ErrUnknownJob) is true.
+type JobError struct {
+	ID string
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("service: unknown job %q", e.ID)
+}
+
+// Is makes errors.Is(err, ErrUnknownJob) succeed.
+func (e *JobError) Is(target error) bool { return target == ErrUnknownJob }
+
+// JobFinishedError rejects cancellation of a terminal job. errors.Is(err,
+// ErrJobFinished) is true.
+type JobFinishedError struct {
+	ID    string
+	State string
+}
+
+func (e *JobFinishedError) Error() string {
+	return fmt.Sprintf("service: job %q already finished (%s)", e.ID, e.State)
+}
+
+// Is makes errors.Is(err, ErrJobFinished) succeed.
+func (e *JobFinishedError) Is(target error) bool { return target == ErrJobFinished }
+
+// JobsBusyError rejects a submission while the job table is saturated with
+// active jobs. errors.Is(err, ErrJobsBusy) is true.
+type JobsBusyError struct {
+	Active int // jobs currently queued or running
+	Limit  int // the configured ceiling (Config.MaxJobs)
+}
+
+func (e *JobsBusyError) Error() string {
+	return fmt.Sprintf("service: %d jobs active (limit %d); retry when some finish", e.Active, e.Limit)
+}
+
+// Is makes errors.Is(err, ErrJobsBusy) succeed.
+func (e *JobsBusyError) Is(target error) bool { return target == ErrJobsBusy }
+
+// TooLargeError rejects an oversized request body. errors.Is(err,
+// ErrRequestTooLarge) is true.
+type TooLargeError struct {
+	Limit int64 // bytes accepted
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("service: request body exceeds the %d-byte limit", e.Limit)
+}
+
+// Is makes errors.Is(err, ErrRequestTooLarge) succeed.
+func (e *TooLargeError) Is(target error) bool { return target == ErrRequestTooLarge }

@@ -2,108 +2,130 @@ package service
 
 import (
 	"context"
-	"sync/atomic"
+	"math/rand"
 
-	"recmech/internal/krel"
-	"recmech/internal/mechanism"
 	"recmech/internal/noise"
-	"recmech/internal/query"
-	"recmech/internal/subgraph"
+	"recmech/internal/plan"
 )
 
-// Executor runs queries through the recursive mechanism on a bounded worker
-// pool. The mechanism's prepare step (building the sequences H and G via
-// the LP relaxation) is CPU-heavy, so admission is a counting semaphore:
-// at most workers queries run at once and the rest queue, which keeps tail
-// latency bounded instead of letting every goroutine thrash the CPUs.
+// Executor runs queries on a bounded worker pool through the plan layer:
+// each request is compiled once into a plan (parse, canonicalize, derive
+// the sensitive K-relation, build the LP encoding) that is cached keyed on
+// the dataset snapshot and the canonical workload, so repeated releases of
+// the same query — at any ε — skip straight to the noise draws. Admission
+// is a counting semaphore: at most workers queries compile or release at
+// once and the rest queue, which keeps tail latency bounded instead of
+// letting every goroutine thrash the CPUs.
 type Executor struct {
-	sem  chan struct{}
-	seed int64
-	next atomic.Int64 // per-release RNG stream counter
+	// slots is both the admission semaphore and the RNG supply: worker i's
+	// stream is seeded once (seed+i) at construction and consumed
+	// sequentially by whichever queries hold that slot. Seeding a
+	// math/rand source costs tens of microseconds — dominant next to a
+	// plan-cached release — so streams live as long as the executor.
+	slots chan *rand.Rand
+	plans *plan.Cache
+
+	// testHookRunning, when set, is called after admission (worker slot
+	// held) and before the plan runs — test-only, to make occupancy and
+	// cancellation windows deterministic.
+	testHookRunning func()
 }
 
 // NewExecutor returns an executor running at most workers queries
-// concurrently (workers < 1 means 1). seed makes the noise streams
-// reproducible: release i draws from noise.NewRand(seed+i).
-func NewExecutor(workers int, seed int64) *Executor {
+// concurrently (workers < 1 means 1), caching up to planEntries compiled
+// plans. seed makes the noise reproducible for a deterministic arrival
+// order: worker i draws from the stream noise.NewRand(seed+i).
+func NewExecutor(workers, planEntries int, seed int64) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Executor{sem: make(chan struct{}, workers), seed: seed}
+	e := &Executor{
+		slots: make(chan *rand.Rand, workers),
+		plans: plan.NewCache(planEntries),
+	}
+	for i := 0; i < workers; i++ {
+		e.slots <- noise.NewRand(seed + int64(i))
+	}
+	return e
+}
+
+// acquire takes a worker slot (carrying its RNG stream), honoring ctx while
+// queued.
+func (e *Executor) acquire(ctx context.Context) (*rand.Rand, error) {
+	select {
+	case rng := <-e.slots:
+		return rng, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (e *Executor) releaseSlot(rng *rand.Rand) { e.slots <- rng }
+
+// PlanCacheLen reports the number of cached (or in-flight) plans.
+func (e *Executor) PlanCacheLen() int { return e.plans.Len() }
+
+// plan fetches the compiled plan for a normalized request against a dataset
+// snapshot, compiling (and caching) it on a miss. Concurrent identical
+// requests coalesce into one compilation.
+func (e *Executor) plan(ctx context.Context, ds *Dataset, req *Request) (*plan.Plan, bool, error) {
+	key, err := req.planKey(ds)
+	if err != nil {
+		return nil, false, err
+	}
+	pl, hit, err := e.plans.Do(ctx, key, func() (*plan.Plan, error) {
+		return plan.Compile(plan.Source{Graph: ds.Graph, DB: ds.DB, Universe: ds.Universe}, req.spec)
+	})
+	if err != nil {
+		return nil, false, asRequestError(err)
+	}
+	return pl, hit, nil
 }
 
 // Execute evaluates one normalized request against a dataset snapshot and
 // returns a single ε-DP release. It blocks while the pool is full (honoring
-// ctx) and never touches the budget — the caller reserves before and
+// ctx; a cancellation while queued or between LP evaluations aborts the
+// query) and never touches the budget — the caller reserves before and
 // commits after, so a failure here is refundable.
 func (e *Executor) Execute(ctx context.Context, ds *Dataset, req *Request) (float64, error) {
-	select {
-	case e.sem <- struct{}{}:
-		defer func() { <-e.sem }()
-	case <-ctx.Done():
-		return 0, ctx.Err()
-	}
-
-	sens, err := buildSensitive(ds, req)
+	rng, err := e.acquire(ctx)
 	if err != nil {
 		return 0, err
 	}
-	params := mechanism.DefaultParams(req.Epsilon, req.nodeLike())
-	seq, err := mechanism.NewEfficientFromSensitive(sens, krel.CountQuery)
+	defer e.releaseSlot(rng)
+	if e.testHookRunning != nil {
+		e.testHookRunning()
+	}
+	pl, _, err := e.plan(ctx, ds, req)
 	if err != nil {
 		return 0, err
 	}
-	core, err := mechanism.NewCore(seq, params)
+	v, err := pl.Release(ctx, req.Epsilon, rng)
 	if err != nil {
-		return 0, err
+		return 0, asRequestError(err)
 	}
-	if err := core.Prepare(); err != nil {
-		return 0, err
-	}
-	rng := noise.NewRand(e.seed + e.next.Add(1))
-	return core.Release(rng)
+	return v, nil
 }
 
-// buildSensitive compiles the request into the sensitive K-relation the
-// mechanism releases a count of.
-func buildSensitive(ds *Dataset, req *Request) (*krel.Sensitive, error) {
-	switch req.Kind {
-	case KindSQL:
-		if ds.DB == nil {
-			return nil, badRequestf("dataset %q is a graph; kind %q needs a relational dataset", ds.Name, req.Kind)
-		}
-		q := req.parsed // cacheKey already parsed the text; don't lex twice
-		if q == nil {
-			var err error
-			if q, err = query.Parse(req.Query); err != nil {
-				return nil, &RequestError{Reason: err.Error()}
-			}
-		}
-		out, err := q.Eval(ds.DB)
-		if err != nil {
-			return nil, &RequestError{Reason: err.Error()}
-		}
-		return krel.NewSensitive(ds.Universe, out), nil
-	case KindTriangles, KindKStars, KindKTriangles, KindPattern:
-		if ds.Graph == nil {
-			return nil, badRequestf("dataset %q is relational; kind %q needs a graph dataset", ds.Name, req.Kind)
-		}
-	default:
-		return nil, badRequestf("unknown kind %q", req.Kind)
+// Prepare warms the plan cache for a normalized request without drawing a
+// release or touching the budget: the full deterministic pipeline runs (or
+// is found already materialized) and the plan's Δ ladder and central X
+// search are evaluated into the memo for the request's ε (the server
+// default when the request omits it), so the next Query at that ε
+// typically pays only the noise draws. Returns whether the plan was
+// already cached.
+func (e *Executor) Prepare(ctx context.Context, ds *Dataset, req *Request) (bool, error) {
+	rng, err := e.acquire(ctx)
+	if err != nil {
+		return false, err
 	}
-	priv := req.privacy()
-	switch req.Kind {
-	case KindTriangles:
-		return subgraph.TriangleRelation(ds.Graph, priv), nil
-	case KindKStars:
-		return subgraph.KStarRelation(ds.Graph, req.K, priv), nil
-	case KindKTriangles:
-		return subgraph.KTriangleRelation(ds.Graph, req.K, priv), nil
-	default: // KindPattern
-		p, err := req.pattern()
-		if err != nil {
-			return nil, err
-		}
-		return subgraph.PatternRelation(ds.Graph, p, priv, nil), nil
+	defer e.releaseSlot(rng)
+	pl, hit, err := e.plan(ctx, ds, req)
+	if err != nil {
+		return hit, err
 	}
+	if err := pl.Warm(ctx, req.Epsilon); err != nil {
+		return hit, asRequestError(err)
+	}
+	return hit, nil
 }

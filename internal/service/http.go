@@ -1,16 +1,20 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 )
 
-// maxBodyBytes bounds a /v1/query body; queries are short texts.
+// maxBodyBytes bounds a query/prepare/jobs body; queries are short texts
+// (a maximal batch of maximal queries still fits comfortably).
 const maxBodyBytes = 1 << 20
 
-// maxUploadBytes bounds a dataset upload body.
-const maxUploadBytes = 64 << 20
+// StatusClientClosedRequest is the de-facto (nginx) status for a request
+// whose client hung up before the answer was ready. net/http has no
+// constant for it.
+const StatusClientClosedRequest = 499
 
 // UploadRequest is the body of PUT /v1/datasets/{name}: an edge-list graph
 // or a set of annotated tables, carried as text in the formats the loaders
@@ -21,10 +25,27 @@ type UploadRequest struct {
 	Tables map[string]string `json:"tables,omitempty"` // kind "relational": table name → table text
 }
 
-// NewHandler adapts a Service to HTTP/JSON:
+// BatchRequest is the body of POST /v2/jobs: a batch of queries admitted
+// atomically against the privacy budget and executed asynchronously.
+type BatchRequest struct {
+	Queries []Request `json:"queries"`
+}
+
+// NewHandler adapts a Service to HTTP/JSON.
+//
+// v2 — the compile/execute lifecycle:
+//
+//	POST   /v2/query            Request → Response (plan-cached execution)
+//	POST   /v2/prepare          Request → PrepareInfo (warm a plan, zero ε)
+//	POST   /v2/jobs             BatchRequest → 202 + JobInfo (atomic ε reservation)
+//	GET    /v2/jobs             → {"jobs": [JobInfo…]} (sorted by id)
+//	GET    /v2/jobs/{id}        → JobInfo
+//	DELETE /v2/jobs/{id}        → JobInfo (canceled; un-started items refunded)
+//
+// v1 — wire-compatible shims over the same core:
 //
 //	POST   /v1/query            Request  → Response
-//	GET    /v1/datasets         → {"datasets": [DatasetInfo…]} (with budgets)
+//	GET    /v1/datasets         → {"datasets": [DatasetInfo…]} (sorted by name)
 //	PUT    /v1/datasets/{name}  UploadRequest → DatasetInfo
 //	DELETE /v1/datasets/{name}  → 204
 //	GET    /v1/budget/{dataset} → BudgetStatus
@@ -32,15 +53,17 @@ type UploadRequest struct {
 //
 // Errors come back as {"error": {"code", "message"}} with the status
 // mirroring the typed error: 429 for an exhausted budget, 404 for an
-// unknown dataset, 400 for a bad request, 500 otherwise.
+// unknown dataset or job, 409 for canceling a finished job, 413 for an
+// oversized body, 400 for a bad request, 499/504 for a canceled or timed
+// out request, 500 otherwise.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+	// POST /v1/query and POST /v2/query are the same core: v1 was already
+	// a single-query execute, and the plan layer slots in underneath it.
+	query := func(w http.ResponseWriter, r *http.Request) {
 		var req Request
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeError(w, badRequestf("invalid JSON body: %v", err))
+		if err := decodeJSON(w, r, maxBodyBytes, &req); err != nil {
+			writeError(w, err)
 			return
 		}
 		resp, err := s.Query(r.Context(), req)
@@ -49,16 +72,61 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+	}
+	mux.HandleFunc("POST /v1/query", query)
+	mux.HandleFunc("POST /v2/query", query)
+	mux.HandleFunc("POST /v2/prepare", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := decodeJSON(w, r, maxBodyBytes, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		info, err := s.Prepare(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /v2/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var batch BatchRequest
+		if err := decodeJSON(w, r, maxBodyBytes, &batch); err != nil {
+			writeError(w, err)
+			return
+		}
+		info, err := s.SubmitJob(batch.Queries)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, info)
+	})
+	mux.HandleFunc("GET /v2/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+	})
+	mux.HandleFunc("GET /v2/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.JobStatus(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("DELETE /v2/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.CancelJob(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
 	})
 	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Datasets()})
 	})
 	mux.HandleFunc("PUT /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		var up UploadRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&up); err != nil {
-			writeError(w, badRequestf("invalid JSON body: %v", err))
+		if err := decodeJSON(w, r, s.cfg.MaxUploadBytes, &up); err != nil {
+			writeError(w, err)
 			return
 		}
 		name := r.PathValue("name")
@@ -105,6 +173,23 @@ func NewHandler(s *Service) http.Handler {
 	return mux
 }
 
+// decodeJSON decodes a strict-JSON body bounded by limit. Exceeding the
+// limit aborts the read mid-stream and surfaces as a typed 413 rather than
+// a generic decode failure, so clients can tell "shrink the upload" apart
+// from "fix the JSON".
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &TooLargeError{Limit: mbe.Limit}
+		}
+		return badRequestf("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
 type errorBody struct {
 	Error errorDetail `json:"error"`
 }
@@ -130,9 +215,27 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrUnknownDataset):
 		status = http.StatusNotFound
 		detail.Code = "unknown_dataset"
+	case errors.Is(err, ErrUnknownJob):
+		status = http.StatusNotFound
+		detail.Code = "unknown_job"
+	case errors.Is(err, ErrJobFinished):
+		status = http.StatusConflict
+		detail.Code = "job_finished"
+	case errors.Is(err, ErrJobsBusy):
+		status = http.StatusTooManyRequests
+		detail.Code = "too_many_jobs"
+	case errors.Is(err, ErrRequestTooLarge):
+		status = http.StatusRequestEntityTooLarge
+		detail.Code = "request_too_large"
 	case errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
 		detail.Code = "bad_request"
+	case errors.Is(err, context.Canceled):
+		status = StatusClientClosedRequest
+		detail.Code = "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+		detail.Code = "deadline_exceeded"
 	}
 	writeJSON(w, status, errorBody{Error: detail})
 }

@@ -1,34 +1,29 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
-	"recmech/internal/graph"
-	"recmech/internal/query"
-	"recmech/internal/subgraph"
+	"recmech/internal/plan"
 )
 
-// Query kinds accepted by the service.
+// Query kinds accepted by the service (aliases of the plan package's kind
+// strings, which own the workload semantics).
 const (
-	KindSQL        = "sql"        // SQL-like query against a relational dataset
-	KindTriangles  = "triangles"  // triangle count on a graph dataset
-	KindKStars     = "kstars"     // k-star count (K required)
-	KindKTriangles = "ktriangles" // k-triangle count (K required)
-	KindPattern    = "pattern"    // arbitrary connected pattern count
+	KindSQL        = plan.KindSQL        // SQL-like query against a relational dataset
+	KindTriangles  = plan.KindTriangles  // triangle count on a graph dataset
+	KindKStars     = plan.KindKStars     // k-star count (K required)
+	KindKTriangles = plan.KindKTriangles // k-triangle count (K required)
+	KindPattern    = plan.KindPattern    // arbitrary connected pattern count
 )
 
-// Workload size ceilings. Subgraph enumeration is combinatorial in k and in
-// the pattern size, so an unbounded request could pin a worker (and its ε
-// reservation) indefinitely — a cheap denial of service on an endpoint that
-// accepts untrusted JSON. The caps comfortably cover the paper's workloads
-// (k ≤ 5, patterns on ≤ 5 nodes).
+// Workload size ceilings, owned by internal/plan (see the rationale there).
 const (
-	MaxK            = 10 // kstars/ktriangles
-	MaxPatternNodes = 8
-	MaxPatternEdges = 28 // complete graph on MaxPatternNodes nodes
+	MaxK            = plan.MaxK
+	MaxPatternNodes = plan.MaxPatternNodes
+	MaxPatternEdges = plan.MaxPatternEdges
 )
 
 // Request is one differentially private query. Exactly the fields relevant
@@ -46,9 +41,10 @@ type Request struct {
 	Privacy string  `json:"privacy,omitempty"` // "node" (default) or "edge"; graph kinds only
 	Epsilon float64 `json:"epsilon,omitempty"` // privacy budget for this release
 
-	// parsed carries the SQL parse tree from cacheKey to the executor so
-	// the text is lexed once per fresh query.
-	parsed *query.Query
+	// spec is the validated plan.Spec compiled by normalize: the canonical
+	// workload identity (with the SQL parse tree cached), shared by the
+	// cache keys and the executor so the text is lexed once per request.
+	spec *plan.Spec
 }
 
 // Response is one differentially private answer. Only already-released
@@ -66,8 +62,9 @@ type Response struct {
 	RemainingBudget float64 `json:"remainingBudget"`
 }
 
-// normalize validates the request in place, lowercasing the enum-ish fields
-// and substituting defaults. All failures are RequestErrors.
+// normalize validates the request in place, lowercasing the enum-ish fields,
+// substituting defaults, and compiling the workload spec (which parses SQL
+// exactly once). All failures are RequestErrors.
 func (r *Request) normalize(cfg Config) error {
 	r.Dataset = canonName(r.Dataset)
 	r.Kind = strings.ToLower(strings.TrimSpace(r.Kind))
@@ -93,72 +90,39 @@ func (r *Request) normalize(cfg Config) error {
 	default:
 		return badRequestf("privacy must be \"node\" or \"edge\", got %q", r.Privacy)
 	}
-	switch r.Kind {
-	case KindSQL:
-		if strings.TrimSpace(r.Query) == "" {
-			return badRequestf("kind %q requires a query", r.Kind)
-		}
-		if r.Privacy == "edge" {
-			return badRequestf("privacy applies to graph kinds only; kind %q always protects participants", r.Kind)
-		}
-	case KindTriangles:
-	case KindKStars, KindKTriangles:
-		if r.K < 1 || r.K > MaxK {
-			return badRequestf("kind %q requires 1 ≤ k ≤ %d, got %d", r.Kind, MaxK, r.K)
-		}
-	case KindPattern:
-		if r.PatternNodes < 1 || r.PatternNodes > MaxPatternNodes {
-			return badRequestf("kind %q requires 1 ≤ patternNodes ≤ %d, got %d", r.Kind, MaxPatternNodes, r.PatternNodes)
-		}
-		if len(r.PatternEdges) > MaxPatternEdges {
-			return badRequestf("at most %d pattern edges, got %d", MaxPatternEdges, len(r.PatternEdges))
-		}
-		for _, e := range r.PatternEdges {
-			if e[0] < 0 || e[0] >= r.PatternNodes || e[1] < 0 || e[1] >= r.PatternNodes || e[0] == e[1] {
-				return badRequestf("pattern edge [%d,%d] out of range for %d nodes", e[0], e[1], r.PatternNodes)
-			}
-		}
-	case "":
-		return badRequestf("kind is required (one of sql, triangles, kstars, ktriangles, pattern)")
-	default:
-		return badRequestf("unknown kind %q (one of sql, triangles, kstars, ktriangles, pattern)", r.Kind)
+	spec := &plan.Spec{
+		Kind:         r.Kind,
+		Query:        r.Query,
+		K:            r.K,
+		PatternNodes: r.PatternNodes,
+		PatternEdges: r.PatternEdges,
+		EdgePrivacy:  r.Privacy == "edge",
 	}
+	if err := spec.Validate(); err != nil {
+		return asRequestError(err)
+	}
+	r.spec = spec
 	return nil
 }
 
-// privacy returns the subgraph privacy model (normalize must have run).
-func (r *Request) privacy() subgraph.Privacy {
-	if r.Privacy == "edge" {
-		return subgraph.EdgePrivacy
+// asRequestError converts a caller-caused plan failure into the service's
+// typed 400; anything else passes through unchanged.
+func asRequestError(err error) error {
+	var se *plan.SpecError
+	if errors.As(err, &se) {
+		return &RequestError{Reason: se.Reason}
 	}
-	return subgraph.NodePrivacy
+	return err
 }
 
-// nodeLike reports whether the mechanism should use the node-privacy
-// parameter defaults (µ = 1). Relational queries protect arbitrary
-// participants, the stronger setting.
-func (r *Request) nodeLike() bool {
-	return r.Kind == KindSQL || r.privacy() == subgraph.NodePrivacy
-}
-
-// pattern builds the validated subgraph pattern for KindPattern, converting
-// subgraph.NewPattern's panics (disconnected, isolated node) into
-// RequestErrors.
-func (r *Request) pattern() (p subgraph.Pattern, err error) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			err = badRequestf("invalid pattern: %v", rec)
-		}
-	}()
-	edges := make([]graph.Edge, len(r.PatternEdges))
-	for i, e := range r.PatternEdges {
-		u, v := e[0], e[1]
-		if u > v {
-			u, v = v, u
-		}
-		edges[i] = graph.Edge{U: u, V: v}
+// genTag separates durable and in-memory snapshot namespaces in cache keys:
+// a flag-loaded dataset's per-boot gen 1 and a later upload's store version
+// 1 are different data and must never share a recorded release or a plan.
+func genTag(ds *Dataset) string {
+	if ds.Durable {
+		return "@v"
 	}
-	return subgraph.NewPattern(r.PatternNodes, edges), nil
+	return "#"
 }
 
 // cacheKey derives the release-cache key: two requests share a key exactly
@@ -167,37 +131,23 @@ func (r *Request) pattern() (p subgraph.Pattern, err error) {
 // budget. SQL text is canonicalized through the parser, so formatting and
 // keyword-case differences still hit the cache.
 //
-// Durable and in-memory snapshots key in disjoint namespaces ("@v" store
-// versions vs "#" per-boot generations): a flag-loaded dataset's gen 1 and
-// a later upload's store version 1 are different data and must never share
-// a recorded release.
+// The format is part of the durable store's release journal and must stay
+// byte-identical across versions, or persisted releases stop replaying.
 func (r *Request) cacheKey(ds *Dataset) (string, error) {
-	detail := ""
-	switch r.Kind {
-	case KindSQL:
-		q, err := query.Parse(r.Query)
-		if err != nil {
-			return "", &RequestError{Reason: err.Error()}
-		}
-		r.parsed = q
-		detail = q.Canonical()
-	case KindKStars, KindKTriangles:
-		detail = fmt.Sprintf("k=%d", r.K)
-	case KindPattern:
-		edges := make([]string, len(r.PatternEdges))
-		for i, e := range r.PatternEdges {
-			u, v := e[0], e[1]
-			if u > v {
-				u, v = v, u
-			}
-			edges[i] = fmt.Sprintf("%d-%d", u, v)
-		}
-		sort.Strings(edges)
-		detail = fmt.Sprintf("n=%d;%s", r.PatternNodes, strings.Join(edges, ","))
+	detail, err := r.spec.Detail()
+	if err != nil {
+		return "", asRequestError(err)
 	}
-	genTag := "#"
-	if ds.Durable {
-		genTag = "@v"
+	return fmt.Sprintf("%s%s%d|%s|%s|eps=%.17g|%s", ds.Name, genTag(ds), ds.Gen, r.Kind, r.Privacy, r.Epsilon, detail), nil
+}
+
+// planKey derives the plan-cache key: the cache key minus ε, because a plan
+// materializes only the deterministic, ε-independent state. The key is
+// in-memory only (never persisted), so its format is free to change.
+func (r *Request) planKey(ds *Dataset) (string, error) {
+	k, err := r.spec.Key()
+	if err != nil {
+		return "", asRequestError(err)
 	}
-	return fmt.Sprintf("%s%s%d|%s|%s|eps=%.17g|%s", ds.Name, genTag, ds.Gen, r.Kind, r.Privacy, r.Epsilon, detail), nil
+	return fmt.Sprintf("%s%s%d|%s", ds.Name, genTag(ds), ds.Gen, k), nil
 }

@@ -33,6 +33,22 @@ type Config struct {
 	// CacheEntries bounds the release cache; the oldest recorded releases
 	// are evicted beyond it (a repeat then spends fresh ε). Default 4096.
 	CacheEntries int
+	// PlanEntries bounds the compiled-plan cache; the oldest plans are
+	// evicted beyond it (a repeat then recompiles). Plans hold LP state and
+	// memoized sequence values, so the bound is deliberately tighter than
+	// the release cache's. Default 512.
+	PlanEntries int
+	// MaxUploadBytes caps a PUT /v1/datasets/{name} body; a larger upload
+	// is rejected with a typed 413 instead of being buffered. Default 64 MiB.
+	MaxUploadBytes int64
+	// MaxBatchItems caps the number of queries in one POST /v2/jobs batch.
+	// Default 64.
+	MaxBatchItems int
+	// MaxJobs bounds the job table both ways: at most this many jobs may
+	// be active (queued/running) at once — submissions beyond it get a
+	// typed 429 — and at most this many finished jobs are retained for
+	// GET /v2/jobs, oldest-finished evicted first. Default 1024.
+	MaxJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +67,18 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries < 1 {
 		c.CacheEntries = 4096
 	}
+	if c.PlanEntries < 1 {
+		c.PlanEntries = 512
+	}
+	if c.MaxUploadBytes < 1 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.MaxBatchItems < 1 {
+		c.MaxBatchItems = 64
+	}
+	if c.MaxJobs < 1 {
+		c.MaxJobs = 1024
+	}
 	return c
 }
 
@@ -64,6 +92,7 @@ type Service struct {
 	acct  *Accountant
 	cache *ReleaseCache
 	exec  *Executor
+	jobs  *jobTable
 	store *store.Store // nil for a purely in-memory service
 
 	// adminMu serializes dataset mutations (upload/delete) so the durable
@@ -82,7 +111,8 @@ func New(cfg Config) *Service {
 		reg:   NewRegistry(),
 		acct:  NewAccountant(),
 		cache: NewReleaseCache(cfg.CacheEntries),
-		exec:  NewExecutor(cfg.Workers, cfg.Seed),
+		exec:  NewExecutor(cfg.Workers, cfg.PlanEntries, cfg.Seed),
+		jobs:  newJobTable(cfg.MaxJobs),
 	}
 }
 
@@ -295,39 +325,92 @@ func (s *Service) Budget(name string) (BudgetStatus, error) {
 
 // Query answers one differentially private query. The life of a request:
 //
-//  1. normalize and resolve the dataset snapshot;
+//  1. normalize (compiling the workload spec) and resolve the dataset
+//     snapshot;
 //  2. consult the release cache — a recorded identical release is replayed
 //     at zero additional ε, and concurrent identical queries coalesce into
 //     one flight;
 //  3. otherwise reserve ε from the dataset's ledger (typed rejection when
-//     exhausted, spending nothing), run the mechanism on the worker pool,
-//     then commit the reservation — or refund it if execution failed.
+//     exhausted, spending nothing), fetch or compile the query's plan, draw
+//     the release on the worker pool, then commit the reservation — or
+//     refund it if execution failed or the caller's context was canceled
+//     first.
 //
-// Any error leaves the ledger exactly as it was.
+// Any error leaves the ledger exactly as it was: in particular a request
+// canceled mid-flight refunds its reservation and records nothing, so a
+// hung-up client never spends ε on an answer nobody received. Coalesced
+// waiters of a canceled flight receive the cancellation error; the failed
+// entry is dropped, so a retry recomputes (the compiled plan survives in
+// the plan cache, making the retry cheap).
 func (s *Service) Query(ctx context.Context, req Request) (Response, error) {
 	if err := req.normalize(s.cfg); err != nil {
 		return Response{}, err
 	}
+	return s.do(ctx, &req, nil)
+}
+
+// Prepare compiles (or finds compiled) the plan for a query without drawing
+// a release, and warms the sequence ladder for the request's ε (the server
+// default when omitted): zero ε is spent, and the next Query for the same
+// workload at that ε typically pays only the noise draws. It reports
+// whether the plan was already materialized.
+func (s *Service) Prepare(ctx context.Context, req Request) (PrepareInfo, error) {
+	if err := req.normalize(s.cfg); err != nil {
+		return PrepareInfo{}, err
+	}
 	ds, err := s.reg.Get(req.Dataset)
 	if err != nil {
-		return Response{}, err
+		return PrepareInfo{}, err
+	}
+	hit, err := s.exec.Prepare(ctx, ds, &req)
+	if err != nil {
+		return PrepareInfo{}, err
+	}
+	return PrepareInfo{Dataset: ds.Name, Kind: req.Kind, Privacy: req.Privacy, AlreadyPrepared: hit}, nil
+}
+
+// PrepareInfo reports the outcome of a Prepare call. No ε is spent and
+// nothing derived from the data is disclosed.
+type PrepareInfo struct {
+	Dataset string `json:"dataset"`
+	Kind    string `json:"kind"`
+	Privacy string `json:"privacy"`
+	// AlreadyPrepared is true when the plan was cached before this call.
+	AlreadyPrepared bool `json:"alreadyPrepared"`
+}
+
+// do is the serving core shared by Query and the async job runner: resolve
+// the snapshot, consult the release cache, and on a miss spend ε through
+// the two-phase ledger protocol around a plan-based execution.
+//
+// pre, when non-nil, is a reservation the caller already holds for exactly
+// req.Epsilon on req.Dataset (batch jobs reserve all items atomically up
+// front). do guarantees pre is settled on every path: committed by a fresh
+// release, refunded on failure, and refunded when the response was shared —
+// a cache replay or a coalesced flight — and therefore cost no ε.
+func (s *Service) do(ctx context.Context, req *Request, pre *Reservation) (Response, error) {
+	ds, err := s.reg.Get(req.Dataset)
+	if err != nil {
+		return Response{}, settleErr(pre, err)
 	}
 	key, err := req.cacheKey(ds)
 	if err != nil {
-		return Response{}, err
+		return Response{}, settleErr(pre, err)
 	}
-	// The flight runs detached from the initiating caller's context:
-	// coalesced waiters must not fail because the first arrival hung up,
-	// and once ε is reserved the release should complete and be recorded
-	// rather than waste the reservation. Request size caps (normalize)
-	// bound each run, so orphaned flights cannot pile up unboundedly.
-	flightCtx := context.WithoutCancel(ctx)
-	resp, cached, err := s.cache.Do(ctx, key, func() (Response, error) {
-		resv, err := s.acct.Reserve(ds.Name, req.Epsilon)
-		if err != nil {
-			return Response{}, err
+	preUsed := false
+	compute := func() (Response, error) {
+		// The compute closure runs synchronously in this goroutine (at most
+		// one caller per key computes), so preUsed needs no synchronization.
+		resv := pre
+		if resv != nil {
+			preUsed = true
+		} else {
+			var err error
+			if resv, err = s.acct.Reserve(ds.Name, req.Epsilon); err != nil {
+				return Response{}, err
+			}
 		}
-		value, err := s.exec.Execute(flightCtx, ds, &req)
+		value, err := s.exec.Execute(ctx, ds, req)
 		if err != nil {
 			resv.Refund()
 			return Response{}, err
@@ -346,7 +429,28 @@ func (s *Service) Query(ctx context.Context, req Request) (Response, error) {
 			}
 		}
 		return resp, nil
-	})
+	}
+	var (
+		resp   Response
+		cached bool
+	)
+	for {
+		resp, cached, err = s.cache.Do(ctx, key, compute)
+		// A cancellation error while this caller's own context is live means
+		// we merely joined a flight whose leader hung up — the flight died
+		// with the leader's ctx, not ours. The failed entry is already
+		// dropped, so retry: this caller leads the next flight (on its own
+		// ctx) or joins a healthier one. Our own cancellations (and every
+		// other error) pass through.
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		break
+	}
+	if pre != nil && !preUsed {
+		pre.Refund() // shared response (replay/coalesce) or canceled wait: no ε consumed
+	}
 	if err != nil {
 		return Response{}, err
 	}
@@ -355,4 +459,13 @@ func (s *Service) Query(ctx context.Context, req Request) (Response, error) {
 		resp.RemainingBudget = st.Remaining
 	}
 	return resp, nil
+}
+
+// settleErr refunds a pre-held reservation (if any) before returning err:
+// used on the paths that fail before the release cache takes over.
+func settleErr(pre *Reservation, err error) error {
+	if pre != nil {
+		pre.Refund()
+	}
+	return err
 }

@@ -1,0 +1,113 @@
+// Package sfcache is a bounded cache with singleflight computation: the
+// first caller for a key computes, concurrent callers for the same key wait
+// for and share that one result, and completed entries are evicted FIFO
+// beyond a bound. It is the one implementation behind both the serving
+// layer's release cache and the plan cache — subtle concurrency code this
+// repository should only have to get right once.
+//
+// Failed computations are never recorded: the entry is removed so a later
+// attempt retries, but callers already waiting on the failed flight receive
+// its error rather than each re-running a doomed computation. Eviction only
+// ever touches completed entries, so it can never cut off the waiters of an
+// in-flight computation.
+package sfcache
+
+import (
+	"context"
+	"sync"
+)
+
+// Cache is a bounded singleflight cache from string keys to V. The zero
+// value is not usable; construct with New.
+type Cache[V any] struct {
+	mu         sync.Mutex
+	entries    map[string]*entry[V]
+	order      []string // completed entries, insertion order, for eviction
+	maxEntries int
+}
+
+type entry[V any] struct {
+	ready chan struct{} // closed once val/err are set
+	val   V
+	err   error
+}
+
+// New returns an empty cache evicting beyond maxEntries completed entries
+// (maxEntries < 1 means 1).
+func New[V any](maxEntries int) *Cache[V] {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache[V]{entries: make(map[string]*entry[V]), maxEntries: maxEntries}
+}
+
+// Len returns the number of entries (completed and in-flight).
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Preload installs an already-known value, as replayed from a durable store
+// at startup. A later Preload of the same key replaces the earlier one
+// (journals append re-records after eviction, so last wins). Preloaded
+// entries count toward the eviction bound like any other.
+func (c *Cache[V]) Preload(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &entry[V]{ready: make(chan struct{}), val: val}
+	close(e.ready)
+	if _, exists := c.entries[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = e
+	c.evictLocked()
+}
+
+// Do returns the cached value for key, or runs compute to produce it. The
+// second result reports whether the value was shared — already cached, or
+// joined in flight — rather than computed by this call (the compute closure
+// runs synchronously in the calling goroutine, at most once per flight).
+// A waiter abandons the flight (without disturbing it) when ctx is done.
+func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)) (V, bool, error) {
+	var zero V
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			if e.err != nil {
+				return zero, false, e.err
+			}
+			return e.val, true, nil
+		case <-ctx.Done():
+			return zero, false, ctx.Err()
+		}
+	}
+	e := &entry[V]{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.val, e.err = compute()
+
+	c.mu.Lock()
+	if e.err != nil {
+		delete(c.entries, key)
+	} else {
+		c.order = append(c.order, key)
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return e.val, false, e.err
+}
+
+// evictLocked drops the oldest completed entries beyond the bound. Every
+// key in order points at a completed entry, so eviction never cuts off
+// waiters of an in-flight computation.
+func (c *Cache[V]) evictLocked() {
+	for len(c.order) > c.maxEntries {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}

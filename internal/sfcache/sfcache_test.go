@@ -1,0 +1,59 @@
+package sfcache
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// Do/Len and the singleflight/eviction semantics are additionally covered
+// through the two instantiations' suites (internal/plan/cache_test.go and
+// internal/service, incl. the persist tests driving Preload end to end).
+
+func TestPreloadReplacesAndCounts(t *testing.T) {
+	c := New[int](2)
+	ctx := context.Background()
+	c.Preload("a", 1)
+	c.Preload("a", 2) // replace, not duplicate
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	v, hit, err := c.Do(ctx, "a", func() (int, error) { return 9, nil })
+	if err != nil || !hit || v != 2 {
+		t.Fatalf("Do after Preload: %v %v %v (last Preload must win)", v, hit, err)
+	}
+	// Preloads participate in eviction like computed entries.
+	c.Preload("b", 3)
+	c.Preload("c", 4)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after eviction", c.Len())
+	}
+	if _, hit, _ := c.Do(ctx, "a", func() (int, error) { return 9, nil }); hit {
+		t.Fatal("evicted preload still hit")
+	}
+}
+
+func TestDoCtxAbandonLeavesFlight(t *testing.T) {
+	c := New[int](4)
+	gate := make(chan struct{})
+	computing := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(context.Background(), "k", func() (int, error) {
+			close(computing)
+			<-gate
+			return 7, nil
+		})
+	}()
+	<-computing
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Do(ctx, "k", func() (int, error) { return 0, errors.New("must not run") }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter: %v, want context.Canceled", err)
+	}
+	close(gate)
+	// The flight itself was undisturbed and its result is cached.
+	v, hit, err := c.Do(context.Background(), "k", func() (int, error) { return 0, errors.New("must not run") })
+	if err != nil || !hit || v != 7 {
+		t.Fatalf("flight result after abandoned waiter: %v %v %v", v, hit, err)
+	}
+}

@@ -40,6 +40,15 @@ type (
 	// BudgetError is the typed rejection of an over-budget query; it
 	// matches ErrBudgetExhausted under errors.Is.
 	BudgetError = service.BudgetError
+	// BatchRequest is the body of POST /v2/jobs: queries admitted
+	// atomically against the budget and executed asynchronously.
+	BatchRequest = service.BatchRequest
+	// JobInfo snapshots one async batch job (state plus per-item results).
+	JobInfo = service.JobInfo
+	// JobItemInfo snapshots one query within a job.
+	JobItemInfo = service.JobItemInfo
+	// PrepareInfo reports a POST /v2/prepare outcome (plan warmed, zero ε).
+	PrepareInfo = service.PrepareInfo
 )
 
 // Sentinel errors of the serving layer, for errors.Is checks.
@@ -50,6 +59,21 @@ var (
 	ErrUnknownDataset = service.ErrUnknownDataset
 	// ErrServiceBadRequest rejects a malformed or inapplicable request.
 	ErrServiceBadRequest = service.ErrBadRequest
+	// ErrUnknownJob rejects a lookup or cancellation of an unretained job.
+	ErrUnknownJob = service.ErrUnknownJob
+	// ErrJobFinished rejects cancellation of a job already terminal.
+	ErrJobFinished = service.ErrJobFinished
+	// ErrRequestTooLarge rejects an oversized request body (HTTP 413).
+	ErrRequestTooLarge = service.ErrRequestTooLarge
+)
+
+// Job lifecycle states reported by JobInfo.State.
+const (
+	JobStateQueued   = service.JobStateQueued
+	JobStateRunning  = service.JobStateRunning
+	JobStateDone     = service.JobStateDone
+	JobStateFailed   = service.JobStateFailed
+	JobStateCanceled = service.JobStateCanceled
 )
 
 // Query kinds accepted by ServiceRequest.Kind.
@@ -84,7 +108,9 @@ func NewServiceWithStore(cfg ServiceConfig, st *Store) (*Service, []error) {
 }
 
 // NewServiceHandler adapts a Service to the HTTP/JSON API cmd/recmechd
-// serves: POST /v1/query, GET /v1/datasets, GET /v1/budget/{dataset},
-// GET /healthz, and the mutating admin endpoints PUT and DELETE
-// /v1/datasets/{name} — expose the handler accordingly.
+// serves: the v2 compile/execute lifecycle (POST /v2/query, POST
+// /v2/prepare, the async batch endpoints POST/GET/DELETE /v2/jobs…), the
+// wire-compatible v1 shims (POST /v1/query, GET /v1/datasets, GET
+// /v1/budget/{dataset}, GET /healthz), and the mutating admin endpoints PUT
+// and DELETE /v1/datasets/{name} — expose the handler accordingly.
 func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
