@@ -9,8 +9,15 @@
 //	BenchmarkName-8    12736    93165 ns/op    54161 B/op    780 allocs/op
 //
 // plus the goos/goarch/pkg/cpu header lines, which land in the metadata
-// object. Unrecognized lines are ignored, so piping the full `go test`
-// output (including PASS/ok trailers) is fine.
+// object, plus any custom units emitted with testing.B.ReportMetric —
+//
+//	BenchmarkServiceQueryCached-8   5000   1949 ns/op   0.97 hit_ratio
+//
+// which land in the result's "extra" object keyed by unit (this is how
+// the service benchmarks report cache-hit ratios and the metrics-overhead
+// per-event costs ride along from internal/metrics). Unrecognized lines
+// are ignored, so piping the full `go test` output (including PASS/ok
+// trailers) is fine.
 package main
 
 import (
@@ -29,6 +36,8 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Extra holds custom testing.B.ReportMetric units (e.g. hit_ratio).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type report struct {
@@ -99,15 +108,22 @@ func parseBench(line string) (result, bool) {
 	}
 	r := result{Name: name, Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseInt(f[i], 10, 64)
+		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
 			continue
 		}
-		switch f[i+1] {
+		switch unit := f[i+1]; unit {
 		case "B/op":
-			r.BytesPerOp = &v
+			b := int64(v)
+			r.BytesPerOp = &b
 		case "allocs/op":
-			r.AllocsPerOp = &v
+			a := int64(v)
+			r.AllocsPerOp = &a
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
 		}
 	}
 	return r, true

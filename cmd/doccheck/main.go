@@ -1,0 +1,110 @@
+// Command doccheck validates the repository's markdown documentation
+// without any external tooling: every relative link target must exist on
+// disk, and every intra-document anchor (#heading) must match a heading in
+// the target file, using GitHub's anchor-slug rules (lowercase, spaces to
+// dashes, punctuation dropped). External http(s) links are syntax-checked
+// only — CI must not depend on the network.
+//
+//	go run ./cmd/doccheck README.md API.md OPERATIONS.md DESIGN.md
+//
+// Exit status 1 with one line per broken link. CI runs this in the docs
+// job so a renamed file or heading fails the build instead of rotting the
+// cross-references.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target); images ![alt](t)
+// match too via the same suffix. Reference-style links are not used in
+// this repository.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings, the only style these docs use.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// codeFenceRe strips fenced code blocks so example snippets containing
+// ](...) shapes are not treated as links.
+var codeFenceRe = regexp.MustCompile("(?s)```.*?```")
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck FILE.md ...")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			broken++
+			continue
+		}
+		text := codeFenceRe.ReplaceAllString(string(data), "")
+		for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if err := checkLink(file, target); err != nil {
+				fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", file, err)
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+func checkLink(fromFile, target string) error {
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") {
+		return nil // external: syntax only, no network in CI
+	}
+	path, anchor, _ := strings.Cut(target, "#")
+	resolved := fromFile
+	if path != "" {
+		resolved = filepath.Join(filepath.Dir(fromFile), path)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Errorf("link %q: target does not exist", target)
+		}
+	}
+	if anchor == "" {
+		return nil
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		return nil // anchors into non-markdown targets are not checkable
+	}
+	data, err := os.ReadFile(resolved)
+	if err != nil {
+		return fmt.Errorf("link %q: %v", target, err)
+	}
+	for _, h := range headingRe.FindAllStringSubmatch(string(data), -1) {
+		if slugify(h[1]) == anchor {
+			return nil
+		}
+	}
+	return fmt.Errorf("link %q: no heading matches anchor #%s", target, anchor)
+}
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase, keep
+// letters/digits/dashes/underscores, spaces become dashes, everything else
+// drops. Inline code backticks and link syntax are stripped first.
+func slugify(heading string) string {
+	heading = strings.NewReplacer("`", "", "[", "", "]", "").Replace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' || (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r > 127:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

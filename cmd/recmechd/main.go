@@ -36,7 +36,16 @@
 //	PUT    /v1/datasets/{name}  {"kind":"graph","graph":…} | {"kind":"relational","tables":{…}}
 //	DELETE /v1/datasets/{name}
 //	GET    /v1/budget/{dataset}
+//	GET    /v1/stats                  service-wide counters (JSON)
+//	GET    /v1/datasets/{name}/stats  per-dataset counters and ε spend rate
+//	GET    /metrics                   Prometheus text format
 //	GET    /healthz
+//
+// The daemon writes one structured access-log line per request to stderr
+// (method, path, dataset, ε, status, duration, budget outcome);
+// -log-format selects "text" (default) or "json". See API.md for the full
+// HTTP reference and OPERATIONS.md for the operator runbook, including
+// which metrics to alert on.
 //
 // Example session:
 //
@@ -104,8 +113,14 @@ func main() {
 		maxUpload = flag.Int64("max-upload-bytes", 0, "dataset upload body limit in bytes; larger uploads get a 413 (0 = default 64 MiB)")
 		maxBatch  = flag.Int("max-batch", 0, "max queries per /v2/jobs batch (0 = default 64)")
 		maxJobs   = flag.Int("max-jobs", 0, "max active jobs at once and finished jobs retained (0 = default 1024)")
+		logFormat = flag.String("log-format", "text", "access-log line format: \"text\" or \"json\" (one line per request, to stderr)")
 	)
 	flag.Parse()
+
+	accessLog, err := service.NewAccessLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fail(err)
+	}
 
 	cfg := service.Config{
 		DatasetBudget:  *budget,
@@ -191,7 +206,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(svc),
+		Handler:           service.WithAccessLog(service.NewHandler(svc), accessLog),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

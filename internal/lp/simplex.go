@@ -24,6 +24,7 @@ func (p *Problem) Solve() (Result, error) {
 		_ = j
 	}
 	s := newSimplex(p)
+	solvesTotal.Add(1)
 	return s.run(p)
 }
 
@@ -243,14 +244,20 @@ func (s *simplex) priceOutBasis() {
 
 // iterate runs primal simplex pivots until optimality, unboundedness or the
 // iteration cap.
-func (s *simplex) iterate() error {
+func (s *simplex) iterate() (err error) {
 	limit := 200*(s.m+s.nTotal) + 5000
 	degenerate := 0
 	bland := false
 	s.unboundedFlag = false
+	iters := 0
+	// One batched atomic add per iterate call keeps the per-pivot cost
+	// free; the counter only needs to be fresh at scrape granularity.
+	defer func() { pivotsTotal.Add(uint64(iters)) }()
 	for iter := 0; iter < limit; iter++ {
+		iters = iter
 		if s.interrupt != nil && iter%64 == 0 {
 			if err := s.interrupt(); err != nil {
+				interruptsTotal.Add(1)
 				return err
 			}
 		}
@@ -274,6 +281,7 @@ func (s *simplex) iterate() error {
 		}
 		s.applyStep(enter, dir, delta, leaveRow, leaveToUpper)
 	}
+	iters = limit // the loop ran to the cap: every iteration pivoted
 	return ErrIterationLimit
 }
 

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// BenchmarkCounterInc measures the hot-path cost of one counter event —
+// the overhead instrumentation adds per counted occurrence.
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures the hot-path cost of one latency
+// observation (bucket scan + two atomic adds), the dominant per-query
+// metrics cost in the serving layer.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "", DefBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+// BenchmarkInstrumentedTiming measures a full timing envelope as the
+// serving layer uses it — time.Now, work, ObserveSince — so the metrics
+// overhead acceptance number (see cmd/benchreport) has a direct source.
+func BenchmarkInstrumentedTiming(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "", DefBuckets())
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		c.Inc()
+		h.ObserveSince(start)
+	}
+}
+
+// BenchmarkScrape measures rendering a realistically sized registry (a few
+// dozen families), i.e. the cost of one GET /metrics.
+func BenchmarkScrape(b *testing.B) {
+	r := NewRegistry()
+	for _, src := range []string{"fresh", "plan_hit", "replay"} {
+		r.Counter("bench_queries_total", "", L("source", src)).Add(100)
+		r.Histogram("bench_query_seconds", "", DefBuckets(), L("source", src)).Observe(0.01)
+	}
+	for i := 0; i < 20; i++ {
+		r.Counter("bench_other_total", "", L("n", string(rune('a'+i)))).Inc()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		r.WritePrometheus(&sb)
+	}
+}

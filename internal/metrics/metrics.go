@@ -1,0 +1,365 @@
+// Package metrics is a tiny, dependency-free metrics library for the
+// serving layer: atomic counters, float gauges, and fixed-bucket latency
+// histograms behind a registry that renders the Prometheus text exposition
+// format. It exists so recmechd can expose a standard /metrics endpoint
+// without importing a client library — the repository's rule is stdlib
+// only — and so instrumentation on hot paths stays allocation-free: an
+// instrument is looked up (and registered) once, held in a struct field,
+// and updated with a single atomic operation per event.
+//
+// Two registration styles cover every need of the serving layer:
+//
+//   - Static instruments (Counter, Gauge, Histogram, or their *Func
+//     variants reading an external atomic) are registered once with a
+//     fixed label set and updated from the hot path.
+//   - SampleFunc registers a family whose samples are computed at scrape
+//     time — used for per-dataset values (ε spent, remaining budget),
+//     whose label sets grow and shrink with the dataset registry.
+//
+// The registry is safe for concurrent registration, updates, and scrapes.
+// Names are validated eagerly and duplicate registration panics: both are
+// programming errors worth catching at construction, not scrape, time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" pair attached to a metric.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down. The zero value is
+// ready to use. Add is a CAS loop, so concurrent adds never lose updates.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (negative deltas subtract).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: upper bounds are set at
+// construction and never change, so Observe is a linear scan over a small
+// slice plus two atomic adds — no locks, no allocation. Rendered in the
+// Prometheus cumulative-bucket convention (le="...", _sum, _count).
+type Histogram struct {
+	upper  []float64 // sorted ascending; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    Gauge
+}
+
+// NewHistogram returns a histogram over the given bucket upper bounds
+// (which must be sorted strictly ascending and non-empty; the +Inf
+// overflow bucket is implicit).
+func NewHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic("metrics: histogram needs at least one bucket")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("metrics: histogram buckets must be sorted strictly ascending")
+		}
+	}
+	return &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1), // +1: the +Inf bucket
+	}
+}
+
+// DefBuckets are latency buckets in seconds spanning 100µs to 30s — wide
+// enough for both a plan-cached release (microseconds) and a cold
+// compile on a large graph (seconds).
+func DefBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values so far.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Sample is one dynamically computed sample of a SampleFunc family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// entry is one registered metric: a family name plus one fixed label set
+// (several entries may share a name, e.g. a counter per label value), or a
+// whole dynamically sampled family.
+type entry struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels []Label
+	metric any // *Counter | *Gauge | *Histogram | funcs
+}
+
+type gaugeFunc func() float64
+type counterFunc func() uint64
+type sampleFunc func() []Sample
+
+// Registry holds registered metrics and renders them in the Prometheus
+// text format. Construct with NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byID    map[string]*entry // name + label id → entry, for duplicate detection
+	typOf   map[string]string // family name → type, for consistency
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*entry), typOf: make(map[string]string)}
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", labels, c)
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", labels, g)
+	return g
+}
+
+// Histogram registers and returns a histogram over the given buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	h := NewHistogram(buckets)
+	r.register(name, help, "histogram", labels, h)
+	return h
+}
+
+// RegisterHistogram registers an existing histogram (one constructed
+// standalone by a lower layer, e.g. the store's fsync-latency histogram).
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.register(name, help, "histogram", labels, h)
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "gauge", labels, gaugeFunc(fn))
+}
+
+// CounterFunc registers a counter whose value is read at scrape time from
+// an external monotone source (a package-level atomic, a cache's stats).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.register(name, help, "counter", labels, counterFunc(fn))
+}
+
+// SampleFunc registers a whole family — typ is "counter" or "gauge" —
+// whose samples (label sets and values) are computed at scrape time. Used
+// for families whose label sets change at runtime, like per-dataset
+// budget gauges.
+func (r *Registry) SampleFunc(name, help, typ string, fn func() []Sample) {
+	if typ != "counter" && typ != "gauge" {
+		panic("metrics: SampleFunc type must be counter or gauge")
+	}
+	r.register(name, help, typ, nil, sampleFunc(fn))
+}
+
+func (r *Registry) register(name, help, typ string, labels []Label, metric any) {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("metrics: invalid label name %q", l.Key))
+		}
+	}
+	e := &entry{name: name, help: help, typ: typ, labels: append([]Label(nil), labels...), metric: metric}
+	id := name + labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prior, ok := r.typOf[name]; ok && prior != typ {
+		panic(fmt.Sprintf("metrics: %q registered as both %s and %s", name, prior, typ))
+	}
+	if _, dup := r.byID[id]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %s", id))
+	}
+	r.typOf[name] = typ
+	r.byID[id] = e
+	r.entries = append(r.entries, e)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, sorted by family name and label set so the output is
+// deterministic and diffable.
+func (r *Registry) WritePrometheus(w *strings.Builder) {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return labelString(entries[i].labels) < labelString(entries[j].labels)
+	})
+	lastFamily := ""
+	for _, e := range entries {
+		if e.name != lastFamily {
+			lastFamily = e.name
+			if e.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", e.name, strings.ReplaceAll(e.help, "\n", " "))
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.typ)
+		}
+		switch m := e.metric.(type) {
+		case *Counter:
+			writeSample(w, e.name, e.labels, float64(m.Value()))
+		case *Gauge:
+			writeSample(w, e.name, e.labels, m.Value())
+		case gaugeFunc:
+			writeSample(w, e.name, e.labels, m())
+		case counterFunc:
+			writeSample(w, e.name, e.labels, float64(m()))
+		case sampleFunc:
+			samples := m()
+			sort.SliceStable(samples, func(i, j int) bool {
+				return labelString(samples[i].Labels) < labelString(samples[j].Labels)
+			})
+			for _, s := range samples {
+				writeSample(w, e.name, s.Labels, s.Value)
+			}
+		case *Histogram:
+			cum := uint64(0)
+			for i, ub := range m.upper {
+				cum += m.counts[i].Load()
+				writeSample(w, e.name+"_bucket", append(append([]Label(nil), e.labels...), L("le", formatFloat(ub))), float64(cum))
+			}
+			cum += m.counts[len(m.upper)].Load()
+			writeSample(w, e.name+"_bucket", append(append([]Label(nil), e.labels...), L("le", "+Inf")), float64(cum))
+			writeSample(w, e.name+"_sum", e.labels, m.Sum())
+			writeSample(w, e.name+"_count", e.labels, float64(m.Count()))
+		}
+	}
+}
+
+func writeSample(w *strings.Builder, name string, labels []Label, v float64) {
+	w.WriteString(name)
+	w.WriteString(labelString(labels))
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// labelString renders a label set as {k="v",…} (empty string for no
+// labels), with values escaped per the exposition format.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// text-format scrape endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}

@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parseExposition parses Prometheus text-format output into sample name
+// (with labels) → value, failing the test on any malformed line. It is a
+// deliberately strict reimplementation of the format's line grammar so the
+// tests double as an output-format check.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatalf("blank line in exposition output")
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line %q", line)
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("no value separator in line %q", line)
+		}
+		id, valText := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		if _, dup := out[id]; dup {
+			t.Fatalf("duplicate sample %q", id)
+		}
+		out[id] = v
+	}
+	return out
+}
+
+func scrape(t *testing.T, r *Registry) map[string]float64 {
+	t.Helper()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return parseExposition(t, b.String())
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events", L("kind", "a"))
+	c2 := r.Counter("test_events_total", "events", L("kind", "b"))
+	g := r.Gauge("test_level", "level")
+	c.Add(3)
+	c2.Inc()
+	g.Set(2.5)
+	g.Add(-1)
+
+	got := scrape(t, r)
+	if got[`test_events_total{kind="a"}`] != 3 {
+		t.Errorf("counter a = %v, want 3", got[`test_events_total{kind="a"}`])
+	}
+	if got[`test_events_total{kind="b"}`] != 1 {
+		t.Errorf("counter b = %v, want 1", got[`test_events_total{kind="b"}`])
+	}
+	if got["test_level"] != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got["test_level"])
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	got := scrape(t, r)
+	want := map[string]float64{
+		`test_seconds_bucket{le="0.1"}`:  1,
+		`test_seconds_bucket{le="1"}`:    3,
+		`test_seconds_bucket{le="10"}`:   4,
+		`test_seconds_bucket{le="+Inf"}`: 5,
+		`test_seconds_count`:             5,
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s = %v, want %v", k, got[k], w)
+		}
+	}
+	if s := got["test_seconds_sum"]; s < 56.04 || s > 56.06 {
+		t.Errorf("sum = %v, want ≈56.05", s)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+}
+
+func TestFuncsAndSampleFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("test_dynamic_gauge", "", func() float64 { return 42 })
+	r.CounterFunc("test_dynamic_counter", "", func() uint64 { return 7 }, L("src", "x"))
+	r.SampleFunc("test_family", "per-thing values", "gauge", func() []Sample {
+		return []Sample{
+			{Labels: []Label{L("thing", "b")}, Value: 2},
+			{Labels: []Label{L("thing", "a")}, Value: 1},
+		}
+	})
+	got := scrape(t, r)
+	if got["test_dynamic_gauge"] != 42 {
+		t.Errorf("gauge func = %v", got["test_dynamic_gauge"])
+	}
+	if got[`test_dynamic_counter{src="x"}`] != 7 {
+		t.Errorf("counter func = %v", got[`test_dynamic_counter{src="x"}`])
+	}
+	if got[`test_family{thing="a"}`] != 1 || got[`test_family{thing="b"}`] != 2 {
+		t.Errorf("sample family wrong: %v", got)
+	}
+}
+
+func TestOutputDeterministicAndSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "")
+	r.Counter("aa_total", "", L("x", "2"))
+	r.Counter("aa_total", "", L("x", "1"))
+	var b1, b2 strings.Builder
+	r.WritePrometheus(&b1)
+	r.WritePrometheus(&b2)
+	if b1.String() != b2.String() {
+		t.Fatal("two scrapes differ")
+	}
+	if !strings.Contains(b1.String(), "aa_total{x=\"1\"} 0\naa_total{x=\"2\"} 0") {
+		t.Errorf("label sets not sorted:\n%s", b1.String())
+	}
+	if strings.Index(b1.String(), "aa_total") > strings.Index(b1.String(), "zz_total") {
+		t.Errorf("families not sorted:\n%s", b1.String())
+	}
+	// One TYPE line per family, not per entry.
+	if n := strings.Count(b1.String(), "# TYPE aa_total"); n != 1 {
+		t.Errorf("%d TYPE lines for aa_total, want 1", n)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "", L("path", "a\\b\"c\nd"))
+	c.Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `test_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaping wrong, want %s in:\n%s", want, b.String())
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	mustPanic("duplicate", func() { r.Counter("ok_total", "") })
+	mustPanic("type clash", func() { r.Gauge("ok_total", "", L("a", "b")) })
+	mustPanic("bad name", func() { r.Counter("bad-name", "") })
+	mustPanic("bad label", func() { r.Counter("fine_total", "", L("bad-key", "v")) })
+	mustPanic("empty buckets", func() { NewHistogram(nil) })
+	mustPanic("unsorted buckets", func() { NewHistogram([]float64{1, 1}) })
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "")
+	g := r.Gauge("test_gauge", "")
+	h := r.Histogram("test_hist", "", DefBuckets())
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	// Scrape concurrently with the updates; values just need to parse.
+	for i := 0; i < 10; i++ {
+		scrape(t, r)
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	got := scrape(t, r)
+	if got["test_total"] != workers*perWorker {
+		t.Errorf("counter = %v, want %d", got["test_total"], workers*perWorker)
+	}
+	if got["test_gauge"] != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got["test_gauge"], workers*perWorker)
+	}
+	if got["test_hist_count"] != workers*perWorker {
+		t.Errorf("hist count = %v, want %d", got["test_hist_count"], workers*perWorker)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "help text").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "test_total 1") {
+		t.Errorf("body missing sample:\n%s", body)
+	}
+}

@@ -1,0 +1,192 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// accessInfo carries per-request facts from the handlers out to the access
+// logger: which dataset the request touched, the ε involved, and what
+// happened to the privacy budget. It travels down via the request context
+// (the middleware installs it, handlers fill it in) and is read by exactly
+// one goroutine, so the fields need no synchronization.
+type accessInfo struct {
+	dataset string
+	epsilon float64
+	outcome string
+}
+
+type accessInfoKey struct{}
+
+// annotate records request facts for the access log. A no-op when no
+// access-log middleware wraps the handler.
+func annotate(r *http.Request, dataset string, epsilon float64, outcome string) {
+	if ai, ok := r.Context().Value(accessInfoKey{}).(*accessInfo); ok {
+		ai.dataset, ai.epsilon, ai.outcome = dataset, epsilon, outcome
+	}
+}
+
+// budgetOutcome classifies what a query did to the privacy budget, for the
+// access log's "outcome" field: "spent" (fresh release, ε committed),
+// "replayed" (recorded release or coalesced flight, zero ε), "rejected"
+// (budget exhausted, zero ε), "refunded" (canceled mid-flight, reservation
+// returned), or "none" (failed before any ε moved).
+func budgetOutcome(cached bool, err error) string {
+	switch {
+	case err == nil && cached:
+		return "replayed"
+	case err == nil:
+		return "spent"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "refunded"
+	case errors.Is(err, ErrBudgetExhausted):
+		return "rejected"
+	default:
+		return "none"
+	}
+}
+
+// AccessEntry is one structured access-log record: exactly what an
+// operator needs to account for a request after the fact — who asked what
+// of which dataset, what it cost, and how it ended.
+type AccessEntry struct {
+	Time       string  `json:"time"` // RFC 3339, millisecond precision
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Status     int     `json:"status"`
+	DurationMS float64 `json:"durationMs"`
+	Bytes      int64   `json:"bytes"` // response body bytes written
+	Dataset    string  `json:"dataset,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	// Outcome is the budget outcome: spent, replayed, rejected, refunded,
+	// reserved (job admission), prepared (plan warm, zero ε), or none.
+	Outcome string `json:"outcome,omitempty"`
+	Remote  string `json:"remote,omitempty"`
+}
+
+// AccessLogger writes one line per HTTP request, either as a JSON object
+// (format "json") or a human-oriented text line (format "text"). Writes
+// are serialized under a mutex so concurrent requests never interleave
+// mid-line. Construct with NewAccessLogger and wrap a handler with
+// WithAccessLog.
+type AccessLogger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	json bool
+	now  func() time.Time // injectable for tests
+}
+
+// NewAccessLogger returns a logger writing format "json" or "text" lines
+// to w.
+func NewAccessLogger(w io.Writer, format string) (*AccessLogger, error) {
+	switch format {
+	case "json", "text":
+		return &AccessLogger{w: w, json: format == "json", now: time.Now}, nil
+	default:
+		return nil, fmt.Errorf(`service: access-log format must be "json" or "text", got %q`, format)
+	}
+}
+
+func (l *AccessLogger) log(e AccessEntry) {
+	var line []byte
+	if l.json {
+		line, _ = json.Marshal(e) // AccessEntry has no unmarshalable fields
+		line = append(line, '\n')
+	} else {
+		// Request-derived strings (path, dataset) are quoted so an encoded
+		// newline or control character in a URL cannot forge a log line;
+		// JSON mode gets the same protection from the encoder.
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s %s %s %d %.1fms %dB", e.Time, e.Method, sanitize(e.Path), e.Status, e.DurationMS, e.Bytes)
+		if e.Dataset != "" {
+			fmt.Fprintf(&b, " dataset=%s", sanitize(e.Dataset))
+		}
+		if e.Epsilon != 0 {
+			fmt.Fprintf(&b, " eps=%g", e.Epsilon)
+		}
+		if e.Outcome != "" {
+			fmt.Fprintf(&b, " outcome=%s", e.Outcome)
+		}
+		if e.Remote != "" {
+			fmt.Fprintf(&b, " remote=%s", sanitize(e.Remote))
+		}
+		b.WriteByte('\n')
+		line = []byte(b.String())
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(line)
+}
+
+// sanitize makes a request-derived string safe for one text log line:
+// anything containing whitespace-breaking or control characters is
+// rendered Go-quoted.
+func sanitize(s string) string {
+	if strings.IndexFunc(s, func(r rune) bool { return r < 0x20 || r == 0x7f || r == ' ' }) < 0 {
+		return s
+	}
+	return fmt.Sprintf("%q", s)
+}
+
+// WithAccessLog wraps h so every request emits one access-log line after
+// it completes. The wrapper installs the annotation slot the service's
+// handlers fill in (dataset, ε, budget outcome), so it belongs outside
+// NewHandler's handler, closest to the server.
+func WithAccessLog(h http.Handler, l *AccessLogger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := l.now()
+		ai := &accessInfo{}
+		rec := &statusRecorder{ResponseWriter: w}
+		h.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), accessInfoKey{}, ai)))
+		l.log(AccessEntry{
+			Time:       start.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			Status:     rec.statusOr200(),
+			DurationMS: float64(l.now().Sub(start)) / float64(time.Millisecond),
+			Bytes:      rec.bytes,
+			Dataset:    ai.dataset,
+			Epsilon:    ai.epsilon,
+			Outcome:    ai.outcome,
+			Remote:     r.RemoteAddr,
+		})
+	})
+}
+
+// statusRecorder captures the status code and body size a handler wrote,
+// for the access log and the HTTP metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int // 0 until WriteHeader; implicit 200 on first Write
+	bytes  int64
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusRecorder) statusOr200() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}

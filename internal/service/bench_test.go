@@ -8,6 +8,7 @@ import (
 
 	"recmech/internal/boolexpr"
 	"recmech/internal/query"
+	"recmech/internal/sfcache"
 )
 
 func benchService(b *testing.B) *Service {
@@ -98,6 +99,16 @@ func BenchmarkPreparedRelease(b *testing.B) {
 			b.Fatal("prepared release unexpectedly replayed")
 		}
 	}
+	reportHitRatio(b, "plan_hit_ratio", svc.exec.plans.Stats())
+}
+
+// reportHitRatio attaches a cache's shared-answer ratio to the benchmark
+// output as a custom unit, which cmd/benchreport lifts into the JSON
+// report's "extra" object.
+func reportHitRatio(b *testing.B, unit string, st sfcache.Stats) {
+	if lookups := st.Hits + st.Misses + st.Coalesced; lookups > 0 {
+		b.ReportMetric(float64(st.Hits+st.Coalesced)/float64(lookups), unit)
+	}
 }
 
 // BenchmarkBatchJob measures the async job pipeline end to end: submit a
@@ -153,4 +164,5 @@ func BenchmarkServiceQueryCached(b *testing.B) {
 			b.Fatal("replay missed the cache")
 		}
 	}
+	reportHitRatio(b, "hit_ratio", svc.cache.Stats())
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // budgetSlack absorbs floating-point dust when comparing a requested ε
@@ -41,6 +42,18 @@ type Accountant struct {
 	mu      sync.Mutex
 	ledgers map[string]*ledger
 	journal BudgetJournal
+
+	// Observability counters (see Counters): reservations created,
+	// reservations rejected for insufficient budget, and settlements.
+	nReserves, nRejected, nCommits, nRefunds atomic.Uint64
+}
+
+// Counters snapshots the accountant's monotone event counters:
+// reservations created, reservations rejected for insufficient budget
+// (other failures — unknown dataset, bad ε, journal faults — don't
+// count), commits, and refunds.
+func (a *Accountant) Counters() (reserves, rejected, commits, refunds uint64) {
+	return a.nReserves.Load(), a.nRejected.Load(), a.nCommits.Load(), a.nRefunds.Load()
 }
 
 // BudgetJournal persists ledger transitions; *store.Store implements it.
@@ -146,6 +159,7 @@ func (a *Accountant) Reserve(dataset string, epsilon float64) (*Reservation, err
 		return nil, &DatasetError{Name: dataset}
 	}
 	if epsilon > l.remaining()+budgetSlack {
+		a.nRejected.Add(1)
 		return nil, &BudgetError{Dataset: dataset, Requested: epsilon, Remaining: l.remaining()}
 	}
 	var journalID uint64
@@ -160,6 +174,7 @@ func (a *Accountant) Reserve(dataset string, epsilon float64) (*Reservation, err
 		journalID = id
 	}
 	l.reserved += epsilon
+	a.nReserves.Add(1)
 	return &Reservation{acct: a, ledger: l, dataset: dataset, epsilon: epsilon, journalID: journalID}, nil
 }
 
@@ -200,6 +215,11 @@ func (a *Accountant) ReserveMany(items []ReserveItem) ([]*Reservation, error) {
 		}
 		asked[it.Dataset] += it.Epsilon
 		if asked[it.Dataset] > l.remaining()+budgetSlack {
+			// Count every item of the batch as rejected, keeping the
+			// reservations counter's unit (items) consistent across the
+			// ok and rejected results: ReserveMany is all-or-nothing, so
+			// denial denies all of them.
+			a.nRejected.Add(uint64(len(items)))
 			return nil, &BudgetError{Dataset: it.Dataset, Requested: asked[it.Dataset], Remaining: l.remaining()}
 		}
 	}
@@ -226,6 +246,7 @@ func (a *Accountant) ReserveMany(items []ReserveItem) ([]*Reservation, error) {
 	for _, r := range resvs {
 		r.ledger.reserved += r.epsilon
 	}
+	a.nReserves.Add(uint64(len(resvs)))
 	return resvs, nil
 }
 
@@ -278,5 +299,8 @@ func (r *Reservation) settle(commit bool) {
 	r.ledger.reserved -= r.epsilon
 	if commit {
 		r.ledger.spent += r.epsilon
+		r.acct.nCommits.Add(1)
+	} else {
+		r.acct.nRefunds.Add(1)
 	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"recmech/internal/noise"
 	"recmech/internal/plan"
@@ -24,6 +25,10 @@ type Executor struct {
 	// plan-cached release — so streams live as long as the executor.
 	slots chan *rand.Rand
 	plans *plan.Cache
+
+	// met, when set (the service wires it), observes queue wait: the time
+	// a query spends blocked on admission before holding a worker slot.
+	met *serviceMetrics
 
 	// testHookRunning, when set, is called after admission (worker slot
 	// held) and before the plan runs — test-only, to make occupancy and
@@ -50,10 +55,27 @@ func NewExecutor(workers, planEntries int, seed int64) *Executor {
 }
 
 // acquire takes a worker slot (carrying its RNG stream), honoring ctx while
-// queued.
+// queued, and observes the wait in the queue-wait histogram.
 func (e *Executor) acquire(ctx context.Context) (*rand.Rand, error) {
+	// Fast path: a free slot means zero queue wait — skip the clock reads
+	// so the uncontended case pays one histogram observe and nothing more.
 	select {
 	case rng := <-e.slots:
+		if e.met != nil {
+			e.met.queueWait.Observe(0)
+		}
+		return rng, nil
+	default:
+	}
+	var start time.Time
+	if e.met != nil {
+		start = time.Now()
+	}
+	select {
+	case rng := <-e.slots:
+		if e.met != nil {
+			e.met.queueWait.ObserveSince(start)
+		}
 		return rng, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -83,28 +105,30 @@ func (e *Executor) plan(ctx context.Context, ds *Dataset, req *Request) (*plan.P
 }
 
 // Execute evaluates one normalized request against a dataset snapshot and
-// returns a single ε-DP release. It blocks while the pool is full (honoring
-// ctx; a cancellation while queued or between LP evaluations aborts the
-// query) and never touches the budget — the caller reserves before and
-// commits after, so a failure here is refundable.
-func (e *Executor) Execute(ctx context.Context, ds *Dataset, req *Request) (float64, error) {
+// returns a single ε-DP release, reporting whether the plan came from the
+// cache (planHit) so callers can attribute the latency to the cheap
+// release-only path or a full compile. It blocks while the pool is full
+// (honoring ctx; a cancellation while queued or between LP evaluations
+// aborts the query) and never touches the budget — the caller reserves
+// before and commits after, so a failure here is refundable.
+func (e *Executor) Execute(ctx context.Context, ds *Dataset, req *Request) (value float64, planHit bool, err error) {
 	rng, err := e.acquire(ctx)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer e.releaseSlot(rng)
 	if e.testHookRunning != nil {
 		e.testHookRunning()
 	}
-	pl, _, err := e.plan(ctx, ds, req)
+	pl, hit, err := e.plan(ctx, ds, req)
 	if err != nil {
-		return 0, err
+		return 0, hit, err
 	}
 	v, err := pl.Release(ctx, req.Epsilon, rng)
 	if err != nil {
-		return 0, asRequestError(err)
+		return 0, hit, asRequestError(err)
 	}
-	return v, nil
+	return v, hit, nil
 }
 
 // Prepare warms the plan cache for a normalized request without drawing a

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
+
+	"recmech/internal/metrics"
 )
 
 // maxBodyBytes bounds a query/prepare/jobs body; queries are short texts
@@ -51,6 +54,16 @@ type BatchRequest struct {
 //	GET    /v1/budget/{dataset} → BudgetStatus
 //	GET    /healthz             → {"status": "ok"}
 //
+// Observability:
+//
+//	GET    /metrics                   Prometheus text format (MetricsRegistry)
+//	GET    /v1/stats                  → ServiceStats (service-wide JSON snapshot)
+//	GET    /v1/datasets/{name}/stats  → DatasetStats (per-dataset counters, ε rate)
+//
+// Every request is counted in recmech_http_requests_total and timed in
+// recmech_http_request_duration_seconds; wrap the returned handler with
+// WithAccessLog for structured per-request logging.
+//
 // Errors come back as {"error": {"code", "message"}} with the status
 // mirroring the typed error: 429 for an exhausted budget, 404 for an
 // unknown dataset or job, 409 for canceling a finished job, 413 for an
@@ -68,9 +81,19 @@ func NewHandler(s *Service) http.Handler {
 		}
 		resp, err := s.Query(r.Context(), req)
 		if err != nil {
+			// Query normalizes a by-value copy, so a defaulted ε is not
+			// reflected in req — substitute it here, or a rejected
+			// default-ε query would log eps=0 and the operator auditing
+			// the 429 could not see what was actually asked.
+			eps := req.Epsilon
+			if eps == 0 {
+				eps = s.cfg.DefaultEpsilon
+			}
+			annotate(r, canonName(req.Dataset), eps, budgetOutcome(false, err))
 			writeError(w, err)
 			return
 		}
+		annotate(r, resp.Dataset, resp.Epsilon, budgetOutcome(resp.Cached, nil))
 		writeJSON(w, http.StatusOK, resp)
 	}
 	mux.HandleFunc("POST /v1/query", query)
@@ -83,9 +106,11 @@ func NewHandler(s *Service) http.Handler {
 		}
 		info, err := s.Prepare(r.Context(), req)
 		if err != nil {
+			annotate(r, canonName(req.Dataset), 0, "none")
 			writeError(w, err)
 			return
 		}
+		annotate(r, info.Dataset, 0, "prepared")
 		writeJSON(w, http.StatusOK, info)
 	})
 	mux.HandleFunc("POST /v2/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -96,9 +121,15 @@ func NewHandler(s *Service) http.Handler {
 		}
 		info, err := s.SubmitJob(batch.Queries)
 		if err != nil {
+			annotate(r, "", 0, budgetOutcome(false, err))
 			writeError(w, err)
 			return
 		}
+		var total float64
+		for _, it := range info.Items {
+			total += it.Epsilon
+		}
+		annotate(r, "", total, "reserved")
 		writeJSON(w, http.StatusAccepted, info)
 	})
 	mux.HandleFunc("GET /v2/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -165,12 +196,34 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, err)
 			return
 		}
+		annotate(r, st.Dataset, 0, "")
 		writeJSON(w, http.StatusOK, st)
 	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}/stats", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.DatasetStats(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		annotate(r, st.Dataset, 0, "")
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.Handle("GET /metrics", metrics.Handler(s.met.reg))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	// The instrumentation wrapper counts and times every request,
+	// including unmatched routes (the mux's own 404s).
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		mux.ServeHTTP(rec, r)
+		s.met.httpCode(rec.statusOr200()).Inc()
+		s.met.httpDur.ObserveSince(start)
+	})
 }
 
 // decodeJSON decodes a strict-JSON body bounded by limit. Exceeding the

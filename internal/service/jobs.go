@@ -172,6 +172,13 @@ func (t *jobTable) noteTerminal() {
 	t.mu.Unlock()
 }
 
+// activeCount reports the jobs currently queued or running.
+func (t *jobTable) activeCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active
+}
+
 func (t *jobTable) get(id string) (*job, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -236,8 +243,10 @@ func (s *Service) SubmitJob(items []Request) (JobInfo, error) {
 		for _, r := range resvs {
 			r.Refund()
 		}
+		s.met.jobsRejected.Inc()
 		return JobInfo{}, err
 	}
+	s.met.jobsSubmitted.Inc()
 	ctx, cancel := context.WithCancel(context.Background())
 	j.mu.Lock()
 	j.cancel = cancel
@@ -303,6 +312,11 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 	j.mu.Unlock()
 	if terminalized {
 		s.jobs.noteTerminal()
+		if failed {
+			s.met.jobsFailed.Inc()
+		} else {
+			s.met.jobsDone.Inc()
+		}
 	}
 }
 
@@ -372,6 +386,7 @@ func (s *Service) CancelJob(id string) (JobInfo, error) {
 	snap := j.snapshotLocked()
 	j.mu.Unlock()
 	s.jobs.noteTerminal()
+	s.met.jobsCanceled.Inc()
 	if cancel != nil {
 		cancel()
 	}

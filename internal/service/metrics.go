@@ -1,0 +1,560 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recmech/internal/lp"
+	"recmech/internal/metrics"
+	"recmech/internal/sfcache"
+	"recmech/internal/store"
+)
+
+// serviceMetrics is every instrument of one Service, held in struct fields
+// so hot paths pay a single atomic operation per event. Construct with
+// newServiceMetrics, then bind(s) once the Service is assembled (the
+// scrape-time gauges close over it) and bindStore when a durable store is
+// attached.
+//
+// Naming scheme (see DESIGN.md "Observability"): every family is
+// recmech_<subsystem>_<what>[_total|_seconds], with low-cardinality fixed
+// labels (source, reason, outcome, cache, event, code) on static
+// instruments and the dataset name only on scrape-time sample families,
+// whose label sets follow the registry.
+type serviceMetrics struct {
+	reg   *metrics.Registry
+	start time.Time
+
+	// Query outcomes by source: a fresh compile, a plan-cache hit paying
+	// only the release, or a replay (release cache or coalesced flight).
+	qFresh, qPlanHit, qReplay       *metrics.Counter
+	durFresh, durPlanHit, durReplay *metrics.Histogram
+	queueWait                       *metrics.Histogram
+
+	failCanceled, failBudget, failBadRequest, failOther *metrics.Counter
+
+	jobsSubmitted, jobsDone, jobsFailed, jobsCanceled, jobsRejected *metrics.Counter
+
+	httpDur *metrics.Histogram
+	// httpCodes is a copy-on-write map so the per-request read path is
+	// one atomic load; httpMu serializes minting a counter for a status
+	// code seen for the first time.
+	httpMu    sync.Mutex
+	httpCodes atomic.Pointer[map[int]*metrics.Counter]
+
+	dsMu  sync.RWMutex
+	perDS map[string]*dsCounters
+}
+
+// dsCounters are the per-dataset counters behind GET
+// /v1/datasets/{name}/stats and the recmech_dataset_* sample families.
+// They are in-memory and per-boot (unlike the ε ledger, which is durable):
+// rates derived from them are rates since process start.
+type dsCounters struct {
+	fresh, replayed, failed, rejected atomic.Uint64
+	epsCommitted                      metrics.Gauge // monotone: ε committed by queries since boot
+}
+
+func newServiceMetrics() *serviceMetrics {
+	reg := metrics.NewRegistry()
+	m := &serviceMetrics{
+		reg:   reg,
+		start: time.Now(),
+		perDS: make(map[string]*dsCounters),
+	}
+	const qHelp = "DP queries answered, by how the answer was produced"
+	m.qFresh = reg.Counter("recmech_queries_total", qHelp, metrics.L("source", "fresh"))
+	m.qPlanHit = reg.Counter("recmech_queries_total", qHelp, metrics.L("source", "plan_hit"))
+	m.qReplay = reg.Counter("recmech_queries_total", qHelp, metrics.L("source", "replay"))
+	const dHelp = "DP query latency in seconds, by answer source"
+	buckets := metrics.DefBuckets()
+	m.durFresh = reg.Histogram("recmech_query_duration_seconds", dHelp, buckets, metrics.L("source", "fresh"))
+	m.durPlanHit = reg.Histogram("recmech_query_duration_seconds", dHelp, buckets, metrics.L("source", "plan_hit"))
+	m.durReplay = reg.Histogram("recmech_query_duration_seconds", dHelp, buckets, metrics.L("source", "replay"))
+	m.queueWait = reg.Histogram("recmech_queue_wait_seconds",
+		"Time spent waiting for a worker slot before executing", buckets)
+	const fHelp = "DP queries that returned no answer, by reason"
+	m.failCanceled = reg.Counter("recmech_query_failures_total", fHelp, metrics.L("reason", "canceled"))
+	m.failBudget = reg.Counter("recmech_query_failures_total", fHelp, metrics.L("reason", "budget_exhausted"))
+	m.failBadRequest = reg.Counter("recmech_query_failures_total", fHelp, metrics.L("reason", "bad_request"))
+	m.failOther = reg.Counter("recmech_query_failures_total", fHelp, metrics.L("reason", "other"))
+	const jHelp = "Async batch jobs, by lifecycle outcome"
+	m.jobsSubmitted = reg.Counter("recmech_jobs_total", jHelp, metrics.L("outcome", "submitted"))
+	m.jobsDone = reg.Counter("recmech_jobs_total", jHelp, metrics.L("outcome", "done"))
+	m.jobsFailed = reg.Counter("recmech_jobs_total", jHelp, metrics.L("outcome", "failed"))
+	m.jobsCanceled = reg.Counter("recmech_jobs_total", jHelp, metrics.L("outcome", "canceled"))
+	m.jobsRejected = reg.Counter("recmech_jobs_total", jHelp, metrics.L("outcome", "rejected"))
+	m.httpDur = reg.Histogram("recmech_http_request_duration_seconds",
+		"HTTP request latency in seconds, all endpoints", buckets)
+	return m
+}
+
+// bind registers the scrape-time instruments that read live service state.
+// Call exactly once, after the Service struct is fully assembled.
+func (m *serviceMetrics) bind(s *Service) {
+	reg := m.reg
+	reg.GaugeFunc("recmech_uptime_seconds", "Seconds since the service was constructed",
+		func() float64 { return time.Since(m.start).Seconds() })
+	reg.GaugeFunc("recmech_datasets", "Registered datasets",
+		func() float64 { return float64(len(s.reg.List())) })
+	reg.GaugeFunc("recmech_workers", "Size of the executor worker pool",
+		func() float64 { return float64(cap(s.exec.slots)) })
+	reg.GaugeFunc("recmech_workers_busy", "Worker slots currently executing or preparing a query",
+		func() float64 { return float64(cap(s.exec.slots) - len(s.exec.slots)) })
+	reg.GaugeFunc("recmech_jobs_active", "Jobs currently queued or running",
+		func() float64 { return float64(s.jobs.activeCount()) })
+
+	// Budget accountant counters live on the Accountant (they are part of
+	// the ledger protocol), read here at scrape time.
+	const bHelp = "Budget reservations attempted, by result"
+	reg.CounterFunc("recmech_budget_reservations_total", bHelp,
+		func() uint64 { r, _, _, _ := s.acct.Counters(); return r }, metrics.L("result", "ok"))
+	reg.CounterFunc("recmech_budget_reservations_total", bHelp,
+		func() uint64 { _, rej, _, _ := s.acct.Counters(); return rej }, metrics.L("result", "rejected"))
+	reg.CounterFunc("recmech_budget_commits_total", "Reservations committed (ε spent for good)",
+		func() uint64 { _, _, c, _ := s.acct.Counters(); return c })
+	reg.CounterFunc("recmech_budget_refunds_total", "Reservations refunded (no ε consumed)",
+		func() uint64 { _, _, _, r := s.acct.Counters(); return r })
+
+	// Per-dataset ε ledgers: label sets follow the accountant, so these are
+	// sample families computed at scrape time.
+	budgetFamily := func(name, help string, field func(BudgetStatus) float64) {
+		reg.SampleFunc(name, help, "gauge", func() []metrics.Sample {
+			sts := s.acct.StatusAll()
+			out := make([]metrics.Sample, len(sts))
+			for i, st := range sts {
+				out[i] = metrics.Sample{Labels: []metrics.Label{metrics.L("dataset", st.Dataset)}, Value: field(st)}
+			}
+			return out
+		})
+	}
+	budgetFamily("recmech_budget_epsilon_granted", "Total ε granted per dataset",
+		func(st BudgetStatus) float64 { return st.Total })
+	budgetFamily("recmech_budget_epsilon_spent", "ε spent per dataset (durable across restarts in durable mode)",
+		func(st BudgetStatus) float64 { return st.Spent })
+	budgetFamily("recmech_budget_epsilon_remaining", "Unreserved ε remaining per dataset",
+		func(st BudgetStatus) float64 { return st.Remaining })
+
+	// Cache event counters for the two sfcache instances.
+	caches := func() map[string]*sfcacheStats {
+		return map[string]*sfcacheStats{
+			"release": {len: s.cache.Len, stats: s.cache.Stats},
+			"plan":    {len: s.exec.plans.Len, stats: s.exec.plans.Stats},
+		}
+	}
+	reg.SampleFunc("recmech_cache_events_total",
+		"Cache lookups and maintenance events, by cache and event kind", "counter",
+		func() []metrics.Sample {
+			var out []metrics.Sample
+			for name, c := range caches() {
+				st := c.stats()
+				for _, ev := range []struct {
+					kind string
+					v    uint64
+				}{{"hit", st.Hits}, {"miss", st.Misses}, {"coalesced", st.Coalesced}, {"eviction", st.Evictions}} {
+					out = append(out, metrics.Sample{
+						Labels: []metrics.Label{metrics.L("cache", name), metrics.L("event", ev.kind)},
+						Value:  float64(ev.v),
+					})
+				}
+			}
+			return out
+		})
+	reg.SampleFunc("recmech_cache_entries", "Entries held (completed and in flight), by cache", "gauge",
+		func() []metrics.Sample {
+			var out []metrics.Sample
+			for name, c := range caches() {
+				out = append(out, metrics.Sample{Labels: []metrics.Label{metrics.L("cache", name)}, Value: float64(c.len())})
+			}
+			return out
+		})
+
+	// Per-dataset query counters (in-memory, per boot).
+	reg.SampleFunc("recmech_dataset_queries_total", "Queries per dataset, by outcome", "counter",
+		func() []metrics.Sample {
+			var out []metrics.Sample
+			m.dsMu.RLock()
+			defer m.dsMu.RUnlock()
+			for name, c := range m.perDS {
+				lbl := func(outcome string) []metrics.Label {
+					return []metrics.Label{metrics.L("dataset", name), metrics.L("outcome", outcome)}
+				}
+				out = append(out,
+					metrics.Sample{Labels: lbl("fresh"), Value: float64(c.fresh.Load())},
+					metrics.Sample{Labels: lbl("replayed"), Value: float64(c.replayed.Load())},
+					metrics.Sample{Labels: lbl("failed"), Value: float64(c.failed.Load())},
+					metrics.Sample{Labels: lbl("rejected"), Value: float64(c.rejected.Load())})
+			}
+			return out
+		})
+	reg.SampleFunc("recmech_dataset_epsilon_committed",
+		"ε committed by queries since process start, per dataset", "counter",
+		func() []metrics.Sample {
+			var out []metrics.Sample
+			m.dsMu.RLock()
+			defer m.dsMu.RUnlock()
+			for name, c := range m.perDS {
+				out = append(out, metrics.Sample{
+					Labels: []metrics.Label{metrics.L("dataset", name)},
+					Value:  c.epsCommitted.Value(),
+				})
+			}
+			return out
+		})
+
+	// LP solver counters are process-global (see internal/lp): they
+	// aggregate every solver user in the process, not just this service.
+	reg.CounterFunc("recmech_lp_solves_total", "LP solves started, process-wide",
+		func() uint64 { return lp.ReadCounters().Solves })
+	reg.CounterFunc("recmech_lp_pivots_total", "Simplex iterations performed, process-wide",
+		func() uint64 { return lp.ReadCounters().Pivots })
+	reg.CounterFunc("recmech_lp_interrupts_total", "LP solves aborted by cooperative interrupt, process-wide",
+		func() uint64 { return lp.ReadCounters().Interrupts })
+}
+
+type sfcacheStats struct {
+	len   func() int
+	stats func() sfcache.Stats
+}
+
+// bindStore registers the durable store's instruments. Call at most once.
+func (m *serviceMetrics) bindStore(st *store.Store) {
+	m.reg.CounterFunc("recmech_store_wal_appends_total", "Durably acknowledged WAL appends",
+		func() uint64 { return st.Metrics().WALAppends })
+	m.reg.CounterFunc("recmech_store_wal_bytes_total", "Bytes appended to the WAL, framing included",
+		func() uint64 { return st.Metrics().WALBytes })
+	m.reg.CounterFunc("recmech_store_compactions_total", "Completed snapshot compactions",
+		func() uint64 { return st.Metrics().Compactions })
+	m.reg.CounterFunc("recmech_store_compaction_errors_total", "Failed snapshot compactions (WAL chain stays recoverable)",
+		func() uint64 { return st.Metrics().CompactionErrors })
+	m.reg.RegisterHistogram("recmech_store_fsync_seconds",
+		"WAL fsync latency in seconds; every budget transition pays one", st.FsyncHistogram())
+}
+
+// dropDataset discards a deleted dataset's counter block, so scrapes stop
+// emitting its series and a later re-creation under the same name starts
+// from zero instead of inheriting the old data's counts. Blocks are
+// minted only at registration (ensureDS), never by traffic, so a query
+// completing after the delete cannot resurrect the series.
+func (m *serviceMetrics) dropDataset(name string) {
+	m.dsMu.Lock()
+	delete(m.perDS, name)
+	m.dsMu.Unlock()
+}
+
+// ensureDS mints the per-dataset counter block at registration time (a
+// re-registration keeps the existing block: same name, same data
+// lineage until a delete intervenes).
+func (m *serviceMetrics) ensureDS(name string) {
+	m.dsMu.Lock()
+	if _, ok := m.perDS[name]; !ok {
+		m.perDS[name] = &dsCounters{}
+	}
+	m.dsMu.Unlock()
+}
+
+// ds returns the per-dataset counter block, or nil for a name that is not
+// currently registered (e.g. a query racing a delete) — callers skip
+// recording rather than minting a block for a gone dataset.
+func (m *serviceMetrics) ds(name string) *dsCounters {
+	m.dsMu.RLock()
+	defer m.dsMu.RUnlock()
+	return m.perDS[name]
+}
+
+// recordQuery tallies one completed (or failed) pass through Service.do.
+// dsKnown guards the per-dataset counters: an unknown dataset name must
+// not mint counter entries (that would let unauthenticated requests grow
+// the metric space without bound).
+func (m *serviceMetrics) recordQuery(dataset string, dsKnown, cached, planHit bool, epsilon float64, start time.Time, err error) {
+	elapsed := time.Since(start)
+	var c *dsCounters
+	if dsKnown {
+		c = m.ds(dataset) // may still be nil: a query racing a delete
+	}
+	switch {
+	case err == nil && cached:
+		m.qReplay.Inc()
+		m.durReplay.ObserveDuration(elapsed)
+		if c != nil {
+			c.replayed.Add(1)
+		}
+	case err == nil:
+		if planHit {
+			m.qPlanHit.Inc()
+			m.durPlanHit.ObserveDuration(elapsed)
+		} else {
+			m.qFresh.Inc()
+			m.durFresh.ObserveDuration(elapsed)
+		}
+		if c != nil {
+			c.fresh.Add(1)
+			c.epsCommitted.Add(epsilon)
+		}
+	case errors.Is(err, ErrBudgetExhausted):
+		m.failBudget.Inc()
+		if c != nil {
+			c.rejected.Add(1)
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		m.failCanceled.Inc()
+		if c != nil {
+			c.failed.Add(1)
+		}
+	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrUnknownDataset):
+		m.failBadRequest.Inc()
+	default:
+		m.failOther.Inc()
+		if c != nil {
+			c.failed.Add(1)
+		}
+	}
+}
+
+// httpCode returns (creating if needed) the per-status-code request
+// counter. Status codes are a small fixed population, so lazily minting a
+// counter per observed code keeps registration out of the request path
+// without unbounded label growth; the map is copy-on-write so the common
+// already-minted lookup is a single atomic load, not a lock.
+func (m *serviceMetrics) httpCode(code int) *metrics.Counter {
+	if mp := m.httpCodes.Load(); mp != nil {
+		if c, ok := (*mp)[code]; ok {
+			return c
+		}
+	}
+	m.httpMu.Lock()
+	defer m.httpMu.Unlock()
+	old := m.httpCodes.Load()
+	if old != nil {
+		if c, ok := (*old)[code]; ok {
+			return c
+		}
+	}
+	next := make(map[int]*metrics.Counter, 8)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	c := m.reg.Counter("recmech_http_requests_total", "HTTP requests served, by status code",
+		metrics.L("code", itoa3(code)))
+	next[code] = c
+	m.httpCodes.Store(&next)
+	return c
+}
+
+// itoa3 formats a 3-digit HTTP status without strconv in the request path.
+func itoa3(code int) string {
+	if code < 100 || code > 999 {
+		code = 999
+	}
+	return string([]byte{byte('0' + code/100), byte('0' + code/10%10), byte('0' + code%10)})
+}
+
+// MetricsRegistry exposes the service's metrics registry, served by
+// NewHandler at GET /metrics and usable directly by embedders.
+func (s *Service) MetricsRegistry() *metrics.Registry { return s.met.reg }
+
+// ServiceStats is the GET /v1/stats snapshot: one JSON document with the
+// service-wide counters an operator reaches for first. All counters are
+// since process start (the durable ε ledgers live in BudgetStatus, not
+// here); see /metrics for the full instrument set including histograms.
+type ServiceStats struct {
+	UptimeSeconds float64               `json:"uptimeSeconds"`
+	Datasets      int                   `json:"datasets"`
+	Queries       QueryStats            `json:"queries"`
+	Jobs          JobStats              `json:"jobs"`
+	Caches        map[string]CacheStats `json:"caches"`
+	Workers       WorkerStats           `json:"workers"`
+	LP            LPStats               `json:"lp"`
+	Store         *StoreStats           `json:"store,omitempty"`
+}
+
+// QueryStats counts query outcomes since process start.
+type QueryStats struct {
+	Fresh          uint64 `json:"fresh"`          // compiled and released
+	PlanHit        uint64 `json:"planHit"`        // released over a cached plan
+	Replayed       uint64 `json:"replayed"`       // release cache or coalesced flight; zero ε
+	Canceled       uint64 `json:"canceled"`       // caller hung up; ε refunded
+	BudgetRejected uint64 `json:"budgetRejected"` // typed 429; zero ε
+	BadRequest     uint64 `json:"badRequest"`
+	Errors         uint64 `json:"errors"`
+}
+
+// JobStats counts async job outcomes since process start.
+type JobStats struct {
+	Submitted uint64 `json:"submitted"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Rejected  uint64 `json:"rejected"` // typed 429 too_many_jobs
+	Active    int    `json:"active"`
+}
+
+// CacheStats snapshots one cache's counters plus its derived hit ratio,
+// (hits + coalesced) / lookups — 0 when no lookups yet. Counters are
+// classified at lookup time (see sfcache.Stats), so coalesced waiters of
+// a flight that ultimately failed still count as shared.
+type CacheStats struct {
+	Entries   int     `json:"entries"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	Evictions uint64  `json:"evictions"`
+	HitRatio  float64 `json:"hitRatio"`
+}
+
+// WorkerStats snapshots the executor pool.
+type WorkerStats struct {
+	Total int `json:"total"`
+	Busy  int `json:"busy"`
+}
+
+// LPStats snapshots the process-wide LP solver counters.
+type LPStats struct {
+	Solves     uint64 `json:"solves"`
+	Pivots     uint64 `json:"pivots"`
+	Interrupts uint64 `json:"interrupts"`
+}
+
+// StoreStats snapshots the durable store counters (durable mode only).
+type StoreStats struct {
+	WALAppends       uint64  `json:"walAppends"`
+	WALBytes         uint64  `json:"walBytes"`
+	Compactions      uint64  `json:"compactions"`
+	CompactionErrors uint64  `json:"compactionErrors"`
+	FsyncCount       uint64  `json:"fsyncCount"`
+	FsyncSecondsSum  float64 `json:"fsyncSecondsSum"`
+}
+
+func cacheStats(entries int, st sfcache.Stats) CacheStats {
+	cs := CacheStats{
+		Entries:   entries,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Coalesced: st.Coalesced,
+		Evictions: st.Evictions,
+	}
+	if lookups := st.Hits + st.Misses + st.Coalesced; lookups > 0 {
+		cs.HitRatio = float64(st.Hits+st.Coalesced) / float64(lookups)
+	}
+	return cs
+}
+
+// Stats snapshots the service-wide counters (GET /v1/stats).
+func (s *Service) Stats() ServiceStats {
+	m := s.met
+	lpc := lp.ReadCounters()
+	st := ServiceStats{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Datasets:      len(s.reg.List()),
+		Queries: QueryStats{
+			Fresh:          m.qFresh.Value(),
+			PlanHit:        m.qPlanHit.Value(),
+			Replayed:       m.qReplay.Value(),
+			Canceled:       m.failCanceled.Value(),
+			BudgetRejected: m.failBudget.Value(),
+			BadRequest:     m.failBadRequest.Value(),
+			Errors:         m.failOther.Value(),
+		},
+		Jobs: JobStats{
+			Submitted: m.jobsSubmitted.Value(),
+			Done:      m.jobsDone.Value(),
+			Failed:    m.jobsFailed.Value(),
+			Canceled:  m.jobsCanceled.Value(),
+			Rejected:  m.jobsRejected.Value(),
+			Active:    s.jobs.activeCount(),
+		},
+		Caches: map[string]CacheStats{
+			"release": cacheStats(s.cache.Len(), s.cache.Stats()),
+			"plan":    cacheStats(s.exec.plans.Len(), s.exec.plans.Stats()),
+		},
+		Workers: WorkerStats{Total: cap(s.exec.slots), Busy: cap(s.exec.slots) - len(s.exec.slots)},
+		LP:      LPStats{Solves: lpc.Solves, Pivots: lpc.Pivots, Interrupts: lpc.Interrupts},
+	}
+	if s.store != nil {
+		sm := s.store.Metrics()
+		st.Store = &StoreStats{
+			WALAppends:       sm.WALAppends,
+			WALBytes:         sm.WALBytes,
+			Compactions:      sm.Compactions,
+			CompactionErrors: sm.CompactionErrors,
+			FsyncCount:       s.store.FsyncHistogram().Count(),
+			FsyncSecondsSum:  s.store.FsyncHistogram().Sum(),
+		}
+	}
+	return st
+}
+
+// DatasetStats is the GET /v1/datasets/{name}/stats snapshot: per-dataset
+// query counts and ε spend trajectory. Counters are since process start;
+// the Budget ledger is durable in durable mode.
+type DatasetStats struct {
+	Dataset string `json:"dataset"`
+	// Query outcomes against this dataset since process start. Fresh
+	// releases spent ε; replays (cache or coalesced) spent none.
+	Fresh    uint64 `json:"fresh"`
+	Replayed uint64 `json:"replayed"`
+	Failed   uint64 `json:"failed"`
+	Rejected uint64 `json:"rejected"`
+	// CacheHitRatio is replayed / (fresh + replayed); 0 with no answers.
+	CacheHitRatio float64 `json:"cacheHitRatio"`
+	// EpsilonCommitted is ε spent by queries since process start;
+	// EpsilonPerHour is its rate over the process uptime.
+	EpsilonCommitted float64 `json:"epsilonCommitted"`
+	EpsilonPerHour   float64 `json:"epsilonPerHour"`
+	// Budget is the dataset's ε ledger (durable in durable mode).
+	Budget *BudgetStatus `json:"budget,omitempty"`
+}
+
+// DatasetStats snapshots one dataset's query counters and ε spend rate,
+// failing with a *DatasetError (404) for an unregistered dataset.
+func (s *Service) DatasetStats(name string) (DatasetStats, error) {
+	ds, err := s.reg.Get(name)
+	if err != nil {
+		return DatasetStats{}, err
+	}
+	c := s.met.ds(ds.Name)
+	if c == nil {
+		// Registered without a counter block (shouldn't happen — every
+		// registration path mints one) — answer with zeros, not a panic.
+		c = &dsCounters{}
+	}
+	fresh, replayed := c.fresh.Load(), c.replayed.Load()
+	out := DatasetStats{
+		Dataset:          ds.Name,
+		Fresh:            fresh,
+		Replayed:         replayed,
+		Failed:           c.failed.Load(),
+		Rejected:         c.rejected.Load(),
+		EpsilonCommitted: c.epsCommitted.Value(),
+	}
+	if answered := fresh + replayed; answered > 0 {
+		out.CacheHitRatio = float64(replayed) / float64(answered)
+	}
+	if up := time.Since(s.met.start).Hours(); up > 0 {
+		out.EpsilonPerHour = out.EpsilonCommitted / up
+	}
+	if st, ok := s.acct.Status(ds.Name); ok {
+		out.Budget = &st
+	}
+	return out, nil
+}
+
+// StatusAll snapshots every ledger, sorted by dataset name.
+func (a *Accountant) StatusAll() []BudgetStatus {
+	a.mu.Lock()
+	out := make([]BudgetStatus, 0, len(a.ledgers))
+	for name, l := range a.ledgers {
+		out = append(out, BudgetStatus{
+			Dataset: name, Total: l.total, Spent: l.spent, Reserved: l.reserved, Remaining: l.remaining(),
+		})
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Dataset < out[j].Dataset })
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"recmech/internal/boolexpr"
 	"recmech/internal/graph"
@@ -93,6 +94,7 @@ type Service struct {
 	cache *ReleaseCache
 	exec  *Executor
 	jobs  *jobTable
+	met   *serviceMetrics
 	store *store.Store // nil for a purely in-memory service
 
 	// adminMu serializes dataset mutations (upload/delete) so the durable
@@ -106,14 +108,18 @@ type Service struct {
 // process. Production deployments should use NewWithStore.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:   cfg,
 		reg:   NewRegistry(),
 		acct:  NewAccountant(),
 		cache: NewReleaseCache(cfg.CacheEntries),
 		exec:  NewExecutor(cfg.Workers, cfg.PlanEntries, cfg.Seed),
 		jobs:  newJobTable(cfg.MaxJobs),
+		met:   newServiceMetrics(),
 	}
+	s.exec.met = s.met
+	s.met.bind(s)
+	return s
 }
 
 // NewWithStore returns a service backed by a durable store: the accountant
@@ -127,6 +133,7 @@ func New(cfg Config) *Service {
 func NewWithStore(cfg Config, st *store.Store) (*Service, []error) {
 	s := New(cfg)
 	s.store = st
+	s.met.bindStore(st)
 	st.SetMaxReleases(s.cfg.CacheEntries) // retain at least what the cache can replay
 	s.acct.SetJournal(st)
 	for name, l := range st.Ledgers() {
@@ -165,8 +172,11 @@ func (s *Service) registerFile(df *store.DatasetFile) (*Dataset, error) {
 // fund grants the default budget to a dataset with no ledger yet. An
 // existing ledger — recovered from the journal, or operator-adjusted — is
 // left untouched, so re-registration and delete/re-create cycles can
-// never reset spent ε.
+// never reset spent ε. (The per-dataset metrics block, which unlike the
+// ledger is dropped on delete, is minted here too: fund sits on every
+// upload/restore registration path.)
 func (s *Service) fund(d *Dataset) error {
+	s.met.ensureDS(d.Name)
 	if _, ok := s.acct.Status(d.Name); ok {
 		return nil
 	}
@@ -177,6 +187,7 @@ func (s *Service) fund(d *Dataset) error {
 // (in-memory only — not persisted to the store; use UploadGraph for that).
 func (s *Service) AddGraph(name string, g *graph.Graph) error {
 	d := s.reg.PutGraph(name, g)
+	s.met.ensureDS(d.Name)
 	return s.acct.Grant(d.Name, s.cfg.DatasetBudget)
 }
 
@@ -185,6 +196,7 @@ func (s *Service) AddGraph(name string, g *graph.Graph) error {
 // (in-memory only — not persisted; use UploadTables for that).
 func (s *Service) AddRelational(name string, u *boolexpr.Universe, db *query.Database) error {
 	d := s.reg.PutRelational(name, u, db)
+	s.met.ensureDS(d.Name)
 	return s.acct.Grant(d.Name, s.cfg.DatasetBudget)
 }
 
@@ -290,6 +302,10 @@ func (s *Service) DeleteDataset(name string) error {
 	if !s.reg.Delete(name) && !storeHad {
 		return &DatasetError{Name: name}
 	}
+	// The in-memory per-dataset metrics go with the dataset (the durable ε
+	// ledger deliberately does not): a re-created dataset is new data and
+	// must not inherit the old one's query counts or ε-rate history.
+	s.met.dropDataset(name)
 	return nil
 }
 
@@ -389,18 +405,23 @@ type PrepareInfo struct {
 // release, refunded on failure, and refunded when the response was shared —
 // a cache replay or a coalesced flight — and therefore cost no ε.
 func (s *Service) do(ctx context.Context, req *Request, pre *Reservation) (Response, error) {
+	start := time.Now()
 	ds, err := s.reg.Get(req.Dataset)
 	if err != nil {
+		s.met.recordQuery(req.Dataset, false, false, false, req.Epsilon, start, err)
 		return Response{}, settleErr(pre, err)
 	}
 	key, err := req.cacheKey(ds)
 	if err != nil {
+		s.met.recordQuery(ds.Name, true, false, false, req.Epsilon, start, err)
 		return Response{}, settleErr(pre, err)
 	}
 	preUsed := false
+	planHit := false
 	compute := func() (Response, error) {
 		// The compute closure runs synchronously in this goroutine (at most
-		// one caller per key computes), so preUsed needs no synchronization.
+		// one caller per key computes), so preUsed and planHit need no
+		// synchronization.
 		resv := pre
 		if resv != nil {
 			preUsed = true
@@ -410,7 +431,8 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation) (Respo
 				return Response{}, err
 			}
 		}
-		value, err := s.exec.Execute(ctx, ds, req)
+		value, hit, err := s.exec.Execute(ctx, ds, req)
+		planHit = hit
 		if err != nil {
 			resv.Refund()
 			return Response{}, err
@@ -451,6 +473,7 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation) (Respo
 	if pre != nil && !preUsed {
 		pre.Refund() // shared response (replay/coalesce) or canceled wait: no ε consumed
 	}
+	s.met.recordQuery(ds.Name, true, cached, planHit, req.Epsilon, start, err)
 	if err != nil {
 		return Response{}, err
 	}

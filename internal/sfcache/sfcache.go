@@ -15,6 +15,7 @@ package sfcache
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // Cache is a bounded singleflight cache from string keys to V. The zero
@@ -24,6 +25,38 @@ type Cache[V any] struct {
 	entries    map[string]*entry[V]
 	order      []string // completed entries, insertion order, for eviction
 	maxEntries int
+
+	hits      atomic.Uint64 // Do found a completed entry
+	misses    atomic.Uint64 // Do computed (this caller led the flight)
+	coalesced atomic.Uint64 // Do joined an in-flight computation
+	evictions atomic.Uint64 // completed entries dropped beyond the bound
+}
+
+// Stats is a point-in-time snapshot of the cache's event counters, all
+// monotone over the cache's life, classified at lookup time: Hits counts
+// Do calls that found a completed entry, Misses counts Do calls that led
+// a computation, Coalesced counts Do calls that joined another caller's
+// in-flight computation — whether or not that flight ultimately
+// succeeded, so a waiter that receives the flight's error (or abandons it
+// on cancellation) still counted — and Evictions counts completed entries
+// dropped beyond the bound. Hits + Coalesced approximates the work (and,
+// for a release cache, the ε) saved by sharing; it is exact when flights
+// succeed, a slight overcount when they fail.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Coalesced uint64
+	Evictions uint64
+}
+
+// Stats snapshots the cache's event counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+	}
 }
 
 type entry[V any] struct {
@@ -73,6 +106,16 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)
 	var zero V
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
+		// Classify the share before releasing the lock, so completion of
+		// the flight cannot race the classification: a closed ready
+		// channel is a plain hit, an open one means joining (coalescing
+		// into) a flight.
+		select {
+		case <-e.ready:
+			c.hits.Add(1)
+		default:
+			c.coalesced.Add(1)
+		}
 		c.mu.Unlock()
 		select {
 		case <-e.ready:
@@ -86,6 +129,7 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)
 	}
 	e := &entry[V]{ready: make(chan struct{})}
 	c.entries[key] = e
+	c.misses.Add(1)
 	c.mu.Unlock()
 
 	e.val, e.err = compute()
@@ -109,5 +153,6 @@ func (c *Cache[V]) evictLocked() {
 	for len(c.order) > c.maxEntries {
 		delete(c.entries, c.order[0])
 		c.order = c.order[1:]
+		c.evictions.Add(1)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 )
 
 // Do/Len and the singleflight/eviction semantics are additionally covered
@@ -55,5 +56,49 @@ func TestDoCtxAbandonLeavesFlight(t *testing.T) {
 	v, hit, err := c.Do(context.Background(), "k", func() (int, error) { return 0, errors.New("must not run") })
 	if err != nil || !hit || v != 7 {
 		t.Fatalf("flight result after abandoned waiter: %v %v %v", v, hit, err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New[int](2)
+	ctx := context.Background()
+
+	// Miss, then hit.
+	if _, shared, _ := c.Do(ctx, "a", func() (int, error) { return 1, nil }); shared {
+		t.Fatal("first Do unexpectedly shared")
+	}
+	if _, shared, _ := c.Do(ctx, "a", func() (int, error) { return 0, nil }); !shared {
+		t.Fatal("second Do unexpectedly computed")
+	}
+
+	// Coalesce: a second caller joins while the flight is blocked.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(ctx, "slow", func() (int, error) {
+		close(started)
+		<-release
+		return 2, nil
+	})
+	<-started
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if v, shared, _ := c.Do(ctx, "slow", func() (int, error) { return -1, nil }); !shared || v != 2 {
+			t.Errorf("coalesced Do got (v=%d, shared=%v), want (2, true)", v, shared)
+		}
+	}()
+	for c.Stats().Coalesced == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-done
+
+	// Evict: a third completed entry exceeds the bound of 2.
+	c.Do(ctx, "b", func() (int, error) { return 3, nil })
+
+	st := c.Stats()
+	want := Stats{Hits: 1, Misses: 3, Coalesced: 1, Evictions: 1}
+	if st != want {
+		t.Errorf("Stats() = %+v, want %+v", st, want)
 	}
 }

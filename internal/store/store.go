@@ -9,6 +9,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"recmech/internal/metrics"
 )
 
 // Config tunes a Store. Only Dir is required.
@@ -172,7 +175,54 @@ type Store struct {
 	compacting bool
 	closed     bool
 	compactWG  sync.WaitGroup
+
+	// Observability counters (see Metrics). The fsync histogram is shared
+	// with every WAL segment the store opens; the serving layer registers
+	// it on its /metrics endpoint.
+	walAppends  atomic.Uint64
+	walBytes    atomic.Uint64
+	compactions atomic.Uint64
+	compactErrs atomic.Uint64
+	fsyncHist   *metrics.Histogram
 }
+
+// fsyncBuckets are latency buckets in seconds tuned for fsync: 10µs (page
+// cache / NoSync-adjacent) through 1s (a saturated or spinning disk).
+func fsyncBuckets() []float64 {
+	return []float64{
+		0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
+		0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+	}
+}
+
+// Metrics is a snapshot of the store's observability counters, all
+// monotone over the store's life.
+type Metrics struct {
+	// WALAppends counts durably acknowledged WAL appends (ledger events
+	// and recorded releases).
+	WALAppends uint64
+	// WALBytes counts bytes appended to the WAL, framing included.
+	WALBytes uint64
+	// Compactions counts completed snapshot compactions; CompactionErrors
+	// counts compactions that failed (the WAL chain stays recoverable).
+	Compactions      uint64
+	CompactionErrors uint64
+}
+
+// Metrics snapshots the store's observability counters.
+func (s *Store) Metrics() Metrics {
+	return Metrics{
+		WALAppends:       s.walAppends.Load(),
+		WALBytes:         s.walBytes.Load(),
+		Compactions:      s.compactions.Load(),
+		CompactionErrors: s.compactErrs.Load(),
+	}
+}
+
+// FsyncHistogram exposes the WAL fsync-latency histogram (seconds) for
+// registration on a metrics endpoint. Every budget transition pays one of
+// these syncs, so its tail is the ledger's write-latency tail.
+func (s *Store) FsyncHistogram() *metrics.Histogram { return s.fsyncHist }
 
 // Open opens (creating if needed) the store rooted at cfg.Dir, recovering
 // the ledger to the last complete WAL record: it loads the newest valid
@@ -250,10 +300,12 @@ func Open(cfg Config) (*Store, error) {
 			return fail(err)
 		}
 	}
+	fsyncHist := metrics.NewHistogram(fsyncBuckets())
 	w, err := openWAL(walPath(ledgerDir, activeSeq), cfg.NoSync, applyEvent)
 	if err != nil {
 		return fail(err)
 	}
+	w.fsync = fsyncHist
 
 	// In-flight reservations died with the old process; their release may
 	// have reached a client, so count them as spent for good.
@@ -271,7 +323,7 @@ func Open(cfg Config) (*Store, error) {
 			return fail(err)
 		}
 	}
-	return &Store{cfg: cfg, ledgerDir: ledgerDir, datasets: ds, unlock: unlock, wal: w, seq: activeSeq, state: state}, nil
+	return &Store{cfg: cfg, ledgerDir: ledgerDir, datasets: ds, unlock: unlock, wal: w, seq: activeSeq, state: state, fsyncHist: fsyncHist}, nil
 }
 
 // Close waits for any background compaction and closes the active WAL.
@@ -378,9 +430,12 @@ func (s *Store) appendLocked(e *event) error {
 	if err != nil {
 		return err
 	}
+	sizeBefore := s.wal.size
 	if err := s.wal.append(payload); err != nil {
 		return err
 	}
+	s.walAppends.Add(1)
+	s.walBytes.Add(uint64(s.wal.size - sizeBefore))
 	if err := s.state.apply(e); err != nil {
 		return err
 	}
@@ -389,7 +444,10 @@ func (s *Store) appendLocked(e *event) error {
 		sealed, snap, newSeq, err := s.rotateLocked()
 		if err != nil {
 			// Rotation failed (e.g. can't create the next segment): keep
-			// appending to the current one and retry on a later append.
+			// appending to the current one and retry on a later append —
+			// but count the failure, or a disk that can't rotate would
+			// never move the alertable error counter.
+			s.compactErrs.Add(1)
 			s.compacting = false
 			return nil
 		}
@@ -398,7 +456,7 @@ func (s *Store) appendLocked(e *event) error {
 			// Best-effort: a failed snapshot leaves the WAL chain intact
 			// and recovery simply replays more log.
 			defer s.compactWG.Done()
-			_ = s.finishCompaction(sealed, snap, newSeq)
+			s.countCompaction(s.finishCompaction(sealed, snap, newSeq))
 			s.mu.Lock()
 			s.compacting = false
 			s.mu.Unlock()
@@ -424,6 +482,7 @@ func (s *Store) Compact() error {
 	if err == nil {
 		err = s.finishCompaction(sealed, snap, newSeq)
 	}
+	s.countCompaction(err)
 	s.mu.Lock()
 	s.compacting = false
 	s.mu.Unlock()
@@ -441,6 +500,7 @@ func (s *Store) rotateLocked() (sealed *wal, snap *walState, newSeq uint64, err 
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	next.fsync = s.fsyncHist
 	sealed = s.wal
 	s.wal = next
 	s.seq = newSeq
@@ -449,6 +509,15 @@ func (s *Store) rotateLocked() (sealed *wal, snap *walState, newSeq uint64, err 
 	// snapshot about to be written) without touching the hot append path.
 	s.state.Releases = pruneReleases(s.state.Releases, s.cfg.MaxReleases)
 	return sealed, s.state.clone(), newSeq, nil
+}
+
+// countCompaction tallies one compaction outcome into the metrics.
+func (s *Store) countCompaction(err error) {
+	if err != nil {
+		s.compactErrs.Add(1)
+	} else {
+		s.compactions.Add(1)
+	}
 }
 
 // finishCompaction persists the snapshot for the rotated boundary, then —

@@ -6,6 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
+
+	"recmech/internal/metrics"
 )
 
 // wal is one append-only log file. Appends are a single Write followed by
@@ -21,6 +24,9 @@ type wal struct {
 	// refused: acknowledged records must never land after a possible tear,
 	// where recovery's truncate-to-last-complete-record would drop them.
 	broken bool
+	// fsync, when set, observes every append's sync latency in seconds
+	// (the store shares one histogram across all its segments).
+	fsync *metrics.Histogram
 }
 
 // openWAL opens (creating if needed) the log at path, replays every intact
@@ -79,6 +85,7 @@ func (w *wal) append(payload []byte) error {
 		return fmt.Errorf("store: appending to %s: %w", w.path, err)
 	}
 	if !w.nosync {
+		start := time.Now()
 		if err := w.f.Sync(); err != nil {
 			// The frame is complete in the page cache but its durability is
 			// unknowable (fsync error state is not generally retryable).
@@ -86,6 +93,9 @@ func (w *wal) append(payload []byte) error {
 			// uncertain foundation would be lying to the ledger.
 			w.broken = true
 			return fmt.Errorf("store: syncing %s: %w", w.path, err)
+		}
+		if w.fsync != nil {
+			w.fsync.ObserveSince(start)
 		}
 	}
 	w.size += int64(len(frame))

@@ -7,6 +7,7 @@ package recmech
 // cache that replays recorded answers at zero additional ε.
 
 import (
+	"io"
 	"net/http"
 
 	"recmech/internal/service"
@@ -49,6 +50,17 @@ type (
 	JobItemInfo = service.JobItemInfo
 	// PrepareInfo reports a POST /v2/prepare outcome (plan warmed, zero ε).
 	PrepareInfo = service.PrepareInfo
+	// ServiceStats is the service-wide observability snapshot returned by
+	// (*Service).Stats and GET /v1/stats.
+	ServiceStats = service.ServiceStats
+	// DatasetStats is the per-dataset observability snapshot returned by
+	// (*Service).DatasetStats and GET /v1/datasets/{name}/stats.
+	DatasetStats = service.DatasetStats
+	// AccessLogger writes one structured line (JSON or text) per HTTP
+	// request; construct with NewAccessLogger, apply with WithAccessLog.
+	AccessLogger = service.AccessLogger
+	// AccessEntry is one access-log record.
+	AccessEntry = service.AccessEntry
 )
 
 // Sentinel errors of the serving layer, for errors.Is checks.
@@ -111,6 +123,22 @@ func NewServiceWithStore(cfg ServiceConfig, st *Store) (*Service, []error) {
 // serves: the v2 compile/execute lifecycle (POST /v2/query, POST
 // /v2/prepare, the async batch endpoints POST/GET/DELETE /v2/jobs…), the
 // wire-compatible v1 shims (POST /v1/query, GET /v1/datasets, GET
-// /v1/budget/{dataset}, GET /healthz), and the mutating admin endpoints PUT
-// and DELETE /v1/datasets/{name} — expose the handler accordingly.
+// /v1/budget/{dataset}, GET /healthz), the mutating admin endpoints PUT
+// and DELETE /v1/datasets/{name}, and the observability endpoints (GET
+// /metrics in Prometheus text format, GET /v1/stats, GET
+// /v1/datasets/{name}/stats) — expose the handler accordingly. See API.md
+// for the full reference.
 func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
+
+// NewAccessLogger returns a logger writing one structured access-log line
+// per request to w, in format "json" or "text".
+func NewAccessLogger(w io.Writer, format string) (*AccessLogger, error) {
+	return service.NewAccessLogger(w, format)
+}
+
+// WithAccessLog wraps an HTTP handler (typically NewServiceHandler's) so
+// every request emits one access-log line: method, path, dataset, ε,
+// status, duration, and the privacy-budget outcome.
+func WithAccessLog(h http.Handler, l *AccessLogger) http.Handler {
+	return service.WithAccessLog(h, l)
+}
