@@ -45,11 +45,34 @@ type report struct {
 	Benchmarks []result          `json:"benchmarks"`
 }
 
+// metaFlags collects repeated -meta key=value pairs, stamped into the
+// report's meta object next to the parsed goos/goarch/pkg/cpu headers — CI
+// uses it to record which PR and GOMAXPROCS setting produced an artifact,
+// so scaling reports (e.g. the compile-scaling suite) stay comparable
+// across runs.
+type metaFlags map[string]string
+
+func (m metaFlags) String() string { return fmt.Sprint(map[string]string(m)) }
+
+func (m metaFlags) Set(v string) error {
+	key, val, ok := strings.Cut(v, "=")
+	if !ok || key == "" {
+		return fmt.Errorf("want key=value, got %q", v)
+	}
+	m[key] = val
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	extra := metaFlags{}
+	flag.Var(extra, "meta", "additional key=value for the report's meta object (repeatable)")
 	flag.Parse()
 
 	rep := report{Meta: map[string]string{}}
+	for k, v := range extra {
+		rep.Meta[k] = v
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

@@ -100,20 +100,21 @@ func main() {
 	flag.Var(&graphs, "graph", "NAME=FILE edge-list graph dataset (repeatable)")
 	flag.Var(&tableSets, "tables", "NAME=TBL:FILE[,TBL:FILE…] relational dataset (repeatable)")
 	var (
-		addr      = flag.String("addr", ":8377", "listen address")
-		dataDir   = flag.String("data-dir", "", "durable store directory: budget WAL, recorded releases, uploaded datasets (empty = in-memory)")
-		budget    = flag.Float64("budget", 10, "total privacy budget ε per dataset")
-		epsilon   = flag.Float64("epsilon", 0.5, "default per-query ε when a request omits it")
-		maxEps    = flag.Float64("max-epsilon", 0, "per-query ε ceiling (0 = only the dataset budget caps)")
-		workers   = flag.Int("workers", 0, "max concurrent mechanism runs (0 = GOMAXPROCS)")
-		seed      = flag.Int64("seed", 1, "base RNG seed for the noise streams")
-		demo      = flag.Bool("demo", false, "also register a built-in 200-node random graph as \"demo\"")
-		drainFor  = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-		planCache = flag.Int("plan-cache", 0, "max compiled query plans kept hot (0 = default 512)")
-		maxUpload = flag.Int64("max-upload-bytes", 0, "dataset upload body limit in bytes; larger uploads get a 413 (0 = default 64 MiB)")
-		maxBatch  = flag.Int("max-batch", 0, "max queries per /v2/jobs batch (0 = default 64)")
-		maxJobs   = flag.Int("max-jobs", 0, "max active jobs at once and finished jobs retained (0 = default 1024)")
-		logFormat = flag.String("log-format", "text", "access-log line format: \"text\" or \"json\" (one line per request, to stderr)")
+		addr       = flag.String("addr", ":8377", "listen address")
+		dataDir    = flag.String("data-dir", "", "durable store directory: budget WAL, recorded releases, uploaded datasets (empty = in-memory)")
+		budget     = flag.Float64("budget", 10, "total privacy budget ε per dataset")
+		epsilon    = flag.Float64("epsilon", 0.5, "default per-query ε when a request omits it")
+		maxEps     = flag.Float64("max-epsilon", 0, "per-query ε ceiling (0 = only the dataset budget caps)")
+		workers    = flag.Int("workers", 0, "max concurrent mechanism runs (0 = GOMAXPROCS)")
+		compilePar = flag.Int("compile-parallelism", 0, "shared compute-pool workers for fresh compiles: enumeration shards and H/G ladder waves; never changes results, only wall-clock (0 = GOMAXPROCS)")
+		seed       = flag.Int64("seed", 1, "base RNG seed for the noise streams")
+		demo       = flag.Bool("demo", false, "also register a built-in 200-node random graph as \"demo\"")
+		drainFor   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		planCache  = flag.Int("plan-cache", 0, "max compiled query plans kept hot (0 = default 512)")
+		maxUpload  = flag.Int64("max-upload-bytes", 0, "dataset upload body limit in bytes; larger uploads get a 413 (0 = default 64 MiB)")
+		maxBatch   = flag.Int("max-batch", 0, "max queries per /v2/jobs batch (0 = default 64)")
+		maxJobs    = flag.Int("max-jobs", 0, "max active jobs at once and finished jobs retained (0 = default 1024)")
+		logFormat  = flag.String("log-format", "text", "access-log line format: \"text\" or \"json\" (one line per request, to stderr)")
 	)
 	flag.Parse()
 
@@ -123,15 +124,16 @@ func main() {
 	}
 
 	cfg := service.Config{
-		DatasetBudget:  *budget,
-		DefaultEpsilon: *epsilon,
-		MaxEpsilon:     *maxEps,
-		Workers:        *workers,
-		Seed:           *seed,
-		PlanEntries:    *planCache,
-		MaxUploadBytes: *maxUpload,
-		MaxBatchItems:  *maxBatch,
-		MaxJobs:        *maxJobs,
+		DatasetBudget:      *budget,
+		DefaultEpsilon:     *epsilon,
+		MaxEpsilon:         *maxEps,
+		Workers:            *workers,
+		CompileParallelism: *compilePar,
+		Seed:               *seed,
+		PlanEntries:        *planCache,
+		MaxUploadBytes:     *maxUpload,
+		MaxBatchItems:      *maxBatch,
+		MaxJobs:            *maxJobs,
 	}
 	var svc *service.Service
 	if *dataDir != "" {

@@ -70,7 +70,7 @@ func AblationBeta(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	for _, k := range []float64{2, 5, 10, 20} {
-		core, err := mechanism.NewCore(seq, mechanism.Params{
+		core, err := newCore(seq, mechanism.Params{
 			Epsilon1: epsilonDefault / 2, Epsilon2: epsilonDefault / 2,
 			Beta: epsilonDefault / k, Theta: 1, Mu: 0.5,
 		})
@@ -110,7 +110,7 @@ func AblationSplit(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	for _, frac := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
-		core, err := mechanism.NewCore(seq, mechanism.Params{
+		core, err := newCore(seq, mechanism.Params{
 			Epsilon1: epsilonDefault * frac, Epsilon2: epsilonDefault * (1 - frac),
 			Beta: epsilonDefault / 5, Theta: 1, Mu: 0.5,
 		})

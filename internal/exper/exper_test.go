@@ -120,6 +120,9 @@ func TestRunRecursiveTinyGraph(t *testing.T) {
 }
 
 func TestRunBaselineAllKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smooth-sensitivity baselines are cubic in |V|; skipped in -short")
+	}
 	g := graph.RandomAverageDegree(noise.NewRand(5), 15, 5)
 	for _, kind := range fig4Queries {
 		for _, which := range []BaselineKind{BaselineLocalSens, BaselineRHMS, BaselineGlobal} {
@@ -168,6 +171,9 @@ func TestRealGraphGenerators(t *testing.T) {
 
 // One cheap end-to-end figure as a smoke test: the ε₁:ε₂ ablation.
 func TestAblationSplitSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation figure; skipped in -short (CI races the package with -short)")
+	}
 	tab, err := AblationSplit(tinyConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -178,8 +184,15 @@ func TestAblationSplitSmoke(t *testing.T) {
 }
 
 // Every registered experiment must run end to end; benchmark mode keeps each
-// sweep at its smallest point so the whole pass stays fast.
+// sweep at its smallest point so the whole pass stays fast — but "fast"
+// still means dozens of LP ladders, which under -race used to blow go
+// test's default per-package timeout. CI therefore races this package with
+// -short (skipping the full pass here) and runs it un-raced in full; the
+// parallel ladder pool keeps even the full pass shrinking on multicore.
 func TestAllExperimentsBenchMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered experiment; skipped in -short (CI races the package with -short)")
+	}
 	cfg := Config{Trials: 2, Seed: 3, Bench: true}
 	for _, e := range All() {
 		e := e

@@ -263,7 +263,7 @@ func krelPoint(s *krel.Sensitive, cfg Config, seed int64) (float64, float64, tim
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	core, err := mechanism.NewCore(seq, mechanism.Params{
+	core, err := newCore(seq, mechanism.Params{
 		Epsilon1: epsilonDefault / 2, Epsilon2: epsilonDefault / 2,
 		Beta: epsilonDefault / 5, Theta: 1, Mu: 0.5,
 	})

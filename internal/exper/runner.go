@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -9,9 +10,32 @@ import (
 	"recmech/internal/krel"
 	"recmech/internal/mechanism"
 	"recmech/internal/noise"
+	"recmech/internal/pool"
 	"recmech/internal/stats"
 	"recmech/internal/subgraph"
 )
+
+// ladderPool is the one compute pool shared by every experiment in the
+// process: each Core fans its Δ-search and X-search probe waves — bundles
+// of independent H/G LP solves — across it, which is what cuts the wall
+// time of paper-scale (and -race) runs on multicore machines. Parallelism
+// never changes a computed value (see mechanism.Core.SetFanout), so every
+// figure is byte-identical to a sequential run.
+var ladderPool = pool.New(0)
+
+// newCore builds a Core over seq wired to the shared ladder pool (left
+// sequential on single-core machines, where waves could only add
+// overhead).
+func newCore(seq mechanism.Sequences, params mechanism.Params) (*mechanism.Core, error) {
+	core, err := mechanism.NewCore(seq, params)
+	if err != nil {
+		return nil, err
+	}
+	if ladderPool.Size() > 1 {
+		core.SetFanout(mechanism.Fanout(ladderPool.Fanout(context.Background())))
+	}
+	return core, nil
+}
 
 // Config sizes an experiment run. The defaults reproduce the paper's
 // curves at a scale a single CPU core finishes in minutes; Paper restores
@@ -110,7 +134,7 @@ func runRecursive(g *graph.Graph, kind QueryKind, privacy subgraph.Privacy,
 	if err != nil {
 		return recResult{}, err
 	}
-	core, err := mechanism.NewCore(seq, mechanism.DefaultParams(epsilon, privacy == subgraph.NodePrivacy))
+	core, err := newCore(seq, mechanism.DefaultParams(epsilon, privacy == subgraph.NodePrivacy))
 	if err != nil {
 		return recResult{}, err
 	}

@@ -59,6 +59,15 @@ type row struct {
 
 // Problem accumulates a linear program. Build with AddVar/AddConstraint and
 // call Solve (or SolveReference in tests).
+//
+// Concurrency: building (AddVar/AddConstraint/SetCost/SetInterrupt) is
+// single-goroutine, but a fully built Problem is read-only to Solve — each
+// call copies the program into a fresh simplex working state and touches
+// shared state only through the atomic package counters, which are batched
+// once per solve rather than per pivot. Any number of goroutines may
+// therefore Solve the same built Problem, or independent Problems,
+// simultaneously; the parallel compile engine leans on this for its
+// concurrent H_i/G_i ladder solves.
 type Problem struct {
 	costs     []float64
 	lower     []float64

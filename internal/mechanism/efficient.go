@@ -28,6 +28,12 @@ import (
 // Participants that occur in no annotation cannot affect the objective, so
 // their total mass is pooled into a single "free mass" variable — the LP size
 // depends on the annotation length L, not on |P| (Theorem 6).
+//
+// Concurrency: after construction (and after SetInterrupt, if used) an
+// Efficient is immutable — every H/G call builds a fresh lp.Problem from
+// read-only state — so any number of goroutines may call H and G
+// simultaneously. This is what lets a Core fanout and the plan layer's
+// cross-release memo run independent ladder solves in parallel.
 type Efficient struct {
 	nP     int
 	tuples []krel.Annotated
@@ -42,8 +48,9 @@ type Efficient struct {
 }
 
 // SetInterrupt installs a cooperative cancellation hook polled by every
-// subsequent H/G LP solve (see lp.Problem.SetInterrupt). Set it before the
-// sequences are shared across goroutines; fn itself must be safe for
+// subsequent H/G LP solve (see lp.Problem.SetInterrupt). Set it once,
+// before the sequences are shared across goroutines (it is the only
+// mutation allowed after construction); fn itself must be safe for
 // concurrent calls. A serving layer uses this to abort solves no live
 // request is waiting for.
 func (e *Efficient) SetInterrupt(fn func() error) { e.interrupt = fn }

@@ -19,6 +19,15 @@
 // goroutines may call Release on one Plan simultaneously. Cache adds a
 // bounded, singleflight-coalescing plan cache for serving layers.
 //
+// Parallelism: CompileContext attaches a shared compute pool
+// (internal/pool) that shards the subgraph enumeration during compilation
+// and fans the ladder's independent H/G LP solves into probe waves during
+// Release and Warm. Every shard boundary and probe index is a fixed
+// function of the workload — never of the pool size — so a plan compiled
+// and released with any -compile-parallelism produces bit-identical Δ,
+// sequence values and noise draws to the sequential path; this is what
+// keeps the durable replay cache and recorded-release WAL stable.
+//
 // Nothing in a Plan is differentially private: Δ, H, G, and the true answer
 // are all sensitive intermediates. Only the value returned by Release may
 // leave the trust boundary.
@@ -38,6 +47,7 @@ import (
 	"recmech/internal/graph"
 	"recmech/internal/krel"
 	"recmech/internal/mechanism"
+	"recmech/internal/pool"
 	"recmech/internal/query"
 	"recmech/internal/subgraph"
 )
@@ -246,6 +256,7 @@ type Plan struct {
 	seq      *memoSeq
 	nP       int
 	live     *liveSet
+	pool     *pool.Pool // shared compute pool for ladder waves; nil = serial
 }
 
 // liveSet tracks the contexts of in-flight releases on one plan. The LP
@@ -298,9 +309,28 @@ func (l *liveSet) interrupted() error {
 // Compile builds the plan for spec against src: derive the sensitive
 // K-relation (evaluating the SQL query or enumerating the subgraph
 // workload), flatten it into the LP-backed sequences of §5, and wrap them
-// in a shared memo. Caller-caused failures match ErrSpec.
+// in a shared memo. Caller-caused failures match ErrSpec. Everything runs
+// sequentially on the calling goroutine; serving layers use CompileContext
+// to spread the work over a compute pool.
 func Compile(src Source, spec *Spec) (*Plan, error) {
-	sens, err := buildSensitive(src, spec)
+	return CompileContext(context.Background(), src, spec, nil)
+}
+
+// CompileContext is Compile with cancellation and a shared compute pool:
+// subgraph enumeration is sharded across workers (with the deterministic
+// ordered merge of internal/subgraph, so the compiled plan is byte-identical
+// to a sequential compile), ctx is honored between enumeration shards, and
+// the plan keeps workers to fan its ladder solves during Release and Warm.
+// workers == nil compiles (and later releases) sequentially.
+func CompileContext(ctx context.Context, src Source, spec *Spec, workers *pool.Pool) (*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var fan subgraph.Fanout
+	if workers != nil {
+		fan = workers.Fanout(ctx)
+	}
+	sens, err := buildSensitive(src, spec, fan)
 	if err != nil {
 		return nil, err
 	}
@@ -318,12 +348,16 @@ func Compile(src Source, spec *Spec) (*Plan, error) {
 		seq:      newMemoSeq(seq),
 		nP:       seq.NumParticipants(),
 		live:     live,
+		pool:     workers,
 	}, nil
 }
 
 // buildSensitive compiles the spec into the sensitive K-relation the
-// mechanism releases a count of.
-func buildSensitive(src Source, spec *Spec) (*krel.Sensitive, error) {
+// mechanism releases a count of. fan, when non-nil, shards the subgraph
+// enumeration; a non-nil error from it is the fanout's cancellation and is
+// passed through untyped (it is not the caller's fault, so it must not
+// match ErrSpec).
+func buildSensitive(src Source, spec *Spec, fan subgraph.Fanout) (*krel.Sensitive, error) {
 	switch spec.Kind {
 	case KindSQL:
 		if src.DB == nil {
@@ -352,20 +386,26 @@ func buildSensitive(src Source, spec *Spec) (*krel.Sensitive, error) {
 	if spec.EdgePrivacy {
 		priv = subgraph.EdgePrivacy
 	}
+	var matches []subgraph.Match
+	var err error
 	switch spec.Kind {
 	case KindTriangles:
-		return subgraph.TriangleRelation(src.Graph, priv), nil
+		matches, err = subgraph.TrianglesFan(src.Graph, fan)
 	case KindKStars:
-		return subgraph.KStarRelation(src.Graph, spec.K, priv), nil
+		matches, err = subgraph.KStarsFan(src.Graph, spec.K, fan)
 	case KindKTriangles:
-		return subgraph.KTriangleRelation(src.Graph, spec.K, priv), nil
+		matches, err = subgraph.KTrianglesFan(src.Graph, spec.K, fan)
 	default: // KindPattern
-		p, err := spec.pattern()
-		if err != nil {
+		var p subgraph.Pattern
+		if p, err = spec.pattern(); err != nil {
 			return nil, err
 		}
-		return subgraph.PatternRelation(src.Graph, p, priv, nil), nil
+		matches, err = subgraph.FindMatchesFan(src.Graph, p, fan)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return subgraph.BuildRelation(src.Graph, matches, priv, nil), nil
 }
 
 // NumParticipants returns |P| of the compiled sensitive relation.
@@ -401,9 +441,20 @@ func (p *Plan) Release(ctx context.Context, epsilon float64, rng *rand.Rand) (fl
 	if err != nil {
 		return 0, err
 	}
+	p.setFanout(ctx, core)
 	id := p.live.add(ctx)
 	defer p.live.remove(id)
 	return core.Release(rng)
+}
+
+// setFanout points the core's ladder waves at the plan's compute pool (a
+// plan compiled without one stays serial). The wave probe schedule is a
+// constant of the mechanism, so this changes wall-clock overlap only —
+// never a computed value (see mechanism.Core.SetFanout).
+func (p *Plan) setFanout(ctx context.Context, core *mechanism.Core) {
+	if p.pool != nil {
+		core.SetFanout(mechanism.Fanout(p.pool.Fanout(ctx)))
+	}
 }
 
 // Warm materializes the release path's sequence state for ε without
@@ -423,6 +474,7 @@ func (p *Plan) Warm(ctx context.Context, epsilon float64) error {
 	if err != nil {
 		return err
 	}
+	p.setFanout(ctx, core)
 	id := p.live.add(ctx)
 	defer p.live.remove(id)
 	delta, err := core.Delta()

@@ -1,0 +1,228 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapRunsEveryTaskOnce(t *testing.T) {
+	p := New(4)
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	err := p.Map(context.Background(), n, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times", i, got)
+		}
+	}
+	st := p.Stats()
+	if st.TasksTotal != n {
+		t.Errorf("TasksTotal = %d, want %d", st.TasksTotal, n)
+	}
+	if st.FanoutsTotal != 1 {
+		t.Errorf("FanoutsTotal = %d, want 1", st.FanoutsTotal)
+	}
+	if st.Busy != 0 || st.Tasks != 0 || st.Fanouts != 0 {
+		t.Errorf("gauges not drained: %+v", st)
+	}
+}
+
+func TestMapZeroAndNegative(t *testing.T) {
+	p := New(2)
+	if err := p.Map(context.Background(), 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Map(context.Background(), -3, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	p := New(4)
+	e3 := errors.New("task 3")
+	e7 := errors.New("task 7")
+	err := p.Map(context.Background(), 10, func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if !errors.Is(err, e3) {
+		t.Fatalf("Map error = %v, want the lowest-index failure %v", err, e3)
+	}
+}
+
+func TestMapHonorsContext(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	err := p.Map(ctx, 100, func(i int) error {
+		if started.Add(1) == 1 {
+			cancel() // remaining unclaimed tasks must be skipped
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map error = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got == 100 {
+		t.Error("cancellation skipped no tasks")
+	}
+}
+
+// A saturated pool must not deadlock: fan-outs run inline on their callers.
+func TestSaturatedPoolRunsInline(t *testing.T) {
+	p := New(1)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	// Occupy the single worker with a long fan-out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.Map(context.Background(), 2, func(i int) error {
+			<-release
+			return nil
+		})
+	}()
+	// Wait until the worker is borrowed.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Busy == 0 {
+		if time.Now().After(deadline) {
+			close(release)
+			t.Fatal("worker never borrowed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A second fan-out must complete without any free worker.
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Map(context.Background(), 8, func(i int) error { return nil })
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("inline Map: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("starved fan-out deadlocked")
+	}
+	close(release)
+	wg.Wait()
+	if st := p.Stats(); st.InlineTotal == 0 {
+		t.Errorf("InlineTotal = 0, want at least 1: %+v", st)
+	}
+}
+
+// Deterministic merge: results written by index are identical regardless of
+// pool size and scheduling.
+func TestMapDeterministicMerge(t *testing.T) {
+	want := make([]int, 500)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, size := range []int{1, 2, 7} {
+		p := New(size)
+		got := make([]int, len(want))
+		if err := p.Map(context.Background(), len(got), func(i int) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("size %d: got[%d] = %d, want %d", size, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Concurrent fan-outs from many goroutines: tokens must balance and every
+// task must run exactly once (run with -race).
+func TestConcurrentFanouts(t *testing.T) {
+	p := New(3)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				if err := p.Map(context.Background(), 17, func(i int) error {
+					total.Add(1)
+					return nil
+				}); err != nil {
+					t.Errorf("Map: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := total.Load(), int64(16*20*17); got != want {
+		t.Fatalf("tasks run = %d, want %d", got, want)
+	}
+	st := p.Stats()
+	if st.Busy != 0 || st.Tasks != 0 || st.Fanouts != 0 {
+		t.Fatalf("gauges not drained after concurrent fan-outs: %+v", st)
+	}
+	// All tokens must be back.
+	if got := len(p.tokens); got != p.Size() {
+		t.Fatalf("tokens leaked: %d of %d returned", got, p.Size())
+	}
+}
+
+func TestNewDefaultsAndSize(t *testing.T) {
+	if got := New(0).Size(); got < 1 {
+		t.Errorf("New(0).Size() = %d, want >= 1", got)
+	}
+	if got := New(-5).Size(); got < 1 {
+		t.Errorf("New(-5).Size() = %d, want >= 1", got)
+	}
+	if got := New(3).Size(); got != 3 {
+		t.Errorf("New(3).Size() = %d, want 3", got)
+	}
+}
+
+func TestFanoutAdapter(t *testing.T) {
+	p := New(2)
+	fan := p.Fanout(context.Background())
+	ran := make([]bool, 5)
+	if err := fan(len(ran), func(i int) error { ran[i] = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("task %d skipped", i)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Fanout(ctx)(3, func(int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled fanout error = %v", err)
+	}
+}
+
+func ExamplePool_Map() {
+	p := New(4)
+	squares := make([]int, 5)
+	_ = p.Map(context.Background(), len(squares), func(i int) error {
+		squares[i] = i * i
+		return nil
+	})
+	fmt.Println(squares)
+	// Output: [0 1 4 9 16]
+}

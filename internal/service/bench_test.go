@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"recmech/internal/boolexpr"
+	"recmech/internal/graph"
+	"recmech/internal/noise"
 	"recmech/internal/query"
 	"recmech/internal/sfcache"
 )
@@ -141,6 +143,46 @@ func BenchmarkBatchJob(b *testing.B) {
 		if final.State != JobStateDone {
 			b.Fatalf("job state %q: %+v", final.State, final)
 		}
+	}
+}
+
+// BenchmarkServiceQueryParallel measures the fresh-compile path of the
+// acceptance workload — a graph dataset big enough for the ladder's LP
+// solves to dominate — at -compile-parallelism 1, 2 and 4. Every iteration
+// registers the graph under a fresh dataset name, so the plan cache can
+// never short-circuit the compile. On a multicore box the 4-worker run
+// should be ≥ 2× the 1-worker run; on a single core the numbers mostly
+// certify that the fan-out machinery costs nothing when it cannot help.
+func BenchmarkServiceQueryParallel(b *testing.B) {
+	g := graph.RandomAverageDegree(noise.NewRand(17), 120, 7)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			svc := New(Config{
+				DatasetBudget:      1e18,
+				DefaultEpsilon:     0.5,
+				Workers:            1,
+				CompileParallelism: workers,
+				Seed:               1,
+			})
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("g%d", i)
+				b.StopTimer() // registration is not the path under test
+				if err := svc.AddGraph(name, g); err != nil {
+					b.Fatalf("AddGraph: %v", err)
+				}
+				b.StartTimer()
+				resp, err := svc.Query(ctx, Request{Dataset: name, Kind: KindTriangles, Epsilon: 0.5})
+				if err != nil {
+					b.Fatalf("Query: %v", err)
+				}
+				if resp.Cached {
+					b.Fatal("fresh compile unexpectedly cached")
+				}
+			}
+		})
 	}
 }
 

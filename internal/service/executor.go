@@ -3,10 +3,12 @@ package service
 import (
 	"context"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"recmech/internal/noise"
 	"recmech/internal/plan"
+	"recmech/internal/pool"
 )
 
 // Executor runs queries on a bounded worker pool through the plan layer:
@@ -26,6 +28,13 @@ type Executor struct {
 	slots chan *rand.Rand
 	plans *plan.Cache
 
+	// compilePool is the one process-wide compute pool behind every fresh
+	// compile and ladder solve: enumeration shards and H/G probe waves from
+	// all concurrent queries borrow workers from it, so total compile
+	// concurrency is bounded by its size (plus one caller goroutine per
+	// in-flight query) instead of growing N·cores under N queries.
+	compilePool *pool.Pool
+
 	// met, when set (the service wires it), observes queue wait: the time
 	// a query spends blocked on admission before holding a worker slot.
 	met *serviceMetrics
@@ -38,20 +47,43 @@ type Executor struct {
 
 // NewExecutor returns an executor running at most workers queries
 // concurrently (workers < 1 means 1), caching up to planEntries compiled
-// plans. seed makes the noise reproducible for a deterministic arrival
+// plans and sharing one compute pool of parallelism workers
+// (parallelism < 1 means GOMAXPROCS) across every compile and ladder
+// solve. Parallelism is capped at GOMAXPROCS: pool workers beyond the
+// scheduler's parallelism can only time-slice, which buys overhead and no
+// overlap. seed makes the noise reproducible for a deterministic arrival
 // order: worker i draws from the stream noise.NewRand(seed+i).
-func NewExecutor(workers, planEntries int, seed int64) *Executor {
+func NewExecutor(workers, planEntries, parallelism int, seed int64) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
+	if max := runtime.GOMAXPROCS(0); parallelism > max {
+		parallelism = max
+	}
 	e := &Executor{
-		slots: make(chan *rand.Rand, workers),
-		plans: plan.NewCache(planEntries),
+		slots:       make(chan *rand.Rand, workers),
+		plans:       plan.NewCache(planEntries),
+		compilePool: pool.New(parallelism),
 	}
 	for i := 0; i < workers; i++ {
 		e.slots <- noise.NewRand(seed + int64(i))
 	}
 	return e
+}
+
+// CompilePool exposes the shared compute pool (for metrics and embedders).
+func (e *Executor) CompilePool() *pool.Pool { return e.compilePool }
+
+// compileWorkers returns the pool handed to plan.CompileContext, or nil
+// when the pool has a single worker: -compile-parallelism=1 means "exactly
+// the sequential analysis", with zero fan-out machinery on the path — the
+// honest baseline the scaling benchmarks (and a single-core box) compare
+// against.
+func (e *Executor) compileWorkers() *pool.Pool {
+	if e.compilePool.Size() <= 1 {
+		return nil
+	}
+	return e.compilePool
 }
 
 // acquire takes a worker slot (carrying its RNG stream), honoring ctx while
@@ -96,7 +128,7 @@ func (e *Executor) plan(ctx context.Context, ds *Dataset, req *Request) (*plan.P
 		return nil, false, err
 	}
 	pl, hit, err := e.plans.Do(ctx, key, func() (*plan.Plan, error) {
-		return plan.Compile(plan.Source{Graph: ds.Graph, DB: ds.DB, Universe: ds.Universe}, req.spec)
+		return plan.CompileContext(ctx, plan.Source{Graph: ds.Graph, DB: ds.DB, Universe: ds.Universe}, req.spec, e.compileWorkers())
 	})
 	if err != nil {
 		return nil, false, asRequestError(err)

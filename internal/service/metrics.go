@@ -108,6 +108,25 @@ func (m *serviceMetrics) bind(s *Service) {
 	reg.GaugeFunc("recmech_jobs_active", "Jobs currently queued or running",
 		func() float64 { return float64(s.jobs.activeCount()) })
 
+	// The shared compile pool: every fresh compile's enumeration shards and
+	// ladder probe waves borrow workers here, so pool pressure is the
+	// leading indicator that fresh-query latency is about to stop scaling.
+	pl := s.exec.CompilePool()
+	reg.GaugeFunc("recmech_compile_pool_workers", "Size of the shared compile pool (-compile-parallelism)",
+		func() float64 { return float64(pl.Size()) })
+	reg.GaugeFunc("recmech_compile_pool_busy", "Compile-pool workers currently borrowed by fan-outs",
+		func() float64 { return float64(pl.Stats().Busy) })
+	reg.GaugeFunc("recmech_compile_pool_tasks_inflight", "Compile tasks executing right now, caller goroutines included",
+		func() float64 { return float64(pl.Stats().Tasks) })
+	reg.GaugeFunc("recmech_compile_pool_fanouts_inflight", "Fan-outs (enumeration or ladder waves) in progress",
+		func() float64 { return float64(pl.Stats().Fanouts) })
+	reg.CounterFunc("recmech_compile_pool_tasks_total", "Compile tasks executed since start",
+		func() uint64 { return pl.Stats().TasksTotal })
+	reg.CounterFunc("recmech_compile_pool_fanouts_total", "Fan-outs submitted since start",
+		func() uint64 { return pl.Stats().FanoutsTotal })
+	reg.CounterFunc("recmech_compile_pool_fanouts_inline_total", "Fan-outs that found no free worker and ran entirely on their caller",
+		func() uint64 { return pl.Stats().InlineTotal })
+
 	// Budget accountant counters live on the Accountant (they are part of
 	// the ledger protocol), read here at scrape time.
 	const bHelp = "Budget reservations attempted, by result"
@@ -370,6 +389,7 @@ type ServiceStats struct {
 	Jobs          JobStats              `json:"jobs"`
 	Caches        map[string]CacheStats `json:"caches"`
 	Workers       WorkerStats           `json:"workers"`
+	CompilePool   PoolStats             `json:"compilePool"`
 	LP            LPStats               `json:"lp"`
 	Store         *StoreStats           `json:"store,omitempty"`
 }
@@ -412,6 +432,21 @@ type CacheStats struct {
 type WorkerStats struct {
 	Total int `json:"total"`
 	Busy  int `json:"busy"`
+}
+
+// PoolStats snapshots the shared compile pool (see internal/pool): fixed
+// size, instantaneous borrow/task/fan-out gauges, and monotone totals. A
+// high InlineTotal rate means fresh compiles routinely find the pool
+// starved and fall back to single-threaded analysis — raise
+// -compile-parallelism or add cores.
+type PoolStats struct {
+	Size          int    `json:"size"`
+	Busy          int64  `json:"busy"`
+	TasksInFlight int64  `json:"tasksInFlight"`
+	Fanouts       int64  `json:"fanouts"`
+	TasksTotal    uint64 `json:"tasksTotal"`
+	FanoutsTotal  uint64 `json:"fanoutsTotal"`
+	InlineTotal   uint64 `json:"fanoutsInline"`
 }
 
 // LPStats snapshots the process-wide LP solver counters.
@@ -475,6 +510,16 @@ func (s *Service) Stats() ServiceStats {
 		},
 		Workers: WorkerStats{Total: cap(s.exec.slots), Busy: cap(s.exec.slots) - len(s.exec.slots)},
 		LP:      LPStats{Solves: lpc.Solves, Pivots: lpc.Pivots, Interrupts: lpc.Interrupts},
+	}
+	ps := s.exec.CompilePool().Stats()
+	st.CompilePool = PoolStats{
+		Size:          ps.Size,
+		Busy:          ps.Busy,
+		TasksInFlight: ps.Tasks,
+		Fanouts:       ps.Fanouts,
+		TasksTotal:    ps.TasksTotal,
+		FanoutsTotal:  ps.FanoutsTotal,
+		InlineTotal:   ps.InlineTotal,
 	}
 	if s.store != nil {
 		sm := s.store.Metrics()

@@ -29,6 +29,16 @@ type Config struct {
 	MaxEpsilon float64
 	// Workers bounds concurrent mechanism runs. Default GOMAXPROCS.
 	Workers int
+	// CompileParallelism sizes the shared compute pool that fresh compiles
+	// fan their deterministic analysis into — subgraph enumeration shards
+	// and the ladder's H/G LP probe waves. One pool serves the whole
+	// service, so N concurrent fresh queries share at most this many extra
+	// workers (plus their own goroutines) rather than oversubscribing the
+	// box N·cores ways. Values above GOMAXPROCS are capped to it (extra
+	// workers could only time-slice), and 1 means fully sequential
+	// compiles. Parallelism never changes an output bit (see
+	// internal/plan). Default GOMAXPROCS.
+	CompileParallelism int
 	// Seed makes the noise streams reproducible across runs. Default 1.
 	Seed int64
 	// CacheEntries bounds the release cache; the oldest recorded releases
@@ -61,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers < 1 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CompileParallelism < 1 {
+		c.CompileParallelism = runtime.GOMAXPROCS(0)
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -113,7 +126,7 @@ func New(cfg Config) *Service {
 		reg:   NewRegistry(),
 		acct:  NewAccountant(),
 		cache: NewReleaseCache(cfg.CacheEntries),
-		exec:  NewExecutor(cfg.Workers, cfg.PlanEntries, cfg.Seed),
+		exec:  NewExecutor(cfg.Workers, cfg.PlanEntries, cfg.CompileParallelism, cfg.Seed),
 		jobs:  newJobTable(cfg.MaxJobs),
 		met:   newServiceMetrics(),
 	}
@@ -378,11 +391,34 @@ func (s *Service) Prepare(ctx context.Context, req Request) (PrepareInfo, error)
 	if err != nil {
 		return PrepareInfo{}, err
 	}
-	hit, err := s.exec.Prepare(ctx, ds, &req)
+	var hit bool
+	err = retryLeaderCancel(ctx, func() error {
+		var err error
+		hit, err = s.exec.Prepare(ctx, ds, &req)
+		return err
+	})
 	if err != nil {
 		return PrepareInfo{}, err
 	}
 	return PrepareInfo{Dataset: ds.Name, Kind: req.Kind, Privacy: req.Privacy, AlreadyPrepared: hit}, nil
+}
+
+// retryLeaderCancel runs op until it stops failing with another flight
+// leader's cancellation: a cancellation error while this caller's own ctx
+// is live means op merely joined — or raced the fallout of — a flight
+// whose leader hung up (singleflight plan compiles and release flights
+// both run under their leader's ctx, and the failed entry is dropped), so
+// the retry leads a fresh attempt on a live ctx. The caller's own
+// cancellation, and every other error, passes through.
+func retryLeaderCancel(ctx context.Context, op func() error) error {
+	for {
+		err := op()
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		return err
+	}
 }
 
 // PrepareInfo reports the outcome of a Prepare call. No ε is spent and
@@ -420,12 +456,19 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation) (Respo
 	planHit := false
 	compute := func() (Response, error) {
 		// The compute closure runs synchronously in this goroutine (at most
-		// one caller per key computes), so preUsed and planHit need no
-		// synchronization.
+		// one caller per key computes, and the retry loop below re-runs it
+		// sequentially), so preUsed and planHit need no synchronization.
+		//
+		// A failed attempt settles only a reservation it made itself. pre
+		// stays open across retries — plan compiles are cancelable, so an
+		// attempt can die of a coalesced compile leader's cancellation
+		// while this caller is live, and refunding the batch's atomically
+		// pre-reserved ε there would let a concurrent query steal it
+		// before the retry. pre is settled exactly once: committed by the
+		// attempt that produces a release (preUsed), or refunded after the
+		// loop by the shared epilogue below.
 		resv := pre
-		if resv != nil {
-			preUsed = true
-		} else {
+		if resv == nil {
 			var err error
 			if resv, err = s.acct.Reserve(ds.Name, req.Epsilon); err != nil {
 				return Response{}, err
@@ -434,10 +477,15 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation) (Respo
 		value, hit, err := s.exec.Execute(ctx, ds, req)
 		planHit = hit
 		if err != nil {
-			resv.Refund()
+			if resv != pre {
+				resv.Refund()
+			}
 			return Response{}, err
 		}
 		resv.Commit()
+		if resv == pre {
+			preUsed = true
+		}
 		resp := Response{Dataset: ds.Name, Kind: req.Kind, Value: value, Epsilon: req.Epsilon}
 		if s.store != nil && ds.Durable {
 			// Journal the release so it replays after a restart at zero ε.
@@ -456,22 +504,20 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation) (Respo
 		resp   Response
 		cached bool
 	)
-	for {
+	// Leader-cancellation retries (see retryLeaderCancel): a retried
+	// compute reuses pre safely — it is settled exactly once, by the
+	// committing attempt or the epilogue below.
+	err = retryLeaderCancel(ctx, func() error {
+		var err error
 		resp, cached, err = s.cache.Do(ctx, key, compute)
-		// A cancellation error while this caller's own context is live means
-		// we merely joined a flight whose leader hung up — the flight died
-		// with the leader's ctx, not ours. The failed entry is already
-		// dropped, so retry: this caller leads the next flight (on its own
-		// ctx) or joins a healthier one. Our own cancellations (and every
-		// other error) pass through.
-		if err != nil && ctx.Err() == nil &&
-			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-			continue
-		}
-		break
-	}
+		return err
+	})
 	if pre != nil && !preUsed {
-		pre.Refund() // shared response (replay/coalesce) or canceled wait: no ε consumed
+		// No attempt committed pre: the response was shared (replay or
+		// coalesced flight), the wait was canceled, or every attempt
+		// failed. Either way no ε was consumed against it — settle it here,
+		// exactly once.
+		pre.Refund()
 	}
 	s.met.recordQuery(ds.Name, true, cached, planHit, req.Epsilon, start, err)
 	if err != nil {

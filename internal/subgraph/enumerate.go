@@ -3,6 +3,13 @@
 // K-relations of Fig. 2: one tuple per matched subgraph, annotated with the
 // conjunction of its node variables (node differential privacy) or its edge
 // variables (edge differential privacy).
+//
+// Every enumerator has a *Fan variant that shards the work by vertex (or
+// edge) range and merges the shards in range order, so the match list — and
+// therefore the K-relation, its LP encoding, and every byte the mechanism
+// derives from it — is identical to the sequential enumeration no matter
+// how the shards were scheduled. The Fanout is typically a compute pool's
+// adapter (see internal/pool); nil means enumerate sequentially.
 package subgraph
 
 import (
@@ -12,6 +19,12 @@ import (
 	"recmech/internal/graph"
 )
 
+// Fanout executes n independent tasks, possibly concurrently, returning
+// after all finished (error = lowest-index task failure). It is the same
+// shape as internal/pool's Map-based adapter; a nil Fanout runs shards
+// inline.
+type Fanout func(n int, task func(i int) error) error
+
 // Match is one subgraph occurrence: the sorted node set and the edge set of
 // the image.
 type Match struct {
@@ -19,11 +32,69 @@ type Match struct {
 	Edges []graph.Edge
 }
 
+// enumShards is how many range shards a fanned enumeration is cut into —
+// more than a typical pool has workers, so early-finishing shards load-
+// balance, but a fixed constant so the shard boundaries (and the merged
+// output) never depend on machine shape. Merging concatenates shards in
+// range order, so the value affects scheduling granularity only.
+const enumShards = 16
+
+// shardMerge cuts 0..n-1 into contiguous ranges, runs enumerate on each
+// (concurrently under fan), and concatenates the per-range outputs in range
+// order — byte-identical to enumerate(0, n), since every enumerator below
+// visits its outer loop in ascending order and touches nothing outside its
+// range. Enumeration itself cannot fail; a non-nil error is the fanout's
+// own (cancellation), and the partial work is discarded.
+func shardMerge(fan Fanout, n int, enumerate func(lo, hi int) []Match) ([]Match, error) {
+	if fan == nil || n < 2 {
+		return enumerate(0, n), nil
+	}
+	shards := enumShards
+	if shards > n {
+		shards = n
+	}
+	parts := make([][]Match, shards)
+	err := fan(shards, func(s int) error {
+		parts[s] = enumerate(s*n/shards, (s+1)*n/shards)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for s := range parts {
+		total += len(parts[s])
+	}
+	if total == 0 {
+		return nil, nil // match the sequential enumerators' nil-for-empty
+	}
+	out := make([]Match, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
 // Triangles enumerates all triangles {u < v < w}.
 func Triangles(g *graph.Graph) []Match {
+	out, _ := TrianglesFan(g, nil)
+	return out
+}
+
+// TrianglesFan enumerates triangles sharded by the smallest-vertex range.
+func TrianglesFan(g *graph.Graph, fan Fanout) ([]Match, error) {
+	return shardMerge(fan, g.NumNodes(), func(lo, hi int) []Match {
+		return trianglesRange(g, lo, hi)
+	})
+}
+
+// trianglesRange enumerates the triangles whose smallest node lies in
+// [lo, hi). The output grows by append — a counting pre-pass would repeat
+// the full neighbor-intersection work just to save slice-header growth,
+// a bad trade (unlike k-stars, where degrees price the output for free).
+func trianglesRange(g *graph.Graph, lo, hi int) []Match {
 	var out []Match
-	n := g.NumNodes()
-	for u := 0; u < n; u++ {
+	for u := lo; u < hi; u++ {
 		nbrs := g.Neighbors(u)
 		for i := 0; i < len(nbrs); i++ {
 			v := nbrs[i]
@@ -46,9 +117,12 @@ func Triangles(g *graph.Graph) []Match {
 
 // CountTriangles returns the number of triangles without materializing them.
 func CountTriangles(g *graph.Graph) int {
+	return countTrianglesRange(g, 0, g.NumNodes())
+}
+
+func countTrianglesRange(g *graph.Graph, lo, hi int) int {
 	c := 0
-	n := g.NumNodes()
-	for u := 0; u < n; u++ {
+	for u := lo; u < hi; u++ {
 		nbrs := g.Neighbors(u)
 		for i := 0; i < len(nbrs); i++ {
 			if nbrs[i] <= u {
@@ -67,16 +141,35 @@ func CountTriangles(g *graph.Graph) int {
 // KStars enumerates all k-stars: a center node c and a set of k distinct
 // leaves adjacent to c. The count equals Σ_v C(deg(v), k).
 func KStars(g *graph.Graph, k int) []Match {
+	out, _ := KStarsFan(g, k, nil)
+	return out
+}
+
+// KStarsFan enumerates k-stars sharded by center range.
+func KStarsFan(g *graph.Graph, k int, fan Fanout) ([]Match, error) {
 	if k < 1 {
 		panic("subgraph: k-star needs k ≥ 1")
 	}
-	var out []Match
-	for c := 0; c < g.NumNodes(); c++ {
+	return shardMerge(fan, g.NumNodes(), func(lo, hi int) []Match {
+		return kStarsRange(g, k, lo, hi)
+	})
+}
+
+func kStarsRange(g *graph.Graph, k, lo, hi int) []Match {
+	// Exact output size from degrees alone (clamped: a pathological dense
+	// graph should grow the slice, not pre-reserve gigabytes).
+	expect := 0.0
+	for c := lo; c < hi; c++ {
+		expect += Binomial(g.Degree(c), k)
+	}
+	out := make([]Match, 0, clampCap(expect))
+	idx := make([]int, k) // one combination buffer reused across all centers
+	for c := lo; c < hi; c++ {
 		nbrs := g.Neighbors(c)
 		if len(nbrs) < k {
 			continue
 		}
-		combinations(len(nbrs), k, func(idx []int) {
+		combinations(len(nbrs), k, idx, func(idx []int) {
 			nodes := make([]int, 0, k+1)
 			edges := make([]graph.Edge, 0, k)
 			nodes = append(nodes, c)
@@ -88,6 +181,9 @@ func KStars(g *graph.Graph, k int) []Match {
 			sort.Ints(nodes)
 			out = append(out, Match{Nodes: nodes, Edges: edges})
 		})
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -106,12 +202,28 @@ func CountKStars(g *graph.Graph, k int) float64 {
 // distinct common neighbors of u and v (each common neighbor forms a triangle
 // over the shared edge). The count equals Σ_{(u,v)∈E} C(a_uv, k).
 func KTriangles(g *graph.Graph, k int) []Match {
+	out, _ := KTrianglesFan(g, k, nil)
+	return out
+}
+
+// KTrianglesFan enumerates k-triangles sharded by ranges of the sorted edge
+// list.
+func KTrianglesFan(g *graph.Graph, k int, fan Fanout) ([]Match, error) {
 	if k < 1 {
 		panic("subgraph: k-triangle needs k ≥ 1")
 	}
+	edges := g.Edges()
+	return shardMerge(fan, len(edges), func(lo, hi int) []Match {
+		return kTrianglesRange(g, k, edges[lo:hi])
+	})
+}
+
+func kTrianglesRange(g *graph.Graph, k int, edges []graph.Edge) []Match {
 	var out []Match
-	for _, e := range g.Edges() {
-		var common []int
+	idx := make([]int, k) // combination buffer reused across edges
+	var common []int      // common-neighbor buffer reused across edges
+	for _, e := range edges {
+		common = common[:0]
 		g.EachNeighbor(e.U, func(w int) {
 			if w != e.V && g.HasEdge(e.V, w) {
 				common = append(common, w)
@@ -121,17 +233,19 @@ func KTriangles(g *graph.Graph, k int) []Match {
 		if len(common) < k {
 			continue
 		}
-		combinations(len(common), k, func(idx []int) {
-			nodes := []int{e.U, e.V}
-			edges := []graph.Edge{e}
+		combinations(len(common), k, idx, func(idx []int) {
+			nodes := make([]int, 0, k+2)
+			edgs := make([]graph.Edge, 0, 2*k+1)
+			nodes = append(nodes, e.U, e.V)
+			edgs = append(edgs, e)
 			for _, i := range idx {
 				w := common[i]
 				nodes = append(nodes, w)
-				edges = append(edges, orderedEdge(e.U, w), orderedEdge(e.V, w))
+				edgs = append(edgs, orderedEdge(e.U, w), orderedEdge(e.V, w))
 			}
 			sort.Ints(nodes)
-			sortEdges(edges)
-			out = append(out, Match{Nodes: nodes, Edges: edges})
+			sortEdges(edgs)
+			out = append(out, Match{Nodes: nodes, Edges: edgs})
 		})
 	}
 	return out
@@ -161,13 +275,28 @@ func Binomial(n, k int) float64 {
 	return r
 }
 
-// combinations invokes f with every k-subset of 0..n-1 (as an index slice
-// that must not be retained).
-func combinations(n, k int, f func(idx []int)) {
+// clampCap converts an expected element count to a slice capacity, capped
+// so a huge expectation pre-reserves at most ~4M entries.
+func clampCap(expect float64) int {
+	const maxPrealloc = 1 << 22
+	if expect < 0 {
+		return 0
+	}
+	if expect > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(expect)
+}
+
+// combinations invokes f with every k-subset of 0..n-1 in lexicographic
+// order. idx is the caller's scratch buffer of length ≥ k (reused across
+// calls to avoid per-subset allocation); the slice passed to f aliases it
+// and must not be retained.
+func combinations(n, k int, idx []int, f func(idx []int)) {
 	if k > n {
 		return
 	}
-	idx := make([]int, k)
+	idx = idx[:k]
 	for i := range idx {
 		idx[i] = i
 	}

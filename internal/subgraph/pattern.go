@@ -100,53 +100,76 @@ func KTrianglePattern(k int) Pattern {
 	return NewPattern(k+2, edges)
 }
 
-// FindMatches enumerates the occurrences of p in g by backtracking search
-// with degree pruning, deduplicating embeddings that share an image edge set.
-// maxMatches > 0 truncates the search (0 means unlimited).
-func FindMatches(g *graph.Graph, p Pattern, maxMatches int) []Match {
-	// Order pattern nodes so each (after the first) is adjacent to an
-	// already-placed node: keeps candidates constrained to neighborhoods.
+// matcher holds the read-only search tables shared by every shard of one
+// pattern enumeration: the pattern-node visit order (each node after the
+// first adjacent to an already-placed one, keeping candidates constrained
+// to neighborhoods), per-node pattern degrees and the pattern adjacency
+// matrix.
+type matcher struct {
+	g       *graph.Graph
+	p       Pattern
+	order   []int
+	parents []int
+	patDeg  []int
+	padj    [][]bool
+}
+
+func newMatcher(g *graph.Graph, p Pattern) *matcher {
 	order, parents := searchOrder(p)
-	patDeg := make([]int, p.K)
-	padj := make([][]bool, p.K)
-	for i := range padj {
-		padj[i] = make([]bool, p.K)
+	m := &matcher{
+		g: g, p: p, order: order, parents: parents,
+		patDeg: make([]int, p.K),
+		padj:   make([][]bool, p.K),
+	}
+	for i := range m.padj {
+		m.padj[i] = make([]bool, p.K)
 	}
 	for _, e := range p.Edges {
-		patDeg[e.U]++
-		patDeg[e.V]++
-		padj[e.U][e.V] = true
-		padj[e.V][e.U] = true
+		m.patDeg[e.U]++
+		m.patDeg[e.V]++
+		m.padj[e.U][e.V] = true
+		m.padj[e.V][e.U] = true
 	}
+	return m
+}
 
-	assignment := make([]int, p.K) // pattern node -> data node
+// run enumerates the occurrences whose root (the first pattern node placed)
+// maps to a data node in [rootLo, rootHi), deduplicating by image edge set
+// within the shard and returning the matches with their dedup keys.
+// maxMatches > 0 truncates the search (0 means unlimited). The shard owns
+// its backtracking state, so shards of one matcher may run concurrently.
+func (mt *matcher) run(rootLo, rootHi, maxMatches int) ([]Match, []string) {
+	g := mt.g
+	assignment := make([]int, mt.p.K) // pattern node -> data node
 	used := make([]bool, g.NumNodes())
 	seen := make(map[string]struct{})
 	var out []Match
+	var keys []string
 
 	var rec func(step int) bool
 	rec = func(step int) bool {
-		if step == len(order) {
-			m := buildMatch(p, assignment)
+		if step == len(mt.order) {
+			m := buildMatch(mt.p, assignment)
 			key := m.Key()
 			if _, dup := seen[key]; !dup {
 				seen[key] = struct{}{}
 				out = append(out, m)
+				keys = append(keys, key)
 				if maxMatches > 0 && len(out) >= maxMatches {
 					return true
 				}
 			}
 			return false
 		}
-		pn := order[step]
+		pn := mt.order[step]
 		tryCandidate := func(cand int) bool {
-			if used[cand] || g.Degree(cand) < patDeg[pn] {
+			if used[cand] || g.Degree(cand) < mt.patDeg[pn] {
 				return false
 			}
 			// All already-placed pattern neighbors must be adjacent.
 			for prev := 0; prev < step; prev++ {
-				qn := order[prev]
-				if padj[pn][qn] && !g.HasEdge(cand, assignment[qn]) {
+				qn := mt.order[prev]
+				if mt.padj[pn][qn] && !g.HasEdge(cand, assignment[qn]) {
 					return false
 				}
 			}
@@ -156,7 +179,7 @@ func FindMatches(g *graph.Graph, p Pattern, maxMatches int) []Match {
 			used[cand] = false
 			return stop
 		}
-		if parent := parents[step]; parent >= 0 {
+		if parent := mt.parents[step]; parent >= 0 {
 			anchor := assignment[parent]
 			for _, cand := range g.Neighbors(anchor) {
 				if tryCandidate(cand) {
@@ -164,7 +187,7 @@ func FindMatches(g *graph.Graph, p Pattern, maxMatches int) []Match {
 				}
 			}
 		} else {
-			for cand := 0; cand < g.NumNodes(); cand++ {
+			for cand := rootLo; cand < rootHi; cand++ {
 				if tryCandidate(cand) {
 					return true
 				}
@@ -173,7 +196,65 @@ func FindMatches(g *graph.Graph, p Pattern, maxMatches int) []Match {
 		return false
 	}
 	rec(0)
+	return out, keys
+}
+
+// FindMatches enumerates the occurrences of p in g by backtracking search
+// with degree pruning, deduplicating embeddings that share an image edge set.
+// maxMatches > 0 truncates the search (0 means unlimited).
+func FindMatches(g *graph.Graph, p Pattern, maxMatches int) []Match {
+	out, _ := newMatcher(g, p).run(0, g.NumNodes(), maxMatches)
 	return out
+}
+
+// FindMatchesFan enumerates all occurrences of p in g, sharding the search
+// by the root candidate range and merging shards in range order with
+// cross-shard deduplication. The same occurrence discovered from roots in
+// two shards keeps its first (lowest-root-range) discovery, which is
+// exactly the occurrence the sequential search keeps — the merged list is
+// byte-identical to FindMatches(g, p, 0). A non-nil error is the fanout's
+// own (cancellation).
+func FindMatchesFan(g *graph.Graph, p Pattern, fan Fanout) ([]Match, error) {
+	n := g.NumNodes()
+	if fan == nil || n < 2 {
+		return FindMatches(g, p, 0), nil
+	}
+	mt := newMatcher(g, p)
+	// Shard boundaries and merge conventions mirror shardMerge in
+	// enumerate.go (which cannot be reused directly: pattern shards carry
+	// dedup keys next to their matches) — keep the two in lockstep.
+	shards := enumShards
+	if shards > n {
+		shards = n
+	}
+	parts := make([][]Match, shards)
+	keys := make([][]string, shards)
+	err := fan(shards, func(s int) error {
+		parts[s], keys[s] = mt.run(s*n/shards, (s+1)*n/shards, 0)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for s := range parts {
+		total += len(parts[s])
+	}
+	if total == 0 {
+		return nil, nil // match FindMatches' nil-for-empty
+	}
+	out := make([]Match, 0, total)
+	seen := make(map[string]struct{}, total)
+	for s := range parts {
+		for i, m := range parts[s] {
+			if _, dup := seen[keys[s][i]]; dup {
+				continue
+			}
+			seen[keys[s][i]] = struct{}{}
+			out = append(out, m)
+		}
+	}
+	return out, nil
 }
 
 // CountMatches returns the number of distinct occurrences.

@@ -277,16 +277,17 @@ func TestPrivacyString(t *testing.T) {
 }
 
 func TestCombinations(t *testing.T) {
+	buf := make([]int, 3)
 	var got [][]int
-	combinations(4, 2, func(idx []int) {
+	combinations(4, 2, buf, func(idx []int) {
 		got = append(got, append([]int(nil), idx...))
 	})
 	if len(got) != 6 {
 		t.Fatalf("C(4,2) enumerated %d subsets, want 6", len(got))
 	}
-	combinations(2, 3, func([]int) { t.Fatal("k > n should produce nothing") })
+	combinations(2, 3, buf, func([]int) { t.Fatal("k > n should produce nothing") })
 	count := 0
-	combinations(3, 3, func([]int) { count++ })
+	combinations(3, 3, buf, func([]int) { count++ })
 	if count != 1 {
 		t.Error("C(3,3) should produce exactly one subset")
 	}
