@@ -38,14 +38,23 @@
 //	GET    /v1/budget/{dataset}
 //	GET    /v1/stats                  service-wide counters (JSON)
 //	GET    /v1/datasets/{name}/stats  per-dataset counters and ε spend rate
+//	GET    /v1/traces                 recent per-query traces (newest first)
+//	GET    /v1/traces/{id}            one trace's full span tree
 //	GET    /metrics                   Prometheus text format
 //	GET    /healthz
 //
+// Every fresh compile (and every async job item) records a span tree; the
+// X-Recmech-Trace-Id response header and the access log's trace field name
+// it. -trace-sample additionally traces 1 in N warm queries,
+// -slow-query-threshold dumps the span tree of any slower query to stderr,
+// and -debug-addr serves net/http/pprof on a second, ideally private,
+// listener.
+//
 // The daemon writes one structured access-log line per request to stderr
-// (method, path, dataset, ε, status, duration, budget outcome);
+// (method, path, dataset, ε, status, duration, budget outcome, trace ID);
 // -log-format selects "text" (default) or "json". See API.md for the full
 // HTTP reference and OPERATIONS.md for the operator runbook, including
-// which metrics to alert on.
+// which metrics to alert on and how to diagnose a slow query.
 //
 // Example session:
 //
@@ -75,6 +84,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -115,6 +125,9 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 0, "max queries per /v2/jobs batch (0 = default 64)")
 		maxJobs    = flag.Int("max-jobs", 0, "max active jobs at once and finished jobs retained (0 = default 1024)")
 		logFormat  = flag.String("log-format", "text", "access-log line format: \"text\" or \"json\" (one line per request, to stderr)")
+		traceEvery = flag.Int("trace-sample", 0, "additionally trace 1 in N warm (plan-cached) queries; fresh compiles and job items are always traced (0 = off)")
+		slowQuery  = flag.Duration("slow-query-threshold", 0, "log the full span tree of any traced query slower than this to stderr (0 = off)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this second listener (keep it private; empty = off)")
 	)
 	flag.Parse()
 
@@ -134,6 +147,7 @@ func main() {
 		MaxUploadBytes:     *maxUpload,
 		MaxBatchItems:      *maxBatch,
 		MaxJobs:            *maxJobs,
+		TraceSampleEvery:   *traceEvery,
 	}
 	var svc *service.Service
 	if *dataDir != "" {
@@ -206,6 +220,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *slowQuery > 0 {
+		svc.Tracer().SetSlowQueryLog(*slowQuery, os.Stderr)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           service.WithAccessLog(service.NewHandler(svc), accessLog),
@@ -215,6 +233,21 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
+	if *debugAddr != "" {
+		// pprof gets its own mux on its own listener: the profiling
+		// endpoints expose internals (and can burn CPU on demand), so they
+		// never ride the public mux or the global http.DefaultServeMux.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", netpprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		dbgSrv := &http.Server{Addr: *debugAddr, Handler: dbg, ReadHeaderTimeout: 5 * time.Second}
+		go func() { errc <- dbgSrv.ListenAndServe() }()
+		defer dbgSrv.Close()
+		log.Printf("recmechd debug (pprof) listening on %s", *debugAddr)
+	}
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("recmechd listening on %s", *addr)
 

@@ -145,11 +145,15 @@ func (s Status) String() string {
 }
 
 // Result is a solve outcome. X has one entry per structural variable and is
-// only meaningful when Status == Optimal.
+// only meaningful when Status == Optimal. Pivots counts the simplex pivots
+// this solve performed across both phases — the per-solve cost figure that
+// the serving layer's tracing attributes to individual ladder rungs (the
+// process-wide aggregate lives in ReadCounters).
 type Result struct {
 	Status    Status
 	Objective float64
 	X         []float64
+	Pivots    int
 }
 
 // ErrIterationLimit is returned when the simplex exceeds its pivot budget,

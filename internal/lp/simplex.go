@@ -41,6 +41,7 @@ type simplex struct {
 	status             []varStatus
 	shift              []float64    // original lower bound per structural column
 	unboundedFlag      bool         // set by iterate on an unblocked direction
+	pivots             int          // pivots across both phases, for Result.Pivots
 	interrupt          func() error // polled by iterate; non-nil aborts the solve
 }
 
@@ -175,7 +176,7 @@ func (s *simplex) run(p *Problem) (Result, error) {
 			}
 		}
 		if infeas > tolFeas {
-			return Result{Status: Infeasible}, nil
+			return Result{Status: Infeasible, Pivots: s.pivots}, nil
 		}
 		s.evictArtificials()
 	}
@@ -199,7 +200,7 @@ func (s *simplex) run(p *Problem) (Result, error) {
 		return Result{}, err
 	}
 	if s.unboundedFlag {
-		return Result{Status: Unbounded}, nil
+		return Result{Status: Unbounded, Pivots: s.pivots}, nil
 	}
 
 	// Extract the solution in original coordinates.
@@ -225,7 +226,7 @@ func (s *simplex) run(p *Problem) (Result, error) {
 	for j, c := range p.costs {
 		obj += c * x[j]
 	}
-	return Result{Status: Optimal, Objective: obj, X: x}, nil
+	return Result{Status: Optimal, Objective: obj, X: x, Pivots: s.pivots}, nil
 }
 
 // priceOutBasis zeroes the reduced costs of the basic variables:
@@ -251,8 +252,12 @@ func (s *simplex) iterate() (err error) {
 	s.unboundedFlag = false
 	iters := 0
 	// One batched atomic add per iterate call keeps the per-pivot cost
-	// free; the counter only needs to be fresh at scrape granularity.
-	defer func() { pivotsTotal.Add(uint64(iters)) }()
+	// free; the counter only needs to be fresh at scrape granularity. The
+	// per-solve tally sums both phases' iterate calls.
+	defer func() {
+		pivotsTotal.Add(uint64(iters))
+		s.pivots += iters
+	}()
 	for iter := 0; iter < limit; iter++ {
 		iters = iter
 		if s.interrupt != nil && iter%64 == 0 {

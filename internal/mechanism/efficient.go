@@ -103,6 +103,20 @@ func NewEfficientFromSensitive(s *krel.Sensitive, q krel.LinearQuery) (*Efficien
 // NumParticipants implements Sequences.
 func (e *Efficient) NumParticipants() int { return e.nP }
 
+// NumTuples returns the number of annotated tuples in the flattened
+// K-relation — the L that Theorem 6 sizes the LPs by.
+func (e *Efficient) NumTuples() int { return len(e.tuples) }
+
+// SolveInfo describes one H/G evaluation for observability: the size of
+// the LP built and the simplex pivots it cost. The zero value means the
+// entry short-circuited without building an LP (empty relation, or G_0).
+// Nothing here derives from tuple *values*, only from the workload shape.
+type SolveInfo struct {
+	Pivots int // simplex pivots across both phases
+	Rows   int // LP constraint rows
+	Cols   int // LP variables
+}
+
 // lpBuild constructs the shared part of the H/G LPs: participant variables,
 // the free-mass pool, the expression-node rows, and the cardinality row
 // Σ f = i. It returns the problem and the per-tuple root terms.
@@ -183,11 +197,17 @@ func (e *Efficient) encode(p *lp.Problem, fCols []int, ex *boolexpr.Expr) rootTe
 
 // H implements Eq. 16 by one LP solve.
 func (e *Efficient) H(i int) (float64, error) {
+	v, _, err := e.HInfo(i)
+	return v, err
+}
+
+// HInfo is H plus the solve's SolveInfo, for per-solve tracing.
+func (e *Efficient) HInfo(i int) (float64, SolveInfo, error) {
 	if i < 0 || i > e.nP {
-		return 0, fmt.Errorf("mechanism: H index %d outside [0,%d]", i, e.nP)
+		return 0, SolveInfo{}, fmt.Errorf("mechanism: H index %d outside [0,%d]", i, e.nP)
 	}
 	if len(e.tuples) == 0 {
-		return e.constSum, nil
+		return e.constSum, SolveInfo{}, nil
 	}
 	p, roots, _ := e.lpBuild(i)
 	offset := e.constSum
@@ -203,28 +223,36 @@ func (e *Efficient) H(i int) (float64, error) {
 	for col, c := range costs {
 		p.SetCost(col, c)
 	}
+	info := SolveInfo{Rows: p.NumRows(), Cols: p.NumVars()}
 	res, err := p.Solve()
+	info.Pivots = res.Pivots
 	if err != nil {
-		return 0, err
+		return 0, info, err
 	}
 	if res.Status != lp.Optimal {
-		return 0, fmt.Errorf("mechanism: H_%d LP is %v", i, res.Status)
+		return 0, info, fmt.Errorf("mechanism: H_%d LP is %v", i, res.Status)
 	}
 	v := res.Objective + offset
 	if v < 0 {
 		v = 0
 	}
-	return v, nil
+	return v, info, nil
 }
 
 // G implements Eq. 19 by one LP solve (min z over the per-participant rows,
 // doubled).
 func (e *Efficient) G(i int) (float64, error) {
+	v, _, err := e.GInfo(i)
+	return v, err
+}
+
+// GInfo is G plus the solve's SolveInfo, for per-solve tracing.
+func (e *Efficient) GInfo(i int) (float64, SolveInfo, error) {
 	if i < 0 || i > e.nP {
-		return 0, fmt.Errorf("mechanism: G index %d outside [0,%d]", i, e.nP)
+		return 0, SolveInfo{}, fmt.Errorf("mechanism: G index %d outside [0,%d]", i, e.nP)
 	}
 	if len(e.tuples) == 0 || i == 0 {
-		return 0, nil
+		return 0, SolveInfo{}, nil
 	}
 	p, roots, _ := e.lpBuild(i)
 	z := p.AddVar(1, 0, math.Inf(1))
@@ -247,18 +275,20 @@ func (e *Efficient) G(i int) (float64, error) {
 			p.AddConstraint(terms, lp.GE, rhs)
 		}
 	}
+	info := SolveInfo{Rows: p.NumRows(), Cols: p.NumVars()}
 	res, err := p.Solve()
+	info.Pivots = res.Pivots
 	if err != nil {
-		return 0, err
+		return 0, info, err
 	}
 	if res.Status != lp.Optimal {
-		return 0, fmt.Errorf("mechanism: G_%d LP is %v", i, res.Status)
+		return 0, info, fmt.Errorf("mechanism: G_%d LP is %v", i, res.Status)
 	}
 	v := 2 * res.Objective
 	if v < 0 {
 		v = 0
 	}
-	return v, nil
+	return v, info, nil
 }
 
 func sortVars(vs []boolexpr.Var) {

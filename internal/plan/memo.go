@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"recmech/internal/mechanism"
+	"recmech/internal/trace"
 )
 
 // memoSeq memoizes a Sequences implementation behind a read-write lock so
@@ -19,6 +20,7 @@ import (
 // of already-memoized entries from stalling behind a miss.
 type memoSeq struct {
 	inner mechanism.Sequences
+	info  solveInfoSeq // inner's per-solve variant, when it offers one
 
 	mu sync.RWMutex
 	h  map[int]float64
@@ -28,20 +30,38 @@ type memoSeq struct {
 	gSolves atomic.Uint64
 }
 
+// solveInfoSeq is the optional Sequences extension the traced path prefers:
+// the same values as H/G plus per-solve cost (mechanism.Efficient provides
+// it). Memo hits never reach it, so the info is recorded exactly by the
+// access that paid for the solve.
+type solveInfoSeq interface {
+	HInfo(i int) (float64, mechanism.SolveInfo, error)
+	GInfo(i int) (float64, mechanism.SolveInfo, error)
+}
+
 func newMemoSeq(inner mechanism.Sequences) *memoSeq {
-	return &memoSeq{inner: inner, h: make(map[int]float64), g: make(map[int]float64)}
+	m := &memoSeq{inner: inner, h: make(map[int]float64), g: make(map[int]float64)}
+	m.info, _ = inner.(solveInfoSeq)
+	return m
 }
 
 func (m *memoSeq) NumParticipants() int { return m.inner.NumParticipants() }
 
-func (m *memoSeq) H(i int) (float64, error) {
+func (m *memoSeq) H(i int) (float64, error) { return m.hGet(i, nil) }
+
+func (m *memoSeq) G(i int) (float64, error) { return m.gGet(i, nil) }
+
+// hGet is H with span attribution: a memo miss records an lp.solve span
+// (rung index, pivots, LP size) under the phase span cur points at. Hits
+// touch neither the clock nor the cursor beyond one atomic load.
+func (m *memoSeq) hGet(i int, cur *spanCursor) (float64, error) {
 	m.mu.RLock()
 	v, ok := m.h[i]
 	m.mu.RUnlock()
 	if ok {
 		return v, nil
 	}
-	v, err := m.inner.H(i)
+	v, err := m.solve(i, cur, "h")
 	if err != nil {
 		return 0, err
 	}
@@ -52,14 +72,15 @@ func (m *memoSeq) H(i int) (float64, error) {
 	return v, nil
 }
 
-func (m *memoSeq) G(i int) (float64, error) {
+// gGet is G with span attribution; see hGet.
+func (m *memoSeq) gGet(i int, cur *spanCursor) (float64, error) {
 	m.mu.RLock()
 	v, ok := m.g[i]
 	m.mu.RUnlock()
 	if ok {
 		return v, nil
 	}
-	v, err := m.inner.G(i)
+	v, err := m.solve(i, cur, "g")
 	if err != nil {
 		return 0, err
 	}
@@ -68,6 +89,40 @@ func (m *memoSeq) G(i int) (float64, error) {
 	m.g[i] = v
 	m.mu.Unlock()
 	return v, nil
+}
+
+// solve runs one H or G evaluation, recording an lp.solve span when the
+// release is traced and the inner Sequences can report per-solve cost.
+func (m *memoSeq) solve(i int, cur *spanCursor, seq string) (float64, error) {
+	sp := trace.StartChild(cur.get(), "lp.solve")
+	if sp == nil || m.info == nil {
+		var v float64
+		var err error
+		if seq == "h" {
+			v, err = m.inner.H(i)
+		} else {
+			v, err = m.inner.G(i)
+		}
+		sp.End() // sp can be non-nil here (info-less inner); still close it
+		return v, err
+	}
+	var (
+		v    float64
+		info mechanism.SolveInfo
+		err  error
+	)
+	if seq == "h" {
+		v, info, err = m.info.HInfo(i)
+	} else {
+		v, info, err = m.info.GInfo(i)
+	}
+	sp.Str("seq", seq).Int("i", int64(i)).
+		Int("pivots", int64(info.Pivots)).Int("rows", int64(info.Rows)).Int("cols", int64(info.Cols))
+	if err != nil {
+		sp.Str("error", err.Error())
+	}
+	sp.End()
+	return v, err
 }
 
 func (m *memoSeq) solves() (h, g uint64) {

@@ -42,14 +42,18 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"recmech/internal/boolexpr"
 	"recmech/internal/graph"
 	"recmech/internal/krel"
 	"recmech/internal/mechanism"
+	"recmech/internal/noise"
 	"recmech/internal/pool"
 	"recmech/internal/query"
 	"recmech/internal/subgraph"
+	"recmech/internal/trace"
 )
 
 // Query kinds a Spec can describe. These are the wire-level kind strings of
@@ -256,8 +260,30 @@ type Plan struct {
 	seq      *memoSeq
 	nP       int
 	live     *liveSet
-	pool     *pool.Pool // shared compute pool for ladder waves; nil = serial
+	pool     *pool.Pool     // shared compute pool for ladder waves; nil = serial
+	profile  CompileProfile // how much the one-time compile cost
 }
+
+// CompileProfile records what one compile cost: the workload shape and the
+// wall time of its two deterministic stages. It is measured unconditionally
+// (a compile is milliseconds-to-minutes, four clock reads are free there),
+// retained on the Plan for the life of the cache entry, and surfaced by the
+// serving layer through /v2/prepare and /v1/stats. Nothing in it derives
+// from tuple values — counts and durations describe the workload, not the
+// data's answer.
+type CompileProfile struct {
+	Kind          string  `json:"kind"`
+	Privacy       string  `json:"privacy"`
+	Participants  int     `json:"participants"`  // |P| of the sensitive relation
+	Tuples        int     `json:"tuples"`        // annotated tuples (L of Theorem 6)
+	Sharded       bool    `json:"sharded"`       // enumeration fanned across a pool
+	BuildSeconds  float64 `json:"buildSeconds"`  // derive the sensitive K-relation
+	EncodeSeconds float64 `json:"encodeSeconds"` // flatten into the LP-backed sequences
+	TotalSeconds  float64 `json:"totalSeconds"`
+}
+
+// Profile returns the compile profile recorded when the plan was built.
+func (p *Plan) Profile() CompileProfile { return p.profile }
 
 // liveSet tracks the contexts of in-flight releases on one plan. The LP
 // solver polls interrupted during long solves: a solve aborts only when
@@ -326,18 +352,42 @@ func CompileContext(ctx context.Context, src Source, spec *Spec, workers *pool.P
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	csp := trace.Child(ctx, "plan.compile")
+	csp.Str("kind", spec.Kind).Str("privacy", spec.Privacy())
 	var fan subgraph.Fanout
 	if workers != nil {
 		fan = workers.Fanout(ctx)
 	}
-	sens, err := buildSensitive(src, spec, fan)
+	prof := CompileProfile{Kind: spec.Kind, Privacy: spec.Privacy(), Sharded: fan != nil}
+	buildName := "enumerate"
+	if spec.Kind == KindSQL {
+		buildName = "sql.eval"
+	}
+	t0 := time.Now()
+	bsp := trace.StartChild(csp, buildName)
+	sens, err := buildSensitive(src, spec, shardSpanFan(fan, bsp))
+	bsp.End()
 	if err != nil {
+		csp.Str("error", err.Error())
+		csp.End()
 		return nil, err
 	}
+	prof.BuildSeconds = time.Since(t0).Seconds()
+	t1 := time.Now()
+	esp := trace.StartChild(csp, "encode")
 	seq, err := mechanism.NewEfficientFromSensitive(sens, krel.CountQuery)
+	esp.End()
 	if err != nil {
+		csp.Str("error", err.Error())
+		csp.End()
 		return nil, err
 	}
+	prof.EncodeSeconds = time.Since(t1).Seconds()
+	prof.TotalSeconds = time.Since(t0).Seconds()
+	prof.Participants = seq.NumParticipants()
+	prof.Tuples = seq.NumTuples()
+	csp.Int("participants", int64(prof.Participants)).Int("tuples", int64(prof.Tuples))
+	csp.End()
 	live := newLiveSet()
 	// Long H/G solves poll the live-release set, so a solve whose every
 	// waiter hung up aborts instead of finishing into the memo unobserved.
@@ -349,7 +399,28 @@ func CompileContext(ctx context.Context, src Source, spec *Spec, workers *pool.P
 		nP:       seq.NumParticipants(),
 		live:     live,
 		pool:     workers,
+		profile:  prof,
 	}, nil
+}
+
+// shardSpanFan wraps an enumeration fanout so each shard records its own
+// span under parent. Spans only observe: the shard boundaries, execution
+// and merge order are the wrapped fanout's, unchanged, so the bit-identity
+// guarantee above is untouched. With no parent (untraced compile) the
+// fanout passes through with zero added machinery.
+func shardSpanFan(fan subgraph.Fanout, parent *trace.Span) subgraph.Fanout {
+	if fan == nil || parent == nil {
+		return fan
+	}
+	return func(n int, task func(i int) error) error {
+		return fan(n, func(i int) error {
+			sp := trace.StartChild(parent, "enumerate.shard")
+			sp.Int("shard", int64(i))
+			err := task(i)
+			sp.End()
+			return err
+		})
+	}
 }
 
 // buildSensitive compiles the spec into the sensitive K-relation the
@@ -437,14 +508,50 @@ func (p *Plan) Release(ctx context.Context, epsilon float64, rng *rand.Rand) (fl
 		return 0, specErrorf("release ε must be positive and finite, got %g", epsilon)
 	}
 	params := mechanism.DefaultParams(epsilon, p.nodeLike)
-	core, err := mechanism.NewCore(ctxSeq{ctx: ctx, inner: p.seq}, params)
+	// Allocate the cursor only when this release is traced: on the untraced
+	// hot path a nil cursor (set/get are nil-safe) keeps the release
+	// allocation-free here.
+	var cur *spanCursor
+	if trace.FromContext(ctx) != nil {
+		cur = &spanCursor{}
+	}
+	core, err := mechanism.NewCore(ctxSeq{ctx: ctx, cur: cur, inner: p.seq}, params)
 	if err != nil {
 		return 0, err
 	}
 	p.setFanout(ctx, core)
 	id := p.live.add(ctx)
 	defer p.live.remove(id)
-	return core.Release(rng)
+	// The three steps below are exactly mechanism.Core.Release — Δ̂ draw, X
+	// minimization, final Laplace, in that order, consuming the same two
+	// rng draws — driven here so each phase gets its own span and the
+	// cursor attributes every LP solve to the phase that demanded it.
+	// Spans only observe; the determinism tests pin the released values
+	// against Core.Release, so this duplication cannot drift silently.
+	rel := trace.Child(ctx, "release")
+	ph := trace.StartChild(rel, "delta.search")
+	cur.set(ph)
+	deltaHat, err := core.NoisyDelta(rng)
+	cur.set(nil)
+	ph.End()
+	if err != nil {
+		rel.End()
+		return 0, err
+	}
+	ph = trace.StartChild(rel, "x.search")
+	cur.set(ph)
+	x, err := core.XGiven(deltaHat)
+	cur.set(nil)
+	ph.End()
+	if err != nil {
+		rel.End()
+		return 0, err
+	}
+	nsp := trace.StartChild(rel, "noise.draw")
+	v := x + noise.Laplace(rng, deltaHat/params.Epsilon2)
+	nsp.End()
+	rel.End()
+	return v, nil
 }
 
 // setFanout points the core's ladder waves at the plan's compute pool (a
@@ -470,27 +577,67 @@ func (p *Plan) Warm(ctx context.Context, epsilon float64) error {
 		return specErrorf("warm ε must be positive and finite, got %g", epsilon)
 	}
 	params := mechanism.DefaultParams(epsilon, p.nodeLike)
-	core, err := mechanism.NewCore(ctxSeq{ctx: ctx, inner: p.seq}, params)
+	var cur *spanCursor
+	if trace.FromContext(ctx) != nil {
+		cur = &spanCursor{}
+	}
+	core, err := mechanism.NewCore(ctxSeq{ctx: ctx, cur: cur, inner: p.seq}, params)
 	if err != nil {
 		return err
 	}
 	p.setFanout(ctx, core)
 	id := p.live.add(ctx)
 	defer p.live.remove(id)
+	wsp := trace.Child(ctx, "plan.warm")
+	ph := trace.StartChild(wsp, "delta.search")
+	cur.set(ph)
 	delta, err := core.Delta()
+	cur.set(nil)
+	ph.End()
 	if err != nil {
+		wsp.End()
 		return err
 	}
+	ph = trace.StartChild(wsp, "x.search")
+	cur.set(ph)
 	_, err = core.XGiven(math.Exp(params.Mu) * delta)
+	cur.set(nil)
+	ph.End()
+	wsp.End()
 	return err
+}
+
+// spanCursor publishes "the phase span LP solves should parent under right
+// now". The release goroutine stores it at each phase boundary; fanned-out
+// wave workers load it when a memo miss turns into an LP solve. An atomic
+// pointer, because the loaders run on pool workers while the owner is the
+// release goroutine — a data race detector-clean handoff, and a nil load
+// (no phase active, or an untraced release) simply records no span.
+type spanCursor struct{ p atomic.Pointer[trace.Span] }
+
+func (c *spanCursor) set(s *trace.Span) {
+	if c == nil {
+		return
+	}
+	c.p.Store(s)
+}
+
+func (c *spanCursor) get() *trace.Span {
+	if c == nil {
+		return nil
+	}
+	return c.p.Load()
 }
 
 // ctxSeq threads a context through the Sequences interface: each H/G access
 // first checks for cancellation, giving long LP ladders a cooperative abort
-// point without the mechanism knowing about contexts.
+// point without the mechanism knowing about contexts. The cursor carries
+// the release's current phase span so a memo miss can hang its lp.solve
+// span under the right phase.
 type ctxSeq struct {
 	ctx   context.Context
-	inner mechanism.Sequences
+	cur   *spanCursor
+	inner *memoSeq
 }
 
 func (s ctxSeq) NumParticipants() int { return s.inner.NumParticipants() }
@@ -499,12 +646,12 @@ func (s ctxSeq) H(i int) (float64, error) {
 	if err := s.ctx.Err(); err != nil {
 		return 0, err
 	}
-	return s.inner.H(i)
+	return s.inner.hGet(i, s.cur)
 }
 
 func (s ctxSeq) G(i int) (float64, error) {
 	if err := s.ctx.Err(); err != nil {
 		return 0, err
 	}
-	return s.inner.G(i)
+	return s.inner.gGet(i, s.cur)
 }

@@ -21,6 +21,7 @@ type accessInfo struct {
 	dataset string
 	epsilon float64
 	outcome string
+	traceID string
 }
 
 type accessInfoKey struct{}
@@ -30,6 +31,17 @@ type accessInfoKey struct{}
 func annotate(r *http.Request, dataset string, epsilon float64, outcome string) {
 	if ai, ok := r.Context().Value(accessInfoKey{}).(*accessInfo); ok {
 		ai.dataset, ai.epsilon, ai.outcome = dataset, epsilon, outcome
+	}
+}
+
+// annotateTrace records the trace ID a request produced (if any), so the
+// access-log line joins against GET /v1/traces/{id}.
+func annotateTrace(r *http.Request, traceID string) {
+	if traceID == "" {
+		return
+	}
+	if ai, ok := r.Context().Value(accessInfoKey{}).(*accessInfo); ok {
+		ai.traceID = traceID
 	}
 }
 
@@ -68,6 +80,9 @@ type AccessEntry struct {
 	// Outcome is the budget outcome: spent, replayed, rejected, refunded,
 	// reserved (job admission), prepared (plan warm, zero ε), or none.
 	Outcome string `json:"outcome,omitempty"`
+	// TraceID names the span tree this request recorded, when it was traced
+	// (fresh compiles always are; see GET /v1/traces/{id}).
+	TraceID string `json:"traceId,omitempty"`
 	Remote  string `json:"remote,omitempty"`
 }
 
@@ -114,6 +129,9 @@ func (l *AccessLogger) log(e AccessEntry) {
 		if e.Outcome != "" {
 			fmt.Fprintf(&b, " outcome=%s", e.Outcome)
 		}
+		if e.TraceID != "" {
+			fmt.Fprintf(&b, " trace=%s", sanitize(e.TraceID))
+		}
 		if e.Remote != "" {
 			fmt.Fprintf(&b, " remote=%s", sanitize(e.Remote))
 		}
@@ -155,6 +173,7 @@ func WithAccessLog(h http.Handler, l *AccessLogger) http.Handler {
 			Dataset:    ai.dataset,
 			Epsilon:    ai.epsilon,
 			Outcome:    ai.outcome,
+			TraceID:    ai.traceID,
 			Remote:     r.RemoteAddr,
 		})
 	})

@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -15,11 +17,16 @@ import (
 
 func benchService(b *testing.B) *Service {
 	b.Helper()
+	// RECMECH_TRACE_SAMPLE lets CI A/B the prepared hot path with warm-query
+	// tracing forced on (=1) against the default-off configuration, to
+	// measure tracing overhead under identical load.
+	sample, _ := strconv.Atoi(os.Getenv("RECMECH_TRACE_SAMPLE"))
 	svc := New(Config{
-		DatasetBudget:  1e18, // effectively unmetered: the benchmark measures the hot path
-		DefaultEpsilon: 0.5,
-		Workers:        1,
-		Seed:           1,
+		DatasetBudget:    1e18, // effectively unmetered: the benchmark measures the hot path
+		DefaultEpsilon:   0.5,
+		Workers:          1,
+		Seed:             1,
+		TraceSampleEvery: sample,
 	})
 	const table = `
 x y

@@ -42,6 +42,9 @@ var (
 	// ErrJobsBusy rejects a job submission while the maximum number of
 	// jobs are already active; retry once some finish.
 	ErrJobsBusy = errors.New("service: too many active jobs")
+	// ErrUnknownTrace rejects a lookup of a trace ID that is not retained
+	// (never recorded, or evicted from the bounded ring of recent traces).
+	ErrUnknownTrace = errors.New("service: unknown trace")
 )
 
 // BudgetError is the typed rejection returned when a reservation would
@@ -127,6 +130,19 @@ func (e *JobsBusyError) Error() string {
 
 // Is makes errors.Is(err, ErrJobsBusy) succeed.
 func (e *JobsBusyError) Is(target error) bool { return target == ErrJobsBusy }
+
+// TraceError identifies a missing trace. errors.Is(err, ErrUnknownTrace) is
+// true.
+type TraceError struct {
+	ID string
+}
+
+func (e *TraceError) Error() string {
+	return fmt.Sprintf("service: unknown trace %q", e.ID)
+}
+
+// Is makes errors.Is(err, ErrUnknownTrace) succeed.
+func (e *TraceError) Is(target error) bool { return target == ErrUnknownTrace }
 
 // TooLargeError rejects an oversized request body. errors.Is(err,
 // ErrRequestTooLarge) is true.

@@ -4,11 +4,13 @@ import (
 	"context"
 	"math/rand"
 	"runtime"
+	"sync"
 	"time"
 
 	"recmech/internal/noise"
 	"recmech/internal/plan"
 	"recmech/internal/pool"
+	"recmech/internal/trace"
 )
 
 // Executor runs queries on a bounded worker pool through the plan layer:
@@ -38,6 +40,10 @@ type Executor struct {
 	// met, when set (the service wires it), observes queue wait: the time
 	// a query spends blocked on admission before holding a worker slot.
 	met *serviceMetrics
+
+	// compiles aggregates the retained profiles of fresh plan compiles
+	// (cache misses led by this executor), for GET /v1/stats.
+	compiles compileRecord
 
 	// testHookRunning, when set, is called after admission (worker slot
 	// held) and before the plan runs — test-only, to make occupancy and
@@ -103,13 +109,21 @@ func (e *Executor) acquire(ctx context.Context) (*rand.Rand, error) {
 	if e.met != nil {
 		start = time.Now()
 	}
+	// The blocking branch records a queue.wait span when the request is
+	// traced: admission stalls are invisible to the compile profile, and
+	// "slow query" is as often "stuck behind other queries" as "expensive
+	// compile". The fast path above deliberately records nothing — a free
+	// slot is not a wait.
+	qsp := trace.Child(ctx, "queue.wait")
 	select {
 	case rng := <-e.slots:
+		qsp.End()
 		if e.met != nil {
 			e.met.queueWait.ObserveSince(start)
 		}
 		return rng, nil
 	case <-ctx.Done():
+		qsp.Str("error", ctx.Err().Error()).End()
 		return nil, ctx.Err()
 	}
 }
@@ -119,21 +133,82 @@ func (e *Executor) releaseSlot(rng *rand.Rand) { e.slots <- rng }
 // PlanCacheLen reports the number of cached (or in-flight) plans.
 func (e *Executor) PlanCacheLen() int { return e.plans.Len() }
 
+// PlanReady reports whether the plan cache holds a completed plan for key —
+// the serving layer's trace policy: a request whose plan is not ready is
+// about to pay for (or wait out) a compile, which is exactly what operators
+// want span trees for. In-flight compiles report false, so a coalesced
+// waiter of a slow compile is traced like its leader.
+func (e *Executor) PlanReady(key string) bool { return e.plans.Has(key) }
+
 // plan fetches the compiled plan for a normalized request against a dataset
 // snapshot, compiling (and caching) it on a miss. Concurrent identical
 // requests coalesce into one compilation.
 func (e *Executor) plan(ctx context.Context, ds *Dataset, req *Request) (*plan.Plan, bool, error) {
-	key, err := req.planKey(ds)
+	key, err := req.ensurePlanKey(ds)
 	if err != nil {
 		return nil, false, err
 	}
 	pl, hit, err := e.plans.Do(ctx, key, func() (*plan.Plan, error) {
-		return plan.CompileContext(ctx, plan.Source{Graph: ds.Graph, DB: ds.DB, Universe: ds.Universe}, req.spec, e.compileWorkers())
+		p, err := plan.CompileContext(ctx, plan.Source{Graph: ds.Graph, DB: ds.DB, Universe: ds.Universe}, req.spec, e.compileWorkers())
+		if err == nil {
+			e.compiles.note(p.Profile())
+		}
+		return p, err
 	})
 	if err != nil {
 		return nil, false, asRequestError(err)
 	}
 	return pl, hit, nil
+}
+
+// compileRecord aggregates fresh compile profiles under a mutex: compiles
+// are rare and expensive (milliseconds to seconds), so a lock here costs
+// nothing measurable and keeps the stats snapshot consistent.
+type compileRecord struct {
+	mu            sync.Mutex
+	count         uint64
+	buildSeconds  float64
+	encodeSeconds float64
+	totalSeconds  float64
+	last          plan.CompileProfile
+}
+
+func (c *compileRecord) note(p plan.CompileProfile) {
+	c.mu.Lock()
+	c.count++
+	c.buildSeconds += p.BuildSeconds
+	c.encodeSeconds += p.EncodeSeconds
+	c.totalSeconds += p.TotalSeconds
+	c.last = p
+	c.mu.Unlock()
+}
+
+// CompileStats is the GET /v1/stats "compiles" section: totals across every
+// fresh plan compile since process start, plus the most recent profile.
+type CompileStats struct {
+	Count         uint64               `json:"count"`
+	BuildSeconds  float64              `json:"buildSeconds"`
+	EncodeSeconds float64              `json:"encodeSeconds"`
+	TotalSeconds  float64              `json:"totalSeconds"`
+	Last          *plan.CompileProfile `json:"last,omitempty"`
+}
+
+// CompileStats snapshots the executor's fresh-compile aggregates.
+func (e *Executor) CompileStats() CompileStats {
+	c := &e.compiles
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CompileStats{
+		Count:         c.count,
+		BuildSeconds:  c.buildSeconds,
+		EncodeSeconds: c.encodeSeconds,
+		TotalSeconds:  c.totalSeconds,
+	}
+	if c.count > 0 {
+		last := c.last
+		st.Last = &last
+	}
+	return st
 }
 
 // Execute evaluates one normalized request against a dataset snapshot and
@@ -169,19 +244,20 @@ func (e *Executor) Execute(ctx context.Context, ds *Dataset, req *Request) (valu
 // search are evaluated into the memo for the request's ε (the server
 // default when the request omits it), so the next Query at that ε
 // typically pays only the noise draws. Returns whether the plan was
-// already cached.
-func (e *Executor) Prepare(ctx context.Context, ds *Dataset, req *Request) (bool, error) {
+// already cached, plus the plan's retained compile profile (the zero
+// profile when no plan materialized).
+func (e *Executor) Prepare(ctx context.Context, ds *Dataset, req *Request) (bool, plan.CompileProfile, error) {
 	rng, err := e.acquire(ctx)
 	if err != nil {
-		return false, err
+		return false, plan.CompileProfile{}, err
 	}
 	defer e.releaseSlot(rng)
 	pl, hit, err := e.plan(ctx, ds, req)
 	if err != nil {
-		return hit, err
+		return hit, plan.CompileProfile{}, err
 	}
 	if err := pl.Warm(ctx, req.Epsilon); err != nil {
-		return hit, asRequestError(err)
+		return hit, pl.Profile(), asRequestError(err)
 	}
-	return hit, nil
+	return hit, pl.Profile(), nil
 }

@@ -59,10 +59,17 @@ type BatchRequest struct {
 //	GET    /metrics                   Prometheus text format (MetricsRegistry)
 //	GET    /v1/stats                  → ServiceStats (service-wide JSON snapshot)
 //	GET    /v1/datasets/{name}/stats  → DatasetStats (per-dataset counters, ε rate)
+//	GET    /v1/traces                 → {"traces": [trace.Summary…]} (newest first)
+//	GET    /v1/traces/{id}            → trace.TraceData (full span tree)
+//
+// A traced query or prepare (fresh compiles always are; see DESIGN.md
+// "Per-query tracing") answers with an X-Recmech-Trace-Id header naming its
+// span tree, on error responses too.
 //
 // Every request is counted in recmech_http_requests_total and timed in
 // recmech_http_request_duration_seconds; wrap the returned handler with
-// WithAccessLog for structured per-request logging.
+// WithAccessLog for structured per-request logging (traced requests carry
+// their trace ID there as well).
 //
 // Errors come back as {"error": {"code", "message"}} with the status
 // mirroring the typed error: 429 for an exhausted budget, 404 for an
@@ -79,7 +86,16 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, err)
 			return
 		}
-		resp, err := s.Query(r.Context(), req)
+		ctx, tid := withTraceSlot(r.Context())
+		resp, err := s.Query(ctx, req)
+		// The trace ID travels in a response header, not the Response body:
+		// that JSON is the durable release journal's replay payload, and a
+		// per-request ID inside it would be replayed as stale metadata. Set
+		// before writeJSON/writeError so it reaches error responses too.
+		if tid.id != "" {
+			w.Header().Set("X-Recmech-Trace-Id", tid.id)
+			annotateTrace(r, tid.id)
+		}
 		if err != nil {
 			// Query normalizes a by-value copy, so a defaulted ε is not
 			// reflected in req — substitute it here, or a rejected
@@ -104,7 +120,12 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, err)
 			return
 		}
-		info, err := s.Prepare(r.Context(), req)
+		ctx, tid := withTraceSlot(r.Context())
+		info, err := s.Prepare(ctx, req)
+		if tid.id != "" {
+			w.Header().Set("X-Recmech-Trace-Id", tid.id)
+			annotateTrace(r, tid.id)
+		}
 		if err != nil {
 			annotate(r, canonName(req.Dataset), 0, "none")
 			writeError(w, err)
@@ -202,6 +223,17 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"traces": s.Traces()})
+	})
+	mux.HandleFunc("GET /v1/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		td, err := s.Trace(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, td)
+	})
 	mux.HandleFunc("GET /v1/datasets/{name}/stats", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.DatasetStats(r.PathValue("name"))
 		if err != nil {
@@ -271,6 +303,9 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrUnknownJob):
 		status = http.StatusNotFound
 		detail.Code = "unknown_job"
+	case errors.Is(err, ErrUnknownTrace):
+		status = http.StatusNotFound
+		detail.Code = "unknown_trace"
 	case errors.Is(err, ErrJobFinished):
 		status = http.StatusConflict
 		detail.Code = "job_finished"

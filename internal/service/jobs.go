@@ -44,6 +44,10 @@ type JobItemInfo struct {
 	Kind    string  `json:"kind"`
 	Epsilon float64 `json:"epsilon"`
 	State   string  `json:"state"`
+	// TraceID names the span tree recorded for this item's execution (every
+	// job item is traced, replays included); fetch it at
+	// GET /v1/traces/{id}. Empty until the item has run.
+	TraceID string `json:"traceId,omitempty"`
 	// Result is set once the item is done; Error once it failed or was
 	// canceled.
 	Result *Response `json:"result,omitempty"`
@@ -63,11 +67,12 @@ type job struct {
 }
 
 type jobItem struct {
-	req   Request // normalized at submission
-	resv  *Reservation
-	state string
-	resp  Response
-	err   string
+	req     Request // normalized at submission
+	resv    *Reservation
+	state   string
+	resp    Response
+	err     string
+	traceID string
 }
 
 func (j *job) snapshot() JobInfo {
@@ -85,6 +90,7 @@ func (j *job) snapshotLocked() JobInfo {
 			Kind:    it.req.Kind,
 			Epsilon: it.req.Epsilon,
 			State:   it.state,
+			TraceID: it.traceID,
 			Error:   it.err,
 		}
 		if it.state == ItemStateDone {
@@ -281,9 +287,15 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 		req := it.req
 		j.mu.Unlock()
 
-		resp, err := s.do(ctx, &req, resv)
+		// Every job item is traced (forceTrace), replays included: a batch
+		// runs detached from any HTTP request, so the per-item trace ID in
+		// the job snapshot is the only after-the-fact handle on what each
+		// item actually did.
+		ictx, tid := withTraceSlot(ctx)
+		resp, err := s.do(ictx, &req, resv, true)
 
 		j.mu.Lock()
+		it.traceID = tid.id
 		switch {
 		case err == nil:
 			it.state = ItemStateDone

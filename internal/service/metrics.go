@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"recmech/internal/metrics"
 	"recmech/internal/sfcache"
 	"recmech/internal/store"
+	"recmech/internal/trace"
 )
 
 // serviceMetrics is every instrument of one Service, held in struct fields
@@ -48,6 +50,9 @@ type serviceMetrics struct {
 
 	dsMu  sync.RWMutex
 	perDS map[string]*dsCounters
+
+	// runtime caches MemStats snapshots for the runtime-health gauges.
+	runtime runtimeSampler
 }
 
 // dsCounters are the per-dataset counters behind GET
@@ -233,6 +238,56 @@ func (m *serviceMetrics) bind(s *Service) {
 		func() uint64 { return lp.ReadCounters().Pivots })
 	reg.CounterFunc("recmech_lp_interrupts_total", "LP solves aborted by cooperative interrupt, process-wide",
 		func() uint64 { return lp.ReadCounters().Interrupts })
+
+	// Tracing counters, from the span recorder (see internal/trace).
+	reg.CounterFunc("recmech_traces_total", "Traces recorded (fresh compiles, job items, sampled warm queries)",
+		func() uint64 { return s.tr.TracerStats().Finished })
+	reg.CounterFunc("recmech_trace_spans_dropped_total", "Spans dropped because a trace hit its span bound",
+		func() uint64 { return s.tr.TracerStats().SpansDropped })
+	reg.GaugeFunc("recmech_traces_retained", "Completed traces currently held in the ring behind GET /v1/traces",
+		func() float64 { return float64(s.tr.TracerStats().Retained) })
+
+	// Runtime health, for the first minute of any incident: is the process
+	// leaking goroutines, growing the heap, or pausing in GC? ReadMemStats
+	// stops the world, so one sampler snapshot is shared by the memory
+	// gauges and refreshed at most once a second however often /metrics and
+	// /v1/stats are scraped.
+	rs := &m.runtime
+	reg.GaugeFunc("recmech_goroutines", "Goroutines currently live in the process",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("recmech_heap_bytes", "Heap bytes in use (runtime.MemStats.HeapAlloc)",
+		func() float64 { return float64(rs.sample().HeapAlloc) })
+	reg.GaugeFunc("recmech_gc_pause_seconds", "Duration of the most recent GC stop-the-world pause",
+		func() float64 { return rs.lastPause().Seconds() })
+}
+
+// runtimeSampler caches one runtime.MemStats snapshot for a short TTL:
+// ReadMemStats stops the world, and several gauges (plus /v1/stats) read it
+// on every scrape — once a second is plenty for health monitoring.
+type runtimeSampler struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func (r *runtimeSampler) sample() runtime.MemStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if time.Since(r.at) > time.Second || r.at.IsZero() {
+		runtime.ReadMemStats(&r.ms)
+		r.at = time.Now()
+	}
+	return r.ms
+}
+
+// lastPause returns the most recent GC pause (PauseNs is a ring indexed by
+// completed-GC count), or 0 before the first collection.
+func (r *runtimeSampler) lastPause() time.Duration {
+	ms := r.sample()
+	if ms.NumGC == 0 {
+		return 0
+	}
+	return time.Duration(ms.PauseNs[(ms.NumGC+255)%256])
 }
 
 type sfcacheStats struct {
@@ -390,8 +445,23 @@ type ServiceStats struct {
 	Caches        map[string]CacheStats `json:"caches"`
 	Workers       WorkerStats           `json:"workers"`
 	CompilePool   PoolStats             `json:"compilePool"`
+	Compiles      CompileStats          `json:"compiles"`
+	Traces        trace.Stats           `json:"traces"`
 	LP            LPStats               `json:"lp"`
+	Runtime       RuntimeStats          `json:"runtime"`
 	Store         *StoreStats           `json:"store,omitempty"`
+}
+
+// RuntimeStats snapshots process health: the same facts as the
+// recmech_goroutines / recmech_heap_bytes / recmech_gc_pause_seconds
+// gauges, inlined into /v1/stats so one curl answers "is the process
+// itself sick?".
+type RuntimeStats struct {
+	Goroutines       int     `json:"goroutines"`
+	HeapBytes        uint64  `json:"heapBytes"`
+	GCPauseSeconds   float64 `json:"gcPauseSeconds"` // most recent stop-the-world pause
+	GCCycles         uint32  `json:"gcCycles"`
+	GOMAXPROCSetting int     `json:"gomaxprocs"`
 }
 
 // QueryStats counts query outcomes since process start.
@@ -508,8 +578,18 @@ func (s *Service) Stats() ServiceStats {
 			"release": cacheStats(s.cache.Len(), s.cache.Stats()),
 			"plan":    cacheStats(s.exec.plans.Len(), s.exec.plans.Stats()),
 		},
-		Workers: WorkerStats{Total: cap(s.exec.slots), Busy: cap(s.exec.slots) - len(s.exec.slots)},
-		LP:      LPStats{Solves: lpc.Solves, Pivots: lpc.Pivots, Interrupts: lpc.Interrupts},
+		Workers:  WorkerStats{Total: cap(s.exec.slots), Busy: cap(s.exec.slots) - len(s.exec.slots)},
+		Compiles: s.exec.CompileStats(),
+		Traces:   s.tr.TracerStats(),
+		LP:       LPStats{Solves: lpc.Solves, Pivots: lpc.Pivots, Interrupts: lpc.Interrupts},
+	}
+	ms := m.runtime.sample()
+	st.Runtime = RuntimeStats{
+		Goroutines:       runtime.NumGoroutine(),
+		HeapBytes:        ms.HeapAlloc,
+		GCPauseSeconds:   m.runtime.lastPause().Seconds(),
+		GCCycles:         ms.NumGC,
+		GOMAXPROCSetting: runtime.GOMAXPROCS(0),
 	}
 	ps := s.exec.CompilePool().Stats()
 	st.CompilePool = PoolStats{

@@ -45,6 +45,11 @@ type Request struct {
 	// workload identity (with the SQL parse tree cached), shared by the
 	// cache keys and the executor so the text is lexed once per request.
 	spec *plan.Spec
+	// pkey caches the derived plan-cache key (see ensurePlanKey): the
+	// serving layer consults it twice per request — once deciding whether
+	// to trace, once fetching the plan — and deriving it twice would put
+	// an extra formatting allocation on the hot path.
+	pkey string
 }
 
 // Response is one differentially private answer. Only already-released
@@ -141,13 +146,21 @@ func (r *Request) cacheKey(ds *Dataset) (string, error) {
 	return fmt.Sprintf("%s%s%d|%s|%s|eps=%.17g|%s", ds.Name, genTag(ds), ds.Gen, r.Kind, r.Privacy, r.Epsilon, detail), nil
 }
 
-// planKey derives the plan-cache key: the cache key minus ε, because a plan
-// materializes only the deterministic, ε-independent state. The key is
-// in-memory only (never persisted), so its format is free to change.
-func (r *Request) planKey(ds *Dataset) (string, error) {
+// ensurePlanKey derives the plan-cache key — the cache key minus ε, because
+// a plan materializes only the deterministic, ε-independent state — caching
+// it on the request so repeated consultations within one serving pass cost
+// nothing. The key is in-memory only (never persisted), so its format is
+// free to change. A Request is owned by one serving goroutine (Query and the
+// job runner each copy before calling do), so the cache field needs no
+// synchronization.
+func (r *Request) ensurePlanKey(ds *Dataset) (string, error) {
+	if r.pkey != "" {
+		return r.pkey, nil
+	}
 	k, err := r.spec.Key()
 	if err != nil {
 		return "", asRequestError(err)
 	}
-	return fmt.Sprintf("%s%s%d|%s", ds.Name, genTag(ds), ds.Gen, k), nil
+	r.pkey = fmt.Sprintf("%s%s%d|%s", ds.Name, genTag(ds), ds.Gen, k)
+	return r.pkey, nil
 }

@@ -12,8 +12,10 @@ import (
 
 	"recmech/internal/boolexpr"
 	"recmech/internal/graph"
+	"recmech/internal/plan"
 	"recmech/internal/query"
 	"recmech/internal/store"
+	"recmech/internal/trace"
 )
 
 // Config tunes a Service. The zero value is usable: every field has a
@@ -60,6 +62,18 @@ type Config struct {
 	// typed 429 — and at most this many finished jobs are retained for
 	// GET /v2/jobs, oldest-finished evicted first. Default 1024.
 	MaxJobs int
+	// TraceSampleEvery traces 1 in N warm (plan-cached) queries in addition
+	// to the always-traced fresh compiles and job items. 0 (the default)
+	// disables warm sampling, keeping tracing entirely off the prepared hot
+	// path; see DESIGN.md "Per-query tracing".
+	TraceSampleEvery int
+	// TraceRingEntries bounds the ring of recent completed traces behind
+	// GET /v1/traces; the oldest are evicted beyond it. Default 256.
+	TraceRingEntries int
+	// TraceMaxSpans bounds the spans recorded per trace; work beyond it
+	// still runs but is counted as dropped rather than recorded.
+	// Default 256 (a deep compile records well under 100).
+	TraceMaxSpans int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +107,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs < 1 {
 		c.MaxJobs = 1024
 	}
+	if c.TraceRingEntries < 1 {
+		c.TraceRingEntries = 256
+	}
+	if c.TraceMaxSpans < 1 {
+		c.TraceMaxSpans = 256
+	}
 	return c
 }
 
@@ -108,6 +128,7 @@ type Service struct {
 	exec  *Executor
 	jobs  *jobTable
 	met   *serviceMetrics
+	tr    *trace.Tracer
 	store *store.Store // nil for a purely in-memory service
 
 	// adminMu serializes dataset mutations (upload/delete) so the durable
@@ -129,6 +150,11 @@ func New(cfg Config) *Service {
 		exec:  NewExecutor(cfg.Workers, cfg.PlanEntries, cfg.CompileParallelism, cfg.Seed),
 		jobs:  newJobTable(cfg.MaxJobs),
 		met:   newServiceMetrics(),
+		tr: trace.New(trace.Options{
+			SampleEvery: cfg.TraceSampleEvery,
+			MaxSpans:    cfg.TraceMaxSpans,
+			Ring:        cfg.TraceRingEntries,
+		}),
 	}
 	s.exec.met = s.met
 	s.met.bind(s)
@@ -375,7 +401,7 @@ func (s *Service) Query(ctx context.Context, req Request) (Response, error) {
 	if err := req.normalize(s.cfg); err != nil {
 		return Response{}, err
 	}
-	return s.do(ctx, &req, nil)
+	return s.do(ctx, &req, nil, false)
 }
 
 // Prepare compiles (or finds compiled) the plan for a query without drawing
@@ -391,16 +417,40 @@ func (s *Service) Prepare(ctx context.Context, req Request) (PrepareInfo, error)
 	if err != nil {
 		return PrepareInfo{}, err
 	}
+	// Trace a prepare exactly when it is about to do real work: the plan
+	// cache holds no completed plan for the key, so a compile (or a join
+	// onto an in-flight one) follows.
+	var root *trace.Span
+	tctx := ctx
+	if pk, kerr := req.ensurePlanKey(ds); kerr == nil && !s.exec.PlanReady(pk) {
+		root = s.tr.Start("prepare")
+		annotateRoot(root, ds, &req)
+		tctx = trace.NewContext(ctx, root)
+	}
 	var hit bool
+	var prof plan.CompileProfile
 	err = retryLeaderCancel(ctx, func() error {
 		var err error
-		hit, err = s.exec.Prepare(ctx, ds, &req)
+		hit, prof, err = s.exec.Prepare(tctx, ds, &req)
 		return err
 	})
+	var tid string
+	if root != nil {
+		root.Bool("planHit", hit)
+		if err != nil {
+			root.Str("error", err.Error())
+		}
+		tid = s.tr.Finish(root)
+		putTraceID(ctx, tid)
+	}
 	if err != nil {
 		return PrepareInfo{}, err
 	}
-	return PrepareInfo{Dataset: ds.Name, Kind: req.Kind, Privacy: req.Privacy, AlreadyPrepared: hit}, nil
+	info := PrepareInfo{Dataset: ds.Name, Kind: req.Kind, Privacy: req.Privacy, AlreadyPrepared: hit, TraceID: tid}
+	if prof.Kind != "" {
+		info.Compile = &prof
+	}
+	return info, nil
 }
 
 // retryLeaderCancel runs op until it stops failing with another flight
@@ -429,6 +479,14 @@ type PrepareInfo struct {
 	Privacy string `json:"privacy"`
 	// AlreadyPrepared is true when the plan was cached before this call.
 	AlreadyPrepared bool `json:"alreadyPrepared"`
+	// TraceID names the span tree recorded for this prepare (empty when it
+	// hit an already-materialized plan, which records no trace); fetch it
+	// at GET /v1/traces/{id}.
+	TraceID string `json:"traceId,omitempty"`
+	// Compile is the plan's retained compile profile: deterministic
+	// wall-time shape of the expensive pipeline (also in GET /v1/stats as
+	// an aggregate). Nil when the compile failed before producing a plan.
+	Compile *plan.CompileProfile `json:"compile,omitempty"`
 }
 
 // do is the serving core shared by Query and the async job runner: resolve
@@ -440,7 +498,12 @@ type PrepareInfo struct {
 // front). do guarantees pre is settled on every path: committed by a fresh
 // release, refunded on failure, and refunded when the response was shared —
 // a cache replay or a coalesced flight — and therefore cost no ε.
-func (s *Service) do(ctx context.Context, req *Request, pre *Reservation) (Response, error) {
+//
+// forceTrace records a span tree unconditionally (the job runner sets it, so
+// every batch item is attributable after the fact, replays included); a
+// synchronous query is traced per the policy in tracing.go — when real work
+// follows a fresh plan key, or when the warm sampler fires.
+func (s *Service) do(ctx context.Context, req *Request, pre *Reservation, forceTrace bool) (Response, error) {
 	start := time.Now()
 	ds, err := s.reg.Get(req.Dataset)
 	if err != nil {
@@ -452,12 +515,23 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation) (Respo
 		s.met.recordQuery(ds.Name, true, false, false, req.Epsilon, start, err)
 		return Response{}, settleErr(pre, err)
 	}
+	// A forced trace starts before the release cache so replays are
+	// recorded too; the policy-driven trace starts inside compute, where a
+	// replay has already been ruled out.
+	var root *trace.Span
+	tctx := ctx
+	if forceTrace {
+		root = s.tr.Start("query")
+		annotateRoot(root, ds, req)
+		tctx = trace.NewContext(ctx, root)
+	}
 	preUsed := false
 	planHit := false
 	compute := func() (Response, error) {
 		// The compute closure runs synchronously in this goroutine (at most
 		// one caller per key computes, and the retry loop below re-runs it
-		// sequentially), so preUsed and planHit need no synchronization.
+		// sequentially), so preUsed, planHit, root and tctx need no
+		// synchronization.
 		//
 		// A failed attempt settles only a reservation it made itself. pre
 		// stays open across retries — plan compiles are cancelable, so an
@@ -467,22 +541,42 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation) (Respo
 		// before the retry. pre is settled exactly once: committed by the
 		// attempt that produces a release (preUsed), or refunded after the
 		// loop by the shared epilogue below.
-		resv := pre
-		if resv == nil {
-			var err error
-			if resv, err = s.acct.Reserve(ds.Name, req.Epsilon); err != nil {
-				return Response{}, err
+		if root == nil {
+			// Reaching compute means no recorded release exists: real work
+			// follows. Trace it when the plan cache predicts a fresh
+			// compile — including joining someone else's in-flight compile,
+			// which waits just as long — or when the warm sampler fires. At
+			// default settings (sampling off) the plan-cached hot path pays
+			// only this peek. A retried attempt keeps the first attempt's
+			// root, so retry spans land in the same trace.
+			if pk, kerr := req.ensurePlanKey(ds); kerr == nil && (!s.exec.PlanReady(pk) || s.tr.Sampled()) {
+				root = s.tr.Start("query")
+				annotateRoot(root, ds, req)
+				tctx = trace.NewContext(ctx, root)
 			}
 		}
-		value, hit, err := s.exec.Execute(ctx, ds, req)
+		resv := pre
+		if resv == nil {
+			rsp := trace.StartChild(root, "budget.reserve")
+			var err error
+			if resv, err = s.acct.Reserve(ds.Name, req.Epsilon); err != nil {
+				rsp.Str("error", err.Error()).End()
+				return Response{}, err
+			}
+			rsp.End()
+		}
+		value, hit, err := s.exec.Execute(tctx, ds, req)
 		planHit = hit
+		root.Bool("planHit", hit)
 		if err != nil {
 			if resv != pre {
 				resv.Refund()
 			}
 			return Response{}, err
 		}
+		csp := trace.StartChild(root, "budget.commit")
 		resv.Commit()
+		csp.End()
 		if resv == pre {
 			preUsed = true
 		}
@@ -495,7 +589,9 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation) (Respo
 			// release just won't replay, and a post-restart repeat spends
 			// fresh ε instead.
 			if payload, err := json.Marshal(resp); err == nil {
+				wsp := trace.StartChild(root, "wal.append").Int("bytes", int64(len(payload)))
 				_ = s.store.Release(key, payload)
+				wsp.End()
 			}
 		}
 		return resp, nil
@@ -518,6 +614,13 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation) (Respo
 		// failed. Either way no ε was consumed against it — settle it here,
 		// exactly once.
 		pre.Refund()
+	}
+	if root != nil {
+		root.Str("outcome", budgetOutcome(cached, err))
+		if err != nil {
+			root.Str("error", err.Error())
+		}
+		putTraceID(ctx, s.tr.Finish(root))
 	}
 	s.met.recordQuery(ds.Name, true, cached, planHit, req.Epsilon, start, err)
 	if err != nil {

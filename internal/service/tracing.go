@@ -1,0 +1,69 @@
+package service
+
+import (
+	"context"
+
+	"recmech/internal/trace"
+)
+
+// Tracing policy (see DESIGN.md "Per-query tracing"): a query is traced
+// when it is about to do expensive work — the plan cache holds no completed
+// plan for its key, so a fresh compile (or a join onto someone else's
+// in-flight compile) follows — when the 1-in-N warm sampler fires
+// (Config.TraceSampleEvery, off by default), or when the caller forces it
+// (async job items, so every batch item is attributable after the fact).
+// At default settings the plan-cached hot path therefore never starts a
+// trace and pays only a planKey peek plus nil-span no-ops.
+
+// Tracer exposes the service's span recorder, for wiring the slow-query log
+// (cmd/recmechd) and for tests.
+func (s *Service) Tracer() *trace.Tracer { return s.tr }
+
+// Traces lists summaries of recently completed traces, newest first
+// (GET /v1/traces). The ring is bounded by Config.TraceRingEntries.
+func (s *Service) Traces() []trace.Summary { return s.tr.Recent() }
+
+// Trace returns one retained trace's full span tree by ID
+// (GET /v1/traces/{id}), failing with a *TraceError (404) when the ID is
+// unknown or already evicted from the ring.
+func (s *Service) Trace(id string) (*trace.TraceData, error) {
+	td, ok := s.tr.Get(id)
+	if !ok {
+		return nil, &TraceError{ID: id}
+	}
+	return td, nil
+}
+
+// traceIDSlot carries a completed trace's ID out of Service.do to whoever
+// installed the slot (the HTTP handlers, the job runner) — mirroring
+// accessInfo rather than adding a field to Response, whose JSON is the
+// durable release journal's replay payload and must not grow per-request
+// metadata.
+type traceIDSlot struct{ id string }
+
+type traceIDKey struct{}
+
+// withTraceSlot installs an empty trace-ID slot on ctx; putTraceID fills it.
+func withTraceSlot(ctx context.Context) (context.Context, *traceIDSlot) {
+	sl := &traceIDSlot{}
+	return context.WithValue(ctx, traceIDKey{}, sl), sl
+}
+
+// putTraceID records a finished trace's ID in the caller's slot, if any.
+func putTraceID(ctx context.Context, id string) {
+	if id == "" {
+		return
+	}
+	if sl, ok := ctx.Value(traceIDKey{}).(*traceIDSlot); ok {
+		sl.id = id
+	}
+}
+
+// annotateRoot stamps the request identity on a trace's root span. The
+// attributes are all caller-supplied (nothing derived from the data), so
+// exposing them through /v1/traces discloses nothing a query logger would
+// not already hold.
+func annotateRoot(root *trace.Span, ds *Dataset, req *Request) {
+	root.Str("dataset", ds.Name).Str("kind", req.Kind).
+		Str("privacy", req.Privacy).Float("epsilon", req.Epsilon)
+}

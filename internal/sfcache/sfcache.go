@@ -74,6 +74,27 @@ func New[V any](maxEntries int) *Cache[V] {
 	return &Cache[V]{entries: make(map[string]*entry[V]), maxEntries: maxEntries}
 }
 
+// Has reports whether a completed, successful entry exists for key — a
+// Do(key, ...) right now would be a plain hit. In-flight computations
+// report false: a caller joining one waits for real work, which is exactly
+// the distinction the serving layer's trace policy needs (a coalesced
+// waiter of a slow compile should be traced like the leader). Has touches
+// no event counters, so peeking never skews hit-ratio stats.
+func (c *Cache[V]) Has(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.ready:
+		return e.err == nil
+	default:
+		return false
+	}
+}
+
 // Len returns the number of entries (completed and in-flight).
 func (c *Cache[V]) Len() int {
 	c.mu.Lock()

@@ -102,3 +102,45 @@ func TestStats(t *testing.T) {
 		t.Errorf("Stats() = %+v, want %+v", st, want)
 	}
 }
+
+func TestHas(t *testing.T) {
+	c := New[int](4)
+	ctx := context.Background()
+	if c.Has("a") {
+		t.Fatal("Has on empty cache")
+	}
+	// In-flight: Has must report false until the flight completes.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(ctx, "a", func() (int, error) {
+		close(entered)
+		<-release
+		return 1, nil
+	})
+	<-entered
+	if c.Has("a") {
+		t.Fatal("Has true for an in-flight computation")
+	}
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Has("a") {
+		if time.Now().After(deadline) {
+			t.Fatal("Has never became true after the flight completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Failed computations leave no entry.
+	_, _, err := c.Do(ctx, "b", func() (int, error) { return 0, errors.New("boom") })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if c.Has("b") {
+		t.Fatal("Has true for a failed computation")
+	}
+	// Peeking must not move the event counters.
+	before := c.Stats()
+	c.Has("a")
+	if got := c.Stats(); got != before {
+		t.Fatalf("Has moved stats: %+v -> %+v", before, got)
+	}
+}

@@ -1,0 +1,523 @@
+// Package trace is a dependency-free, allocation-conscious span recorder
+// for per-query visibility: one trace per traced request, nested spans with
+// typed attributes (shard index, ladder rung, pivot count, queue wait),
+// context propagation, and a bounded ring of recently completed traces that
+// the serving layer exposes over GET /v1/traces.
+//
+// The design is shaped by one constraint: the prepared hot path (a
+// plan-cached release, single-digit microseconds) must not pay for the
+// instrumentation it does not use. Three properties deliver that:
+//
+//   - Untraced requests never allocate. All span operations go through
+//     *Span methods that are nil-safe no-ops: StartChild(nil, ...) returns
+//     nil without reading the clock, and every attribute setter and End on
+//     a nil span returns immediately. An untraced request's entire
+//     instrumentation cost is a handful of nil checks.
+//
+//   - Traced requests allocate almost nothing per span. A Trace owns a
+//     fixed-capacity span arena recycled through a sync.Pool; starting a
+//     span claims the next arena slot with one atomic increment (safe for
+//     concurrent spans from fanned-out compile shards), and attributes are
+//     stored in a fixed array on the span — no maps, no interface boxing,
+//     no per-span allocation. Only Finish, off the latency path's tail,
+//     materializes the JSON-friendly tree.
+//
+//   - The policy is head-based and cheap: the serving layer forces a trace
+//     when it predicts expensive work (a fresh plan compile, an async job
+//     item) and otherwise samples 1-in-N warm requests, with N = 0 (never)
+//     as the default. The decision is one atomic add.
+//
+// Spans past the arena capacity are counted and dropped, never reallocated:
+// a pathological query cannot turn the recorder into a memory amplifier.
+//
+// Trace IDs are 16 hex digits from a splitmix64 of a process-unique
+// counter — unique within a process run by construction (splitmix64 is a
+// bijection), which is the scope GET /v1/traces/{id} serves.
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxAttrs bounds the typed attributes one span can carry; setters beyond
+// it are dropped. The instrumentation in this repository uses at most seven
+// (the root query span: identity, planHit, outcome, error).
+const maxAttrs = 8
+
+// Options tunes a Tracer. The zero value is usable: sampling off (only
+// forced traces record), 256 spans per trace, 256 retained traces.
+type Options struct {
+	// SampleEvery samples 1 in N non-forced requests (0 disables; forced
+	// traces are unaffected).
+	SampleEvery int
+	// MaxSpans caps the spans one trace can record; the excess is counted
+	// in DroppedSpans. Default 256.
+	MaxSpans int
+	// Ring caps the completed traces retained for inspection. Default 256.
+	Ring int
+}
+
+// Tracer records traces. Safe for concurrent use; construct with New.
+type Tracer struct {
+	maxSpans    int
+	sampleEvery uint64
+	sampleCtr   atomic.Uint64
+	idBase      uint64
+	idCtr       atomic.Uint64
+	pool        sync.Pool // *Trace with a pre-sized span arena
+
+	started      atomic.Uint64
+	finished     atomic.Uint64
+	spansDropped atomic.Uint64
+	slowLogged   atomic.Uint64
+
+	slowNanos atomic.Int64 // slow-query threshold; 0 = off
+	slowMu    sync.Mutex   // serializes slow-log writes
+	slowW     io.Writer
+
+	mu    sync.Mutex
+	ring  []*TraceData // fixed-capacity circular buffer of completed traces
+	next  int          // ring slot the next completed trace overwrites
+	count int          // completed traces currently retained (≤ len(ring))
+	byID  map[string]*TraceData
+}
+
+// New returns a Tracer with o's policy.
+func New(o Options) *Tracer {
+	if o.MaxSpans < 1 {
+		o.MaxSpans = 256
+	}
+	if o.Ring < 1 {
+		o.Ring = 256
+	}
+	t := &Tracer{
+		maxSpans:    o.MaxSpans,
+		sampleEvery: uint64(max(o.SampleEvery, 0)),
+		idBase:      uint64(time.Now().UnixNano()),
+		ring:        make([]*TraceData, o.Ring),
+		byID:        make(map[string]*TraceData, o.Ring),
+	}
+	t.pool.New = func() any {
+		return &Trace{tracer: t, spans: make([]Span, o.MaxSpans)}
+	}
+	return t
+}
+
+// Sampled consumes one tick of the 1-in-N sampling policy. It is the warm
+// path's whole tracing decision, one atomic add; forced traces (fresh
+// compiles, job items) bypass it.
+func (t *Tracer) Sampled() bool {
+	if t == nil || t.sampleEvery == 0 {
+		return false
+	}
+	return (t.sampleCtr.Add(1)-1)%t.sampleEvery == 0
+}
+
+// Start begins a new trace and returns its root span. The caller must
+// eventually pass the root to Finish; spans must not be used after that.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	tr := t.pool.Get().(*Trace)
+	tr.id = splitmix64(t.idBase + t.idCtr.Add(1))
+	tr.start = time.Now()
+	t.started.Add(1)
+	return tr.claim(name, -1, tr.start)
+}
+
+// Finish completes the trace rooted at root (ending the root if the caller
+// has not), exports it into the ring, writes the slow-query log entry if it
+// crossed the threshold, recycles the arena, and returns the trace ID. All
+// *Span handles into the trace are invalid afterwards. Finish(nil) is a
+// no-op returning "".
+func (t *Tracer) Finish(root *Span) string {
+	if root == nil {
+		return ""
+	}
+	tr := root.tr
+	end := root.end
+	if end.IsZero() {
+		end = time.Now()
+		root.end = end
+	}
+	td := tr.export(end)
+	if thr := t.slowNanos.Load(); thr > 0 && end.Sub(tr.start) >= time.Duration(thr) {
+		t.logSlow(td)
+	}
+	t.mu.Lock()
+	if old := t.ring[t.next]; old != nil {
+		delete(t.byID, old.ID)
+	}
+	t.ring[t.next] = td
+	t.byID[td.ID] = td
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	t.mu.Unlock()
+	t.finished.Add(1)
+	t.spansDropped.Add(uint64(tr.dropped.Load()))
+	tr.n.Store(0)
+	tr.dropped.Store(0)
+	t.pool.Put(tr)
+	return td.ID
+}
+
+// SetSlowQueryLog arranges for any trace slower than threshold to be
+// written to w as one JSON line carrying its full span tree. threshold ≤ 0
+// turns the log off.
+func (t *Tracer) SetSlowQueryLog(threshold time.Duration, w io.Writer) {
+	t.slowMu.Lock()
+	t.slowW = w
+	t.slowMu.Unlock()
+	if w == nil {
+		threshold = 0
+	}
+	t.slowNanos.Store(int64(threshold))
+}
+
+// slowRecord is the slow-query log line: enough identity to grep for, plus
+// the same span tree GET /v1/traces/{id} would serve (which may have been
+// evicted from the ring by the time an operator reads the log).
+type slowRecord struct {
+	Msg        string     `json:"msg"`
+	TraceID    string     `json:"traceId"`
+	DurationMS float64    `json:"durationMs"`
+	Trace      *TraceData `json:"trace"`
+}
+
+func (t *Tracer) logSlow(td *TraceData) {
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	if t.slowW == nil {
+		return
+	}
+	line, err := json.Marshal(slowRecord{Msg: "slow_query", TraceID: td.ID, DurationMS: td.DurationMS, Trace: td})
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	_, _ = t.slowW.Write(line)
+	t.slowLogged.Add(1)
+}
+
+// Get returns the retained trace with the given ID.
+func (t *Tracer) Get(id string) (*TraceData, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	td, ok := t.byID[id]
+	return td, ok
+}
+
+// Recent lists summaries of the retained traces, newest first.
+func (t *Tracer) Recent() []Summary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Summary, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		td := t.ring[(t.next-1-i+2*len(t.ring))%len(t.ring)]
+		if td == nil {
+			continue
+		}
+		out = append(out, Summary{
+			ID:         td.ID,
+			Start:      td.Start,
+			DurationMS: td.DurationMS,
+			Name:       td.Root.Name,
+			Spans:      td.Spans,
+			Attrs:      td.Root.Attrs,
+		})
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of the tracer's counters.
+type Stats struct {
+	Started      uint64 `json:"started"`      // traces begun
+	Finished     uint64 `json:"finished"`     // traces completed and exported
+	Retained     int    `json:"retained"`     // completed traces currently in the ring
+	SpansDropped uint64 `json:"spansDropped"` // spans beyond a trace's arena capacity
+	SlowLogged   uint64 `json:"slowLogged"`   // traces written to the slow-query log
+}
+
+// TracerStats snapshots the counters.
+func (t *Tracer) TracerStats() Stats {
+	t.mu.Lock()
+	retained := t.count
+	t.mu.Unlock()
+	return Stats{
+		Started:      t.started.Load(),
+		Finished:     t.finished.Load(),
+		Retained:     retained,
+		SpansDropped: t.spansDropped.Load(),
+		SlowLogged:   t.slowLogged.Load(),
+	}
+}
+
+// Trace is one in-flight trace: a fixed span arena claimed slot-by-slot
+// with an atomic counter, so fanned-out workers can record spans without a
+// lock. It is pooled; callers never construct one directly.
+type Trace struct {
+	tracer  *Tracer
+	id      uint64
+	start   time.Time
+	n       atomic.Int32 // arena slots claimed
+	dropped atomic.Int32 // spans dropped beyond the arena
+	spans   []Span
+}
+
+// claim takes the next arena slot. A span's fields are written only by the
+// goroutine that claimed it; cross-goroutine visibility at export time is
+// ordered by the fan-out barrier (the pool's Fanout returns only after all
+// workers finish, before Finish runs).
+func (tr *Trace) claim(name string, parent int32, now time.Time) *Span {
+	idx := tr.n.Add(1) - 1
+	if int(idx) >= len(tr.spans) {
+		tr.n.Add(-1)
+		tr.dropped.Add(1)
+		return nil
+	}
+	sp := &tr.spans[idx]
+	sp.tr = tr
+	sp.idx = idx
+	sp.parent = parent
+	sp.name = name
+	sp.start = now
+	sp.end = time.Time{}
+	sp.nAttrs = 0
+	return sp
+}
+
+// Span is one timed operation inside a trace. The nil *Span is a valid
+// no-op span: every method returns immediately, so instrumentation never
+// branches on "am I traced". A span is written only by the goroutine that
+// started it and must be Ended before the trace is Finished.
+type Span struct {
+	tr     *Trace
+	idx    int32
+	parent int32
+	nAttrs int32
+	name   string
+	start  time.Time
+	end    time.Time
+	attrs  [maxAttrs]attr
+}
+
+// attr is one typed key/value: no interface boxing, so setting an attribute
+// on a traced span allocates nothing.
+type attr struct {
+	key  string
+	kind uint8 // 0 int, 1 float, 2 string, 3 bool
+	num  uint64
+	str  string
+}
+
+const (
+	kindInt = iota
+	kindFloat
+	kindStr
+	kindBool
+)
+
+// StartChild begins a child span under parent; StartChild(nil, ...) is nil.
+func StartChild(parent *Span, name string) *Span {
+	if parent == nil {
+		return nil
+	}
+	return parent.tr.claim(name, parent.idx, time.Now())
+}
+
+// End stamps the span's end time. Ending a span twice keeps the first stamp.
+func (s *Span) End() {
+	if s == nil || !s.end.IsZero() {
+		return
+	}
+	s.end = time.Now()
+}
+
+// TraceID returns the span's trace ID (before Finish; "" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return formatID(s.tr.id)
+}
+
+func (s *Span) put(a attr) *Span {
+	if s == nil {
+		return nil
+	}
+	if int(s.nAttrs) < maxAttrs {
+		s.attrs[s.nAttrs] = a
+		s.nAttrs++
+	}
+	return s
+}
+
+// Int records an integer attribute.
+func (s *Span) Int(key string, v int64) *Span {
+	return s.put(attr{key: key, kind: kindInt, num: uint64(v)})
+}
+
+// Float records a float attribute.
+func (s *Span) Float(key string, v float64) *Span {
+	return s.put(attr{key: key, kind: kindFloat, num: floatBits(v)})
+}
+
+// Str records a string attribute.
+func (s *Span) Str(key, v string) *Span {
+	return s.put(attr{key: key, kind: kindStr, str: v})
+}
+
+// Bool records a boolean attribute.
+func (s *Span) Bool(key string, v bool) *Span {
+	var n uint64
+	if v {
+		n = 1
+	}
+	return s.put(attr{key: key, kind: kindBool, num: n})
+}
+
+// Context propagation: NewContext hangs a span on a context, FromContext
+// retrieves it (nil when absent), and Child starts a child of the context's
+// span — the one-liner instrumentation points use.
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying s.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Child starts a child of the span carried by ctx (nil when untraced).
+func Child(ctx context.Context, name string) *Span {
+	return StartChild(FromContext(ctx), name)
+}
+
+// TraceData is a completed, immutable trace as served by GET
+// /v1/traces/{id}: the span tree with durations and attributes.
+type TraceData struct {
+	ID         string    `json:"id"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"durationMs"`
+	Spans      int       `json:"spans"`
+	Dropped    int       `json:"droppedSpans,omitempty"`
+	Root       *SpanNode `json:"root"`
+}
+
+// SpanNode is one span in an exported tree. Offsets are relative to the
+// trace start, so a reader can line children up on one timeline.
+type SpanNode struct {
+	Name       string         `json:"name"`
+	OffsetMS   float64        `json:"offsetMs"`
+	DurationMS float64        `json:"durationMs"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanNode    `json:"children,omitempty"`
+}
+
+// Summary is the GET /v1/traces list entry: identity and root-level shape,
+// without the tree.
+type Summary struct {
+	ID         string         `json:"id"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"durationMs"`
+	Name       string         `json:"name"`
+	Spans      int            `json:"spans"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// export materializes the arena into a SpanNode tree. A parent is always
+// claimed before its children, so parents precede children in the arena and
+// one forward pass links the tree. Spans never Ended (an instrumentation
+// bug, or a dropped error path) are closed at the trace end and flagged.
+func (tr *Trace) export(end time.Time) *TraceData {
+	n := int(tr.n.Load())
+	if n > len(tr.spans) {
+		n = len(tr.spans)
+	}
+	nodes := make([]*SpanNode, n)
+	var root *SpanNode
+	for i := 0; i < n; i++ {
+		sp := &tr.spans[i]
+		node := &SpanNode{
+			Name:     sp.name,
+			OffsetMS: durMS(sp.start.Sub(tr.start)),
+		}
+		spEnd := sp.end
+		unfinished := spEnd.IsZero()
+		if unfinished {
+			spEnd = end
+		}
+		node.DurationMS = durMS(spEnd.Sub(sp.start))
+		if sp.nAttrs > 0 || unfinished {
+			node.Attrs = make(map[string]any, int(sp.nAttrs)+1)
+			for _, a := range sp.attrs[:sp.nAttrs] {
+				switch a.kind {
+				case kindInt:
+					node.Attrs[a.key] = int64(a.num)
+				case kindFloat:
+					node.Attrs[a.key] = floatFromBits(a.num)
+				case kindStr:
+					node.Attrs[a.key] = a.str
+				case kindBool:
+					node.Attrs[a.key] = a.num != 0
+				}
+			}
+			if unfinished {
+				node.Attrs["unfinished"] = true
+			}
+		}
+		nodes[i] = node
+		if sp.parent < 0 {
+			root = node
+		} else {
+			p := nodes[sp.parent]
+			p.Children = append(p.Children, node)
+		}
+	}
+	return &TraceData{
+		ID:         formatID(tr.id),
+		Start:      tr.start,
+		DurationMS: durMS(end.Sub(tr.start)),
+		Spans:      n,
+		Dropped:    int(tr.dropped.Load()),
+		Root:       root,
+	}
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijection on
+// uint64, so distinct counter values map to distinct trace IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func formatID(id uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,313 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	s.Int("a", 1).Float("b", 2).Str("c", "d").Bool("e", true)
+	s.End()
+	if got := StartChild(s, "child"); got != nil {
+		t.Fatalf("StartChild(nil) = %v, want nil", got)
+	}
+	if got := s.TraceID(); got != "" {
+		t.Fatalf("nil TraceID = %q, want empty", got)
+	}
+	if got := Child(context.Background(), "x"); got != nil {
+		t.Fatalf("Child of bare context = %v, want nil", got)
+	}
+	var tr *Tracer
+	if tr.Sampled() {
+		t.Fatal("nil tracer sampled")
+	}
+	if tr.Start("q") != nil {
+		t.Fatal("nil tracer started a span")
+	}
+}
+
+func TestSpanTreeExport(t *testing.T) {
+	tr := New(Options{})
+	root := tr.Start("query")
+	root.Str("dataset", "demo").Float("epsilon", 0.5)
+	compile := StartChild(root, "plan.compile")
+	for i := 0; i < 3; i++ {
+		sh := StartChild(compile, "enumerate.shard")
+		sh.Int("shard", int64(i))
+		sh.End()
+	}
+	compile.End()
+	rel := StartChild(root, "release")
+	StartChild(rel, "delta.search").End()
+	rel.End()
+	root.End()
+	id := tr.Finish(root)
+	if len(id) != 16 {
+		t.Fatalf("trace id %q, want 16 hex chars", id)
+	}
+
+	td, ok := tr.Get(id)
+	if !ok {
+		t.Fatalf("Get(%q) missed", id)
+	}
+	if td.Root == nil || td.Root.Name != "query" {
+		t.Fatalf("root = %+v, want query", td.Root)
+	}
+	if td.Spans != 7 {
+		t.Fatalf("spans = %d, want 7", td.Spans)
+	}
+	if got := td.Root.Attrs["dataset"]; got != "demo" {
+		t.Fatalf("dataset attr = %v", got)
+	}
+	if got := td.Root.Attrs["epsilon"]; got != 0.5 {
+		t.Fatalf("epsilon attr = %v", got)
+	}
+	if len(td.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(td.Root.Children))
+	}
+	comp := td.Root.Children[0]
+	if comp.Name != "plan.compile" || len(comp.Children) != 3 {
+		t.Fatalf("compile node = %+v", comp)
+	}
+	seen := map[int64]bool{}
+	for _, sh := range comp.Children {
+		seen[sh.Attrs["shard"].(int64)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("shard attrs = %v", seen)
+	}
+	// The exported tree must serialize cleanly.
+	if _, err := json.Marshal(td); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+
+	sums := tr.Recent()
+	if len(sums) != 1 || sums[0].ID != id || sums[0].Name != "query" {
+		t.Fatalf("Recent = %+v", sums)
+	}
+}
+
+func TestUnfinishedSpanFlagged(t *testing.T) {
+	tr := New(Options{})
+	root := tr.Start("query")
+	StartChild(root, "leak") // never Ended
+	id := tr.Finish(root)    // root not Ended either: Finish closes it
+	td, _ := tr.Get(id)
+	if len(td.Root.Children) != 1 {
+		t.Fatalf("children = %d", len(td.Root.Children))
+	}
+	if td.Root.Children[0].Attrs["unfinished"] != true {
+		t.Fatalf("leaked span not flagged: %+v", td.Root.Children[0])
+	}
+}
+
+func TestSpanArenaBounded(t *testing.T) {
+	tr := New(Options{MaxSpans: 8})
+	root := tr.Start("query")
+	for i := 0; i < 20; i++ {
+		sp := StartChild(root, "s")
+		sp.End()
+	}
+	id := tr.Finish(root)
+	td, _ := tr.Get(id)
+	if td.Spans != 8 {
+		t.Fatalf("spans = %d, want 8 (arena cap)", td.Spans)
+	}
+	if td.Dropped != 13 {
+		t.Fatalf("dropped = %d, want 13", td.Dropped)
+	}
+	if st := tr.TracerStats(); st.SpansDropped != 13 {
+		t.Fatalf("stats dropped = %d", st.SpansDropped)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	const ring = 4
+	tr := New(Options{Ring: ring})
+	var ids []string
+	for i := 0; i < 10; i++ {
+		ids = append(ids, tr.Finish(tr.Start("q")))
+	}
+	if st := tr.TracerStats(); st.Retained != ring || st.Finished != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for _, id := range ids[:6] {
+		if _, ok := tr.Get(id); ok {
+			t.Fatalf("evicted trace %s still retrievable", id)
+		}
+	}
+	for _, id := range ids[6:] {
+		if _, ok := tr.Get(id); !ok {
+			t.Fatalf("retained trace %s lost", id)
+		}
+	}
+	sums := tr.Recent()
+	if len(sums) != ring {
+		t.Fatalf("Recent len = %d, want %d", len(sums), ring)
+	}
+	// Newest first.
+	for i, s := range sums {
+		if want := ids[len(ids)-1-i]; s.ID != want {
+			t.Fatalf("Recent[%d] = %s, want %s", i, s.ID, want)
+		}
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(Options{SampleEvery: 4})
+	hits := 0
+	for i := 0; i < 16; i++ {
+		if tr.Sampled() {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("sampled %d of 16 at 1-in-4", hits)
+	}
+	off := New(Options{})
+	for i := 0; i < 16; i++ {
+		if off.Sampled() {
+			t.Fatal("sampling fired with SampleEvery=0")
+		}
+	}
+	always := New(Options{SampleEvery: 1})
+	for i := 0; i < 4; i++ {
+		if !always.Sampled() {
+			t.Fatal("SampleEvery=1 skipped a request")
+		}
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	tr := New(Options{})
+	var buf bytes.Buffer
+	tr.SetSlowQueryLog(time.Nanosecond, &buf)
+	root := tr.Start("query")
+	time.Sleep(time.Millisecond)
+	id := tr.Finish(root)
+	line := buf.String()
+	if !strings.Contains(line, `"msg":"slow_query"`) || !strings.Contains(line, id) {
+		t.Fatalf("slow log line = %q", line)
+	}
+	var rec struct {
+		TraceID string `json:"traceId"`
+		Trace   struct {
+			Root *SpanNode `json:"root"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("unmarshal slow line: %v", err)
+	}
+	if rec.TraceID != id || rec.Trace.Root == nil || rec.Trace.Root.Name != "query" {
+		t.Fatalf("slow record = %+v", rec)
+	}
+
+	// Below threshold (or disabled): nothing written.
+	buf.Reset()
+	tr.SetSlowQueryLog(time.Hour, &buf)
+	tr.Finish(tr.Start("fast"))
+	tr.SetSlowQueryLog(0, &buf)
+	tr.Finish(tr.Start("untimed"))
+	if buf.Len() != 0 {
+		t.Fatalf("unexpected slow log output: %q", buf.String())
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := New(Options{})
+	root := tr.Start("query")
+	ctx := NewContext(context.Background(), root)
+	if FromContext(ctx) != root {
+		t.Fatal("FromContext lost the span")
+	}
+	child := Child(ctx, "step")
+	if child == nil {
+		t.Fatal("Child returned nil under a traced context")
+	}
+	child.End()
+	tr.Finish(root)
+}
+
+// TestConcurrentTracesHammer is the -race workhorse: many goroutines run
+// whole traces with fanned-out child spans concurrently, asserting trees
+// stay well-nested, IDs never collide, and the ring bound holds.
+func TestConcurrentTracesHammer(t *testing.T) {
+	const (
+		goroutines = 16
+		traces     = 30
+		fan        = 8
+	)
+	tr := New(Options{Ring: 64, MaxSpans: 64})
+	var mu sync.Mutex
+	ids := make(map[string]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < traces; i++ {
+				root := tr.Start("query")
+				compile := StartChild(root, "plan.compile")
+				var inner sync.WaitGroup
+				for s := 0; s < fan; s++ {
+					inner.Add(1)
+					go func(s int) {
+						defer inner.Done()
+						sp := StartChild(compile, "enumerate.shard")
+						sp.Int("shard", int64(s))
+						sp.End()
+					}(s)
+				}
+				inner.Wait()
+				compile.End()
+				root.End()
+				id := tr.Finish(root)
+				td, ok := tr.Get(id)
+				mu.Lock()
+				if ids[id] {
+					mu.Unlock()
+					t.Errorf("trace ID collision: %s", id)
+					return
+				}
+				ids[id] = true
+				mu.Unlock()
+				// The trace may already be evicted under churn; when still
+				// retained, its tree must be well-nested and complete.
+				if ok {
+					if td.Root == nil || td.Root.Name != "query" {
+						t.Errorf("bad root: %+v", td.Root)
+						return
+					}
+					if len(td.Root.Children) != 1 {
+						t.Errorf("root children = %d, want 1", len(td.Root.Children))
+						return
+					}
+					c := td.Root.Children[0]
+					if c.Name != "plan.compile" || len(c.Children) != fan {
+						t.Errorf("compile node %q with %d children, want %d", c.Name, len(c.Children), fan)
+						return
+					}
+					for _, sh := range c.Children {
+						if sh.Name != "enumerate.shard" || len(sh.Children) != 0 {
+							t.Errorf("bad shard node: %+v", sh)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(ids) != goroutines*traces {
+		t.Fatalf("unique IDs = %d, want %d", len(ids), goroutines*traces)
+	}
+	if st := tr.TracerStats(); st.Finished != goroutines*traces || st.Retained > 64 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"recmech/internal/service"
 	"recmech/internal/store"
+	"recmech/internal/trace"
 )
 
 // Service types, usable by importers of this package.
@@ -61,6 +62,17 @@ type (
 	AccessLogger = service.AccessLogger
 	// AccessEntry is one access-log record.
 	AccessEntry = service.AccessEntry
+	// TraceSummary summarizes one retained per-query trace, as listed by
+	// (*Service).Traces and GET /v1/traces.
+	TraceSummary = trace.Summary
+	// TraceData is one trace's full span tree, as returned by
+	// (*Service).Trace and GET /v1/traces/{id}.
+	TraceData = trace.TraceData
+	// TraceSpanNode is one node of a TraceData span tree.
+	TraceSpanNode = trace.SpanNode
+	// CompileStats aggregates fresh plan-compile profiles (the "compiles"
+	// section of ServiceStats).
+	CompileStats = service.CompileStats
 )
 
 // Sentinel errors of the serving layer, for errors.Is checks.
@@ -77,6 +89,8 @@ var (
 	ErrJobFinished = service.ErrJobFinished
 	// ErrRequestTooLarge rejects an oversized request body (HTTP 413).
 	ErrRequestTooLarge = service.ErrRequestTooLarge
+	// ErrUnknownTrace rejects a lookup of an unretained trace ID.
+	ErrUnknownTrace = service.ErrUnknownTrace
 )
 
 // Job lifecycle states reported by JobInfo.State.
@@ -126,8 +140,9 @@ func NewServiceWithStore(cfg ServiceConfig, st *Store) (*Service, []error) {
 // /v1/budget/{dataset}, GET /healthz), the mutating admin endpoints PUT
 // and DELETE /v1/datasets/{name}, and the observability endpoints (GET
 // /metrics in Prometheus text format, GET /v1/stats, GET
-// /v1/datasets/{name}/stats) — expose the handler accordingly. See API.md
-// for the full reference.
+// /v1/datasets/{name}/stats, and the per-query traces at GET /v1/traces and
+// GET /v1/traces/{id}) — expose the handler accordingly. See API.md for the
+// full reference.
 func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
 
 // NewAccessLogger returns a logger writing one structured access-log line
