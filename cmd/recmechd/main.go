@@ -27,6 +27,7 @@
 //
 //	POST   /v2/query            {"dataset","kind","query"|"k"|pattern…,"epsilon"}
 //	POST   /v2/prepare          same body; compiles/warms the plan, spends zero ε
+//	POST   /v2/advise           same body + "targetError","tail"; Theorem 1 accuracy at zero ε (needs -expose-accuracy)
 //	POST   /v2/jobs             {"queries":[…]} async batch, atomic ε reservation
 //	GET    /v2/jobs             list jobs (sorted by id)
 //	GET    /v2/jobs/{id}        per-item status and results
@@ -36,8 +37,8 @@
 //	PUT    /v1/datasets/{name}  {"kind":"graph","graph":…} | {"kind":"relational","tables":{…}}
 //	DELETE /v1/datasets/{name}
 //	GET    /v1/budget/{dataset}
-//	GET    /v1/stats                  service-wide counters (JSON)
-//	GET    /v1/datasets/{name}/stats  per-dataset counters and ε spend rate
+//	GET    /v1/stats                  service-wide counters (JSON), incl. accuracy aggregates
+//	GET    /v1/datasets/{name}/stats  per-dataset counters, ε spend attribution, burn rate, budget TTL
 //	GET    /v1/traces                 recent per-query traces (newest first)
 //	GET    /v1/traces/{id}            one trace's full span tree
 //	GET    /metrics                   Prometheus text format
@@ -58,11 +59,13 @@
 //
 // Example session:
 //
-//	recmechd -data-dir ./data -budget 5 &
+//	recmechd -data-dir ./data -budget 5 -expose-accuracy &
 //	curl -s -X PUT localhost:8377/v1/datasets/demo \
 //	     -d '{"kind":"graph","graph":"0 1\n1 2\n0 2\n"}'
 //	curl -s -X POST localhost:8377/v2/prepare \
 //	     -d '{"dataset":"demo","kind":"triangles"}'
+//	curl -s -X POST localhost:8377/v2/advise \
+//	     -d '{"dataset":"demo","kind":"triangles","epsilon":0.5,"targetError":50}'
 //	curl -s -X POST localhost:8377/v2/query \
 //	     -d '{"dataset":"demo","kind":"triangles","epsilon":0.5}'
 //	curl -s -X POST localhost:8377/v2/jobs \
@@ -128,6 +131,8 @@ func main() {
 		traceEvery = flag.Int("trace-sample", 0, "additionally trace 1 in N warm (plan-cached) queries; fresh compiles and job items are always traced (0 = off)")
 		slowQuery  = flag.Duration("slow-query-threshold", 0, "log the full span tree of any traced query slower than this to stderr (0 = off)")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this second listener (keep it private; empty = off)")
+		exposeAcc  = flag.Bool("expose-accuracy", false, "answer tenant-facing accuracy questions (POST /v2/advise, the prepare accuracy block); the Theorem 1 bound is computed from the sensitive data — see DESIGN.md before enabling")
+		spendWin   = flag.Duration("spend-window", 0, "sliding window for the ε burn-rate and budget-TTL forecasts (0 = default 1h)")
 	)
 	flag.Parse()
 
@@ -148,6 +153,8 @@ func main() {
 		MaxBatchItems:      *maxBatch,
 		MaxJobs:            *maxJobs,
 		TraceSampleEvery:   *traceEvery,
+		ExposeAccuracy:     *exposeAcc,
+		SpendRateWindow:    *spendWin,
 	}
 	var svc *service.Service
 	if *dataDir != "" {

@@ -43,6 +43,15 @@ func TheoreticalAccuracy(p Params, gLast float64, g int, c float64) AccuracyBoun
 	}
 }
 
+// TheoreticalAccuracyAt evaluates the Theorem 1 bound under the
+// experimental defaults of §6.1 (DefaultParams) at total budget ε. It is
+// the ε-parameterized form the serving layer's accuracy telemetry sweeps:
+// gLast = G_{|P|} is the only data-dependent input, so once a plan has
+// memoized it the bound is closed-form arithmetic at any ε.
+func TheoreticalAccuracyAt(epsilon float64, nodePrivacy bool, gLast float64, g int, c float64) AccuracyBound {
+	return TheoreticalAccuracy(DefaultParams(epsilon, nodePrivacy), gLast, g, c)
+}
+
 // Accuracy computes the Theorem 1 bound for a prepared Core, reading
 // G_{|P|} from its sequences. The bounding factor g must match the
 // Sequences implementation (2 for Efficient, 1 for General).

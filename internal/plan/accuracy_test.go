@@ -1,0 +1,143 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"recmech/internal/noise"
+)
+
+func compileAccuracyPlan(t *testing.T) *Plan {
+	t.Helper()
+	pl, err := Compile(testGraphSource(t), &Spec{Kind: KindTriangles})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return pl
+}
+
+func TestErrorProfileValidation(t *testing.T) {
+	pl := compileAccuracyPlan(t)
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := pl.ErrorProfile(eps, DefaultTail); !errors.Is(err, ErrSpec) {
+			t.Errorf("ErrorProfile(ε=%v): %v, want ErrSpec", eps, err)
+		}
+	}
+	for _, tail := range []float64{0, -3, math.NaN(), math.Inf(1)} {
+		if _, err := pl.ErrorProfile(0.5, tail); !errors.Is(err, ErrSpec) {
+			t.Errorf("ErrorProfile(tail=%v): %v, want ErrSpec", tail, err)
+		}
+		if _, _, err := pl.EpsilonFor(10, tail); !errors.Is(err, ErrSpec) {
+			t.Errorf("EpsilonFor(tail=%v): %v, want ErrSpec", tail, err)
+		}
+	}
+	for _, target := range []float64{0, -5, math.NaN(), math.Inf(1)} {
+		if _, _, err := pl.EpsilonFor(target, DefaultTail); !errors.Is(err, ErrSpec) {
+			t.Errorf("EpsilonFor(target=%v): %v, want ErrSpec", target, err)
+		}
+	}
+}
+
+// TestEpsilonForRoundTrip is the inverse property: for ε on the decreasing
+// flank of the Theorem 1 bound (β = ε/5 under DefaultParams puts the knee
+// at ε = 5, so anything well below is strictly decreasing), asking
+// EpsilonFor for exactly the error ErrorProfile quotes must come back to
+// (essentially) the same ε, and the bound achieved there must meet the
+// target.
+func TestEpsilonForRoundTrip(t *testing.T) {
+	pl := compileAccuracyPlan(t)
+	for _, tail := range []float64{1, DefaultTail, 8} {
+		for eps := 0.01; eps < 4.0; eps *= 1.7 {
+			b, err := pl.ErrorProfile(eps, tail)
+			if err != nil {
+				t.Fatalf("ErrorProfile(%g, %g): %v", eps, tail, err)
+			}
+			eps2, b2, err := pl.EpsilonFor(b.Error, tail)
+			if err != nil {
+				t.Fatalf("EpsilonFor(%g, %g): %v", b.Error, tail, err)
+			}
+			if b2.Error > b.Error*(1+1e-9) {
+				t.Errorf("ε=%g tail=%g: achieved error %g exceeds target %g", eps, tail, b2.Error, b.Error)
+			}
+			if rel := math.Abs(eps2-eps) / eps; rel > 1e-3 {
+				t.Errorf("ε=%g tail=%g: round-trip returned ε=%g (relative error %g)", eps, tail, eps2, rel)
+			}
+		}
+	}
+}
+
+func TestEpsilonForLooseTarget(t *testing.T) {
+	pl := compileAccuracyPlan(t)
+	// At the bottom of the range the bound is astronomically large; a target
+	// above it means even EpsilonForMin suffices.
+	b, err := pl.ErrorProfile(EpsilonForMin, DefaultTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, got, err := pl.EpsilonFor(b.Error*2, DefaultTail)
+	if err != nil {
+		t.Fatalf("EpsilonFor(loose): %v", err)
+	}
+	if eps != EpsilonForMin {
+		t.Errorf("loose target: ε=%g, want EpsilonForMin=%g", eps, EpsilonForMin)
+	}
+	if got.Error > b.Error*2 {
+		t.Errorf("loose target: achieved %g exceeds target %g", got.Error, b.Error*2)
+	}
+}
+
+func TestEpsilonForUnachievable(t *testing.T) {
+	pl := compileAccuracyPlan(t)
+	// The clamp term alone keeps the bound above ~G_{|P|}, so a target of
+	// essentially zero is unreachable at any ε in range.
+	_, _, err := pl.EpsilonFor(1e-12, DefaultTail)
+	if !errors.Is(err, ErrSpec) {
+		t.Fatalf("EpsilonFor(unachievable): %v, want ErrSpec", err)
+	}
+	if !strings.Contains(err.Error(), "tightest bound attainable") {
+		t.Errorf("unachievable error does not name the tightest bound: %v", err)
+	}
+}
+
+// TestReleaseObservedBitIdentical pins the RNG contract: computing the
+// profile before the release consumes no randomness, so ReleaseObserved
+// with a given seed releases exactly what Release with the same seed does.
+func TestReleaseObservedBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	a := compileAccuracyPlan(t)
+	b := compileAccuracyPlan(t)
+	const eps = 0.5
+	want, err := a.Release(ctx, eps, noise.NewRand(42))
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	obs, err := b.ReleaseObserved(ctx, eps, noise.NewRand(42))
+	if err != nil {
+		t.Fatalf("ReleaseObserved: %v", err)
+	}
+	if obs.Value != want {
+		t.Errorf("ReleaseObserved value %v, Release value %v — the profile consumed randomness", obs.Value, want)
+	}
+	if !obs.PredictedOK {
+		t.Fatal("PredictedOK = false on a healthy plan")
+	}
+	if obs.NoiseMagnitude < 0 || !isFinite(obs.NoiseMagnitude) {
+		t.Errorf("noise magnitude %v, want finite non-negative", obs.NoiseMagnitude)
+	}
+	prof, err := b.ErrorProfile(eps, DefaultTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Predicted != prof {
+		t.Errorf("observation's predicted bound %+v differs from ErrorProfile %+v", obs.Predicted, prof)
+	}
+	// The predicted bound is a high-probability envelope on the noise; a
+	// single draw landing above it is possible but wildly unlikely at seed
+	// 42 — treat it as a regression in either side.
+	if obs.NoiseMagnitude > obs.Predicted.Error {
+		t.Errorf("drawn noise %g exceeds predicted bound %g", obs.NoiseMagnitude, obs.Predicted.Error)
+	}
+}

@@ -504,8 +504,19 @@ func (p *Plan) Solves() (h, g uint64) { return p.seq.solves() }
 // (its result is memoized for everyone); the memo keeps whatever entries
 // completed, they stay valid.
 func (p *Plan) Release(ctx context.Context, epsilon float64, rng *rand.Rand) (float64, error) {
+	v, _, err := p.release(ctx, epsilon, rng, math.NaN())
+	return v, err
+}
+
+// release is the shared body of Release and ReleaseObserved. predicted,
+// when not NaN, is the Theorem 1 error bound computed for this ε — recorded
+// as a span attribute so traces and the slow-query log carry the expected
+// error beside the phases that produced the answer. The second return is
+// the final Laplace draw actually added (the realized noise), which the
+// serving layer's accuracy histograms compare against the prediction.
+func (p *Plan) release(ctx context.Context, epsilon float64, rng *rand.Rand, predicted float64) (float64, float64, error) {
 	if math.IsNaN(epsilon) || math.IsInf(epsilon, 0) || epsilon <= 0 {
-		return 0, specErrorf("release ε must be positive and finite, got %g", epsilon)
+		return 0, 0, specErrorf("release ε must be positive and finite, got %g", epsilon)
 	}
 	params := mechanism.DefaultParams(epsilon, p.nodeLike)
 	// Allocate the cursor only when this release is traced: on the untraced
@@ -517,7 +528,7 @@ func (p *Plan) Release(ctx context.Context, epsilon float64, rng *rand.Rand) (fl
 	}
 	core, err := mechanism.NewCore(ctxSeq{ctx: ctx, cur: cur, inner: p.seq}, params)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	p.setFanout(ctx, core)
 	id := p.live.add(ctx)
@@ -529,6 +540,9 @@ func (p *Plan) Release(ctx context.Context, epsilon float64, rng *rand.Rand) (fl
 	// Spans only observe; the determinism tests pin the released values
 	// against Core.Release, so this duplication cannot drift silently.
 	rel := trace.Child(ctx, "release")
+	if !math.IsNaN(predicted) {
+		rel.Float("predictedError", predicted)
+	}
 	ph := trace.StartChild(rel, "delta.search")
 	cur.set(ph)
 	deltaHat, err := core.NoisyDelta(rng)
@@ -536,7 +550,7 @@ func (p *Plan) Release(ctx context.Context, epsilon float64, rng *rand.Rand) (fl
 	ph.End()
 	if err != nil {
 		rel.End()
-		return 0, err
+		return 0, 0, err
 	}
 	ph = trace.StartChild(rel, "x.search")
 	cur.set(ph)
@@ -545,13 +559,15 @@ func (p *Plan) Release(ctx context.Context, epsilon float64, rng *rand.Rand) (fl
 	ph.End()
 	if err != nil {
 		rel.End()
-		return 0, err
+		return 0, 0, err
 	}
 	nsp := trace.StartChild(rel, "noise.draw")
-	v := x + noise.Laplace(rng, deltaHat/params.Epsilon2)
+	lap := noise.Laplace(rng, deltaHat/params.Epsilon2)
+	v := x + lap
 	nsp.End()
+	rel.Float("noiseMagnitude", math.Abs(lap))
 	rel.End()
-	return v, nil
+	return v, lap, nil
 }
 
 // setFanout points the core's ladder waves at the plan's compute pool (a

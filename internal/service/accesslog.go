@@ -78,7 +78,8 @@ type AccessEntry struct {
 	Dataset    string  `json:"dataset,omitempty"`
 	Epsilon    float64 `json:"epsilon,omitempty"`
 	// Outcome is the budget outcome: spent, replayed, rejected, refunded,
-	// reserved (job admission), prepared (plan warm, zero ε), or none.
+	// reserved (job admission), prepared (plan warm, zero ε), advised
+	// (accuracy question, zero ε), or none.
 	Outcome string `json:"outcome,omitempty"`
 	// TraceID names the span tree this request recorded, when it was traced
 	// (fresh compiles always are; see GET /v1/traces/{id}).

@@ -1,0 +1,186 @@
+package service_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"recmech"
+)
+
+// newAccuracyServer is newTestServer with the ExposeAccuracy opt-in: one
+// graph dataset ("g") behind an in-process HTTP server.
+func newAccuracyServer(t testing.TB, budget float64) (*httptest.Server, *recmech.Service) {
+	t.Helper()
+	svc := recmech.NewService(recmech.ServiceConfig{
+		DatasetBudget:  budget,
+		DefaultEpsilon: 0.5,
+		Workers:        4,
+		Seed:           7,
+		ExposeAccuracy: true,
+	})
+	g := recmech.NewGraph(8)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}, {5, 6}, {6, 7}} {
+		g.AddEdge(e[0], e[1])
+	}
+	if err := svc.AddGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(recmech.NewServiceHandler(svc))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func postAdvise(t *testing.T, ts *httptest.Server, body any) (int, recmech.AdviseInfo, map[string]any) {
+	t.Helper()
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v2/advise", body)
+	if code == http.StatusOK {
+		var info recmech.AdviseInfo
+		if err := json.Unmarshal(raw, &info); err != nil {
+			t.Fatalf("unmarshal AdviseInfo %q: %v", raw, err)
+		}
+		return code, info, nil
+	}
+	var errBody map[string]any
+	if err := json.Unmarshal(raw, &errBody); err != nil {
+		t.Fatalf("unmarshal error body %q: %v", raw, err)
+	}
+	return code, recmech.AdviseInfo{}, errBody
+}
+
+// TestAdviseDisabledByDefault: the accuracy surfaces are data-dependent, so
+// without the explicit opt-in /v2/advise answers 403 and a prepare carries
+// no accuracy block.
+func TestAdviseDisabledByDefault(t *testing.T) {
+	ts, _ := newTestServer(t, 2.0) // ExposeAccuracy deliberately unset
+	code, _, errBody := postAdvise(t, ts, map[string]any{"dataset": "g", "kind": "triangles", "epsilon": 0.5})
+	if code != http.StatusForbidden {
+		t.Fatalf("advise on a non-exposing server: status %d, want 403", code)
+	}
+	if got := errCode(t, errBody); got != "accuracy_disabled" {
+		t.Errorf("error code %q, want accuracy_disabled", got)
+	}
+
+	pcode, raw := doJSON(t, http.MethodPost, ts.URL+"/v2/prepare", map[string]any{"dataset": "g", "kind": "triangles"})
+	if pcode != http.StatusOK {
+		t.Fatalf("prepare: status %d: %s", pcode, raw)
+	}
+	var prep map[string]any
+	if err := json.Unmarshal(raw, &prep); err != nil {
+		t.Fatal(err)
+	}
+	if _, leaked := prep["accuracy"]; leaked {
+		t.Errorf("prepare leaked an accuracy block without the opt-in: %s", raw)
+	}
+}
+
+// TestAdviseBothDirections drives /v2/advise end to end on an opted-in
+// server: the forward question (error at ε), the inverse question (ε for a
+// target error), and the zero-ε contract — the budget must not move.
+func TestAdviseBothDirections(t *testing.T) {
+	ts, _ := newAccuracyServer(t, 2.0)
+	before := getRemaining(t, ts, "g")
+
+	code, info, _ := postAdvise(t, ts, map[string]any{"dataset": "g", "kind": "triangles", "epsilon": 0.5})
+	if code != http.StatusOK {
+		t.Fatalf("advise(forward): status %d", code)
+	}
+	if info.AtEpsilon == nil {
+		t.Fatal("advise answered without an atEpsilon profile")
+	}
+	if info.AtEpsilon.Epsilon != 0.5 || info.AtEpsilon.Error <= 0 {
+		t.Errorf("atEpsilon = %+v, want ε=0.5 and a positive error bound", info.AtEpsilon)
+	}
+	if info.AtEpsilon.FailureProb <= 0 || info.AtEpsilon.FailureProb >= 1 {
+		t.Errorf("failureProb = %g, want in (0, 1)", info.AtEpsilon.FailureProb)
+	}
+	if info.ForTargetError != nil {
+		t.Errorf("inverse advice present without a targetError: %+v", info.ForTargetError)
+	}
+
+	// Inverse: ask for a looser error than ε=0.5 achieves; the advised ε
+	// must meet it and must not exceed 0.5 (more budget than needed).
+	target := info.AtEpsilon.Error * 1.5
+	code, info2, _ := postAdvise(t, ts, map[string]any{
+		"dataset": "g", "kind": "triangles", "epsilon": 0.5, "targetError": target,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("advise(inverse): status %d", code)
+	}
+	adv := info2.ForTargetError
+	if adv == nil {
+		t.Fatal("advise answered the inverse question without forTargetError")
+	}
+	if adv.Accuracy.Error > target {
+		t.Errorf("advised ε=%g achieves error %g, above the target %g", adv.Epsilon, adv.Accuracy.Error, target)
+	}
+	if adv.Epsilon <= 0 || adv.Epsilon > 0.5 {
+		t.Errorf("advised ε=%g for a looser-than-ε=0.5 target, want in (0, 0.5]", adv.Epsilon)
+	}
+
+	// A second identical advise hits the now-cached plan.
+	if _, info3, _ := postAdvise(t, ts, map[string]any{"dataset": "g", "kind": "triangles", "epsilon": 0.5}); !info3.AlreadyPrepared {
+		t.Error("second advise did not report alreadyPrepared")
+	}
+
+	if after := getRemaining(t, ts, "g"); after != before {
+		t.Errorf("advise moved the budget: remaining %g → %g, want unchanged", before, after)
+	}
+}
+
+// TestAdviseValidation pins the typed 400s: an out-of-range tail is
+// "invalid_tail" (the mechanism layer would panic on it; the boundary must
+// convert), a negative target is a plain bad request, and an unachievable
+// target names the tightest attainable bound.
+func TestAdviseValidation(t *testing.T) {
+	ts, _ := newAccuracyServer(t, 2.0)
+	code, _, errBody := postAdvise(t, ts, map[string]any{"dataset": "g", "kind": "triangles", "tail": -1})
+	if code != http.StatusBadRequest {
+		t.Fatalf("advise(tail=-1): status %d, want 400", code)
+	}
+	if got := errCode(t, errBody); got != "invalid_tail" {
+		t.Errorf("tail=-1 error code %q, want invalid_tail", got)
+	}
+
+	code, _, errBody = postAdvise(t, ts, map[string]any{"dataset": "g", "kind": "triangles", "targetError": -5})
+	if code != http.StatusBadRequest {
+		t.Fatalf("advise(targetError=-5): status %d, want 400", code)
+	}
+	if got := errCode(t, errBody); got != "bad_request" {
+		t.Errorf("targetError=-5 error code %q, want bad_request", got)
+	}
+
+	code, _, errBody = postAdvise(t, ts, map[string]any{"dataset": "g", "kind": "triangles", "targetError": 1e-12})
+	if code != http.StatusBadRequest {
+		t.Fatalf("advise(unachievable): status %d, want 400", code)
+	}
+	inner := errBody["error"].(map[string]any)
+	if msg, _ := inner["message"].(string); msg == "" {
+		t.Error("unachievable-target rejection carries no message")
+	}
+}
+
+// TestPrepareAccuracyWhenExposed: on an opted-in server the prepare
+// response carries the Theorem 1 profile at the request's ε, matching what
+// /v2/advise reports for the same workload.
+func TestPrepareAccuracyWhenExposed(t *testing.T) {
+	ts, _ := newAccuracyServer(t, 2.0)
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v2/prepare", map[string]any{"dataset": "g", "kind": "triangles", "epsilon": 0.5})
+	if code != http.StatusOK {
+		t.Fatalf("prepare: status %d: %s", code, raw)
+	}
+	var prep struct {
+		Accuracy *recmech.AccuracyInfo `json:"accuracy"`
+	}
+	if err := json.Unmarshal(raw, &prep); err != nil {
+		t.Fatal(err)
+	}
+	if prep.Accuracy == nil {
+		t.Fatal("prepare on an exposing server carries no accuracy block")
+	}
+	_, info, _ := postAdvise(t, ts, map[string]any{"dataset": "g", "kind": "triangles", "epsilon": 0.5})
+	if info.AtEpsilon == nil || *prep.Accuracy != *info.AtEpsilon {
+		t.Errorf("prepare accuracy %+v differs from advise %+v for the same workload", prep.Accuracy, info.AtEpsilon)
+	}
+}

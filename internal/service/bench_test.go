@@ -120,6 +120,36 @@ func reportHitRatio(b *testing.B, unit string, st sfcache.Stats) {
 	}
 }
 
+// BenchmarkAdvise measures the zero-ε accuracy path with a warm plan: both
+// directions per iteration (the Theorem 1 bound at ε, plus the inverse
+// grid-and-bisection search for a target error), which is what a tenant
+// tuning a query's spend pays per call after the first.
+func BenchmarkAdvise(b *testing.B) {
+	svc := benchService(b)
+	svc.cfg.ExposeAccuracy = true // the advise path is gated; flip the opt-in
+	ctx := context.Background()
+	const q = "SELECT x, y FROM visits WHERE x != 'warm'"
+	req := AdviseRequest{Request: Request{Dataset: "med", Kind: KindSQL, Query: q, Epsilon: 0.5}}
+	// Priming advise: compiles the plan and pays the one memoized G_{|P|}
+	// solve, and its answer supplies an achievable inverse target.
+	primed, err := svc.Advise(ctx, req)
+	if err != nil {
+		b.Fatalf("priming advise: %v", err)
+	}
+	req.TargetError = primed.AtEpsilon.Error * 1.5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		info, err := svc.Advise(ctx, req)
+		if err != nil {
+			b.Fatalf("Advise: %v", err)
+		}
+		if info.ForTargetError == nil {
+			b.Fatal("advise answered without the inverse direction")
+		}
+	}
+}
+
 // BenchmarkBatchJob measures the async job pipeline end to end: submit a
 // batch of distinct queries (one atomic reservation), wait for completion.
 // Reported per batch of batchSize queries.

@@ -45,6 +45,17 @@ var (
 	// ErrUnknownTrace rejects a lookup of a trace ID that is not retained
 	// (never recorded, or evicted from the bounded ring of recent traces).
 	ErrUnknownTrace = errors.New("service: unknown trace")
+	// ErrInvalidTail rejects an accuracy request whose tail parameter c is
+	// not positive and finite — the Theorem 1 bound is undefined there
+	// (the mechanism layer panics on c ≤ 0; the service validates at the
+	// boundary so a request parameter can never reach that panic).
+	ErrInvalidTail = errors.New("service: invalid tail parameter")
+	// ErrAccuracyDisabled rejects a tenant-facing accuracy request
+	// (/v2/advise, the prepare accuracy block) on a server that has not
+	// opted in: the Theorem 1 bound is computed from the sensitive data,
+	// so exposing it per query leaks outside the DP guarantee. Start the
+	// daemon with -expose-accuracy to enable; see DESIGN.md.
+	ErrAccuracyDisabled = errors.New("service: accuracy exposure disabled")
 )
 
 // BudgetError is the typed rejection returned when a reservation would
@@ -143,6 +154,33 @@ func (e *TraceError) Error() string {
 
 // Is makes errors.Is(err, ErrUnknownTrace) succeed.
 func (e *TraceError) Is(target error) bool { return target == ErrUnknownTrace }
+
+// TailError rejects an out-of-range tail parameter. It matches both
+// ErrInvalidTail (for the typed 400 code "invalid_tail") and ErrBadRequest
+// (it is a malformed request like any other).
+type TailError struct {
+	Tail float64
+}
+
+func (e *TailError) Error() string {
+	return fmt.Sprintf("service: tail parameter must be positive and finite, got %g", e.Tail)
+}
+
+// Is makes errors.Is succeed for both ErrInvalidTail and ErrBadRequest.
+func (e *TailError) Is(target error) bool {
+	return target == ErrInvalidTail || target == ErrBadRequest
+}
+
+// AccuracyDisabledError rejects tenant-facing accuracy requests on a server
+// without the opt-in. errors.Is(err, ErrAccuracyDisabled) is true.
+type AccuracyDisabledError struct{}
+
+func (e *AccuracyDisabledError) Error() string {
+	return "service: accuracy reporting is not enabled on this server (start recmechd with -expose-accuracy; the bound is data-dependent — see DESIGN.md)"
+}
+
+// Is makes errors.Is(err, ErrAccuracyDisabled) succeed.
+func (e *AccuracyDisabledError) Is(target error) bool { return target == ErrAccuracyDisabled }
 
 // TooLargeError rejects an oversized request body. errors.Is(err,
 // ErrRequestTooLarge) is true.

@@ -231,11 +231,30 @@ func (e *Executor) Execute(ctx context.Context, ds *Dataset, req *Request) (valu
 	if err != nil {
 		return 0, hit, err
 	}
-	v, err := pl.Release(ctx, req.Epsilon, rng)
+	obs, err := pl.ReleaseObserved(ctx, req.Epsilon, rng)
 	if err != nil {
 		return 0, hit, asRequestError(err)
 	}
-	return v, hit, nil
+	// Accuracy telemetry is an operator surface (histograms on /metrics,
+	// aggregates on /v1/stats) and is recorded unconditionally — the
+	// ExposeAccuracy gate only governs what tenants see per query.
+	if e.met != nil && obs.PredictedOK {
+		e.met.observeAccuracy(req.Kind, obs.Predicted.Error, obs.NoiseMagnitude)
+	}
+	return obs.Value, hit, nil
+}
+
+// PlanFor fetches (or compiles) the plan for a normalized request under the
+// same admission control as Execute, without drawing a release or touching
+// the budget: the zero-ε path behind Service.Advise. Reports whether the
+// plan was already cached.
+func (e *Executor) PlanFor(ctx context.Context, ds *Dataset, req *Request) (*plan.Plan, bool, error) {
+	rng, err := e.acquire(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	defer e.releaseSlot(rng)
+	return e.plan(ctx, ds, req)
 }
 
 // Prepare warms the plan cache for a normalized request without drawing a
@@ -243,21 +262,20 @@ func (e *Executor) Execute(ctx context.Context, ds *Dataset, req *Request) (valu
 // is found already materialized) and the plan's Δ ladder and central X
 // search are evaluated into the memo for the request's ε (the server
 // default when the request omits it), so the next Query at that ε
-// typically pays only the noise draws. Returns whether the plan was
-// already cached, plus the plan's retained compile profile (the zero
-// profile when no plan materialized).
-func (e *Executor) Prepare(ctx context.Context, ds *Dataset, req *Request) (bool, plan.CompileProfile, error) {
+// typically pays only the noise draws. Returns the warmed plan (nil when
+// none materialized) and whether it was already cached.
+func (e *Executor) Prepare(ctx context.Context, ds *Dataset, req *Request) (*plan.Plan, bool, error) {
 	rng, err := e.acquire(ctx)
 	if err != nil {
-		return false, plan.CompileProfile{}, err
+		return nil, false, err
 	}
 	defer e.releaseSlot(rng)
 	pl, hit, err := e.plan(ctx, ds, req)
 	if err != nil {
-		return hit, plan.CompileProfile{}, err
+		return nil, hit, err
 	}
 	if err := pl.Warm(ctx, req.Epsilon); err != nil {
-		return hit, pl.Profile(), asRequestError(err)
+		return pl, hit, asRequestError(err)
 	}
-	return hit, pl.Profile(), nil
+	return pl, hit, nil
 }

@@ -40,6 +40,7 @@ type BatchRequest struct {
 //
 //	POST   /v2/query            Request → Response (plan-cached execution)
 //	POST   /v2/prepare          Request → PrepareInfo (warm a plan, zero ε)
+//	POST   /v2/advise           AdviseRequest → AdviseInfo (Theorem 1 accuracy, zero ε; needs -expose-accuracy)
 //	POST   /v2/jobs             BatchRequest → 202 + JobInfo (atomic ε reservation)
 //	GET    /v2/jobs             → {"jobs": [JobInfo…]} (sorted by id)
 //	GET    /v2/jobs/{id}        → JobInfo
@@ -74,8 +75,10 @@ type BatchRequest struct {
 // Errors come back as {"error": {"code", "message"}} with the status
 // mirroring the typed error: 429 for an exhausted budget, 404 for an
 // unknown dataset or job, 409 for canceling a finished job, 413 for an
-// oversized body, 400 for a bad request, 499/504 for a canceled or timed
-// out request, 500 otherwise.
+// oversized body, 403 for accuracy requests without the -expose-accuracy
+// opt-in, 400 for a bad request (code "invalid_tail" for an out-of-range
+// tail parameter), 499/504 for a canceled or timed out request, 500
+// otherwise.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	// POST /v1/query and POST /v2/query are the same core: v1 was already
@@ -132,6 +135,27 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		annotate(r, info.Dataset, 0, "prepared")
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /v2/advise", func(w http.ResponseWriter, r *http.Request) {
+		var req AdviseRequest
+		if err := decodeJSON(w, r, maxBodyBytes, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		ctx, tid := withTraceSlot(r.Context())
+		info, err := s.Advise(ctx, req)
+		if tid.id != "" {
+			w.Header().Set("X-Recmech-Trace-Id", tid.id)
+			annotateTrace(r, tid.id)
+		}
+		if err != nil {
+			annotate(r, canonName(req.Dataset), 0, "none")
+			writeError(w, err)
+			return
+		}
+		// ε stays 0 in the access log: advice never touches the budget.
+		annotate(r, info.Dataset, 0, "advised")
 		writeJSON(w, http.StatusOK, info)
 	})
 	mux.HandleFunc("POST /v2/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -315,6 +339,14 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrRequestTooLarge):
 		status = http.StatusRequestEntityTooLarge
 		detail.Code = "request_too_large"
+	// invalid_tail before bad_request: a TailError matches both sentinels,
+	// and the more specific code wins.
+	case errors.Is(err, ErrInvalidTail):
+		status = http.StatusBadRequest
+		detail.Code = "invalid_tail"
+	case errors.Is(err, ErrAccuracyDisabled):
+		status = http.StatusForbidden
+		detail.Code = "accuracy_disabled"
 	case errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
 		detail.Code = "bad_request"

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -31,6 +32,13 @@ type serviceMetrics struct {
 	reg   *metrics.Registry
 	start time.Time
 
+	// now is the clock behind the sliding spend window — injectable so the
+	// burn-rate decay is testable without sleeping through real minutes.
+	now func() time.Time
+	// window is Config.SpendRateWindow: the width of every per-dataset
+	// sliding ε window (and so the horizon of the burn-rate/TTL forecasts).
+	window time.Duration
+
 	// Query outcomes by source: a fresh compile, a plan-cache hit paying
 	// only the release, or a replay (release cache or coalesced flight).
 	qFresh, qPlanHit, qReplay       *metrics.Counter
@@ -51,6 +59,14 @@ type serviceMetrics struct {
 	dsMu  sync.RWMutex
 	perDS map[string]*dsCounters
 
+	// Accuracy telemetry, keyed by workload family (the fixed query kinds,
+	// minted at construction so the per-release observe is two read-only map
+	// lookups): the Theorem 1 predicted error bound next to the Laplace
+	// noise magnitude actually drawn. Predicted should dominate drawn —
+	// a family whose draws routinely exceed its bound is a bug report.
+	accPredicted map[string]*metrics.Histogram
+	accNoise     map[string]*metrics.Histogram
+
 	// runtime caches MemStats snapshots for the runtime-health gauges.
 	runtime runtimeSampler
 }
@@ -62,14 +78,27 @@ type serviceMetrics struct {
 type dsCounters struct {
 	fresh, replayed, failed, rejected atomic.Uint64
 	epsCommitted                      metrics.Gauge // monotone: ε committed by queries since boot
+	// fam attributes committed ε by workload family. Unlike the counters
+	// above it is seeded at boot from the WAL's release records (see
+	// attributeSpend), so in durable mode it survives restarts.
+	fam famSpend
+	// window holds the trailing SpendRateWindow of ε commits, behind the
+	// burn-rate and budget-TTL forecasts. Deliberately NOT seeded at boot:
+	// historic spend is not recent spend.
+	window *epsWindow
 }
 
-func newServiceMetrics() *serviceMetrics {
+func newServiceMetrics(window time.Duration) *serviceMetrics {
+	if window <= 0 {
+		window = time.Hour
+	}
 	reg := metrics.NewRegistry()
 	m := &serviceMetrics{
-		reg:   reg,
-		start: time.Now(),
-		perDS: make(map[string]*dsCounters),
+		reg:    reg,
+		start:  time.Now(),
+		now:    time.Now,
+		window: window,
+		perDS:  make(map[string]*dsCounters),
 	}
 	const qHelp = "DP queries answered, by how the answer was produced"
 	m.qFresh = reg.Counter("recmech_queries_total", qHelp, metrics.L("source", "fresh"))
@@ -95,7 +124,46 @@ func newServiceMetrics() *serviceMetrics {
 	m.jobsRejected = reg.Counter("recmech_jobs_total", jHelp, metrics.L("outcome", "rejected"))
 	m.httpDur = reg.Histogram("recmech_http_request_duration_seconds",
 		"HTTP request latency in seconds, all endpoints", buckets)
+	// Error-magnitude buckets for the accuracy histograms: additive error
+	// on subgraph counts spans roughly unit scale (sparse graphs at
+	// generous ε) to 1e5 (node privacy at tight ε), geometric 1-2.5-5.
+	errBuckets := []float64{
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+		250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000,
+	}
+	m.accPredicted = make(map[string]*metrics.Histogram, len(spendFamilies))
+	m.accNoise = make(map[string]*metrics.Histogram, len(spendFamilies))
+	for _, kind := range spendFamilies {
+		m.accPredicted[kind] = reg.Histogram("recmech_accuracy_predicted_error",
+			"Theorem 1 predicted error bound per release, by workload family",
+			errBuckets, metrics.L("family", kind))
+		m.accNoise[kind] = reg.Histogram("recmech_accuracy_noise_magnitude",
+			"Laplace noise magnitude actually drawn per release, by workload family",
+			errBuckets, metrics.L("family", kind))
+	}
 	return m
+}
+
+// observeAccuracy records one release's predicted Theorem 1 bound next to
+// the noise magnitude it actually drew. Unknown kinds (none today — the
+// request validator pins the set) are dropped rather than minting series.
+func (m *serviceMetrics) observeAccuracy(kind string, predicted, noiseMag float64) {
+	if h := m.accPredicted[kind]; h != nil {
+		h.Observe(predicted)
+	}
+	if h := m.accNoise[kind]; h != nil {
+		h.Observe(noiseMag)
+	}
+}
+
+// attributeSpend credits committed ε to a dataset's per-family attribution
+// without touching the sliding window or the since-boot counters — the boot
+// path: NewWithStore replays the WAL's retained release records through
+// here so the attribution is restart-identical to the journal.
+func (m *serviceMetrics) attributeSpend(dataset, kind string, epsilon float64) {
+	if c := m.ds(dataset); c != nil {
+		c.fam.add(kind, epsilon)
+	}
 }
 
 // bind registers the scrape-time instruments that read live service state.
@@ -229,6 +297,57 @@ func (m *serviceMetrics) bind(s *Service) {
 			}
 			return out
 		})
+	reg.SampleFunc("recmech_dataset_epsilon_by_family",
+		"ε attributed per dataset and workload family (WAL-seeded in durable mode)", "counter",
+		func() []metrics.Sample {
+			var out []metrics.Sample
+			m.dsMu.RLock()
+			defer m.dsMu.RUnlock()
+			for name, c := range m.perDS {
+				for _, kind := range spendFamilies {
+					out = append(out, metrics.Sample{
+						Labels: []metrics.Label{metrics.L("dataset", name), metrics.L("family", kind)},
+						Value:  c.fam.value(kind),
+					})
+				}
+			}
+			return out
+		})
+	reg.SampleFunc("recmech_budget_burn_eps_per_hour",
+		"ε committed per hour over the trailing spend window, per dataset", "gauge",
+		func() []metrics.Sample {
+			now := m.now()
+			var out []metrics.Sample
+			m.dsMu.RLock()
+			defer m.dsMu.RUnlock()
+			for name, c := range m.perDS {
+				out = append(out, metrics.Sample{
+					Labels: []metrics.Label{metrics.L("dataset", name)},
+					Value:  c.window.ratePerHour(now),
+				})
+			}
+			return out
+		})
+	reg.SampleFunc("recmech_budget_ttl_seconds",
+		"Projected seconds until the ε budget is exhausted at the current burn rate (+Inf when idle)", "gauge",
+		func() []metrics.Sample {
+			now := m.now()
+			sts := s.acct.StatusAll()
+			out := make([]metrics.Sample, 0, len(sts))
+			m.dsMu.RLock()
+			defer m.dsMu.RUnlock()
+			for _, st := range sts {
+				c := m.perDS[st.Dataset]
+				if c == nil {
+					continue // ledger for a dataset deleted mid-scrape
+				}
+				out = append(out, metrics.Sample{
+					Labels: []metrics.Label{metrics.L("dataset", st.Dataset)},
+					Value:  ttlSeconds(st.Remaining, c.window.sum(now), m.window),
+				})
+			}
+			return out
+		})
 
 	// LP solver counters are process-global (see internal/lp): they
 	// aggregate every solver user in the process, not just this service.
@@ -326,7 +445,7 @@ func (m *serviceMetrics) dropDataset(name string) {
 func (m *serviceMetrics) ensureDS(name string) {
 	m.dsMu.Lock()
 	if _, ok := m.perDS[name]; !ok {
-		m.perDS[name] = &dsCounters{}
+		m.perDS[name] = &dsCounters{window: newEpsWindow(m.window)}
 	}
 	m.dsMu.Unlock()
 }
@@ -343,8 +462,9 @@ func (m *serviceMetrics) ds(name string) *dsCounters {
 // recordQuery tallies one completed (or failed) pass through Service.do.
 // dsKnown guards the per-dataset counters: an unknown dataset name must
 // not mint counter entries (that would let unauthenticated requests grow
-// the metric space without bound).
-func (m *serviceMetrics) recordQuery(dataset string, dsKnown, cached, planHit bool, epsilon float64, start time.Time, err error) {
+// the metric space without bound). kind attributes a successful fresh
+// release's ε to its workload family and the sliding spend window.
+func (m *serviceMetrics) recordQuery(dataset, kind string, dsKnown, cached, planHit bool, epsilon float64, start time.Time, err error) {
 	elapsed := time.Since(start)
 	var c *dsCounters
 	if dsKnown {
@@ -368,6 +488,8 @@ func (m *serviceMetrics) recordQuery(dataset string, dsKnown, cached, planHit bo
 		if c != nil {
 			c.fresh.Add(1)
 			c.epsCommitted.Add(epsilon)
+			c.fam.add(kind, epsilon)
+			c.window.add(m.now(), epsilon)
 		}
 	case errors.Is(err, ErrBudgetExhausted):
 		m.failBudget.Inc()
@@ -450,6 +572,21 @@ type ServiceStats struct {
 	LP            LPStats               `json:"lp"`
 	Runtime       RuntimeStats          `json:"runtime"`
 	Store         *StoreStats           `json:"store,omitempty"`
+	// Accuracy aggregates the per-release error telemetry by workload
+	// family; families with no releases yet are omitted. This is an
+	// operator surface — present regardless of Config.ExposeAccuracy.
+	Accuracy map[string]AccuracyFamilyStats `json:"accuracy,omitempty"`
+}
+
+// AccuracyFamilyStats summarizes one workload family's releases since boot:
+// the mean Theorem 1 predicted bound next to the mean noise magnitude
+// actually drawn (full distributions are the recmech_accuracy_* histograms
+// on /metrics). Drawn noise running anywhere near the predicted bound
+// means the bound is no longer conservative for this workload — investigate.
+type AccuracyFamilyStats struct {
+	Releases           uint64  `json:"releases"`
+	MeanPredictedError float64 `json:"meanPredictedError"`
+	MeanNoiseMagnitude float64 `json:"meanNoiseMagnitude"`
 }
 
 // RuntimeStats snapshots process health: the same facts as the
@@ -601,6 +738,24 @@ func (s *Service) Stats() ServiceStats {
 		FanoutsTotal:  ps.FanoutsTotal,
 		InlineTotal:   ps.InlineTotal,
 	}
+	for _, kind := range spendFamilies {
+		h := m.accPredicted[kind]
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		if st.Accuracy == nil {
+			st.Accuracy = make(map[string]AccuracyFamilyStats, len(spendFamilies))
+		}
+		fs := AccuracyFamilyStats{
+			Releases:           n,
+			MeanPredictedError: h.Sum() / float64(n),
+		}
+		if hn := m.accNoise[kind]; hn.Count() > 0 {
+			fs.MeanNoiseMagnitude = hn.Sum() / float64(hn.Count())
+		}
+		st.Accuracy[kind] = fs
+	}
 	if s.store != nil {
 		sm := s.store.Metrics()
 		st.Store = &StoreStats{
@@ -628,10 +783,25 @@ type DatasetStats struct {
 	Rejected uint64 `json:"rejected"`
 	// CacheHitRatio is replayed / (fresh + replayed); 0 with no answers.
 	CacheHitRatio float64 `json:"cacheHitRatio"`
-	// EpsilonCommitted is ε spent by queries since process start;
-	// EpsilonPerHour is its rate over the process uptime.
-	EpsilonCommitted float64 `json:"epsilonCommitted"`
-	EpsilonPerHour   float64 `json:"epsilonPerHour"`
+	// EpsilonCommitted is ε spent by queries since process start.
+	// EpsilonPerHour is the burn rate over the trailing spend window of
+	// SpendWindowSeconds (not since boot — a freshly restarted process no
+	// longer reports an inflated rate from a short uptime denominator).
+	EpsilonCommitted   float64 `json:"epsilonCommitted"`
+	EpsilonPerHour     float64 `json:"epsilonPerHour"`
+	SpendWindowSeconds float64 `json:"spendWindowSeconds"`
+	// BudgetTTLSeconds projects seconds until the ledger's remaining ε is
+	// exhausted at the window's burn rate. Omitted when nothing was spent
+	// in the window (the projection would be +Inf, which JSON cannot
+	// carry); 0 means the budget is already gone.
+	BudgetTTLSeconds *float64 `json:"budgetTtlSeconds,omitempty"`
+	// SpendByFamily attributes committed ε by workload family (sql,
+	// triangles, kstars, ktriangles, pattern); families never queried are
+	// omitted. In durable mode it is seeded at boot from the WAL's retained
+	// release records, so it survives restarts — a lower bound when the
+	// release cache has pruned old records (the Budget ledger stays
+	// authoritative for totals).
+	SpendByFamily map[string]float64 `json:"spendByFamily,omitempty"`
 	// Budget is the dataset's ε ledger (durable in durable mode).
 	Budget *BudgetStatus `json:"budget,omitempty"`
 }
@@ -647,25 +817,30 @@ func (s *Service) DatasetStats(name string) (DatasetStats, error) {
 	if c == nil {
 		// Registered without a counter block (shouldn't happen — every
 		// registration path mints one) — answer with zeros, not a panic.
-		c = &dsCounters{}
+		c = &dsCounters{window: newEpsWindow(s.met.window)}
 	}
 	fresh, replayed := c.fresh.Load(), c.replayed.Load()
 	out := DatasetStats{
-		Dataset:          ds.Name,
-		Fresh:            fresh,
-		Replayed:         replayed,
-		Failed:           c.failed.Load(),
-		Rejected:         c.rejected.Load(),
-		EpsilonCommitted: c.epsCommitted.Value(),
+		Dataset:            ds.Name,
+		Fresh:              fresh,
+		Replayed:           replayed,
+		Failed:             c.failed.Load(),
+		Rejected:           c.rejected.Load(),
+		EpsilonCommitted:   c.epsCommitted.Value(),
+		SpendWindowSeconds: s.met.window.Seconds(),
+		SpendByFamily:      c.fam.snapshot(),
 	}
 	if answered := fresh + replayed; answered > 0 {
 		out.CacheHitRatio = float64(replayed) / float64(answered)
 	}
-	if up := time.Since(s.met.start).Hours(); up > 0 {
-		out.EpsilonPerHour = out.EpsilonCommitted / up
-	}
+	now := s.met.now()
+	windowSum := c.window.sum(now)
+	out.EpsilonPerHour = c.window.ratePerHour(now)
 	if st, ok := s.acct.Status(ds.Name); ok {
 		out.Budget = &st
+		if ttl := ttlSeconds(st.Remaining, windowSum, s.met.window); !math.IsInf(ttl, 1) {
+			out.BudgetTTLSeconds = &ttl
+		}
 	}
 	return out, nil
 }

@@ -74,6 +74,21 @@ type Config struct {
 	// still runs but is counted as dropped rather than recorded.
 	// Default 256 (a deep compile records well under 100).
 	TraceMaxSpans int
+	// ExposeAccuracy enables the tenant-facing accuracy surfaces: the
+	// accuracy block on /v2/prepare responses and the POST /v2/advise
+	// endpoint. Off by default, deliberately: the Theorem 1 error bound is
+	// computed from the sensitive data (via G_{|P|}), so handing it to the
+	// party issuing queries discloses information outside the DP
+	// guarantee. Operator surfaces (/v1/stats, /metrics, traces, the
+	// slow-query log) carry accuracy telemetry regardless of this flag —
+	// they sit inside the trust boundary, beside Δ and the WAL. See
+	// DESIGN.md "Accuracy telemetry and the data-dependence caveat".
+	ExposeAccuracy bool
+	// SpendRateWindow is the sliding window over which per-dataset ε burn
+	// rates — DatasetStats.EpsilonPerHour, the recmech_budget_burn
+	// gauge, and the recmech_budget_ttl_seconds forecast — are computed.
+	// Default 1h.
+	SpendRateWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +128,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceMaxSpans < 1 {
 		c.TraceMaxSpans = 256
 	}
+	if c.SpendRateWindow <= 0 {
+		c.SpendRateWindow = time.Hour
+	}
 	return c
 }
 
@@ -149,7 +167,7 @@ func New(cfg Config) *Service {
 		cache: NewReleaseCache(cfg.CacheEntries),
 		exec:  NewExecutor(cfg.Workers, cfg.PlanEntries, cfg.CompileParallelism, cfg.Seed),
 		jobs:  newJobTable(cfg.MaxJobs),
-		met:   newServiceMetrics(),
+		met:   newServiceMetrics(cfg.SpendRateWindow),
 		tr: trace.New(trace.Options{
 			SampleEvery: cfg.TraceSampleEvery,
 			MaxSpans:    cfg.TraceMaxSpans,
@@ -191,6 +209,14 @@ func NewWithStore(cfg Config, st *store.Store) (*Service, []error) {
 			continue
 		}
 		s.cache.Preload(rel.Key, resp)
+		// Replay ε-spend attribution from the same journal: each retained
+		// release record is one real past spend of resp.Epsilon on
+		// resp.Dataset's resp.Kind family, so the per-family attribution
+		// in GET /v1/datasets/{name}/stats is a pure function of the WAL —
+		// identical before and after any crash/restart. (Records pruned
+		// past the retention bound are not re-attributed; the ledger's
+		// Spent remains the authoritative total.)
+		s.met.attributeSpend(resp.Dataset, resp.Kind, resp.Epsilon)
 	}
 	return s, warns
 }
@@ -427,11 +453,13 @@ func (s *Service) Prepare(ctx context.Context, req Request) (PrepareInfo, error)
 		annotateRoot(root, ds, &req)
 		tctx = trace.NewContext(ctx, root)
 	}
-	var hit bool
-	var prof plan.CompileProfile
+	var (
+		pl  *plan.Plan
+		hit bool
+	)
 	err = retryLeaderCancel(ctx, func() error {
 		var err error
-		hit, prof, err = s.exec.Prepare(tctx, ds, &req)
+		pl, hit, err = s.exec.Prepare(tctx, ds, &req)
 		return err
 	})
 	var tid string
@@ -447,8 +475,21 @@ func (s *Service) Prepare(ctx context.Context, req Request) (PrepareInfo, error)
 		return PrepareInfo{}, err
 	}
 	info := PrepareInfo{Dataset: ds.Name, Kind: req.Kind, Privacy: req.Privacy, AlreadyPrepared: hit, TraceID: tid}
-	if prof.Kind != "" {
-		info.Compile = &prof
+	if pl != nil {
+		prof := pl.Profile()
+		if prof.Kind != "" {
+			info.Compile = &prof
+		}
+		// The accuracy block is tenant-facing and data-dependent, so it
+		// rides only on servers that opted in (see Config.ExposeAccuracy).
+		// A profile failure degrades to omission: the prepare itself
+		// succeeded.
+		if s.cfg.ExposeAccuracy {
+			if b, err := pl.ErrorProfile(req.Epsilon, DefaultTail); err == nil {
+				acc := accuracyInfo(req.Epsilon, DefaultTail, b)
+				info.Accuracy = &acc
+			}
+		}
 	}
 	return info, nil
 }
@@ -487,6 +528,11 @@ type PrepareInfo struct {
 	// wall-time shape of the expensive pipeline (also in GET /v1/stats as
 	// an aggregate). Nil when the compile failed before producing a plan.
 	Compile *plan.CompileProfile `json:"compile,omitempty"`
+	// Accuracy is the Theorem 1 utility profile at the prepared ε (tail
+	// DefaultTail). Present only on servers started with -expose-accuracy:
+	// the bound is data-dependent, so per-query exposure is an explicit
+	// operator opt-in (see DESIGN.md).
+	Accuracy *AccuracyInfo `json:"accuracy,omitempty"`
 }
 
 // do is the serving core shared by Query and the async job runner: resolve
@@ -507,12 +553,12 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation, forceT
 	start := time.Now()
 	ds, err := s.reg.Get(req.Dataset)
 	if err != nil {
-		s.met.recordQuery(req.Dataset, false, false, false, req.Epsilon, start, err)
+		s.met.recordQuery(req.Dataset, req.Kind, false, false, false, req.Epsilon, start, err)
 		return Response{}, settleErr(pre, err)
 	}
 	key, err := req.cacheKey(ds)
 	if err != nil {
-		s.met.recordQuery(ds.Name, true, false, false, req.Epsilon, start, err)
+		s.met.recordQuery(ds.Name, req.Kind, true, false, false, req.Epsilon, start, err)
 		return Response{}, settleErr(pre, err)
 	}
 	// A forced trace starts before the release cache so replays are
@@ -622,7 +668,7 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation, forceT
 		}
 		putTraceID(ctx, s.tr.Finish(root))
 	}
-	s.met.recordQuery(ds.Name, true, cached, planHit, req.Epsilon, start, err)
+	s.met.recordQuery(ds.Name, req.Kind, true, cached, planHit, req.Epsilon, start, err)
 	if err != nil {
 		return Response{}, err
 	}

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"recmech/internal/metrics"
+)
+
+// spendBuckets is the resolution of the sliding spend window: 60 buckets
+// over Config.SpendRateWindow (one per minute at the 1h default). The rate
+// therefore forgets a commit at most one bucket-width late — plenty for a
+// forecasting gauge, and the ring is fixed-size so the commit path stays
+// allocation-free.
+const spendBuckets = 60
+
+// epsWindow accumulates ε commits into a ring of time buckets and reports
+// the total over the trailing window. Unlike the since-boot average it
+// replaces, the rate it yields cannot spike after a restart: the window's
+// full width is always the denominator, so a freshly booted process with
+// one commit reports one commit per window — not one commit divided by
+// three seconds of uptime.
+type epsWindow struct {
+	width  time.Duration // the full sliding window
+	bucket time.Duration // width / spendBuckets
+
+	mu      sync.Mutex
+	buckets [spendBuckets]float64
+	epochs  [spendBuckets]int64 // bucket-epoch each slot last accumulated in
+}
+
+func newEpsWindow(width time.Duration) *epsWindow {
+	if width <= 0 {
+		width = time.Hour
+	}
+	return &epsWindow{width: width, bucket: width / spendBuckets}
+}
+
+// add credits eps to the bucket containing now, zeroing a slot the ring has
+// lapped since it last accumulated.
+func (w *epsWindow) add(now time.Time, eps float64) {
+	epoch := now.UnixNano() / int64(w.bucket)
+	i := int(epoch % spendBuckets)
+	w.mu.Lock()
+	if w.epochs[i] != epoch {
+		w.buckets[i] = 0
+		w.epochs[i] = epoch
+	}
+	w.buckets[i] += eps
+	w.mu.Unlock()
+}
+
+// sum returns ε committed within the window ending at now.
+func (w *epsWindow) sum(now time.Time) float64 {
+	epoch := now.UnixNano() / int64(w.bucket)
+	var total float64
+	w.mu.Lock()
+	for i := range w.buckets {
+		if e := w.epochs[i]; e != 0 && e > epoch-spendBuckets && e <= epoch {
+			total += w.buckets[i]
+		}
+	}
+	w.mu.Unlock()
+	return total
+}
+
+// ratePerHour is the burn rate: window ε divided by the window width.
+func (w *epsWindow) ratePerHour(now time.Time) float64 {
+	return w.sum(now) / w.width.Hours()
+}
+
+// ttlSeconds projects seconds until remaining ε runs out at the burn rate
+// implied by windowSum over width: 0 when the budget is already exhausted,
+// +Inf when nothing was spent in the window (no rate to project from).
+// Prometheus renders +Inf natively; the JSON stats surface omits the field
+// instead (see DatasetStats.BudgetTTLSeconds).
+func ttlSeconds(remaining, windowSum float64, width time.Duration) float64 {
+	if remaining <= 0 {
+		return 0
+	}
+	if windowSum <= 0 {
+		return math.Inf(1)
+	}
+	return remaining / (windowSum / width.Seconds())
+}
+
+// spendFamilies is the fixed set of workload families ε spend is attributed
+// to — exactly the query kinds, so the attribution's label space is bounded
+// by construction.
+var spendFamilies = [...]string{KindSQL, KindTriangles, KindKStars, KindKTriangles, KindPattern}
+
+// famSpend attributes committed ε per workload family for one dataset:
+// seeded at boot from the WAL's retained release records, incremented live
+// on every fresh commit. Fixed fields (not a map) keep the commit path
+// allocation-free.
+type famSpend struct {
+	sql, triangles, kstars, ktriangles, pattern metrics.Gauge
+}
+
+func (f *famSpend) add(kind string, eps float64) {
+	switch kind {
+	case KindSQL:
+		f.sql.Add(eps)
+	case KindTriangles:
+		f.triangles.Add(eps)
+	case KindKStars:
+		f.kstars.Add(eps)
+	case KindKTriangles:
+		f.ktriangles.Add(eps)
+	case KindPattern:
+		f.pattern.Add(eps)
+	}
+}
+
+func (f *famSpend) value(kind string) float64 {
+	switch kind {
+	case KindSQL:
+		return f.sql.Value()
+	case KindTriangles:
+		return f.triangles.Value()
+	case KindKStars:
+		return f.kstars.Value()
+	case KindKTriangles:
+		return f.ktriangles.Value()
+	case KindPattern:
+		return f.pattern.Value()
+	}
+	return 0
+}
+
+// snapshot returns the non-zero attributions (families never queried are
+// omitted from the JSON surface; /metrics emits all five).
+func (f *famSpend) snapshot() map[string]float64 {
+	var out map[string]float64
+	for _, kind := range spendFamilies {
+		if v := f.value(kind); v != 0 {
+			if out == nil {
+				out = make(map[string]float64, len(spendFamilies))
+			}
+			out[kind] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package service_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"recmech"
+)
+
+func datasetStats(t *testing.T, ts *httptest.Server, name string) recmech.DatasetStats {
+	t.Helper()
+	code, raw := doJSON(t, http.MethodGet, ts.URL+"/v1/datasets/"+name+"/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/datasets/%s/stats: %d %s", name, code, raw)
+	}
+	var st recmech.DatasetStats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSpendAttributionSurvivesCrash: the per-family ε attribution is a pure
+// function of the WAL's release records, so abandoning the store without
+// any shutdown (what SIGKILL leaves behind) and rebooting on the same dir
+// must reproduce the numbers exactly.
+func TestSpendAttributionSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := bootDurable(t, dir) // store deliberately never closed: SIGKILL
+
+	code, raw := doJSON(t, http.MethodPut, ts.URL+"/v1/datasets/social",
+		recmech.UploadRequest{Kind: "graph", Graph: socialEdges})
+	if code != http.StatusOK {
+		t.Fatalf("upload: %d %s", code, raw)
+	}
+	// Spend across two workload families at distinct ε so a mixed-up
+	// attribution cannot accidentally sum to the right numbers.
+	for _, q := range []recmech.ServiceRequest{
+		{Dataset: "social", Kind: recmech.KindTriangles, Epsilon: 0.5},
+		{Dataset: "social", Kind: recmech.KindKStars, K: 2, Epsilon: 0.25},
+		{Dataset: "social", Kind: recmech.KindKStars, K: 3, Epsilon: 0.25},
+	} {
+		body, _ := json.Marshal(q)
+		if code, raw := doJSON(t, http.MethodPost, ts.URL+"/v2/query", json.RawMessage(body)); code != http.StatusOK {
+			t.Fatalf("query %s: %d %s", q.Kind, code, raw)
+		}
+	}
+	before := datasetStats(t, ts, "social")
+	want := map[string]float64{recmech.KindTriangles: 0.5, recmech.KindKStars: 0.5}
+	if !reflect.DeepEqual(before.SpendByFamily, want) {
+		t.Fatalf("pre-crash SpendByFamily = %v, want %v", before.SpendByFamily, want)
+	}
+	ts.Close()
+
+	ts2, _ := bootDurable(t, dir)
+	after := datasetStats(t, ts2, "social")
+	if !reflect.DeepEqual(after.SpendByFamily, before.SpendByFamily) {
+		t.Errorf("SpendByFamily changed across crash/restart: %v → %v", before.SpendByFamily, after.SpendByFamily)
+	}
+	if after.EpsilonPerHour != 0 {
+		t.Errorf("burn rate right after restart = %g ε/h, want 0 (the window is per boot; no restart spike)", after.EpsilonPerHour)
+	}
+	if before.Budget == nil || after.Budget == nil || after.Budget.Spent != before.Budget.Spent {
+		t.Errorf("ledger Spent changed across restart: %+v → %+v", before.Budget, after.Budget)
+	}
+}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"recmech/internal/graph"
+)
+
+func TestEpsWindowSlidingDecay(t *testing.T) {
+	w := newEpsWindow(time.Hour)
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	w.add(t0, 2.0)
+	w.add(t0.Add(10*time.Minute), 1.0)
+	if got := w.sum(t0.Add(10 * time.Minute)); got != 3.0 {
+		t.Errorf("sum inside window = %g, want 3", got)
+	}
+	// 50 minutes on, the t0 commit is still inside the trailing hour.
+	if got := w.sum(t0.Add(50 * time.Minute)); got != 3.0 {
+		t.Errorf("sum at 50m = %g, want 3", got)
+	}
+	// 61 minutes on, the t0 bucket has aged out but the 10-minute one holds.
+	if got := w.sum(t0.Add(61 * time.Minute)); got != 1.0 {
+		t.Errorf("sum at 61m = %g, want 1", got)
+	}
+	// Two hours on, everything has aged out — including via ring lap, where
+	// a new add lands in a slot whose stale epoch must be reset, not summed.
+	if got := w.sum(t0.Add(2 * time.Hour)); got != 0 {
+		t.Errorf("sum at 2h = %g, want 0", got)
+	}
+	w.add(t0.Add(2*time.Hour), 0.5)
+	if got := w.sum(t0.Add(2 * time.Hour)); got != 0.5 {
+		t.Errorf("sum after lap = %g, want 0.5", got)
+	}
+	if got := w.ratePerHour(t0.Add(2 * time.Hour)); got != 0.5 {
+		t.Errorf("ratePerHour = %g, want 0.5 (window ε over full width)", got)
+	}
+}
+
+func TestTTLSeconds(t *testing.T) {
+	if got := ttlSeconds(0, 1, time.Hour); got != 0 {
+		t.Errorf("exhausted budget: ttl = %g, want 0", got)
+	}
+	if got := ttlSeconds(-0.1, 1, time.Hour); got != 0 {
+		t.Errorf("overdrawn budget: ttl = %g, want 0", got)
+	}
+	if got := ttlSeconds(5, 0, time.Hour); !math.IsInf(got, 1) {
+		t.Errorf("idle window: ttl = %g, want +Inf", got)
+	}
+	// Burning 2ε/hour with 4ε left: two hours of runway.
+	if got := ttlSeconds(4, 2, time.Hour); got != 2*3600 {
+		t.Errorf("ttl = %g, want %d", got, 2*3600)
+	}
+}
+
+// TestBurnRateSurvivesClockNotUptime is the restart-artifact regression
+// test: the burn rate must be window ε over the window width, never ε over
+// process uptime — a process two seconds into its life that commits 0.5ε
+// used to report a ~900ε/hour "burn" and page whoever owned the alert.
+func TestBurnRateSurvivesClockNotUptime(t *testing.T) {
+	svc := New(Config{DatasetBudget: 10, DefaultEpsilon: 0.5, Workers: 2, Seed: 1})
+	g := graph.New(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}} {
+		g.AddEdge(e[0], e[1])
+	}
+	if err := svc.AddGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	// Inject the spend clock. The fake starts "now" and only moves when the
+	// test says so — queries land instantly from the window's point of view.
+	fake := time.Date(2026, 8, 7, 9, 0, 0, 0, time.UTC)
+	svc.met.now = func() time.Time { return fake }
+
+	if _, err := svc.Query(context.Background(), Request{Dataset: "g", Kind: KindTriangles, Epsilon: 0.5}); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	st, err := svc.DatasetStats("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EpsilonPerHour != 0.5 {
+		t.Errorf("burn right after one 0.5ε query = %g ε/h, want 0.5 (full-window denominator)", st.EpsilonPerHour)
+	}
+	if st.SpendWindowSeconds != 3600 {
+		t.Errorf("SpendWindowSeconds = %g, want 3600", st.SpendWindowSeconds)
+	}
+	if st.BudgetTTLSeconds == nil {
+		t.Fatal("BudgetTTLSeconds omitted while the window is non-empty")
+	}
+	// 9.5ε left at 0.5ε/hour: 19 hours of runway.
+	if got, want := *st.BudgetTTLSeconds, 19*3600.0; math.Abs(got-want) > 1 {
+		t.Errorf("BudgetTTLSeconds = %g, want %g", got, want)
+	}
+	if st.SpendByFamily[KindTriangles] != 0.5 {
+		t.Errorf("SpendByFamily[triangles] = %g, want 0.5", st.SpendByFamily[KindTriangles])
+	}
+
+	// Two hours later with no traffic the window is empty: the rate decays
+	// to zero and the TTL projection (which would be +Inf) is omitted, while
+	// the since-boot and per-family totals hold.
+	fake = fake.Add(2 * time.Hour)
+	st, err = svc.DatasetStats("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EpsilonPerHour != 0 {
+		t.Errorf("burn two idle hours later = %g ε/h, want 0", st.EpsilonPerHour)
+	}
+	if st.BudgetTTLSeconds != nil {
+		t.Errorf("BudgetTTLSeconds = %g on an idle window, want omitted", *st.BudgetTTLSeconds)
+	}
+	if st.EpsilonCommitted != 0.5 {
+		t.Errorf("EpsilonCommitted = %g, want 0.5 (since-boot total must not decay)", st.EpsilonCommitted)
+	}
+	if st.SpendByFamily[KindTriangles] != 0.5 {
+		t.Errorf("SpendByFamily[triangles] = %g, want 0.5 (attribution must not decay)", st.SpendByFamily[KindTriangles])
+	}
+}

@@ -408,6 +408,13 @@ func (s *Store) Ledgers() map[string]LedgerState {
 // Releases returns every recorded release in journal order. A key recorded
 // twice (possible after cache eviction) appears twice; the later entry is
 // the one a replaying cache should keep.
+//
+// Beyond cache replay, the retained records are the serving layer's source
+// for per-family ε-spend attribution at boot (each payload carries the
+// dataset, kind, and ε of the release it journals), which is why the
+// retention bound trims oldest-first: attribution degrades to a documented
+// lower bound rather than a skewed sample, and the budget ledger — which
+// never prunes — stays authoritative for totals.
 func (s *Store) Releases() []Release {
 	s.mu.Lock()
 	defer s.mu.Unlock()

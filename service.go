@@ -51,6 +51,19 @@ type (
 	JobItemInfo = service.JobItemInfo
 	// PrepareInfo reports a POST /v2/prepare outcome (plan warmed, zero ε).
 	PrepareInfo = service.PrepareInfo
+	// AdviseRequest is the body of POST /v2/advise: a workload plus the
+	// accuracy question (error at ε, and optionally ε for a target error).
+	AdviseRequest = service.AdviseRequest
+	// AdviseInfo answers an accuracy question at zero ε (Theorem 1 bound).
+	AdviseInfo = service.AdviseInfo
+	// AccuracyInfo is one evaluated Theorem 1 utility profile.
+	AccuracyInfo = service.AccuracyInfo
+	// EpsilonAdvice is the inverse answer: the smallest ε meeting a target
+	// error, with the profile achieved there.
+	EpsilonAdvice = service.EpsilonAdvice
+	// AccuracyFamilyStats aggregates per-release accuracy telemetry for one
+	// workload family (the "accuracy" section of ServiceStats).
+	AccuracyFamilyStats = service.AccuracyFamilyStats
 	// ServiceStats is the service-wide observability snapshot returned by
 	// (*Service).Stats and GET /v1/stats.
 	ServiceStats = service.ServiceStats
@@ -91,6 +104,13 @@ var (
 	ErrRequestTooLarge = service.ErrRequestTooLarge
 	// ErrUnknownTrace rejects a lookup of an unretained trace ID.
 	ErrUnknownTrace = service.ErrUnknownTrace
+	// ErrInvalidTail rejects an accuracy request whose tail parameter c is
+	// not positive and finite.
+	ErrInvalidTail = service.ErrInvalidTail
+	// ErrAccuracyDisabled rejects tenant-facing accuracy requests on a
+	// service without the ExposeAccuracy opt-in (the Theorem 1 bound is
+	// data-dependent; see DESIGN.md).
+	ErrAccuracyDisabled = service.ErrAccuracyDisabled
 )
 
 // Job lifecycle states reported by JobInfo.State.
@@ -135,7 +155,8 @@ func NewServiceWithStore(cfg ServiceConfig, st *Store) (*Service, []error) {
 
 // NewServiceHandler adapts a Service to the HTTP/JSON API cmd/recmechd
 // serves: the v2 compile/execute lifecycle (POST /v2/query, POST
-// /v2/prepare, the async batch endpoints POST/GET/DELETE /v2/jobs…), the
+// /v2/prepare, the zero-ε accuracy endpoint POST /v2/advise, the async
+// batch endpoints POST/GET/DELETE /v2/jobs…), the
 // wire-compatible v1 shims (POST /v1/query, GET /v1/datasets, GET
 // /v1/budget/{dataset}, GET /healthz), the mutating admin endpoints PUT
 // and DELETE /v1/datasets/{name}, and the observability endpoints (GET
