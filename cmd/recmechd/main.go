@@ -133,6 +133,8 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this second listener (keep it private; empty = off)")
 		exposeAcc  = flag.Bool("expose-accuracy", false, "answer tenant-facing accuracy questions (POST /v2/advise, the prepare accuracy block); the Theorem 1 bound is computed from the sensitive data — see DESIGN.md before enabling")
 		spendWin   = flag.Duration("spend-window", 0, "sliding window for the ε burn-rate and budget-TTL forecasts (0 = default 1h)")
+		estThresh  = flag.Int("estimate-threshold", 0, "graph size in edges at which mode \"auto\" compiles through the sampling estimator instead of exact enumeration (0 = default 500000, negative = never auto-sample)")
+		estSamples = flag.Int("estimate-samples", 0, "estimator sample budget when a sampled request omits one (0 = default 20000)")
 	)
 	flag.Parse()
 
@@ -155,6 +157,8 @@ func main() {
 		TraceSampleEvery:   *traceEvery,
 		ExposeAccuracy:     *exposeAcc,
 		SpendRateWindow:    *spendWin,
+		EstimateThreshold:  *estThresh,
+		EstimateSamples:    *estSamples,
 	}
 	var svc *service.Service
 	if *dataDir != "" {

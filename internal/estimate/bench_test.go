@@ -1,0 +1,58 @@
+package estimate
+
+import (
+	"sync"
+	"testing"
+
+	"recmech/internal/graph"
+	"recmech/internal/noise"
+	"recmech/internal/subgraph"
+)
+
+// The scaling benchmark's fixture: a synthetic million-node graph with two
+// million edges and planted triadic closures (so triangle-family workloads
+// have real signal). Built once per process — generation takes seconds,
+// which must not be billed to the samplers.
+var (
+	benchOnce  sync.Once
+	benchGraph *graph.Graph
+)
+
+func scalingGraph() *graph.Graph {
+	benchOnce.Do(func() {
+		benchGraph = graph.RandomClustered(noise.NewRand(1), 1_000_000, 2_000_000, 0.3)
+	})
+	return benchGraph
+}
+
+// BenchmarkEstimateScaling times one full estimator run per iteration on
+// the 1M-node fixture — the workload class the exact enumerators cannot
+// serve at all. Each iteration is an independent estimate at the default
+// sample budget, i.e. exactly what one sampled-mode compile costs.
+func BenchmarkEstimateScaling(b *testing.B) {
+	g := scalingGraph()
+	b.Run("triangles-1M", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := Triangles(g, noise.NewRand(int64(i)), Options{})
+			if !res.Exact && res.Samples != DefaultSamples {
+				b.Fatalf("unexpected sample count %d", res.Samples)
+			}
+		}
+	})
+	b.Run("kstars-1M", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			KStars(g, 3, noise.NewRand(int64(i)), Options{})
+		}
+	})
+	b.Run("ktriangles-1M", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			KTriangles(g, 2, noise.NewRand(int64(i)), Options{})
+		}
+	})
+	b.Run("pattern-triangle-1M", func(b *testing.B) {
+		p := subgraph.TrianglePattern()
+		for i := 0; i < b.N; i++ {
+			Pattern(g, p, noise.NewRand(int64(i)), Options{})
+		}
+	})
+}

@@ -1,0 +1,281 @@
+// Package estimate is the sampling tier of the compile pipeline: approximate
+// occurrence counting for graphs the exact enumerators cannot touch. Each
+// estimator draws a fixed number of samples from a caller-supplied
+// deterministic RNG stream, returns an unbiased count estimate, and prices
+// its own uncertainty with a concentration-bound accuracy Contract derived
+// from the sample variance (empirical Bernstein, Maurer–Pontil 2009) — a
+// non-asymptotic guarantee, so the "within AbsError with probability ≥
+// Confidence" statement holds at any sample count, not just in the CLT
+// limit.
+//
+// The estimators:
+//
+//   - Triangles: wedge sampling. A wedge is an ordered pair of distinct
+//     neighbors of a center; every triangle contains exactly three wedges,
+//     so W·Pr[closed]/3 is the triangle count.
+//   - KStars: center-degree sampling. Uniform node v contributes
+//     n·C(deg(v), k), the Horvitz–Thompson estimate of Σ_v C(deg(v), k).
+//   - KTriangles: shared-edge sampling. Uniform edge (u,v) contributes
+//     m·C(a_uv, k) for a_uv common neighbors.
+//   - Pattern: neighborhood sampling over the minimum-node partition.
+//     Uniform node v contributes n·|{occurrences whose minimum image node
+//     is v}| (subgraph.AnchoredCounter); the per-anchor counts partition
+//     the occurrence set exactly, so the estimate is unbiased.
+//
+// Estimators never mutate the graph and consume a deterministic number of
+// RNG draws per sample, so a fixed seed replays to the same estimate no
+// matter where or when it runs — the property the plan layer's recorded-
+// release WAL and golden bit-identity suite rely on.
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"recmech/internal/graph"
+	"recmech/internal/subgraph"
+)
+
+const (
+	// DefaultSamples is the sample budget when the caller passes 0.
+	DefaultSamples = 20000
+	// DefaultConfidence is the contract confidence when the caller passes 0.
+	DefaultConfidence = 0.95
+	// MaxSamples bounds a single estimate's work (each sample is cheap, but
+	// a request-supplied budget must not buy unbounded CPU).
+	MaxSamples = 10_000_000
+)
+
+// Options configures one estimate. The zero value means DefaultSamples
+// draws at DefaultConfidence.
+type Options struct {
+	Samples    int
+	Confidence float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples <= 0 {
+		o.Samples = DefaultSamples
+	}
+	if o.Samples > MaxSamples {
+		o.Samples = MaxSamples
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = DefaultConfidence
+	}
+	return o
+}
+
+// Contract is the estimator's accuracy promise: with probability at least
+// Confidence (over the sampler's own randomness), the true count lies
+// within AbsError of Estimate. It is computed from the realized sample
+// variance plus a range term, so concentrated samples earn a tight bound
+// and heavy-tailed ones an honest, wide one.
+type Contract struct {
+	Confidence float64 `json:"confidence"`
+	AbsError   float64 `json:"absError"`
+	// RelError is AbsError relative to max(|Estimate|, 1).
+	RelError float64 `json:"relError"`
+	// StdError is the plain standard error of the mean — the CLT-scale
+	// spread, reported for operators; the guarantee is AbsError.
+	StdError float64 `json:"stdError"`
+}
+
+// Result is one completed estimate.
+type Result struct {
+	// Estimate is the unbiased count estimate (the sample mean of the
+	// per-draw Horvitz–Thompson contributions).
+	Estimate float64 `json:"estimate"`
+	// Method names the sampling design: "wedge", "center-degree",
+	// "shared-edge", or "neighborhood".
+	Method  string `json:"method"`
+	Samples int    `json:"samples"`
+	// Population is the size of the sampled universe (wedges, nodes, or
+	// edges).
+	Population float64 `json:"population"`
+	// Exact reports a degenerate case where the answer is known without
+	// sampling error (empty population, trivial pattern); the contract is
+	// then zero-width at full confidence.
+	Exact    bool     `json:"exact,omitempty"`
+	Contract Contract `json:"contract"`
+	Seconds  float64  `json:"seconds"`
+}
+
+// acc accumulates per-sample contributions with Welford's online mean and
+// variance, so huge sample values don't lose precision to a naive
+// sum-of-squares.
+type acc struct {
+	n       int
+	mean    float64
+	m2      float64
+	started time.Time
+}
+
+func newAcc() *acc { return &acc{started: time.Now()} }
+
+func (a *acc) add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// variance returns the unbiased sample variance.
+func (a *acc) variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// result prices the accumulated samples into a Result. rangeWidth bounds
+// the spread of a single sample contribution (max − min possible value).
+func (a *acc) result(method string, population, rangeWidth float64, opt Options) Result {
+	v := a.variance()
+	n := float64(a.n)
+	// Empirical Bernstein (Maurer & Pontil 2009): with probability ≥ 1−δ,
+	// |mean − μ| ≤ sqrt(2·V·ln(2/δ)/n) + 7·R·ln(2/δ)/(3(n−1)).
+	delta := 1 - opt.Confidence
+	t := math.Log(2 / delta)
+	abs := math.Sqrt(2 * v * t / n)
+	if a.n > 1 {
+		abs += 7 * rangeWidth * t / (3 * (n - 1))
+	} else {
+		abs += rangeWidth
+	}
+	return Result{
+		Estimate:   a.mean,
+		Method:     method,
+		Samples:    a.n,
+		Population: population,
+		Contract: Contract{
+			Confidence: opt.Confidence,
+			AbsError:   abs,
+			RelError:   abs / math.Max(math.Abs(a.mean), 1),
+			StdError:   math.Sqrt(v / n),
+		},
+		Seconds: time.Since(a.started).Seconds(),
+	}
+}
+
+// exact returns a zero-sampling Result for degenerate inputs whose answer
+// is known outright.
+func exact(method string, value, population float64) Result {
+	return Result{
+		Estimate:   value,
+		Method:     method,
+		Population: population,
+		Exact:      true,
+		Contract:   Contract{Confidence: 1},
+	}
+}
+
+// Triangles estimates the triangle count by wedge sampling: centers are
+// drawn proportionally to C(deg, 2), a uniform neighbor pair is checked for
+// closure, and each closed wedge witnesses one third of a triangle.
+func Triangles(g *graph.Graph, rng *rand.Rand, opt Options) Result {
+	opt = opt.withDefaults()
+	n := g.NumNodes()
+	// Cumulative wedge weights per center, for weighted center draws.
+	cum := make([]float64, n+1)
+	for v := 0; v < n; v++ {
+		cum[v+1] = cum[v] + subgraph.Binomial(g.Degree(v), 2)
+	}
+	wedges := cum[n]
+	if wedges == 0 {
+		return exact("wedge", 0, 0)
+	}
+	scale := wedges / 3 // one closed wedge = 1/3 triangle, scaled to the population
+	a := newAcc()
+	for s := 0; s < opt.Samples; s++ {
+		u := rng.Float64() * wedges
+		v := sort.Search(n, func(i int) bool { return cum[i+1] > u })
+		if v >= n {
+			v = n - 1 // Float64 can land exactly on the total; clamp
+		}
+		nbrs := g.Neighbors(v)
+		i := rng.Intn(len(nbrs))
+		j := rng.Intn(len(nbrs) - 1)
+		if j >= i {
+			j++
+		}
+		x := 0.0
+		if g.HasEdge(nbrs[i], nbrs[j]) {
+			x = scale
+		}
+		a.add(x)
+	}
+	return a.result("wedge", wedges, scale, opt)
+}
+
+// KStars estimates Σ_v C(deg(v), k) by uniform center sampling.
+func KStars(g *graph.Graph, k int, rng *rand.Rand, opt Options) Result {
+	opt = opt.withDefaults()
+	n := g.NumNodes()
+	if n == 0 {
+		return exact("center-degree", 0, 0)
+	}
+	rangeWidth := float64(n) * subgraph.Binomial(g.MaxDegree(), k)
+	if rangeWidth == 0 {
+		return exact("center-degree", 0, float64(n))
+	}
+	a := newAcc()
+	for s := 0; s < opt.Samples; s++ {
+		v := rng.Intn(n)
+		a.add(float64(n) * subgraph.Binomial(g.Degree(v), k))
+	}
+	return a.result("center-degree", float64(n), rangeWidth, opt)
+}
+
+// KTriangles estimates Σ_{(u,v)∈E} C(a_uv, k) by uniform shared-edge
+// sampling.
+func KTriangles(g *graph.Graph, k int, rng *rand.Rand, opt Options) Result {
+	opt = opt.withDefaults()
+	edges := g.Edges()
+	m := len(edges)
+	if m == 0 {
+		return exact("shared-edge", 0, 0)
+	}
+	// A common neighbor of an edge is a neighbor of both endpoints other
+	// than the endpoints themselves, so a_uv ≤ dmax − 1.
+	rangeWidth := float64(m) * subgraph.Binomial(g.MaxDegree()-1, k)
+	if rangeWidth == 0 {
+		return exact("shared-edge", 0, float64(m))
+	}
+	a := newAcc()
+	for s := 0; s < opt.Samples; s++ {
+		e := edges[rng.Intn(m)]
+		a.add(float64(m) * subgraph.Binomial(g.CommonNeighbors(e.U, e.V), k))
+	}
+	return a.result("shared-edge", float64(m), rangeWidth, opt)
+}
+
+// Pattern estimates the number of distinct occurrences of p by neighborhood
+// sampling over the minimum-node partition: a uniform node v contributes
+// n times the count of occurrences whose minimum image node is v.
+// Occurrence identity matches the exact enumerator's (image edge set).
+func Pattern(g *graph.Graph, p subgraph.Pattern, rng *rand.Rand, opt Options) Result {
+	opt = opt.withDefaults()
+	n := g.NumNodes()
+	if n == 0 || p.K > n {
+		return exact("neighborhood", 0, float64(n))
+	}
+	if len(p.Edges) == 0 {
+		// The trivial one-node pattern: all single-node images share the
+		// empty edge set, which the exact enumerator counts as one
+		// occurrence.
+		return exact("neighborhood", 1, float64(n))
+	}
+	ac := subgraph.NewAnchoredCounter(g, p)
+	// Any occurrence anchored at v embeds along a search tree with ≤ dmax
+	// choices per non-root node, tried from each of the K roots.
+	rangeWidth := float64(n) * float64(p.K) * math.Pow(float64(g.MaxDegree()), float64(p.K-1))
+	a := newAcc()
+	for s := 0; s < opt.Samples; s++ {
+		v := rng.Intn(n)
+		a.add(float64(n) * float64(ac.CountAt(v)))
+	}
+	return a.result("neighborhood", float64(n), rangeWidth, opt)
+}

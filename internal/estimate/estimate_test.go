@@ -1,0 +1,133 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"recmech/internal/graph"
+	"recmech/internal/noise"
+	"recmech/internal/subgraph"
+)
+
+func testGraph(seed int64, n, m int) *graph.Graph {
+	return graph.RandomGNM(noise.NewRand(seed), n, m)
+}
+
+func TestTrianglesDeterministic(t *testing.T) {
+	g := testGraph(1, 300, 1200)
+	a := Triangles(g, noise.NewRand(42), Options{Samples: 5000})
+	b := Triangles(g, noise.NewRand(42), Options{Samples: 5000})
+	if a.Estimate != b.Estimate || a.Contract != b.Contract {
+		t.Fatalf("same seed produced different results: %+v vs %+v", a, b)
+	}
+	if a.Method != "wedge" || a.Samples != 5000 {
+		t.Fatalf("unexpected result metadata: %+v", a)
+	}
+	c := Triangles(g, noise.NewRand(43), Options{Samples: 5000})
+	if c.Estimate == a.Estimate {
+		t.Fatalf("different seeds should almost surely differ, both got %g", a.Estimate)
+	}
+}
+
+func TestTrianglesEmptyAndWedgeless(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.New(0), graph.New(10)} {
+		res := Triangles(g, noise.NewRand(1), Options{})
+		if !res.Exact || res.Estimate != 0 || res.Contract.AbsError != 0 || res.Contract.Confidence != 1 {
+			t.Fatalf("degenerate graph should be exact zero, got %+v", res)
+		}
+	}
+	// A star has wedges but no triangles: sampling must conclude zero.
+	star := graph.New(6)
+	for v := 1; v < 6; v++ {
+		star.AddEdge(0, v)
+	}
+	res := Triangles(star, noise.NewRand(1), Options{Samples: 200})
+	if res.Exact || res.Estimate != 0 {
+		t.Fatalf("star graph: want sampled zero estimate, got %+v", res)
+	}
+}
+
+func TestKStarsMatchesExactOnRegularGraph(t *testing.T) {
+	// On a degree-regular graph every sample contributes the same value, so
+	// the estimate is exactly Σ C(deg, k) with a zero-variance contract.
+	g := graph.New(8) // 8-cycle: all degrees 2
+	for v := 0; v < 8; v++ {
+		g.AddEdge(v, (v+1)%8)
+	}
+	res := KStars(g, 2, noise.NewRand(7), Options{Samples: 100})
+	want := subgraph.CountKStars(g, 2)
+	if res.Estimate != want {
+		t.Fatalf("regular graph estimate = %g, want exact %g", res.Estimate, want)
+	}
+	if res.Contract.StdError != 0 {
+		t.Fatalf("zero-variance sample should have zero std error, got %g", res.Contract.StdError)
+	}
+}
+
+func TestKStarsDegenerate(t *testing.T) {
+	res := KStars(graph.New(5), 3, noise.NewRand(1), Options{})
+	if !res.Exact || res.Estimate != 0 {
+		t.Fatalf("edgeless graph k-stars should be exact zero, got %+v", res)
+	}
+}
+
+func TestKTrianglesDegenerate(t *testing.T) {
+	res := KTriangles(graph.New(5), 2, noise.NewRand(1), Options{})
+	if !res.Exact || res.Estimate != 0 {
+		t.Fatalf("edgeless graph k-triangles should be exact zero, got %+v", res)
+	}
+	// Edges but max degree 1: no common neighbors possible.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	res = KTriangles(g, 1, noise.NewRand(1), Options{})
+	if !res.Exact || res.Estimate != 0 {
+		t.Fatalf("matching graph k-triangles should be exact zero, got %+v", res)
+	}
+}
+
+func TestPatternTrivialAndDegenerate(t *testing.T) {
+	one := subgraph.NewPattern(1, nil)
+	res := Pattern(graph.New(5), one, noise.NewRand(1), Options{})
+	if !res.Exact || res.Estimate != 1 {
+		t.Fatalf("one-node pattern counts as a single occurrence, got %+v", res)
+	}
+	tri := subgraph.TrianglePattern()
+	res = Pattern(graph.New(2), tri, noise.NewRand(1), Options{})
+	if !res.Exact || res.Estimate != 0 {
+		t.Fatalf("pattern larger than graph should be exact zero, got %+v", res)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	g := testGraph(2, 50, 150)
+	res := KStars(g, 2, noise.NewRand(1), Options{})
+	if res.Samples != DefaultSamples {
+		t.Fatalf("zero options should sample %d times, got %d", DefaultSamples, res.Samples)
+	}
+	if res.Contract.Confidence != DefaultConfidence {
+		t.Fatalf("zero options should price at %g confidence, got %g", DefaultConfidence, res.Contract.Confidence)
+	}
+	res = KStars(g, 2, noise.NewRand(1), Options{Samples: 2 * MaxSamples})
+	if res.Samples != MaxSamples {
+		t.Fatalf("sample budget should clamp to %d, got %d", MaxSamples, res.Samples)
+	}
+}
+
+func TestContractShape(t *testing.T) {
+	g := testGraph(3, 400, 2400)
+	res := Triangles(g, noise.NewRand(9), Options{Samples: 8000})
+	c := res.Contract
+	if !(c.AbsError > 0) || math.IsInf(c.AbsError, 0) {
+		t.Fatalf("contract abs error must be positive and finite, got %g", c.AbsError)
+	}
+	if want := c.AbsError / math.Max(math.Abs(res.Estimate), 1); c.RelError != want {
+		t.Fatalf("rel error %g inconsistent with abs error (want %g)", c.RelError, want)
+	}
+	// More samples must tighten the bound (same design, same graph).
+	wide := Triangles(g, noise.NewRand(9), Options{Samples: 500})
+	if wide.Contract.AbsError <= c.AbsError {
+		t.Fatalf("500 samples (%g) should bound looser than 8000 (%g)",
+			wide.Contract.AbsError, c.AbsError)
+	}
+}

@@ -1,0 +1,115 @@
+package estimate
+
+import (
+	"testing"
+
+	"recmech/internal/graph"
+	"recmech/internal/noise"
+	"recmech/internal/subgraph"
+)
+
+// The contract promises the true count within AbsError with probability ≥
+// Confidence over the sampler's randomness. Each property test runs many
+// independent trials at fixed seeds against exact enumeration on small
+// random graphs and requires the empirical hit rate to clear 95% — the
+// empirical Bernstein bound is conservative, so a correct implementation
+// passes with a wide margin and a biased or mis-priced one fails hard.
+const (
+	propTrials  = 60
+	propMinHits = 57 // ≥ 95% of trials
+)
+
+func checkCoverage(t *testing.T, name string, exactCount float64, run func(trial int64) Result) {
+	t.Helper()
+	hits := 0
+	sum := 0.0
+	for trial := int64(0); trial < propTrials; trial++ {
+		res := run(trial)
+		if diff := res.Estimate - exactCount; diff <= res.Contract.AbsError && diff >= -res.Contract.AbsError {
+			hits++
+		}
+		sum += res.Estimate
+	}
+	if hits < propMinHits {
+		t.Errorf("%s: only %d/%d trials within contract (need ≥ %d)", name, hits, propTrials, propMinHits)
+	}
+	// Unbiasedness sanity: the trial mean should approach the exact count
+	// far closer than a single trial's contract. Allow generous slack —
+	// this guards against systematic bias (wrong scale factor), not noise.
+	mean := sum / propTrials
+	if exactCount > 0 {
+		if mean < 0.5*exactCount || mean > 1.5*exactCount {
+			t.Errorf("%s: trial mean %g too far from exact %g (bias?)", name, mean, exactCount)
+		}
+	}
+}
+
+func TestPropertyTriangles(t *testing.T) {
+	for _, gseed := range []int64{1, 2, 3} {
+		g := graph.RandomGNM(noise.NewRand(gseed), 60, 240)
+		exact := float64(subgraph.CountTriangles(g))
+		checkCoverage(t, "triangles", exact, func(trial int64) Result {
+			return Triangles(g, noise.NewRand(1000+trial), Options{Samples: 3000})
+		})
+	}
+}
+
+func TestPropertyKStars(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		g := graph.RandomGNM(noise.NewRand(int64(10+k)), 60, 200)
+		exact := subgraph.CountKStars(g, k)
+		checkCoverage(t, "kstars", exact, func(trial int64) Result {
+			return KStars(g, k, noise.NewRand(2000+trial), Options{Samples: 3000})
+		})
+	}
+}
+
+func TestPropertyKTriangles(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		g := graph.RandomGNM(noise.NewRand(int64(20+k)), 50, 300)
+		exact := subgraph.CountKTriangles(g, k)
+		checkCoverage(t, "ktriangles", exact, func(trial int64) Result {
+			return KTriangles(g, k, noise.NewRand(3000+trial), Options{Samples: 3000})
+		})
+	}
+}
+
+func TestPropertyPattern(t *testing.T) {
+	patterns := map[string]subgraph.Pattern{
+		"triangle": subgraph.TrianglePattern(),
+		"2-star":   subgraph.KStarPattern(2),
+		"path4":    subgraph.NewPattern(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}),
+	}
+	for name, p := range patterns {
+		g := graph.RandomGNM(noise.NewRand(30), 40, 120)
+		exact := float64(subgraph.CountMatches(g, p))
+		checkCoverage(t, "pattern/"+name, exact, func(trial int64) Result {
+			return Pattern(g, p, noise.NewRand(4000+trial), Options{Samples: 2000})
+		})
+	}
+}
+
+// TestAnchoredPartition pins the identity the pattern estimator relies on:
+// the per-anchor counts partition the occurrence set, so their sum over all
+// nodes equals the exact count.
+func TestAnchoredPartition(t *testing.T) {
+	patterns := []subgraph.Pattern{
+		subgraph.TrianglePattern(),
+		subgraph.KStarPattern(3),
+		subgraph.KTrianglePattern(2),
+		subgraph.NewPattern(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 3}}), // 4-cycle
+	}
+	for pi, p := range patterns {
+		for _, gseed := range []int64{5, 6} {
+			g := graph.RandomGNM(noise.NewRand(gseed), 30, 90)
+			ac := subgraph.NewAnchoredCounter(g, p)
+			sum := 0
+			for v := 0; v < g.NumNodes(); v++ {
+				sum += ac.CountAt(v)
+			}
+			if exact := subgraph.CountMatches(g, p); sum != exact {
+				t.Errorf("pattern %d seed %d: anchored counts sum to %d, exact enumeration finds %d", pi, gseed, sum, exact)
+			}
+		}
+	}
+}

@@ -15,9 +15,13 @@ import (
 type AccuracyBound struct {
 	Error       float64 // the (ε,δ)-accuracy ε: the error magnitude bound
 	FailureProb float64 // the (ε,δ)-accuracy δ: probability the bound fails
-	DeltaStar   float64 // Δ* = max(θ, e^β·G_{|P|})
+	DeltaStar   float64 // Δ* = max(θ, e^β·G_{|P|}); the sensitivity cap for sampled bounds
 	NoiseTerm   float64 // e^{2µ}·Δ*·c/ε₂
-	ClampTerm   float64 // g·⌈ln(Δ*/θ)/β⌉·G_{|P|}
+	ClampTerm   float64 // g·⌈ln(Δ*/θ)/β⌉·G_{|P|}; zero for sampled bounds
+	// SamplerTerm is the estimator's concentration-bound error when the
+	// bound describes a sampled release (SampledAccuracy); zero for the
+	// exact mechanism, whose only error sources are noise and clamping.
+	SamplerTerm float64
 }
 
 // TheoreticalAccuracy computes the Theorem 1 bound for the given parameters,
@@ -50,6 +54,29 @@ func TheoreticalAccuracy(p Params, gLast float64, g int, c float64) AccuracyBoun
 // memoized it the bound is closed-form arithmetic at any ε.
 func TheoreticalAccuracyAt(epsilon float64, nodePrivacy bool, gLast float64, g int, c float64) AccuracyBound {
 	return TheoreticalAccuracy(DefaultParams(epsilon, nodePrivacy), gLast, g, c)
+}
+
+// SampledAccuracy composes the error bound of an estimator-tier release:
+// the cached estimate plus one Laplace draw at scale sensCap/ε. Two
+// independent failure sources add — the Laplace tail (P[|Lap(b)| > c·b] =
+// e^{−c}) and the estimator's own concentration contract (true count within
+// samplerErr of the estimate except with probability samplerFail) — so by a
+// union bound, with probability at least 1 − e^{−c} − samplerFail the
+// released answer lands within c·sensCap/ε + samplerErr of the true count.
+// Unlike Theorem 1 there is no clamp term: nothing is truncated, the only
+// error sources are sampling and noise.
+func SampledAccuracy(epsilon, sensCap, c, samplerErr, samplerFail float64) AccuracyBound {
+	if c <= 0 {
+		panic("mechanism: tail parameter c must be positive")
+	}
+	noise := sensCap * c / epsilon
+	return AccuracyBound{
+		Error:       noise + samplerErr,
+		FailureProb: math.Exp(-c) + samplerFail,
+		DeltaStar:   sensCap,
+		NoiseTerm:   noise,
+		SamplerTerm: samplerErr,
+	}
 }
 
 // Accuracy computes the Theorem 1 bound for a prepared Core, reading

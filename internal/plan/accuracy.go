@@ -47,6 +47,11 @@ func (p *Plan) ErrorProfile(epsilon, tail float64) (mechanism.AccuracyBound, err
 	if math.IsNaN(tail) || math.IsInf(tail, 0) || tail <= 0 {
 		return mechanism.AccuracyBound{}, specErrorf("tail parameter must be positive and finite, got %g", tail)
 	}
+	if p.sampled != nil {
+		// The sampled analogue: Laplace tail at the sensitivity cap plus
+		// the estimator's own concentration contract (see SampledAccuracy).
+		return p.sampledProfile(epsilon, tail), nil
+	}
 	gLast, err := p.seq.G(p.nP)
 	if err != nil {
 		return mechanism.AccuracyBound{}, err
@@ -73,6 +78,9 @@ func (p *Plan) EpsilonFor(targetError, tail float64) (float64, mechanism.Accurac
 	}
 	if math.IsNaN(tail) || math.IsInf(tail, 0) || tail <= 0 {
 		return 0, mechanism.AccuracyBound{}, specErrorf("tail parameter must be positive and finite, got %g", tail)
+	}
+	if p.sampled != nil {
+		return p.sampledEpsilonFor(targetError, tail)
 	}
 	gLast, err := p.seq.G(p.nP)
 	if err != nil {

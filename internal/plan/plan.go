@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"recmech/internal/boolexpr"
+	"recmech/internal/estimate"
 	"recmech/internal/graph"
 	"recmech/internal/krel"
 	"recmech/internal/mechanism"
@@ -116,6 +117,17 @@ type Spec struct {
 	// participants, the node-like setting.
 	EdgePrivacy bool
 
+	// Mode selects the compile tier: ModeExact (or "") enumerates
+	// exhaustively and runs the full recursive mechanism; ModeSampled runs
+	// the estimator tier of internal/estimate instead. The serving layer
+	// resolves its wire-level "auto" before the spec gets here — a Spec
+	// only ever carries a decided mode.
+	Mode string
+	// SampleBudget is the estimator's sample count in ModeSampled
+	// (0 = estimate.DefaultSamples, normalized by Validate so the budget
+	// is part of the spec's canonical identity).
+	SampleBudget int
+
 	parsed *query.Query // cached parse tree (KindSQL), set by Validate
 }
 
@@ -158,6 +170,28 @@ func (s *Spec) Validate() error {
 	default:
 		return specErrorf("unknown kind %q (one of sql, triangles, kstars, ktriangles, pattern)", s.Kind)
 	}
+	return s.validateMode()
+}
+
+func (s *Spec) validateMode() error {
+	switch s.Mode {
+	case "", ModeExact:
+		if s.SampleBudget != 0 {
+			return specErrorf("sample budget applies to mode %q only", ModeSampled)
+		}
+	case ModeSampled:
+		if s.Kind == KindSQL {
+			return specErrorf("mode %q applies to graph kinds only; kind %q always compiles exactly", ModeSampled, s.Kind)
+		}
+		if s.SampleBudget < 0 || s.SampleBudget > estimate.MaxSamples {
+			return specErrorf("sample budget must be in [0, %d], got %d", estimate.MaxSamples, s.SampleBudget)
+		}
+		if s.SampleBudget == 0 {
+			s.SampleBudget = estimate.DefaultSamples
+		}
+	default:
+		return specErrorf("unknown mode %q (one of %q, %q)", s.Mode, ModeExact, ModeSampled)
+	}
 	return nil
 }
 
@@ -180,7 +214,28 @@ func (s *Spec) nodeLike() bool {
 // canonicalized SQL, "k=N", or the sorted normalized pattern edge list.
 // Two specs of the same kind and privacy with equal Detail describe the
 // same computation. Validate must have succeeded.
+//
+// A sampled spec appends a "mode=sampled;samples=N" segment: a sampled
+// estimate and an exact answer are different computations and must never
+// share a release-cache or plan-cache entry. Exact specs render exactly as
+// they did before the estimator tier existed, so durable WAL entries
+// recorded by earlier versions keep replaying byte-for-byte.
 func (s *Spec) Detail() (string, error) {
+	base, err := s.detailBase()
+	if err != nil {
+		return "", err
+	}
+	if s.Mode != ModeSampled {
+		return base, nil
+	}
+	suffix := fmt.Sprintf("mode=sampled;samples=%d", s.SampleBudget)
+	if base == "" {
+		return suffix, nil
+	}
+	return base + ";" + suffix, nil
+}
+
+func (s *Spec) detailBase() (string, error) {
 	switch s.Kind {
 	case KindSQL:
 		q := s.parsed
@@ -257,11 +312,12 @@ type Source struct {
 type Plan struct {
 	kind     string
 	nodeLike bool
-	seq      *memoSeq
+	seq      *memoSeq // nil for sampled plans (no LP state exists there)
 	nP       int
 	live     *liveSet
 	pool     *pool.Pool     // shared compute pool for ladder waves; nil = serial
 	profile  CompileProfile // how much the one-time compile cost
+	sampled  *sampledState  // non-nil iff this is an estimator-tier plan
 }
 
 // CompileProfile records what one compile cost: the workload shape and the
@@ -280,6 +336,10 @@ type CompileProfile struct {
 	BuildSeconds  float64 `json:"buildSeconds"`  // derive the sensitive K-relation
 	EncodeSeconds float64 `json:"encodeSeconds"` // flatten into the LP-backed sequences
 	TotalSeconds  float64 `json:"totalSeconds"`
+	// Mode is "sampled" for estimator-tier plans (empty for exact plans, so
+	// pre-estimator profile JSON is unchanged); Samples is their draw count.
+	Mode    string `json:"mode,omitempty"`
+	Samples int    `json:"samples,omitempty"`
 }
 
 // Profile returns the compile profile recorded when the plan was built.
@@ -351,6 +411,9 @@ func Compile(src Source, spec *Spec) (*Plan, error) {
 func CompileContext(ctx context.Context, src Source, spec *Spec, workers *pool.Pool) (*Plan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if spec.Mode == ModeSampled {
+		return compileSampled(ctx, src, spec)
 	}
 	csp := trace.Child(ctx, "plan.compile")
 	csp.Str("kind", spec.Kind).Str("privacy", spec.Privacy())
@@ -487,8 +550,33 @@ func (p *Plan) Kind() string { return p.kind }
 
 // Solves reports how many H and G entries have been computed (each one LP
 // solve) over the plan's lifetime — a direct measure of how much work the
-// memo is saving repeat releases.
-func (p *Plan) Solves() (h, g uint64) { return p.seq.solves() }
+// memo is saving repeat releases. Sampled plans have no LP state and report
+// zero.
+func (p *Plan) Solves() (h, g uint64) {
+	if p.seq == nil {
+		return 0, 0
+	}
+	return p.seq.solves()
+}
+
+// Mode returns the plan's compile tier, ModeExact or ModeSampled.
+func (p *Plan) Mode() string {
+	if p.sampled != nil {
+		return ModeSampled
+	}
+	return ModeExact
+}
+
+// EstimateResult returns the estimator run behind a sampled plan (estimate,
+// sample design, accuracy contract). ok is false for exact plans. The
+// estimate itself approximates the true answer and is as sensitive as Δ —
+// only the contract and design fields may reach operator surfaces.
+func (p *Plan) EstimateResult() (estimate.Result, bool) {
+	if p.sampled == nil {
+		return estimate.Result{}, false
+	}
+	return p.sampled.res, true
+}
 
 // Release draws one ε-differentially private answer from the plan: the
 // mechanism of §4.1 with the experimental defaults of §6.1 (ε split evenly
@@ -517,6 +605,9 @@ func (p *Plan) Release(ctx context.Context, epsilon float64, rng *rand.Rand) (fl
 func (p *Plan) release(ctx context.Context, epsilon float64, rng *rand.Rand, predicted float64) (float64, float64, error) {
 	if math.IsNaN(epsilon) || math.IsInf(epsilon, 0) || epsilon <= 0 {
 		return 0, 0, specErrorf("release ε must be positive and finite, got %g", epsilon)
+	}
+	if p.sampled != nil {
+		return p.releaseSampled(ctx, epsilon, rng, predicted)
 	}
 	params := mechanism.DefaultParams(epsilon, p.nodeLike)
 	// Allocate the cursor only when this release is traced: on the untraced
@@ -591,6 +682,11 @@ func (p *Plan) setFanout(ctx context.Context, core *mechanism.Core) {
 func (p *Plan) Warm(ctx context.Context, epsilon float64) error {
 	if math.IsNaN(epsilon) || math.IsInf(epsilon, 0) || epsilon <= 0 {
 		return specErrorf("warm ε must be positive and finite, got %g", epsilon)
+	}
+	if p.sampled != nil {
+		// A sampled plan's release is one Laplace draw over the cached
+		// estimate — there is no ladder state to materialize.
+		return nil
 	}
 	params := mechanism.DefaultParams(epsilon, p.nodeLike)
 	var cur *spanCursor

@@ -1,0 +1,222 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"recmech/internal/estimate"
+	"recmech/internal/graph"
+	"recmech/internal/noise"
+)
+
+func sampledSpec(t *testing.T, mut func(*Spec)) *Spec {
+	t.Helper()
+	s := &Spec{Kind: KindTriangles, Mode: ModeSampled, SampleBudget: 500}
+	if mut != nil {
+		mut(s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return s
+}
+
+func sampledTestSource(t *testing.T) Source {
+	t.Helper()
+	return Source{Graph: graph.RandomGNM(noise.NewRand(7), 200, 800)}
+}
+
+func TestValidateMode(t *testing.T) {
+	bad := []Spec{
+		{Kind: KindTriangles, Mode: "approx"},                           // unknown mode
+		{Kind: KindTriangles, SampleBudget: 10},                         // budget without sampled mode
+		{Kind: KindTriangles, Mode: ModeExact, SampleBudget: 10},        // budget on exact
+		{Kind: KindSQL, Query: "SELECT x FROM t", Mode: ModeSampled},    // sql never samples
+		{Kind: KindTriangles, Mode: ModeSampled, SampleBudget: -1},      // negative budget
+		{Kind: KindTriangles, Mode: ModeSampled, SampleBudget: 1 << 40}, // over MaxSamples
+	}
+	for i, s := range bad {
+		if err := s.Validate(); !errors.Is(err, ErrSpec) {
+			t.Errorf("bad spec %d: Validate = %v, want ErrSpec", i, err)
+		}
+	}
+	// A sampled spec with no budget takes the estimator default.
+	s := Spec{Kind: KindTriangles, Mode: ModeSampled}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.SampleBudget != estimate.DefaultSamples {
+		t.Fatalf("SampleBudget = %d, want the default %d", s.SampleBudget, estimate.DefaultSamples)
+	}
+}
+
+// TestDetailModeSegment pins both halves of the cache-key contract: exact
+// specs render byte-identically to pre-estimator versions (so durable WAL
+// releases keep replaying), and sampled specs append a mode segment (so a
+// sampled estimate can never alias an exact answer).
+func TestDetailModeSegment(t *testing.T) {
+	exact := &Spec{Kind: KindKStars, K: 3}
+	if err := exact.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	d, err := exact.Detail()
+	if err != nil {
+		t.Fatalf("Detail: %v", err)
+	}
+	if d != "k=3" {
+		t.Fatalf("exact Detail = %q, want the legacy %q", d, "k=3")
+	}
+	sampled := sampledSpec(t, func(s *Spec) { s.Kind = KindKStars; s.K = 3; s.SampleBudget = 500 })
+	ds, err := sampled.Detail()
+	if err != nil {
+		t.Fatalf("Detail: %v", err)
+	}
+	if ds != "k=3;mode=sampled;samples=500" {
+		t.Fatalf("sampled Detail = %q, want %q", ds, "k=3;mode=sampled;samples=500")
+	}
+}
+
+// TestCompileSampledDeterministic compiles the same sampled workload twice
+// and demands bit-identical estimates and contracts: the sampler's stream is
+// a function of the workload, not of the process.
+func TestCompileSampledDeterministic(t *testing.T) {
+	src := sampledTestSource(t)
+	p1, err := Compile(src, sampledSpec(t, nil))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	p2, err := Compile(src, sampledSpec(t, nil))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	r1, ok1 := p1.EstimateResult()
+	r2, ok2 := p2.EstimateResult()
+	if !ok1 || !ok2 {
+		t.Fatalf("EstimateResult: ok = %v, %v, want sampled plans", ok1, ok2)
+	}
+	// Seconds is wall-clock and legitimately differs between compiles.
+	r1.Seconds, r2.Seconds = 0, 0
+	if r1 != r2 {
+		t.Fatalf("sampled compiles diverge:\n%+v\n%+v", r1, r2)
+	}
+	if p1.Mode() != ModeSampled {
+		t.Fatalf("Mode = %q, want %q", p1.Mode(), ModeSampled)
+	}
+	if prof := p1.Profile(); prof.Mode != ModeSampled || prof.Samples != 500 {
+		t.Fatalf("Profile mode/samples = %q/%d, want sampled/500", prof.Mode, prof.Samples)
+	}
+	// A different sample budget is a different workload: different stream.
+	p3, err := Compile(src, sampledSpec(t, func(s *Spec) { s.SampleBudget = 501 }))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	r3, _ := p3.EstimateResult()
+	if r3.Estimate == r1.Estimate {
+		t.Fatalf("different budgets produced the identical estimate %g — seed not keyed on the workload?", r1.Estimate)
+	}
+}
+
+// TestSampledReleaseDeterministic pins the replay contract: the same plan
+// released with the same-seeded rng stream yields the identical value, and
+// each release consumes exactly one draw.
+func TestSampledReleaseDeterministic(t *testing.T) {
+	src := sampledTestSource(t)
+	pl, err := Compile(src, sampledSpec(t, nil))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	ctx := context.Background()
+	v1, err := pl.Release(ctx, 0.5, noise.NewRand(42))
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	v2, err := pl.Release(ctx, 0.5, noise.NewRand(42))
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if v1 != v2 {
+		t.Fatalf("same-seed releases differ: %g vs %g", v1, v2)
+	}
+	// One draw per release: two releases off one stream must equal two
+	// single releases off streams advanced by one Laplace draw each.
+	rng := noise.NewRand(42)
+	_, _ = pl.Release(ctx, 0.5, rng)
+	v3, err := pl.Release(ctx, 0.5, rng)
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	ref := noise.NewRand(42)
+	noise.Laplace(ref, pl.sampled.cap/0.5)
+	v4, _ := pl.Release(ctx, 0.5, ref)
+	if v3 != v4 {
+		t.Fatalf("sampled release consumed more than one rng draw: %g vs %g", v3, v4)
+	}
+}
+
+// TestSampledErrorProfile checks the composed bound: noise term + estimator
+// term, failure mass summed by union bound, and the inverse EpsilonFor.
+func TestSampledErrorProfile(t *testing.T) {
+	src := sampledTestSource(t)
+	pl, err := Compile(src, sampledSpec(t, nil))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	res, _ := pl.EstimateResult()
+	b, err := pl.ErrorProfile(0.5, DefaultTail)
+	if err != nil {
+		t.Fatalf("ErrorProfile: %v", err)
+	}
+	if b.SamplerTerm != res.Contract.AbsError {
+		t.Fatalf("SamplerTerm = %g, want the contract's %g", b.SamplerTerm, res.Contract.AbsError)
+	}
+	if got, want := b.Error, b.NoiseTerm+b.SamplerTerm; got != want {
+		t.Fatalf("Error = %g, want NoiseTerm+SamplerTerm = %g", got, want)
+	}
+	wantFail := math.Exp(-DefaultTail) + (1 - res.Contract.Confidence)
+	if math.Abs(b.FailureProb-wantFail) > 1e-12 {
+		t.Fatalf("FailureProb = %g, want %g", b.FailureProb, wantFail)
+	}
+	if b.ClampTerm != 0 {
+		t.Fatalf("ClampTerm = %g, want 0 for sampled plans", b.ClampTerm)
+	}
+
+	// Inverting a comfortably achievable target meets it.
+	target := b.Error * 2
+	eps, ab, err := pl.EpsilonFor(target, DefaultTail)
+	if err != nil {
+		t.Fatalf("EpsilonFor: %v", err)
+	}
+	if ab.Error > target*(1+1e-9) {
+		t.Fatalf("EpsilonFor(%g) achieved only %g at ε=%g", target, ab.Error, eps)
+	}
+	// A target below the ε-independent estimator term can never be met.
+	if res.Contract.AbsError > 0 {
+		if _, _, err := pl.EpsilonFor(res.Contract.AbsError/2, DefaultTail); !errors.Is(err, ErrSpec) {
+			t.Fatalf("EpsilonFor below the estimator floor: %v, want ErrSpec", err)
+		}
+	}
+}
+
+// TestSampledWarmAndSolves covers the LP-free surface of sampled plans.
+func TestSampledWarmAndSolves(t *testing.T) {
+	src := sampledTestSource(t)
+	pl, err := Compile(src, sampledSpec(t, nil))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := pl.Warm(context.Background(), 0.5); err != nil {
+		t.Fatalf("Warm on a sampled plan: %v", err)
+	}
+	if h, g := pl.Solves(); h != 0 || g != 0 {
+		t.Fatalf("Solves = %d/%d, want 0/0 (no LP behind a sampled plan)", h, g)
+	}
+}
+
+// TestCompileSampledRejections: sampled mode needs a graph and a graph kind.
+func TestCompileSampledRejections(t *testing.T) {
+	if _, err := Compile(testRelationalSource(t), sampledSpec(t, nil)); !errors.Is(err, ErrSpec) {
+		t.Fatalf("sampled compile against a relational source: %v, want ErrSpec", err)
+	}
+}

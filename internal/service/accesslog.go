@@ -22,6 +22,7 @@ type accessInfo struct {
 	epsilon float64
 	outcome string
 	traceID string
+	mode    string
 }
 
 type accessInfoKey struct{}
@@ -31,6 +32,17 @@ type accessInfoKey struct{}
 func annotate(r *http.Request, dataset string, epsilon float64, outcome string) {
 	if ai, ok := r.Context().Value(accessInfoKey{}).(*accessInfo); ok {
 		ai.dataset, ai.epsilon, ai.outcome = dataset, epsilon, outcome
+	}
+}
+
+// annotateMode records the resolved compile mode (exact or sampled) on the
+// access-log line. Called from Service.do with the serving context — which
+// carries the middleware's slot when the request came over HTTP — so the
+// log shows the tier that actually served the query, auto-resolution
+// included. A no-op for embedded callers and the job runner.
+func annotateMode(ctx context.Context, mode string) {
+	if ai, ok := ctx.Value(accessInfoKey{}).(*accessInfo); ok {
+		ai.mode = mode
 	}
 }
 
@@ -81,6 +93,10 @@ type AccessEntry struct {
 	// reserved (job admission), prepared (plan warm, zero ε), advised
 	// (accuracy question, zero ε), or none.
 	Outcome string `json:"outcome,omitempty"`
+	// Mode is the resolved compile tier ("exact" or "sampled") for query
+	// requests — the auto-resolution outcome, so the log attributes each
+	// answer to the tier that produced it.
+	Mode string `json:"mode,omitempty"`
 	// TraceID names the span tree this request recorded, when it was traced
 	// (fresh compiles always are; see GET /v1/traces/{id}).
 	TraceID string `json:"traceId,omitempty"`
@@ -130,6 +146,9 @@ func (l *AccessLogger) log(e AccessEntry) {
 		if e.Outcome != "" {
 			fmt.Fprintf(&b, " outcome=%s", e.Outcome)
 		}
+		if e.Mode != "" {
+			fmt.Fprintf(&b, " mode=%s", e.Mode)
+		}
 		if e.TraceID != "" {
 			fmt.Fprintf(&b, " trace=%s", sanitize(e.TraceID))
 		}
@@ -174,6 +193,7 @@ func WithAccessLog(h http.Handler, l *AccessLogger) http.Handler {
 			Dataset:    ai.dataset,
 			Epsilon:    ai.epsilon,
 			Outcome:    ai.outcome,
+			Mode:       ai.mode,
 			TraceID:    ai.traceID,
 			Remote:     r.RemoteAddr,
 		})

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"recmech/internal/estimate"
 	"recmech/internal/mechanism"
 	"recmech/internal/plan"
 	"recmech/internal/trace"
@@ -40,6 +41,11 @@ type AccuracyInfo struct {
 	FailureProb float64 `json:"failureProb"`
 	NoiseTerm   float64 `json:"noiseTerm"`
 	ClampTerm   float64 `json:"clampTerm"`
+	// SamplerTerm is the estimator's concentration-bound error contribution
+	// for a sampled release (Error = NoiseTerm + SamplerTerm there, and
+	// FailureProb folds in the contract's failure mass by union bound).
+	// Zero — and omitted — for exact releases.
+	SamplerTerm float64 `json:"samplerTerm,omitempty"`
 }
 
 func accuracyInfo(epsilon, tail float64, b mechanism.AccuracyBound) AccuracyInfo {
@@ -50,6 +56,29 @@ func accuracyInfo(epsilon, tail float64, b mechanism.AccuracyBound) AccuracyInfo
 		FailureProb: b.FailureProb,
 		NoiseTerm:   b.NoiseTerm,
 		ClampTerm:   b.ClampTerm,
+		SamplerTerm: b.SamplerTerm,
+	}
+}
+
+// EstimateInfo is a sampled plan's estimator contract as surfaced to
+// tenants: the sampling method, the budget it ran at, and the concentration
+// bound — deliberately never the estimate itself, which approximates the
+// true answer and is not differentially private.
+type EstimateInfo struct {
+	Method     string  `json:"method"`
+	Samples    int     `json:"samples"`
+	Confidence float64 `json:"confidence"`
+	AbsError   float64 `json:"absError"`
+	RelError   float64 `json:"relError"`
+}
+
+func estimateInfo(res estimate.Result) EstimateInfo {
+	return EstimateInfo{
+		Method:     res.Method,
+		Samples:    res.Samples,
+		Confidence: res.Contract.Confidence,
+		AbsError:   res.Contract.AbsError,
+		RelError:   res.Contract.RelError,
 	}
 }
 
@@ -71,11 +100,18 @@ type AdviseInfo struct {
 	Dataset string `json:"dataset"`
 	Kind    string `json:"kind"`
 	Privacy string `json:"privacy"`
+	// Mode is the resolved compile tier the advice describes: a sampled
+	// plan's bounds compose the estimator contract with the DP noise (see
+	// AccuracyInfo.SamplerTerm and DESIGN.md "Estimator error vs. DP noise").
+	Mode string `json:"mode,omitempty"`
 	// AlreadyPrepared is true when the workload's plan was cached before
 	// this call (an advise may compile, exactly like a prepare).
 	AlreadyPrepared bool           `json:"alreadyPrepared"`
 	AtEpsilon       *AccuracyInfo  `json:"atEpsilon"`
 	ForTargetError  *EpsilonAdvice `json:"forTargetError,omitempty"`
+	// Estimate is the sampled plan's estimator contract (never the estimate
+	// value itself); nil for exact plans.
+	Estimate *EstimateInfo `json:"estimate,omitempty"`
 	// TraceID names the span tree recorded when this advise compiled a
 	// plan; fetch it at GET /v1/traces/{id}.
 	TraceID string `json:"traceId,omitempty"`
@@ -111,6 +147,9 @@ func (s *Service) Advise(ctx context.Context, req AdviseRequest) (AdviseInfo, er
 	if err != nil {
 		return AdviseInfo{}, err
 	}
+	// Resolve "auto" against the dataset before any key derivation: the
+	// advice must describe the tier a Query would actually run.
+	req.Request.resolveMode(ds, s.cfg)
 	// Trace policy matches Prepare: record a span tree exactly when real
 	// work (a compile, or joining one in flight) is about to happen.
 	var root *trace.Span
@@ -145,8 +184,13 @@ func (s *Service) Advise(ctx context.Context, req AdviseRequest) (AdviseInfo, er
 		Dataset:         ds.Name,
 		Kind:            req.Kind,
 		Privacy:         req.Privacy,
+		Mode:            req.Mode,
 		AlreadyPrepared: hit,
 		TraceID:         tid,
+	}
+	if res, ok := pl.EstimateResult(); ok {
+		est := estimateInfo(res)
+		info.Estimate = &est
 	}
 	b, err := pl.ErrorProfile(req.Epsilon, tail)
 	if err != nil {

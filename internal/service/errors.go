@@ -50,6 +50,10 @@ var (
 	// (the mechanism layer panics on c ≤ 0; the service validates at the
 	// boundary so a request parameter can never reach that panic).
 	ErrInvalidTail = errors.New("service: invalid tail parameter")
+	// ErrInvalidMode rejects a compile-mode selection that is not one of
+	// auto/exact/sampled, a sample budget out of range, or a sampled mode
+	// aimed at a workload that only compiles exactly (SQL).
+	ErrInvalidMode = errors.New("service: invalid compile mode")
 	// ErrAccuracyDisabled rejects a tenant-facing accuracy request
 	// (/v2/advise, the prepare accuracy block) on a server that has not
 	// opted in: the Theorem 1 bound is computed from the sensitive data,
@@ -169,6 +173,24 @@ func (e *TailError) Error() string {
 // Is makes errors.Is succeed for both ErrInvalidTail and ErrBadRequest.
 func (e *TailError) Is(target error) bool {
 	return target == ErrInvalidTail || target == ErrBadRequest
+}
+
+// ModeError rejects an invalid compile-mode selection. Like TailError it
+// matches both its specific sentinel (ErrInvalidMode, for the typed 400
+// code "invalid_mode") and ErrBadRequest.
+type ModeError struct {
+	Reason string
+}
+
+func (e *ModeError) Error() string { return "service: invalid compile mode: " + e.Reason }
+
+// Is makes errors.Is succeed for both ErrInvalidMode and ErrBadRequest.
+func (e *ModeError) Is(target error) bool {
+	return target == ErrInvalidMode || target == ErrBadRequest
+}
+
+func modeErrorf(format string, args ...any) error {
+	return &ModeError{Reason: fmt.Sprintf(format, args...)}
 }
 
 // AccuracyDisabledError rejects tenant-facing accuracy requests on a server

@@ -238,8 +238,18 @@ func (e *Executor) Execute(ctx context.Context, ds *Dataset, req *Request) (valu
 	// Accuracy telemetry is an operator surface (histograms on /metrics,
 	// aggregates on /v1/stats) and is recorded unconditionally — the
 	// ExposeAccuracy gate only governs what tenants see per query.
-	if e.met != nil && obs.PredictedOK {
-		e.met.observeAccuracy(req.Kind, obs.Predicted.Error, obs.NoiseMagnitude)
+	if e.met != nil {
+		if obs.PredictedOK {
+			e.met.observeAccuracy(req.Kind, obs.Predicted.Error, obs.NoiseMagnitude)
+		}
+		// Estimator telemetry: which tier served the release, and the
+		// contract's relative error for sampled ones — the operator's view of
+		// how tight the estimator is running in practice.
+		if res, ok := pl.EstimateResult(); ok {
+			e.met.observeEstimator(res.Contract.RelError)
+		} else {
+			e.met.estExact.Inc()
+		}
 	}
 	return obs.Value, hit, nil
 }

@@ -77,8 +77,8 @@ type BatchRequest struct {
 // unknown dataset or job, 409 for canceling a finished job, 413 for an
 // oversized body, 403 for accuracy requests without the -expose-accuracy
 // opt-in, 400 for a bad request (code "invalid_tail" for an out-of-range
-// tail parameter), 499/504 for a canceled or timed out request, 500
-// otherwise.
+// tail parameter, "invalid_mode" for a bad compile-mode selection), 499/504
+// for a canceled or timed out request, 500 otherwise.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	// POST /v1/query and POST /v2/query are the same core: v1 was already
@@ -339,11 +339,14 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrRequestTooLarge):
 		status = http.StatusRequestEntityTooLarge
 		detail.Code = "request_too_large"
-	// invalid_tail before bad_request: a TailError matches both sentinels,
-	// and the more specific code wins.
+	// invalid_tail and invalid_mode before bad_request: TailError and
+	// ModeError match both sentinels, and the more specific code wins.
 	case errors.Is(err, ErrInvalidTail):
 		status = http.StatusBadRequest
 		detail.Code = "invalid_tail"
+	case errors.Is(err, ErrInvalidMode):
+		status = http.StatusBadRequest
+		detail.Code = "invalid_mode"
 	case errors.Is(err, ErrAccuracyDisabled):
 		status = http.StatusForbidden
 		detail.Code = "accuracy_disabled"

@@ -67,6 +67,12 @@ type serviceMetrics struct {
 	accPredicted map[string]*metrics.Histogram
 	accNoise     map[string]*metrics.Histogram
 
+	// Estimator-tier telemetry: releases by compile mode, and the sampled
+	// contracts' relative error — a sampled tier whose contract error drifts
+	// up means the sample budget no longer fits the data.
+	estSampled, estExact *metrics.Counter
+	estRelErr            *metrics.Histogram
+
 	// runtime caches MemStats snapshots for the runtime-health gauges.
 	runtime runtimeSampler
 }
@@ -141,7 +147,22 @@ func newServiceMetrics(window time.Duration) *serviceMetrics {
 			"Laplace noise magnitude actually drawn per release, by workload family",
 			errBuckets, metrics.L("family", kind))
 	}
+	const eHelp = "Releases drawn, by compile tier"
+	m.estSampled = reg.Counter("recmech_estimator_releases_total", eHelp, metrics.L("mode", "sampled"))
+	m.estExact = reg.Counter("recmech_estimator_releases_total", eHelp, metrics.L("mode", "exact"))
+	// Relative-error buckets: the estimator contract is dimensionless, and a
+	// healthy sampled tier sits well under 1.
+	m.estRelErr = reg.Histogram("recmech_estimator_contract_rel_error",
+		"Estimator contract relative error per sampled release",
+		[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10})
 	return m
+}
+
+// observeEstimator records one sampled-tier release and its contract's
+// relative error. Exact releases increment estExact directly.
+func (m *serviceMetrics) observeEstimator(relError float64) {
+	m.estSampled.Inc()
+	m.estRelErr.Observe(relError)
 }
 
 // observeAccuracy records one release's predicted Theorem 1 bound next to
@@ -576,6 +597,22 @@ type ServiceStats struct {
 	// family; families with no releases yet are omitted. This is an
 	// operator surface — present regardless of Config.ExposeAccuracy.
 	Accuracy map[string]AccuracyFamilyStats `json:"accuracy,omitempty"`
+	// Estimator aggregates the compile-tier split and the sampled
+	// contracts' error; omitted until the first release. Operator surface,
+	// present regardless of Config.ExposeAccuracy.
+	Estimator *EstimatorStats `json:"estimator,omitempty"`
+}
+
+// EstimatorStats summarizes the estimator tier since boot: how many releases
+// each compile mode served, and the mean contract relative error across the
+// sampled ones (the full distribution is recmech_estimator_contract_rel_error
+// on /metrics).
+type EstimatorStats struct {
+	SampledReleases uint64 `json:"sampledReleases"`
+	ExactReleases   uint64 `json:"exactReleases"`
+	// MeanContractRelError averages the sampled releases' contract relative
+	// error; 0 with no sampled releases yet.
+	MeanContractRelError float64 `json:"meanContractRelError,omitempty"`
 }
 
 // AccuracyFamilyStats summarizes one workload family's releases since boot:
@@ -755,6 +792,13 @@ func (s *Service) Stats() ServiceStats {
 			fs.MeanNoiseMagnitude = hn.Sum() / float64(hn.Count())
 		}
 		st.Accuracy[kind] = fs
+	}
+	if sampled, exact := m.estSampled.Value(), m.estExact.Value(); sampled+exact > 0 {
+		es := &EstimatorStats{SampledReleases: sampled, ExactReleases: exact}
+		if n := m.estRelErr.Count(); n > 0 {
+			es.MeanContractRelError = m.estRelErr.Sum() / float64(n)
+		}
+		st.Estimator = es
 	}
 	if s.store != nil {
 		sm := s.store.Metrics()

@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 
+	"recmech/internal/estimate"
 	"recmech/internal/plan"
 )
 
@@ -26,6 +27,15 @@ const (
 	MaxPatternEdges = plan.MaxPatternEdges
 )
 
+// Compile modes accepted on the wire. ModeAuto is resolved against the
+// dataset (resolveMode) before anything keyed on the workload happens; the
+// plan layer only ever sees exact or sampled.
+const (
+	ModeAuto    = "auto"
+	ModeExact   = plan.ModeExact
+	ModeSampled = plan.ModeSampled
+)
+
 // Request is one differentially private query. Exactly the fields relevant
 // to Kind must be set; Epsilon ≤ 0 takes the server's default.
 type Request struct {
@@ -40,6 +50,17 @@ type Request struct {
 
 	Privacy string  `json:"privacy,omitempty"` // "node" (default) or "edge"; graph kinds only
 	Epsilon float64 `json:"epsilon,omitempty"` // privacy budget for this release
+
+	// Mode selects the compile tier for graph kinds: "exact" (exhaustive
+	// enumeration + the full recursive mechanism), "sampled" (the estimator
+	// tier of internal/estimate), or "auto"/"" (the server picks by dataset
+	// size against its -estimate-threshold). SQL always compiles exactly;
+	// asking for "sampled" there is a typed invalid_mode rejection.
+	Mode string `json:"mode,omitempty"`
+	// Samples overrides the estimator's sample budget in sampled mode
+	// (0 = the server's -estimate-samples default). Part of the workload's
+	// cache identity: different budgets are different computations.
+	Samples int `json:"samples,omitempty"`
 
 	// spec is the validated plan.Spec compiled by normalize: the canonical
 	// workload identity (with the SQL parse tree cached), shared by the
@@ -65,6 +86,12 @@ type Response struct {
 	Cached bool `json:"cached"`
 	// RemainingBudget is the dataset's unreserved ε after this reply.
 	RemainingBudget float64 `json:"remainingBudget"`
+	// Mode is "sampled" when the answer came from the estimator tier
+	// (omitted for exact releases, so pre-estimator recorded payloads and
+	// exact-mode responses are byte-identical to earlier versions). A
+	// replayed response reports the mode of the recorded release — the
+	// sampled segment in the cache key guarantees it matches the request's.
+	Mode string `json:"mode,omitempty"`
 }
 
 // normalize validates the request in place, lowercasing the enum-ish fields,
@@ -95,6 +122,24 @@ func (r *Request) normalize(cfg Config) error {
 	default:
 		return badRequestf("privacy must be \"node\" or \"edge\", got %q", r.Privacy)
 	}
+	r.Mode = strings.ToLower(strings.TrimSpace(r.Mode))
+	switch r.Mode {
+	case "":
+		r.Mode = ModeAuto
+	case ModeAuto, ModeExact:
+	case ModeSampled:
+		if r.Kind == KindSQL {
+			return modeErrorf("mode %q applies to graph kinds only; kind %q always compiles exactly", ModeSampled, KindSQL)
+		}
+	default:
+		return modeErrorf("mode must be %q, %q or %q, got %q", ModeAuto, ModeExact, ModeSampled, r.Mode)
+	}
+	if r.Samples != 0 && r.Mode == ModeExact {
+		return modeErrorf("samples applies to mode %q only", ModeSampled)
+	}
+	if r.Samples < 0 || r.Samples > estimate.MaxSamples {
+		return modeErrorf("samples must be in [0, %d], got %d", estimate.MaxSamples, r.Samples)
+	}
 	spec := &plan.Spec{
 		Kind:         r.Kind,
 		Query:        r.Query,
@@ -108,6 +153,44 @@ func (r *Request) normalize(cfg Config) error {
 	}
 	r.spec = spec
 	return nil
+}
+
+// resolveMode decides the compile tier once the dataset is known, turning
+// the wire-level "auto" into exact or sampled and stamping the decision
+// (and the resolved sample budget) onto the workload spec — which is what
+// the cache keys derive from, so a sampled estimate can never replay as an
+// exact answer or vice versa. Must run after normalize and before any
+// cacheKey/ensurePlanKey derivation.
+//
+// Auto samples exactly when the dataset is a graph at least
+// cfg.EstimateThreshold edges large (threshold ≤ 0 disables auto-sampling).
+// Relational datasets always compile exactly — normalize already rejected
+// an explicit sampled request against KindSQL, and a graph-kind request
+// against a relational dataset fails in the compiler with its usual typed
+// error, so stamping exact here is never wrong.
+func (r *Request) resolveMode(ds *Dataset, cfg Config) {
+	mode := r.Mode
+	if ds.Graph == nil {
+		mode = ModeExact
+	} else if mode == ModeAuto {
+		if cfg.EstimateThreshold > 0 && ds.Graph.NumEdges() >= cfg.EstimateThreshold {
+			mode = ModeSampled
+		} else {
+			mode = ModeExact
+		}
+	}
+	r.Mode = mode
+	if mode == ModeSampled {
+		r.spec.Mode = plan.ModeSampled
+		if r.Samples > 0 {
+			r.spec.SampleBudget = r.Samples
+		} else {
+			r.spec.SampleBudget = cfg.EstimateSamples
+		}
+	} else {
+		r.spec.Mode = plan.ModeExact
+		r.spec.SampleBudget = 0
+	}
 }
 
 // asRequestError converts a caller-caused plan failure into the service's

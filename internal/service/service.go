@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"recmech/internal/boolexpr"
+	"recmech/internal/estimate"
 	"recmech/internal/graph"
 	"recmech/internal/plan"
 	"recmech/internal/query"
@@ -89,6 +90,17 @@ type Config struct {
 	// gauge, and the recmech_budget_ttl_seconds forecast — are computed.
 	// Default 1h.
 	SpendRateWindow time.Duration
+	// EstimateThreshold is the graph size (in edges) at which mode "auto"
+	// switches a graph workload from exact enumeration to the estimator tier
+	// (internal/estimate). 0 takes the default 500 000; negative disables
+	// auto-sampling entirely (explicit mode "sampled" still works). Exact
+	// enumeration on a graph past this size can take hours or exhaust
+	// memory; the estimator answers in milliseconds with a stated error
+	// contract. See OPERATIONS.md "Estimator tier".
+	EstimateThreshold int
+	// EstimateSamples is the estimator's sample budget when a sampled
+	// request does not carry its own. Default 20 000 (estimate.DefaultSamples).
+	EstimateSamples int
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +142,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpendRateWindow <= 0 {
 		c.SpendRateWindow = time.Hour
+	}
+	if c.EstimateThreshold == 0 {
+		c.EstimateThreshold = 500_000
+	}
+	if c.EstimateSamples < 1 {
+		c.EstimateSamples = estimate.DefaultSamples
 	}
 	return c
 }
@@ -443,6 +461,8 @@ func (s *Service) Prepare(ctx context.Context, req Request) (PrepareInfo, error)
 	if err != nil {
 		return PrepareInfo{}, err
 	}
+	// Resolve "auto" against the dataset before anything derives a cache key.
+	req.resolveMode(ds, s.cfg)
 	// Trace a prepare exactly when it is about to do real work: the plan
 	// cache holds no completed plan for the key, so a compile (or a join
 	// onto an in-flight one) follows.
@@ -474,20 +494,24 @@ func (s *Service) Prepare(ctx context.Context, req Request) (PrepareInfo, error)
 	if err != nil {
 		return PrepareInfo{}, err
 	}
-	info := PrepareInfo{Dataset: ds.Name, Kind: req.Kind, Privacy: req.Privacy, AlreadyPrepared: hit, TraceID: tid}
+	info := PrepareInfo{Dataset: ds.Name, Kind: req.Kind, Privacy: req.Privacy, Mode: req.Mode, AlreadyPrepared: hit, TraceID: tid}
 	if pl != nil {
 		prof := pl.Profile()
 		if prof.Kind != "" {
 			info.Compile = &prof
 		}
-		// The accuracy block is tenant-facing and data-dependent, so it
-		// rides only on servers that opted in (see Config.ExposeAccuracy).
-		// A profile failure degrades to omission: the prepare itself
-		// succeeded.
+		// The accuracy and estimator-contract blocks are tenant-facing and
+		// data-dependent, so they ride only on servers that opted in (see
+		// Config.ExposeAccuracy). A profile failure degrades to omission:
+		// the prepare itself succeeded.
 		if s.cfg.ExposeAccuracy {
 			if b, err := pl.ErrorProfile(req.Epsilon, DefaultTail); err == nil {
 				acc := accuracyInfo(req.Epsilon, DefaultTail, b)
 				info.Accuracy = &acc
+			}
+			if res, ok := pl.EstimateResult(); ok {
+				est := estimateInfo(res)
+				info.Estimate = &est
 			}
 		}
 	}
@@ -518,6 +542,11 @@ type PrepareInfo struct {
 	Dataset string `json:"dataset"`
 	Kind    string `json:"kind"`
 	Privacy string `json:"privacy"`
+	// Mode is the resolved compile tier ("exact" or "sampled") — the wire
+	// request's "auto" resolved against the dataset's size. Caller-visible
+	// unconditionally: it discloses only the dataset's coarse size class,
+	// which the registry listing already reports.
+	Mode string `json:"mode,omitempty"`
 	// AlreadyPrepared is true when the plan was cached before this call.
 	AlreadyPrepared bool `json:"alreadyPrepared"`
 	// TraceID names the span tree recorded for this prepare (empty when it
@@ -533,6 +562,12 @@ type PrepareInfo struct {
 	// the bound is data-dependent, so per-query exposure is an explicit
 	// operator opt-in (see DESIGN.md).
 	Accuracy *AccuracyInfo `json:"accuracy,omitempty"`
+	// Estimate is the sampled plan's estimator contract (method, sample
+	// count, concentration bound) — never the estimate itself, which
+	// approximates the true answer and is not differentially private.
+	// Present only for sampled plans on servers started with
+	// -expose-accuracy, for the same data-dependence reason as Accuracy.
+	Estimate *EstimateInfo `json:"estimate,omitempty"`
 }
 
 // do is the serving core shared by Query and the async job runner: resolve
@@ -556,6 +591,11 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation, forceT
 		s.met.recordQuery(req.Dataset, req.Kind, false, false, false, req.Epsilon, start, err)
 		return Response{}, settleErr(pre, err)
 	}
+	// Resolve "auto" into exact or sampled before any key derivation: the
+	// resolved mode is part of the workload identity (a sampled estimate and
+	// an exact answer must never share a recorded release).
+	req.resolveMode(ds, s.cfg)
+	annotateMode(ctx, req.Mode)
 	key, err := req.cacheKey(ds)
 	if err != nil {
 		s.met.recordQuery(ds.Name, req.Kind, true, false, false, req.Epsilon, start, err)
@@ -627,6 +667,12 @@ func (s *Service) do(ctx context.Context, req *Request, pre *Reservation, forceT
 			preUsed = true
 		}
 		resp := Response{Dataset: ds.Name, Kind: req.Kind, Value: value, Epsilon: req.Epsilon}
+		if req.Mode == ModeSampled {
+			// Stamped only for sampled releases (omitempty), so exact
+			// payloads — including every pre-estimator recorded release in a
+			// durable WAL — stay byte-identical.
+			resp.Mode = ModeSampled
+		}
 		if s.store != nil && ds.Durable {
 			// Journal the release so it replays after a restart at zero ε.
 			// Only for durable datasets: their generation is a store

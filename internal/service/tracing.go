@@ -66,4 +66,13 @@ func putTraceID(ctx context.Context, id string) {
 func annotateRoot(root *trace.Span, ds *Dataset, req *Request) {
 	root.Str("dataset", ds.Name).Str("kind", req.Kind).
 		Str("privacy", req.Privacy).Float("epsilon", req.Epsilon)
+	// The resolved compile tier, for sampled plans only (exact traces keep
+	// their pre-estimator shape): callers annotate after resolveMode, so
+	// "auto" never appears here.
+	if req.Mode == ModeSampled {
+		root.Str("mode", ModeSampled)
+		if req.spec != nil {
+			root.Int("samples", int64(req.spec.SampleBudget))
+		}
+	}
 }

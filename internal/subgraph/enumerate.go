@@ -14,6 +14,7 @@ package subgraph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"recmech/internal/graph"
@@ -189,11 +190,25 @@ func kStarsRange(g *graph.Graph, k, lo, hi int) []Match {
 }
 
 // CountKStars returns Σ_v C(deg(v), k) as a float (it can be astronomically
-// large on dense graphs).
+// large on dense graphs). The sum is Kahan-compensated, so skewed degree
+// sequences — one hub term dwarfing millions of small ones — do not shed the
+// small terms to rounding. Overflow saturates rather than wraps: Binomial
+// returns +Inf once C(deg, k) exceeds the float64 range, +Inf terms keep the
+// sum at +Inf (every term is ≥ 0, so NaN from Inf−Inf cannot arise), and
+// callers scaling the result (noise calibration, estimator caps) see the
+// saturation explicitly instead of a silently wrong finite value.
 func CountKStars(g *graph.Graph, k int) float64 {
-	total := 0.0
+	total, comp := 0.0, 0.0
 	for v := 0; v < g.NumNodes(); v++ {
-		total += Binomial(g.Degree(v), k)
+		term := Binomial(g.Degree(v), k)
+		if math.IsInf(term, 1) || math.IsInf(total, 1) {
+			total, comp = math.Inf(1), 0
+			continue
+		}
+		y := term - comp
+		t := total + y
+		comp = (t - total) - y
+		total = t
 	}
 	return total
 }
@@ -261,6 +276,9 @@ func CountKTriangles(g *graph.Graph, k int) float64 {
 }
 
 // Binomial returns C(n, k) as a float64 (0 for k > n or negative inputs).
+// When the result exceeds the float64 range the multiplicative accumulation
+// overflows to +Inf and stays there (dividing +Inf by i+1 keeps +Inf), so
+// astronomically large counts saturate instead of wrapping or going NaN.
 func Binomial(n, k int) float64 {
 	if k < 0 || n < 0 || k > n {
 		return 0

@@ -3,6 +3,7 @@ package subgraph
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"recmech/internal/graph"
 )
@@ -266,11 +267,7 @@ func CountMatches(g *graph.Graph, p Pattern) int {
 // the first has at least one earlier neighbor, plus for each step the pattern
 // node (not index) of one such earlier neighbor (-1 for the root).
 func searchOrder(p Pattern) (order []int, parents []int) {
-	adj := make([][]int, p.K)
-	for _, e := range p.Edges {
-		adj[e.U] = append(adj[e.U], e.V)
-		adj[e.V] = append(adj[e.V], e.U)
-	}
+	adj := patternAdj(p)
 	// Root at the max-degree node for tighter early pruning.
 	root := 0
 	for v := 1; v < p.K; v++ {
@@ -278,6 +275,21 @@ func searchOrder(p Pattern) (order []int, parents []int) {
 			root = v
 		}
 	}
+	return searchOrderFrom(p, adj, root)
+}
+
+func patternAdj(p Pattern) [][]int {
+	adj := make([][]int, p.K)
+	for _, e := range p.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	return adj
+}
+
+// searchOrderFrom is searchOrder with a caller-chosen root, used by the
+// anchored counter to build one search order per possible root.
+func searchOrderFrom(p Pattern, adj [][]int, root int) (order []int, parents []int) {
 	placed := make([]bool, p.K)
 	order = append(order, root)
 	parents = append(parents, -1)
@@ -305,6 +317,132 @@ func searchOrder(p Pattern) (order []int, parents []int) {
 		placed[bestNode] = true
 	}
 	return order, parents
+}
+
+// AnchoredCounter counts, for one fixed pattern, the occurrences whose
+// minimum image node equals a given anchor. Every occurrence has exactly one
+// minimum node, so Σ_v CountAt(v) = CountMatches(g, p) — the per-anchor
+// counts partition the occurrence set exactly, which is what makes uniform
+// anchor sampling an unbiased estimator of the total (internal/estimate).
+//
+// Occurrences are identified by image edge set, matching FindMatches' dedup
+// semantics. Construction builds one search order per pattern root; CountAt
+// reuses the shared scratch state, so a counter must not be used from more
+// than one goroutine at a time.
+type AnchoredCounter struct {
+	g    *graph.Graph
+	p    Pattern
+	mts  []*matcher
+	seen map[string]struct{}
+	// Scratch reused across CountAt calls — the counter runs millions of
+	// tiny searches per estimate, so per-call allocation would dominate.
+	assignment []int
+	used       []bool
+	edgeBuf    []graph.Edge
+	keyBuf     []byte
+}
+
+// NewAnchoredCounter prepares anchored counting of p in g.
+func NewAnchoredCounter(g *graph.Graph, p Pattern) *AnchoredCounter {
+	adj := patternAdj(p)
+	mts := make([]*matcher, 0, p.K)
+	for q := 0; q < p.K; q++ {
+		mt := newMatcher(g, p)
+		mt.order, mt.parents = searchOrderFrom(p, adj, q)
+		mts = append(mts, mt)
+	}
+	return &AnchoredCounter{
+		g: g, p: p, mts: mts,
+		seen:       make(map[string]struct{}),
+		assignment: make([]int, p.K),
+		used:       make([]bool, g.NumNodes()),
+		edgeBuf:    make([]graph.Edge, 0, len(p.Edges)),
+	}
+}
+
+// CountAt returns the number of distinct occurrences whose minimum image
+// node is v. An occurrence with minimum node v maps at least one pattern
+// node to v, so running the search once per pattern root q with q pinned to
+// v and every other image node restricted to > v finds each such occurrence
+// at least once; the key set dedups embeddings found through several roots.
+func (a *AnchoredCounter) CountAt(v int) int {
+	if v < 0 || v >= a.g.NumNodes() {
+		return 0
+	}
+	clear(a.seen)
+	for _, mt := range a.mts {
+		a.runAnchored(mt, v)
+	}
+	return len(a.seen)
+}
+
+// runAnchored is matcher.run with the root pinned to data node v and all
+// other candidates restricted to nodes > v, recording the image-edge-set
+// keys of the occurrences it finds into the counter's seen set.
+func (a *AnchoredCounter) runAnchored(mt *matcher, v int) {
+	g := a.g
+	if g.Degree(v) < mt.patDeg[mt.order[0]] {
+		return
+	}
+	var rec func(step int)
+	rec = func(step int) {
+		if step == len(mt.order) {
+			a.record()
+			return
+		}
+		pn := mt.order[step]
+		parent := mt.parents[step] // ≥ 0: only the root (step 0) has parent -1
+		anchor := a.assignment[parent]
+	cands:
+		for _, cand := range g.Neighbors(anchor) {
+			// Every non-root image node must exceed v so v stays the
+			// minimum of the image (v itself is excluded by used[v]).
+			if cand <= v || a.used[cand] || g.Degree(cand) < mt.patDeg[pn] {
+				continue
+			}
+			for prev := 0; prev < step; prev++ {
+				qn := mt.order[prev]
+				if mt.padj[pn][qn] && !g.HasEdge(cand, a.assignment[qn]) {
+					continue cands
+				}
+			}
+			a.assignment[pn] = cand
+			a.used[cand] = true
+			rec(step + 1)
+			a.used[cand] = false
+		}
+	}
+	a.assignment[mt.order[0]] = v
+	a.used[v] = true
+	rec(1)
+	a.used[v] = false
+}
+
+// record dedups the current assignment by its canonical image edge set —
+// the same occurrence identity Match.Key uses, rendered without the
+// per-occurrence allocations (insertion sort on a reused edge buffer, key
+// bytes appended into a reused scratch that only escapes for new keys).
+func (a *AnchoredCounter) record() {
+	es := a.edgeBuf[:0]
+	for _, e := range a.p.Edges {
+		es = append(es, orderedEdge(a.assignment[e.U], a.assignment[e.V]))
+	}
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && (es[j].U < es[j-1].U || (es[j].U == es[j-1].U && es[j].V < es[j-1].V)); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+	b := a.keyBuf[:0]
+	for _, e := range es {
+		b = strconv.AppendInt(b, int64(e.U), 10)
+		b = append(b, '-')
+		b = strconv.AppendInt(b, int64(e.V), 10)
+		b = append(b, ';')
+	}
+	a.keyBuf = b
+	if _, dup := a.seen[string(b)]; !dup {
+		a.seen[string(b)] = struct{}{}
+	}
 }
 
 func buildMatch(p Pattern, assignment []int) Match {

@@ -64,6 +64,12 @@ type (
 	// AccuracyFamilyStats aggregates per-release accuracy telemetry for one
 	// workload family (the "accuracy" section of ServiceStats).
 	AccuracyFamilyStats = service.AccuracyFamilyStats
+	// EstimateInfo is a sampled plan's estimator contract (method, samples,
+	// concentration bound — never the estimate value itself).
+	EstimateInfo = service.EstimateInfo
+	// EstimatorStats aggregates estimator-tier releases (the "estimator"
+	// section of ServiceStats).
+	EstimatorStats = service.EstimatorStats
 	// ServiceStats is the service-wide observability snapshot returned by
 	// (*Service).Stats and GET /v1/stats.
 	ServiceStats = service.ServiceStats
@@ -107,6 +113,9 @@ var (
 	// ErrInvalidTail rejects an accuracy request whose tail parameter c is
 	// not positive and finite.
 	ErrInvalidTail = service.ErrInvalidTail
+	// ErrInvalidMode rejects a bad compile-mode selection (unknown mode, a
+	// sample budget out of range, or sampled mode on a SQL workload).
+	ErrInvalidMode = service.ErrInvalidMode
 	// ErrAccuracyDisabled rejects tenant-facing accuracy requests on a
 	// service without the ExposeAccuracy opt-in (the Theorem 1 bound is
 	// data-dependent; see DESIGN.md).
@@ -129,6 +138,15 @@ const (
 	KindKStars     = service.KindKStars
 	KindKTriangles = service.KindKTriangles
 	KindPattern    = service.KindPattern
+)
+
+// Compile modes accepted by ServiceRequest.Mode: the server picks the tier
+// ("auto", the default), exhaustive enumeration ("exact"), or the sampling
+// estimator ("sampled"); see ServiceConfig.EstimateThreshold.
+const (
+	ModeAuto    = service.ModeAuto
+	ModeExact   = service.ModeExact
+	ModeSampled = service.ModeSampled
 )
 
 // NewService returns an empty in-memory DP query service; register datasets
