@@ -1,0 +1,462 @@
+package lp
+
+import "slices"
+
+// variable statuses inside the simplex.
+type varStatus int8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	basic
+)
+
+// Basis is an opaque snapshot of a simplex basis partition: which column is
+// basic in each row slot and the bound status of every nonbasic column. A
+// Basis comes out of every successful solve (Result.Basis) and can seed a
+// later SolveSeeded on a structurally identical problem — the H/G ladder's
+// adjacent rungs differ only in one right-hand side, so the previous rung's
+// optimum is steps away from the next. A Basis is immutable once returned
+// and safe to share across goroutines; the solver copies it before use and
+// validates it against the problem's shape, so a stale or foreign basis can
+// cost a discarded warm attempt but never a wrong answer.
+type Basis struct {
+	m, nTotal int
+	basic     []int32
+	status    []varStatus
+}
+
+// snapshotBasis copies the terminal partition out of solver state.
+func snapshotBasis(m, nTotal int, basic []int32, status []varStatus) *Basis {
+	return &Basis{
+		m: m, nTotal: nTotal,
+		basic:  append([]int32(nil), basic...),
+		status: append([]varStatus(nil), status...),
+	}
+}
+
+// compatible reports whether the basis shape matches an instance; anything
+// else (a basis from the other sequence family, or a stale build) is
+// silently unusable as a seed.
+func (b *Basis) compatible(in *instance) bool {
+	return b != nil && b.m == in.m && b.nTotal == in.nTotal &&
+		len(b.basic) == in.m && len(b.status) == in.nTotal
+}
+
+// eta is one product-form update of the basis inverse: the pivot at slot r
+// replaced B's column r, and applying E⁻¹ to a slot-space vector is
+// x[r] /= diag; x[i] -= w_i·x[r]. Entries hold the FTRAN'd entering
+// column's nonzeros off the pivot slot, stored in the shared eIdx/eVal
+// arena (start:end) so pivots allocate nothing once the arena has grown to
+// a solve's working size.
+type eta struct {
+	slot       int32
+	start, end int32
+	diag       float64
+}
+
+// luFactors is an LU factorization of the basis matrix B (columns
+// A[:,basic[k]] in slot order) with partial pivoting, PB = LU, plus a
+// product-form eta file appended by pivots since the last refactorization.
+// L is unit lower triangular in pivot-position space with subdiagonal
+// entries stored by original row; U is stored by column (slot) with the
+// diagonal split out. Everything is reused across refactorizations to keep
+// per-solve allocation flat.
+type luFactors struct {
+	m int
+
+	pivRow []int32 // position -> original row chosen as pivot
+	posOf  []int32 // original row -> position (inverse of pivRow)
+
+	lPtr  []int32 // L column t: entries lRow/lVal[lPtr[t]:lPtr[t+1]]
+	lRow  []int32 // original row of each multiplier
+	lVal  []float64
+	uPtr  []int32 // U column k: strictly-above-diagonal entries by position
+	uPos  []int32
+	uVal  []float64
+	udiag []float64
+
+	etas []eta
+	eIdx []int32 // eta entry arena, shared by every eta
+	eVal []float64
+
+	// scratch
+	work    []float64 // dense accumulator indexed by original row
+	zpos    []float64 // position-space intermediate
+	stamp   []int32   // touched-row marker for the accumulator
+	touch   []int32   // rows stamped this epoch, in stamping order
+	heapBuf []int32   // min-heap of prior pivot positions left to apply
+	posMark []int32   // heap-membership marker per position, by epoch
+	epoch   int32
+}
+
+const (
+	// luTinyPivot is the singularity threshold for a factorization pivot:
+	// below it the basis is treated as numerically singular.
+	luTinyPivot = 1e-11
+	// refactorEvery bounds the eta file: after this many pivots the basis
+	// is refactorized from the original sparse columns, resetting both
+	// FTRAN/BTRAN cost and accumulated floating-point drift.
+	refactorEvery = 64
+)
+
+func newLUFactors(m int) *luFactors {
+	return &luFactors{
+		m:       m,
+		pivRow:  make([]int32, m),
+		posOf:   make([]int32, m),
+		lPtr:    make([]int32, m+1),
+		uPtr:    make([]int32, m+1),
+		udiag:   make([]float64, m),
+		work:    make([]float64, m),
+		zpos:    make([]float64, m),
+		stamp:   make([]int32, m),
+		touch:   make([]int32, 0, m),
+		heapBuf: make([]int32, 0, m),
+		posMark: make([]int32, m),
+	}
+}
+
+// factorize rebuilds PB = LU for the given basic columns and clears the eta
+// file. Columns are processed in slot order with partial pivoting (largest
+// magnitude, ties to the lowest original row), which is deterministic — the
+// canonical-extraction argument leans on refactorization being a pure
+// function of the basis partition. Returns false on a singular basis.
+func (f *luFactors) factorize(in *instance, basic []int32) bool {
+	m := f.m
+	f.etas = f.etas[:0]
+	f.eIdx, f.eVal = f.eIdx[:0], f.eVal[:0]
+	f.lRow, f.lVal = f.lRow[:0], f.lVal[:0]
+	f.uPos, f.uVal = f.uPos[:0], f.uVal[:0]
+	for i := range f.posOf {
+		f.posOf[i] = -1
+	}
+	for k := 0; k < m; k++ {
+		if !f.eliminateColumn(in, basic[k], k) {
+			return false
+		}
+	}
+	return true
+}
+
+// eliminateColumn runs one left-looking elimination step for column j at
+// slot k: scatter, apply prior L columns, choose the pivot among touched
+// non-pivot rows (largest magnitude, ties to the lowest original row — the
+// same deterministic rule a dense ascending scan implements), and append
+// the L multipliers in ascending row order so the factors are bit-identical
+// to the dense-scan formulation. The touched-row worklist keeps the pivot
+// search and the L append proportional to the column's fill-in instead of
+// m, which is what makes refactorization cheap for the mostly-slack
+// columns of the occurrence-incidence rows. Returns false when no pivot
+// clears luTinyPivot, undoing the column's U entries so a greedyBasis probe
+// can reject a dependent candidate and keep going.
+func (f *luFactors) eliminateColumn(in *instance, j int32, k int) bool {
+	f.epoch++
+	x := f.work
+	touch := f.touch[:0]
+	for t := in.colPtr[j]; t < in.colPtr[j+1]; t++ {
+		r := in.colRow[t]
+		x[r] = in.colVal[t]
+		f.stamp[r] = f.epoch
+		touch = append(touch, r)
+	}
+	uLen := len(f.uPos)
+	// Left-looking elimination: apply prior L columns in ascending pivot
+	// order, but visit only the positions whose pivot row is actually
+	// touched — a min-heap seeded from the scattered rows, fed as L
+	// applications introduce fill-in. An L column can only touch pivot rows
+	// of *later* positions (its stored rows were non-pivot when it was
+	// built), so every heap insertion is above the position being applied
+	// and ascending order is preserved; the arithmetic — and the U entry
+	// order — is exactly that of the full 0..k sweep, at sparse cost.
+	hp := f.heapBuf[:0]
+	for _, r := range touch {
+		if t := f.posOf[r]; t >= 0 && int(t) < k && f.posMark[t] != f.epoch {
+			f.posMark[t] = f.epoch
+			hp = heapPushPos(hp, t)
+		}
+	}
+	for len(hp) > 0 {
+		var t int32
+		t, hp = heapPopPos(hp)
+		v := x[f.pivRow[t]]
+		if v == 0 {
+			continue
+		}
+		for q := f.lPtr[t]; q < f.lPtr[t+1]; q++ {
+			r := f.lRow[q]
+			if f.stamp[r] != f.epoch {
+				x[r] = 0
+				f.stamp[r] = f.epoch
+				touch = append(touch, r)
+				if tq := f.posOf[r]; tq >= 0 && int(tq) < k && f.posMark[tq] != f.epoch {
+					f.posMark[tq] = f.epoch
+					hp = heapPushPos(hp, tq)
+				}
+			}
+			x[r] -= v * f.lVal[q]
+		}
+		f.uPos = append(f.uPos, int32(t))
+		f.uVal = append(f.uVal, v)
+	}
+	f.heapBuf = hp[:0]
+	// Pivot: the largest touched non-pivot-row magnitude, ties to the
+	// lowest original row.
+	bestRow, bestAbs := int32(-1), luTinyPivot
+	for _, r := range touch {
+		if f.posOf[r] >= 0 {
+			continue
+		}
+		a := x[r]
+		if a < 0 {
+			a = -a
+		}
+		if a > bestAbs || (a == bestAbs && bestRow >= 0 && r < bestRow) {
+			bestRow, bestAbs = r, a
+		}
+	}
+	f.touch = touch
+	if bestRow < 0 {
+		f.uPos = f.uPos[:uLen]
+		f.uVal = f.uVal[:uLen]
+		return false
+	}
+	// Ascending row order keeps the L entry order — and hence every
+	// sequential BTRAN accumulation — identical to a dense 0..m scan.
+	sortInt32(touch)
+	diag := x[bestRow]
+	f.pivRow[k] = bestRow
+	f.posOf[bestRow] = int32(k)
+	f.udiag[k] = diag
+	f.uPtr[k+1] = int32(len(f.uPos))
+	for _, r := range touch {
+		if f.posOf[r] >= 0 || r == bestRow {
+			continue
+		}
+		if v := x[r]; v != 0 {
+			f.lRow = append(f.lRow, r)
+			f.lVal = append(f.lVal, v/diag)
+		}
+	}
+	f.lPtr[k+1] = int32(len(f.lRow))
+	return true
+}
+
+// sortInt32 orders a touched-row list: insertion sort while the list is
+// fill-in sized (a handful of entries, where it beats a general sort by a
+// wide margin), the standard sort once fill-in grows past that.
+func sortInt32(a []int32) {
+	if len(a) > 48 {
+		slices.Sort(a)
+		return
+	}
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// heapPushPos and heapPopPos maintain h as a binary min-heap of pivot
+// positions, allocation-free on the caller's scratch slice.
+func heapPushPos(h []int32, t int32) []int32 {
+	h = append(h, t)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func heapPopPos(h []int32) (int32, []int32) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r] < h[l] {
+			l = r
+		}
+		if h[i] <= h[l] {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	return top, h
+}
+
+// greedyBasis selects a canonical nonsingular basis for the vertex
+// canonicalization (see canonicalizeVertex): the must-be-basic interior
+// columns first, then every other column in ascending index order, each
+// accepted only when it extends the rank of the columns accepted so far
+// (left-looking elimination, pivot above luTinyPivot). The selection is a
+// pure function of the candidate classification and the exact matrix A —
+// no solver state leaks in — so any two pivot paths that classify a vertex
+// identically choose the identical basis. Returns ok=false when an interior
+// column is rejected (numerical trouble: interior columns are independent
+// in every partition of the vertex) or fewer than m columns can be
+// accepted. Clobbers the factorization; the caller refactorizes.
+func (f *luFactors) greedyBasis(in *instance, interior []int32) ([]int32, bool) {
+	m := f.m
+	f.etas = f.etas[:0]
+	f.eIdx, f.eVal = f.eIdx[:0], f.eVal[:0]
+	f.lRow, f.lVal = f.lRow[:0], f.lVal[:0]
+	f.uPos, f.uVal = f.uPos[:0], f.uVal[:0]
+	for i := range f.posOf {
+		f.posOf[i] = -1
+	}
+	chosen := make([]int32, 0, m)
+	// try probes one candidate; eliminateColumn rolls back its U entries
+	// when the column is dependent on the accepted ones, so a rejection
+	// leaves the partial factorization untouched.
+	try := func(j int32) bool {
+		if !f.eliminateColumn(in, j, len(chosen)) {
+			return false
+		}
+		chosen = append(chosen, j)
+		return true
+	}
+	for _, j := range interior {
+		if !try(j) {
+			return nil, false
+		}
+	}
+	inSet := make([]bool, in.nTotal)
+	for _, j := range chosen {
+		inSet[j] = true
+	}
+	for j := int32(0); len(chosen) < m && int(j) < in.nTotal; j++ {
+		if inSet[j] {
+			continue
+		}
+		try(j)
+	}
+	if len(chosen) != m {
+		return nil, false
+	}
+	return chosen, true
+}
+
+// ftran solves B·x = rhs. rhs is indexed by original row; the solution is
+// written to xSlot indexed by basis slot. rhs is left untouched.
+func (f *luFactors) ftran(in *instance, rhs []float64, xSlot []float64) {
+	m := f.m
+	w := f.work
+	copy(w, rhs)
+	// L solve in pivot order.
+	for t := 0; t < m; t++ {
+		v := w[f.pivRow[t]]
+		if v != 0 {
+			for q := f.lPtr[t]; q < f.lPtr[t+1]; q++ {
+				w[f.lRow[q]] -= v * f.lVal[q]
+			}
+		}
+		f.zpos[t] = v
+	}
+	// U back-substitution (position space -> slot space; diagonal aligns).
+	z := f.zpos
+	for k := m - 1; k >= 0; k-- {
+		xk := z[k]
+		if xk != 0 {
+			xk /= f.udiag[k]
+		}
+		xSlot[k] = xk
+		if xk != 0 {
+			for q := f.uPtr[k]; q < f.uPtr[k+1]; q++ {
+				z[f.uPos[q]] -= f.uVal[q] * xk
+			}
+		}
+	}
+	// Product-form updates in creation order.
+	for e := range f.etas {
+		et := &f.etas[e]
+		t := xSlot[et.slot] / et.diag
+		xSlot[et.slot] = t
+		if t != 0 {
+			idx, val := f.eIdx[et.start:et.end], f.eVal[et.start:et.end]
+			for q, i := range idx {
+				xSlot[i] -= val[q] * t
+			}
+		}
+	}
+}
+
+// btran solves Bᵀ·y = c. c is indexed by basis slot; the solution is
+// written to yRow indexed by original row. c is left untouched.
+func (f *luFactors) btran(cSlot []float64, yRow []float64) {
+	m := f.m
+	v := f.zpos
+	copy(v, cSlot)
+	// Eta transposes in reverse creation order.
+	for e := len(f.etas) - 1; e >= 0; e-- {
+		et := &f.etas[e]
+		s := v[et.slot]
+		idx, val := f.eIdx[et.start:et.end], f.eVal[et.start:et.end]
+		for q, i := range idx {
+			s -= val[q] * v[i]
+		}
+		if s != 0 {
+			s /= et.diag
+		}
+		v[et.slot] = s
+	}
+	// Uᵀ forward solve (slot space -> position space).
+	w := f.work[:m]
+	for k := 0; k < m; k++ {
+		s := v[k]
+		for q := f.uPtr[k]; q < f.uPtr[k+1]; q++ {
+			s -= f.uVal[q] * w[f.uPos[q]]
+		}
+		// Unit right-hand sides (row pricing) leave most entries exactly
+		// zero; skipping the division is worth real time at this call rate.
+		if s != 0 {
+			s /= f.udiag[k]
+		}
+		w[k] = s
+	}
+	// Lᵀ back-substitution, then undo the row permutation.
+	for t := m - 1; t >= 0; t-- {
+		s := w[t]
+		for q := f.lPtr[t]; q < f.lPtr[t+1]; q++ {
+			s -= f.lVal[q] * w[f.posOf[f.lRow[q]]]
+		}
+		w[t] = s
+		yRow[f.pivRow[t]] = s
+	}
+	// w was aliased into yRow via pivRow; positions already consumed in
+	// descending order, so the in-place reuse above is safe: w[t] is only
+	// read through posOf, which points at positions > t, all finalized.
+}
+
+// push appends a product-form update for a pivot at slot r whose FTRAN'd
+// entering column (slot space) is w. Reports whether the eta file is due
+// for a refactorization.
+func (f *luFactors) push(r int, w []float64) bool {
+	start := int32(len(f.eIdx))
+	for i, v := range w {
+		if v != 0 && i != r {
+			f.eIdx = append(f.eIdx, int32(i))
+			f.eVal = append(f.eVal, v)
+		}
+	}
+	f.etas = append(f.etas, eta{
+		slot: int32(r), diag: w[r],
+		start: start, end: int32(len(f.eIdx)),
+	})
+	return len(f.etas) >= refactorEvery
+}

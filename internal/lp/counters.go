@@ -9,27 +9,40 @@ import "sync/atomic"
 // every solver user, not one service instance — fine for counters that
 // are only ever read as monotone rates.
 var (
-	solvesTotal     atomic.Uint64
-	pivotsTotal     atomic.Uint64
-	interruptsTotal atomic.Uint64
+	solvesTotal        atomic.Uint64
+	pivotsTotal        atomic.Uint64
+	interruptsTotal    atomic.Uint64
+	warmAttemptsTotal  atomic.Uint64
+	warmAppliedTotal   atomic.Uint64
+	warmDiscardedTotal atomic.Uint64
 )
 
 // Counters is a snapshot of the process-wide solver counters: Solve calls
 // started (completed or not), simplex iterations performed (pivots and
 // bound flips), and solves aborted by an interrupt hook (see
-// Problem.SetInterrupt) — so Interrupts/Solves is the abort rate.
+// Problem.SetInterrupt) — so Interrupts/Solves is the abort rate. The warm
+// trio tracks SolveSeeded: attempts with a compatible seed, attempts whose
+// certified result was kept, and attempts discarded to the cold path — so
+// WarmApplied/WarmAttempts is the warm-start hit rate, the first thing to
+// look at when fresh-compile latency regresses with -lp-warm-start on.
 type Counters struct {
-	Solves     uint64
-	Pivots     uint64
-	Interrupts uint64
+	Solves        uint64
+	Pivots        uint64
+	Interrupts    uint64
+	WarmAttempts  uint64
+	WarmApplied   uint64
+	WarmDiscarded uint64
 }
 
 // ReadCounters snapshots the process-wide solver counters. All values are
 // monotone over the process life.
 func ReadCounters() Counters {
 	return Counters{
-		Solves:     solvesTotal.Load(),
-		Pivots:     pivotsTotal.Load(),
-		Interrupts: interruptsTotal.Load(),
+		Solves:        solvesTotal.Load(),
+		Pivots:        pivotsTotal.Load(),
+		Interrupts:    interruptsTotal.Load(),
+		WarmAttempts:  warmAttemptsTotal.Load(),
+		WarmApplied:   warmAppliedTotal.Load(),
+		WarmDiscarded: warmDiscardedTotal.Load(),
 	}
 }

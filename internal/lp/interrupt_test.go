@@ -3,6 +3,7 @@ package lp
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -42,4 +43,77 @@ func TestSolveInterruptBenignIsTransparent(t *testing.T) {
 	if calls == 0 {
 		t.Fatal("interrupt never polled")
 	}
+}
+
+// TestInterruptPollCadence pins the polling frequency to the exported
+// InterruptPollInterval constant: each simplex loop checks at iteration 0
+// and every InterruptPollInterval pivots after, so the observed poll count
+// is bracketed by pivots/InterruptPollInterval on one side and that plus a
+// small number of loop entries (phases, restarts) on the other. A solver
+// change that forgets the poll, or polls every pivot, breaks a bound.
+func TestInterruptPollCadence(t *testing.T) {
+	p := ladderProblem(rand.New(rand.NewSource(31)), 160, 80, 45)
+	calls := 0
+	p.SetInterrupt(func() error { calls++; return nil })
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Pivots < InterruptPollInterval {
+		t.Fatalf("only %d pivots; problem too small to exercise the cadence", res.Pivots)
+	}
+	lo := res.Pivots / InterruptPollInterval
+	hi := res.Pivots/InterruptPollInterval + 16 // one extra poll per loop entry
+	if calls < lo || calls > hi {
+		t.Fatalf("%d polls over %d pivots, want within [%d, %d] at cadence %d",
+			calls, res.Pivots, lo, hi, InterruptPollInterval)
+	}
+}
+
+// TestSeededSolveInterruptAborts pins cooperative interrupt on the warm
+// path: a firing interrupt aborts a seeded solve mid-warm with the caller's
+// error, and the abort is counted exactly once.
+func TestSeededSolveInterruptAborts(t *testing.T) {
+	prior, err := ladderProblem(rand.New(rand.NewSource(41)), 40, 18, 9).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prior.Basis == nil {
+		t.Fatal("prior solve returned no basis")
+	}
+	boom := errors.New("caller hung up mid-warm")
+	p := ladderProblem(rand.New(rand.NewSource(41)), 40, 18, 11)
+	calls := 0
+	p.SetInterrupt(func() error { calls++; return boom })
+	before := ReadCounters()
+	if _, err := p.SolveSeeded(prior.Basis); !errors.Is(err, boom) {
+		t.Fatalf("SolveSeeded under firing interrupt: %v, want %v", err, boom)
+	}
+	if calls == 0 {
+		t.Fatal("interrupt never polled on the seeded path")
+	}
+	if got := ReadCounters().Interrupts - before.Interrupts; got != 1 {
+		t.Fatalf("interrupts counter advanced by %d, want exactly 1", got)
+	}
+}
+
+// TestSeededSolveBenignInterruptBitIdentical: polling must never perturb
+// values — a seeded solve under a benign interrupt still produces the bits
+// of an un-instrumented cold solve.
+func TestSeededSolveBenignInterruptBitIdentical(t *testing.T) {
+	prior, err := ladderProblem(rand.New(rand.NewSource(43)), 40, 18, 7).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ladderProblem(rand.New(rand.NewSource(43)), 40, 18, 9)
+	p.SetInterrupt(func() error { return nil })
+	warm, err := p.SolveSeeded(prior.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ladderProblem(rand.New(rand.NewSource(43)), 40, 18, 9).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "benign interrupt", warm, cold)
 }

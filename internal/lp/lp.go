@@ -1,4 +1,4 @@
-// Package lp is a from-scratch dense linear programming solver used to
+// Package lp is a from-scratch sparse linear programming solver used to
 // compute the sequences H (Eq. 16) and G (Eq. 19) of the efficient recursive
 // mechanism. The paper observes (§5.3) that each H_i and G_i is a linear
 // program with O(L) variables, L the total annotation length; this package
@@ -6,13 +6,23 @@
 //
 // Two implementations are provided:
 //
-//   - Solve: a bounded-variable two-phase primal simplex. Variable bounds
-//     l ≤ x ≤ u are handled implicitly by nonbasic-at-bound statuses, which
-//     keeps the tableau at one row per structural constraint. This is the
-//     production solver.
-//   - SolveReference: an independently written textbook two-phase simplex
-//     where every finite upper bound becomes an explicit row. It is slower
-//     and exists as a cross-checking oracle for randomized tests.
+//   - Solve/SolveSeeded: a bounded-variable revised simplex over a sparse
+//     (CSR/CSC) constraint matrix, with an LU-factorized basis updated in
+//     product form. Variable bounds l ≤ x ≤ u are handled implicitly by
+//     nonbasic-at-bound statuses, which keeps the basis at one row per
+//     structural constraint. Every solve carries its terminal basis out
+//     (Result.Basis), and SolveSeeded can warm-start from one — the
+//     ladder of near-identical LPs the recursive mechanism solves differs
+//     rung to rung only in a right-hand side, so dual simplex from the
+//     previous optimum replaces Phase 1 from scratch. Warm results are
+//     kept only when the terminal basis certifies a strictly unique
+//     optimum, which is what keeps them bit-identical to the cold path;
+//     otherwise the attempt is discarded and the cold path runs. This is
+//     the production solver.
+//   - SolveReference: an independently written dense textbook two-phase
+//     simplex where every finite upper bound becomes an explicit row. It
+//     is slower and exists as a cross-checking oracle for randomized and
+//     fuzz tests.
 //
 // Both solve min cᵀx subject to Ax {≤,=,≥} b, l ≤ x ≤ u.
 package lp
@@ -144,16 +154,56 @@ func (s Status) String() string {
 	return "unknown"
 }
 
+// WarmOutcome reports what became of a solve's warm-start seed.
+type WarmOutcome int8
+
+// Warm-start outcomes.
+const (
+	// WarmNone: no seed, or an incompatible one — the cold path ran.
+	WarmNone WarmOutcome = iota
+	// WarmApplied: the seeded solve terminated at a basis certifying a
+	// strictly unique optimum; the result is the warm-started one and is
+	// bit-identical to what the cold path would report.
+	WarmApplied
+	// WarmDiscarded: a compatible seed was attempted but not certified;
+	// the result is the cold path's, so exactness is unconditional.
+	WarmDiscarded
+)
+
+func (w WarmOutcome) String() string {
+	switch w {
+	case WarmNone:
+		return "none"
+	case WarmApplied:
+		return "applied"
+	case WarmDiscarded:
+		return "discarded"
+	}
+	return "unknown"
+}
+
+// InterruptPollInterval is the pivot cadence at which a solve polls its
+// interrupt hook (see Problem.SetInterrupt): every this-many simplex
+// iterations, in both the primal and the dual loop. Exported so tests that
+// reason about cancellation latency derive it instead of duplicating the
+// constant.
+const InterruptPollInterval = 64
+
 // Result is a solve outcome. X has one entry per structural variable and is
 // only meaningful when Status == Optimal. Pivots counts the simplex pivots
-// this solve performed across both phases — the per-solve cost figure that
-// the serving layer's tracing attributes to individual ladder rungs (the
-// process-wide aggregate lives in ReadCounters).
+// this solve performed across every phase, warm-start attempts included —
+// the per-solve cost figure that the serving layer's tracing attributes to
+// individual ladder rungs (the process-wide aggregate lives in
+// ReadCounters). Basis is the terminal basis partition of an Optimal solve,
+// reusable as a SolveSeeded seed on a structurally identical problem; Warm
+// reports what became of this solve's own seed.
 type Result struct {
 	Status    Status
 	Objective float64
 	X         []float64
 	Pivots    int
+	Warm      WarmOutcome
+	Basis     *Basis
 }
 
 // ErrIterationLimit is returned when the simplex exceeds its pivot budget,

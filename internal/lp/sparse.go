@@ -1,0 +1,210 @@
+package lp
+
+// instance is the solver's immutable sparse image of a Problem: the
+// constraint matrix normalized exactly as the former dense tableau was —
+// structural variables shifted so every lower bound is 0, rows negated so
+// each crash-basis column (slack or artificial) enters with coefficient +1,
+// slack columns for inequality rows, artificial columns only for EQ rows
+// and sign-stuck inequalities. The matrix is held twice: compressed sparse
+// rows (the natural shape of the φ-encoding's occurrence-incidence rows,
+// and what the canonical right-hand-side reduction walks) and compressed
+// sparse columns (what pricing, ratio rows and basis factorization walk).
+// The crash basis B₀ is the identity by construction, which is what makes
+// a from-scratch factorization trivial and Phase 1 start feasible.
+type instance struct {
+	m, nStruct, nTotal int
+	firstArt           int // column index of the first artificial
+
+	// CSR: row i holds cols rowCol[rowPtr[i]:rowPtr[i+1]] / rowVal[...].
+	rowPtr []int32
+	rowCol []int32
+	rowVal []float64
+	// CSC: column j holds rows colRow[colPtr[j]:colPtr[j+1]] / colVal[...].
+	colPtr []int32
+	colRow []int32
+	colVal []float64
+
+	b     []float64 // normalized, shifted right-hand side per row (≥ 0)
+	ub    []float64 // shifted upper bound per column (inf allowed)
+	costs []float64 // phase-2 objective per column (0 beyond structurals)
+	sec   []float64 // secondary (tie-break) objective per column, in [1,2)
+	shift []float64 // original lower bound per structural column
+	crash []int32   // initial basic column per row (slack or artificial)
+}
+
+// secWeight is the deterministic generic secondary objective coefficient of
+// column j: a splitmix-style hash of the index mapped into [1,2). Phase-2
+// pricing minimizes it lexicographically below the real objective, so among
+// the (frequently many) optimal vertices of a degenerate LP the solver
+// always terminates at the unique secondary-minimal one — the keystone of
+// warm-vs-cold bit-identity, since the terminal vertex then depends only on
+// the problem, never on the pivot path. Distinct per-column hashes make a
+// secondary tie on an optimal-face direction vanishingly unlikely, and
+// certification catches the exceptions.
+func secWeight(j int) float64 {
+	h := (uint64(j) + 1) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return 1 + float64(h>>12)/(1<<52)
+}
+
+// buildInstance lowers a Problem into the normalized sparse form. The
+// normalization is bit-for-bit the one the dense solver used, so problem
+// classes that were feasible without artificials stay that way.
+func buildInstance(p *Problem) *instance {
+	m := len(p.rows)
+	nStruct := len(p.costs)
+
+	shiftedRHS := make([]float64, m)
+	negate := make([]bool, m)
+	needArt := make([]bool, m)
+	nSlack, nArt := 0, 0
+	for i, r := range p.rows {
+		rhs := r.rhs
+		for _, t := range r.terms {
+			rhs -= t.Coef * p.lower[t.Col]
+		}
+		switch r.sense {
+		case LE:
+			nSlack++
+			if rhs < 0 {
+				negate[i] = true
+				rhs = -rhs
+				needArt[i] = true // slack coefficient becomes −1
+			}
+		case GE:
+			nSlack++
+			if rhs <= 0 {
+				negate[i] = true
+				rhs = -rhs // slack coefficient becomes +1
+			} else {
+				needArt[i] = true
+			}
+		case EQ:
+			if rhs < 0 {
+				negate[i] = true
+				rhs = -rhs
+			}
+			needArt[i] = true
+		}
+		if needArt[i] {
+			nArt++
+		}
+		shiftedRHS[i] = rhs
+	}
+
+	firstArt := nStruct + nSlack
+	nTotal := firstArt + nArt
+	in := &instance{
+		m: m, nStruct: nStruct, nTotal: nTotal, firstArt: firstArt,
+		b:     shiftedRHS,
+		ub:    make([]float64, nTotal),
+		costs: make([]float64, nTotal),
+		shift: append([]float64(nil), p.lower...),
+		crash: make([]int32, m),
+	}
+	for j := 0; j < nStruct; j++ {
+		in.ub[j] = p.upper[j] - p.lower[j]
+		in.costs[j] = p.costs[j]
+	}
+	for j := nStruct; j < nTotal; j++ {
+		in.ub[j] = inf()
+	}
+	in.sec = make([]float64, nTotal)
+	for j := range in.sec {
+		in.sec[j] = secWeight(j)
+	}
+
+	// CSR build, coalescing duplicate columns within a row through a dense
+	// scratch accumulator (rows of the φ-encoding are a handful of terms, so
+	// the touched list stays tiny). Each row then appends its slack and, when
+	// needed, its artificial — both with coefficient chosen so the crash
+	// basis is exactly the identity.
+	accum := make([]float64, nStruct)
+	var touched []int32
+	in.rowPtr = make([]int32, m+1)
+	slackCol, artCol := int32(nStruct), int32(firstArt)
+	for i, r := range p.rows {
+		sign := 1.0
+		if negate[i] {
+			sign = -1
+		}
+		for _, t := range r.terms {
+			if accum[t.Col] == 0 {
+				touched = append(touched, int32(t.Col))
+			}
+			accum[t.Col] += sign * t.Coef
+		}
+		for _, c := range touched {
+			if v := accum[c]; v != 0 {
+				in.rowCol = append(in.rowCol, c)
+				in.rowVal = append(in.rowVal, v)
+			}
+			accum[c] = 0
+		}
+		touched = touched[:0]
+		if r.sense != EQ {
+			slackCoef := sign
+			if r.sense == GE {
+				slackCoef = -sign
+			}
+			in.rowCol = append(in.rowCol, slackCol)
+			in.rowVal = append(in.rowVal, slackCoef)
+			if !needArt[i] {
+				in.crash[i] = slackCol
+			}
+			slackCol++
+		}
+		if needArt[i] {
+			in.rowCol = append(in.rowCol, artCol)
+			in.rowVal = append(in.rowVal, 1)
+			in.crash[i] = artCol
+			artCol++
+		}
+		in.rowPtr[i+1] = int32(len(in.rowCol))
+	}
+
+	// CSC transpose: count, prefix-sum, fill. Row order within each column
+	// is ascending because the CSR fill walked rows in order.
+	in.colPtr = make([]int32, nTotal+1)
+	for _, c := range in.rowCol {
+		in.colPtr[c+1]++
+	}
+	for j := 0; j < nTotal; j++ {
+		in.colPtr[j+1] += in.colPtr[j]
+	}
+	next := append([]int32(nil), in.colPtr[:nTotal]...)
+	in.colRow = make([]int32, len(in.rowCol))
+	in.colVal = make([]float64, len(in.rowVal))
+	for i := 0; i < m; i++ {
+		for k := in.rowPtr[i]; k < in.rowPtr[i+1]; k++ {
+			c := in.rowCol[k]
+			in.colRow[next[c]] = int32(i)
+			in.colVal[next[c]] = in.rowVal[k]
+			next[c]++
+		}
+	}
+	return in
+}
+
+// colDot returns yᵀ·a_j for a dense row-space vector y.
+func (in *instance) colDot(y []float64, j int) float64 {
+	s := 0.0
+	for k := in.colPtr[j]; k < in.colPtr[j+1]; k++ {
+		s += y[in.colRow[k]] * in.colVal[k]
+	}
+	return s
+}
+
+// colDot2 returns yᵀ·a_j and y2ᵀ·a_j in one sweep of the column.
+func (in *instance) colDot2(y, y2 []float64, j int) (float64, float64) {
+	s1, s2 := 0.0, 0.0
+	for k := in.colPtr[j]; k < in.colPtr[j+1]; k++ {
+		r := in.colRow[k]
+		v := in.colVal[k]
+		s1 += y[r] * v
+		s2 += y2[r] * v
+	}
+	return s1, s2
+}

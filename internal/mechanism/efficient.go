@@ -108,13 +108,15 @@ func (e *Efficient) NumParticipants() int { return e.nP }
 func (e *Efficient) NumTuples() int { return len(e.tuples) }
 
 // SolveInfo describes one H/G evaluation for observability: the size of
-// the LP built and the simplex pivots it cost. The zero value means the
-// entry short-circuited without building an LP (empty relation, or G_0).
-// Nothing here derives from tuple *values*, only from the workload shape.
+// the LP built, the simplex pivots it cost, and what became of its
+// warm-start seed. The zero value means the entry short-circuited without
+// building an LP (empty relation, or G_0). Nothing here derives from tuple
+// *values*, only from the workload shape.
 type SolveInfo struct {
-	Pivots int // simplex pivots across both phases
-	Rows   int // LP constraint rows
-	Cols   int // LP variables
+	Pivots int            // simplex pivots across both phases
+	Rows   int            // LP constraint rows
+	Cols   int            // LP variables
+	Warm   lp.WarmOutcome // seed disposition (lp.WarmNone without one)
 }
 
 // lpBuild constructs the shared part of the H/G LPs: participant variables,
@@ -203,11 +205,28 @@ func (e *Efficient) H(i int) (float64, error) {
 
 // HInfo is H plus the solve's SolveInfo, for per-solve tracing.
 func (e *Efficient) HInfo(i int) (float64, SolveInfo, error) {
+	v, info, _, err := e.HInfoSeeded(i, nil)
+	return v, info, err
+}
+
+// HSeeded is the SeededSequences accessor: H_i warm-started from seed (the
+// terminal basis of a neighbouring rung's solve), returning the solve's own
+// terminal basis for the next rung. Values are bit-identical to H(i)
+// whatever the seed — exactness is the solver's contract (lp.SolveSeeded),
+// the seed only skips pivots.
+func (e *Efficient) HSeeded(i int, seed *lp.Basis) (float64, *lp.Basis, error) {
+	v, _, b, err := e.HInfoSeeded(i, seed)
+	return v, b, err
+}
+
+// HInfoSeeded is HSeeded plus the solve's SolveInfo. Entries that
+// short-circuit without an LP return a nil basis.
+func (e *Efficient) HInfoSeeded(i int, seed *lp.Basis) (float64, SolveInfo, *lp.Basis, error) {
 	if i < 0 || i > e.nP {
-		return 0, SolveInfo{}, fmt.Errorf("mechanism: H index %d outside [0,%d]", i, e.nP)
+		return 0, SolveInfo{}, nil, fmt.Errorf("mechanism: H index %d outside [0,%d]", i, e.nP)
 	}
 	if len(e.tuples) == 0 {
-		return e.constSum, SolveInfo{}, nil
+		return e.constSum, SolveInfo{}, nil, nil
 	}
 	p, roots, _ := e.lpBuild(i)
 	offset := e.constSum
@@ -224,19 +243,20 @@ func (e *Efficient) HInfo(i int) (float64, SolveInfo, error) {
 		p.SetCost(col, c)
 	}
 	info := SolveInfo{Rows: p.NumRows(), Cols: p.NumVars()}
-	res, err := p.Solve()
+	res, err := p.SolveSeeded(seed)
 	info.Pivots = res.Pivots
+	info.Warm = res.Warm
 	if err != nil {
-		return 0, info, err
+		return 0, info, nil, err
 	}
 	if res.Status != lp.Optimal {
-		return 0, info, fmt.Errorf("mechanism: H_%d LP is %v", i, res.Status)
+		return 0, info, nil, fmt.Errorf("mechanism: H_%d LP is %v", i, res.Status)
 	}
 	v := res.Objective + offset
 	if v < 0 {
 		v = 0
 	}
-	return v, info, nil
+	return v, info, res.Basis, nil
 }
 
 // G implements Eq. 19 by one LP solve (min z over the per-participant rows,
@@ -248,11 +268,26 @@ func (e *Efficient) G(i int) (float64, error) {
 
 // GInfo is G plus the solve's SolveInfo, for per-solve tracing.
 func (e *Efficient) GInfo(i int) (float64, SolveInfo, error) {
+	v, info, _, err := e.GInfoSeeded(i, nil)
+	return v, info, err
+}
+
+// GSeeded is the SeededSequences accessor for G; see HSeeded. H and G bases
+// are never interchangeable (the G LP carries the z variable and the
+// per-participant rows), which lp.SolveSeeded enforces by dimension check —
+// an H basis offered to a G solve is simply ignored.
+func (e *Efficient) GSeeded(i int, seed *lp.Basis) (float64, *lp.Basis, error) {
+	v, _, b, err := e.GInfoSeeded(i, seed)
+	return v, b, err
+}
+
+// GInfoSeeded is GSeeded plus the solve's SolveInfo.
+func (e *Efficient) GInfoSeeded(i int, seed *lp.Basis) (float64, SolveInfo, *lp.Basis, error) {
 	if i < 0 || i > e.nP {
-		return 0, SolveInfo{}, fmt.Errorf("mechanism: G index %d outside [0,%d]", i, e.nP)
+		return 0, SolveInfo{}, nil, fmt.Errorf("mechanism: G index %d outside [0,%d]", i, e.nP)
 	}
 	if len(e.tuples) == 0 || i == 0 {
-		return 0, SolveInfo{}, nil
+		return 0, SolveInfo{}, nil, nil
 	}
 	p, roots, _ := e.lpBuild(i)
 	z := p.AddVar(1, 0, math.Inf(1))
@@ -276,19 +311,20 @@ func (e *Efficient) GInfo(i int) (float64, SolveInfo, error) {
 		}
 	}
 	info := SolveInfo{Rows: p.NumRows(), Cols: p.NumVars()}
-	res, err := p.Solve()
+	res, err := p.SolveSeeded(seed)
 	info.Pivots = res.Pivots
+	info.Warm = res.Warm
 	if err != nil {
-		return 0, info, err
+		return 0, info, nil, err
 	}
 	if res.Status != lp.Optimal {
-		return 0, info, fmt.Errorf("mechanism: G_%d LP is %v", i, res.Status)
+		return 0, info, nil, fmt.Errorf("mechanism: G_%d LP is %v", i, res.Status)
 	}
 	v := 2 * res.Objective
 	if v < 0 {
 		v = 0
 	}
-	return v, info, nil
+	return v, info, res.Basis, nil
 }
 
 func sortVars(vs []boolexpr.Var) {

@@ -1,0 +1,82 @@
+package mechanism
+
+import (
+	"math/rand"
+	"testing"
+
+	"recmech/internal/lp"
+)
+
+// TestSeededSolvesBitIdentical is the mechanism-layer leg of the warm×cold
+// golden matrix: H_i and G_i evaluated through the seeded entry points —
+// chained along the ladder, seeded from a distant rung, and even seeded
+// with the other family's basis — must be bit-identical to the plain
+// (family-cached but unseeded) evaluation on a fresh Efficient.
+func TestSeededSolvesBitIdentical(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		s := randomSensitive(rng, 4+trial%4, 6+trial, 3)
+
+		ref := mustEfficient(t, s)
+		nP := ref.NumParticipants()
+		wantH := make([]float64, nP+1)
+		wantG := make([]float64, nP+1)
+		for i := 0; i <= nP; i++ {
+			var err error
+			if wantH[i], err = ref.H(i); err != nil {
+				t.Fatal(err)
+			}
+			if wantG[i], err = ref.G(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Chained: each rung seeded from the previous rung's terminal basis.
+		e := mustEfficient(t, s)
+		var hSeed, gSeed *lp.Basis
+		for i := 0; i <= nP; i++ {
+			v, _, b, err := e.HInfoSeeded(i, hSeed)
+			if err != nil {
+				t.Fatalf("trial %d: HInfoSeeded(%d): %v", trial, i, err)
+			}
+			if f64bits(v) != f64bits(wantH[i]) {
+				t.Fatalf("trial %d: seeded H_%d = %v, want %v", trial, i, v, wantH[i])
+			}
+			if b != nil {
+				hSeed = b
+			}
+			v, _, b, err = e.GInfoSeeded(i, gSeed)
+			if err != nil {
+				t.Fatalf("trial %d: GInfoSeeded(%d): %v", trial, i, err)
+			}
+			if f64bits(v) != f64bits(wantG[i]) {
+				t.Fatalf("trial %d: seeded G_%d = %v, want %v", trial, i, v, wantG[i])
+			}
+			if b != nil {
+				gSeed = b
+			}
+		}
+
+		// Adversarial seeds on a third instance: the far end of the ladder,
+		// and the other family's basis (shape-incompatible for G vs H). The
+		// certified-or-discard contract makes every one of these a don't-care
+		// for values.
+		e2 := mustEfficient(t, s)
+		for _, i := range []int{nP, nP / 2, 0} {
+			v, _, _, err := e2.HInfoSeeded(i, gSeed)
+			if err != nil {
+				t.Fatalf("trial %d: cross-seeded H_%d: %v", trial, i, err)
+			}
+			if f64bits(v) != f64bits(wantH[i]) {
+				t.Fatalf("trial %d: cross-seeded H_%d = %v, want %v", trial, i, v, wantH[i])
+			}
+			v, _, _, err = e2.GInfoSeeded(i, hSeed)
+			if err != nil {
+				t.Fatalf("trial %d: cross-seeded G_%d: %v", trial, i, err)
+			}
+			if f64bits(v) != f64bits(wantG[i]) {
+				t.Fatalf("trial %d: cross-seeded G_%d = %v, want %v", trial, i, v, wantG[i])
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"recmech/internal/lp"
 	"recmech/internal/mechanism"
 	"recmech/internal/trace"
 )
@@ -19,15 +20,54 @@ import (
 // is the same value, and not holding the lock across a solve keeps readers
 // of already-memoized entries from stalling behind a miss.
 type memoSeq struct {
-	inner mechanism.Sequences
-	info  solveInfoSeq // inner's per-solve variant, when it offers one
+	inner  mechanism.Sequences
+	info   solveInfoSeq  // inner's per-solve variant, when it offers one
+	seeded seededInfoSeq // inner's warm-start variant, when it offers one
 
 	mu sync.RWMutex
 	h  map[int]float64
 	g  map[int]float64
+	// Cross-release warm bases: the terminal basis of every H (resp. G)
+	// solve on this plan, keyed by rung, from any release. A fresh Core
+	// starts with empty family bases, so without this layer every release's
+	// first H and first G solve would run cold; the memo remembers across
+	// releases — and across the Warm/Release split, where Warm does the Δ
+	// search and a later Release picks up the X search. A miss seeds from
+	// the nearest solved rung (dual-simplex distance tracks the
+	// right-hand-side gap, so nearest beats most-recent). Bases are a pure
+	// performance channel (solver exactness is unconditional), so sharing
+	// them across racing releases needs no more care than the mutex.
+	warmH map[int]*lp.Basis
+	warmG map[int]*lp.Basis
+
+	// warmOff kills seeding (and basis retention) when the plan's
+	// -lp-warm-start gate is off, so the A/B baseline is honestly cold.
+	warmOff atomic.Bool
 
 	hSolves atomic.Uint64 // LP solves performed (misses), for Plan.Solves
 	gSolves atomic.Uint64
+}
+
+func (m *memoSeq) setWarm(on bool) { m.warmOff.Store(!on) }
+
+// nearestLocked returns the retained basis of the solved rung nearest to i
+// (ties to the lower rung) from bases, or nil when it is empty. Callers
+// hold m.mu (read or write). The (distance, rung) comparison totally
+// orders candidates, so Go's randomized map iteration cannot change the
+// answer.
+func nearestLocked(bases map[int]*lp.Basis, i int) *lp.Basis {
+	var best *lp.Basis
+	bestDist, bestRung := 0, 0
+	for k, b := range bases {
+		d := k - i
+		if d < 0 {
+			d = -d
+		}
+		if best == nil || d < bestDist || (d == bestDist && k < bestRung) {
+			best, bestDist, bestRung = b, d, k
+		}
+	}
+	return best
 }
 
 // solveInfoSeq is the optional Sequences extension the traced path prefers:
@@ -39,9 +79,23 @@ type solveInfoSeq interface {
 	GInfo(i int) (float64, mechanism.SolveInfo, error)
 }
 
+// seededInfoSeq is the optional extension combining per-solve info with
+// warm-start basis handoff (mechanism.Efficient provides it). When inner
+// offers it, memo misses seed their LP from the plan's retained basis and
+// hand their own terminal basis back for retention.
+type seededInfoSeq interface {
+	HInfoSeeded(i int, seed *lp.Basis) (float64, mechanism.SolveInfo, *lp.Basis, error)
+	GInfoSeeded(i int, seed *lp.Basis) (float64, mechanism.SolveInfo, *lp.Basis, error)
+}
+
 func newMemoSeq(inner mechanism.Sequences) *memoSeq {
-	m := &memoSeq{inner: inner, h: make(map[int]float64), g: make(map[int]float64)}
+	m := &memoSeq{
+		inner: inner,
+		h:     make(map[int]float64), g: make(map[int]float64),
+		warmH: make(map[int]*lp.Basis), warmG: make(map[int]*lp.Basis),
+	}
 	m.info, _ = inner.(solveInfoSeq)
+	m.seeded, _ = inner.(seededInfoSeq)
 	return m
 }
 
@@ -55,74 +109,137 @@ func (m *memoSeq) G(i int) (float64, error) { return m.gGet(i, nil) }
 // (rung index, pivots, LP size) under the phase span cur points at. Hits
 // touch neither the clock nor the cursor beyond one atomic load.
 func (m *memoSeq) hGet(i int, cur *spanCursor) (float64, error) {
-	m.mu.RLock()
-	v, ok := m.h[i]
-	m.mu.RUnlock()
-	if ok {
-		return v, nil
-	}
-	v, err := m.solve(i, cur, "h")
-	if err != nil {
-		return 0, err
-	}
-	m.hSolves.Add(1)
-	m.mu.Lock()
-	m.h[i] = v
-	m.mu.Unlock()
-	return v, nil
+	v, _, err := m.hGetSeeded(i, cur, nil)
+	return v, err
 }
 
 // gGet is G with span attribution; see hGet.
 func (m *memoSeq) gGet(i int, cur *spanCursor) (float64, error) {
+	v, _, err := m.gGetSeeded(i, cur, nil)
+	return v, err
+}
+
+// hGetSeeded is hGet with warm-start basis handoff: a miss is seeded with
+// the plan's retained basis of the nearest solved H rung (falling back to
+// the caller's seed when the plan has none yet), and the solve's terminal
+// basis is both retained under its rung and returned. Memo hits return a
+// nil basis — there was no solve, so the caller's family basis stands.
+func (m *memoSeq) hGetSeeded(i int, cur *spanCursor, seed *lp.Basis) (float64, *lp.Basis, error) {
+	warmOff := m.warmOff.Load()
 	m.mu.RLock()
-	v, ok := m.g[i]
+	v, ok := m.h[i]
+	if !warmOff {
+		if b := nearestLocked(m.warmH, i); b != nil {
+			seed = b
+		}
+	}
 	m.mu.RUnlock()
 	if ok {
-		return v, nil
+		return v, nil, nil
 	}
-	v, err := m.solve(i, cur, "g")
+	if warmOff {
+		seed = nil
+	}
+	v, b, err := m.solveSeeded(i, cur, "h", seed)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
+	}
+	m.hSolves.Add(1)
+	m.mu.Lock()
+	m.h[i] = v
+	if b != nil && !warmOff {
+		m.warmH[i] = b
+	}
+	m.mu.Unlock()
+	return v, b, nil
+}
+
+// gGetSeeded is hGetSeeded for G; see there.
+func (m *memoSeq) gGetSeeded(i int, cur *spanCursor, seed *lp.Basis) (float64, *lp.Basis, error) {
+	warmOff := m.warmOff.Load()
+	m.mu.RLock()
+	v, ok := m.g[i]
+	if !warmOff {
+		if b := nearestLocked(m.warmG, i); b != nil {
+			seed = b
+		}
+	}
+	m.mu.RUnlock()
+	if ok {
+		return v, nil, nil
+	}
+	if warmOff {
+		seed = nil
+	}
+	v, b, err := m.solveSeeded(i, cur, "g", seed)
+	if err != nil {
+		return 0, nil, err
 	}
 	m.gSolves.Add(1)
 	m.mu.Lock()
 	m.g[i] = v
+	if b != nil && !warmOff {
+		m.warmG[i] = b
+	}
 	m.mu.Unlock()
-	return v, nil
+	return v, b, nil
 }
 
-// solve runs one H or G evaluation, recording an lp.solve span when the
-// release is traced and the inner Sequences can report per-solve cost.
-func (m *memoSeq) solve(i int, cur *spanCursor, seq string) (float64, error) {
+// solveSeeded runs one H or G evaluation, threading the warm-start seed
+// when inner offers the seeded variant and recording an lp.solve span (now
+// including the seed's disposition) when the release is traced. A nil seed
+// with a seeded inner still uses the seeded call — the solver treats it as
+// a cold solve and hands back a basis worth retaining.
+func (m *memoSeq) solveSeeded(i int, cur *spanCursor, seq string, seed *lp.Basis) (float64, *lp.Basis, error) {
 	sp := trace.StartChild(cur.get(), "lp.solve")
-	if sp == nil || m.info == nil {
+	if m.seeded == nil {
 		var v float64
 		var err error
-		if seq == "h" {
-			v, err = m.inner.H(i)
+		if sp != nil && m.info != nil {
+			var info mechanism.SolveInfo
+			if seq == "h" {
+				v, info, err = m.info.HInfo(i)
+			} else {
+				v, info, err = m.info.GInfo(i)
+			}
+			spanInfo(sp, seq, i, info, err)
 		} else {
-			v, err = m.inner.G(i)
+			if seq == "h" {
+				v, err = m.inner.H(i)
+			} else {
+				v, err = m.inner.G(i)
+			}
+			sp.End() // sp can be non-nil here (info-less inner); still close it
 		}
-		sp.End() // sp can be non-nil here (info-less inner); still close it
-		return v, err
+		return v, nil, err
 	}
 	var (
 		v    float64
 		info mechanism.SolveInfo
+		b    *lp.Basis
 		err  error
 	)
 	if seq == "h" {
-		v, info, err = m.info.HInfo(i)
+		v, info, b, err = m.seeded.HInfoSeeded(i, seed)
 	} else {
-		v, info, err = m.info.GInfo(i)
+		v, info, b, err = m.seeded.GInfoSeeded(i, seed)
 	}
+	if sp != nil {
+		spanInfo(sp, seq, i, info, err)
+	}
+	return v, b, err
+}
+
+// spanInfo stamps and closes an lp.solve span with the solve's cost and
+// warm-start disposition.
+func spanInfo(sp *trace.Span, seq string, i int, info mechanism.SolveInfo, err error) {
 	sp.Str("seq", seq).Int("i", int64(i)).
-		Int("pivots", int64(info.Pivots)).Int("rows", int64(info.Rows)).Int("cols", int64(info.Cols))
+		Int("pivots", int64(info.Pivots)).Int("rows", int64(info.Rows)).Int("cols", int64(info.Cols)).
+		Str("warm", info.Warm.String())
 	if err != nil {
 		sp.Str("error", err.Error())
 	}
 	sp.End()
-	return v, err
 }
 
 func (m *memoSeq) solves() (h, g uint64) {

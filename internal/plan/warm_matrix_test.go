@@ -1,0 +1,135 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"recmech/internal/noise"
+	"recmech/internal/pool"
+)
+
+// TestGoldenWarmMatrix is the plan-layer warm×cold golden matrix: every
+// golden workload (plus a sampled-mode plan, which has no LP state and must
+// shrug the gate off) is compiled and released under warm start on/off ×
+// compile parallelism 1/4, and every cell must reproduce, bit for bit, the
+// releases of the cold sequential reference. Warm starting is a pure
+// performance channel; the first output bit it changes is a solver bug.
+func TestGoldenWarmMatrix(t *testing.T) {
+	graphSrc, sqlSrc := goldenSources(t)
+	ctx := context.Background()
+	p := pool.New(4)
+
+	specs := goldenSpecs()
+	sampled := &Spec{Kind: KindTriangles, Mode: ModeSampled, SampleBudget: 500}
+	if err := sampled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	specs = append(specs, sampled)
+
+	for _, spec := range specs {
+		src := graphSrc
+		if spec.Kind == KindSQL {
+			src = sqlSrc
+		}
+		name, _ := spec.Key()
+		if spec.Mode == ModeSampled {
+			name += "/sampled"
+		}
+
+		// Reference: cold (warm start off), fully sequential.
+		ref, err := Compile(src, spec)
+		if err != nil {
+			t.Fatalf("%s: reference Compile: %v", name, err)
+		}
+		ref.SetLPWarmStart(false)
+		type cell struct{ eps, v1, v2 float64 }
+		var want []cell
+		for _, eps := range []float64{0.3, 1.1} {
+			rng := noise.NewRand(33)
+			v1, err := ref.Release(ctx, eps, rng)
+			if err != nil {
+				t.Fatalf("%s: reference release: %v", name, err)
+			}
+			v2, err := ref.Release(ctx, eps, rng)
+			if err != nil {
+				t.Fatalf("%s: reference release: %v", name, err)
+			}
+			want = append(want, cell{eps, v1, v2})
+		}
+
+		for _, warm := range []bool{false, true} {
+			for _, workers := range []int{1, 4} {
+				label := fmt.Sprintf("%s/warm=%v/workers=%d", name, warm, workers)
+				var workerPool *pool.Pool
+				if workers > 1 {
+					workerPool = p
+				}
+				pl, err := CompileContext(ctx, src, spec, workerPool)
+				if err != nil {
+					t.Fatalf("%s: Compile: %v", label, err)
+				}
+				pl.SetLPWarmStart(warm)
+				for _, w := range want {
+					rng := noise.NewRand(33)
+					v1, err := pl.Release(ctx, w.eps, rng)
+					if err != nil {
+						t.Fatalf("%s: release: %v", label, err)
+					}
+					v2, err := pl.Release(ctx, w.eps, rng)
+					if err != nil {
+						t.Fatalf("%s: release: %v", label, err)
+					}
+					if math.Float64bits(v1) != math.Float64bits(w.v1) ||
+						math.Float64bits(v2) != math.Float64bits(w.v2) {
+						t.Fatalf("%s ε=%g: releases (%v, %v) differ from cold sequential (%v, %v)",
+							label, w.eps, v1, v2, w.v1, w.v2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenWarmMatrixWarmRelease extends the matrix across the Warm/Release
+// split: a plan warmed through the pool with warm starting on (the memo
+// retains bases from the Warm-phase Δ search that the Release-phase X search
+// then reuses) must still release the cold sequential bits.
+func TestGoldenWarmMatrixWarmRelease(t *testing.T) {
+	graphSrc, _ := goldenSources(t)
+	ctx := context.Background()
+	p := pool.New(4)
+	spec := &Spec{Kind: KindKStars, K: 3}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := Compile(graphSrc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetLPWarmStart(false)
+	want, err := ref.Release(ctx, 0.5, noise.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, warm := range []bool{false, true} {
+		pl, err := CompileContext(ctx, graphSrc, spec, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.SetLPWarmStart(warm)
+		if err := pl.Warm(ctx, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		got, err := pl.Release(ctx, 0.5, noise.NewRand(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("warm=%v: warmed release %v != cold sequential %v", warm, got, want)
+		}
+	}
+}

@@ -378,6 +378,12 @@ func (m *serviceMetrics) bind(s *Service) {
 		func() uint64 { return lp.ReadCounters().Pivots })
 	reg.CounterFunc("recmech_lp_interrupts_total", "LP solves aborted by cooperative interrupt, process-wide",
 		func() uint64 { return lp.ReadCounters().Interrupts })
+	reg.CounterFunc("recmech_lp_warm_attempts_total", "LP solves that attempted a warm-start seed, process-wide",
+		func() uint64 { return lp.ReadCounters().WarmAttempts })
+	reg.CounterFunc("recmech_lp_warm_applied_total", "Warm-start seeds certified and applied, process-wide",
+		func() uint64 { return lp.ReadCounters().WarmApplied })
+	reg.CounterFunc("recmech_lp_warm_discarded_total", "Warm-start seeds discarded (solve fell back to cold), process-wide",
+		func() uint64 { return lp.ReadCounters().WarmDiscarded })
 
 	// Tracing counters, from the span recorder (see internal/trace).
 	reg.CounterFunc("recmech_traces_total", "Traces recorded (fresh compiles, job items, sampled warm queries)",
@@ -693,11 +699,16 @@ type PoolStats struct {
 	InlineTotal   uint64 `json:"fanoutsInline"`
 }
 
-// LPStats snapshots the process-wide LP solver counters.
+// LPStats snapshots the process-wide LP solver counters. The warm trio
+// satisfies WarmAttempts = WarmApplied + WarmDiscarded; a falling
+// applied/attempts ratio is the first sign warm starting has stopped paying.
 type LPStats struct {
-	Solves     uint64 `json:"solves"`
-	Pivots     uint64 `json:"pivots"`
-	Interrupts uint64 `json:"interrupts"`
+	Solves        uint64 `json:"solves"`
+	Pivots        uint64 `json:"pivots"`
+	Interrupts    uint64 `json:"interrupts"`
+	WarmAttempts  uint64 `json:"warmAttempts"`
+	WarmApplied   uint64 `json:"warmApplied"`
+	WarmDiscarded uint64 `json:"warmDiscarded"`
 }
 
 // StoreStats snapshots the durable store counters (durable mode only).
@@ -755,7 +766,10 @@ func (s *Service) Stats() ServiceStats {
 		Workers:  WorkerStats{Total: cap(s.exec.slots), Busy: cap(s.exec.slots) - len(s.exec.slots)},
 		Compiles: s.exec.CompileStats(),
 		Traces:   s.tr.TracerStats(),
-		LP:       LPStats{Solves: lpc.Solves, Pivots: lpc.Pivots, Interrupts: lpc.Interrupts},
+		LP: LPStats{
+			Solves: lpc.Solves, Pivots: lpc.Pivots, Interrupts: lpc.Interrupts,
+			WarmAttempts: lpc.WarmAttempts, WarmApplied: lpc.WarmApplied, WarmDiscarded: lpc.WarmDiscarded,
+		},
 	}
 	ms := m.runtime.sample()
 	st.Runtime = RuntimeStats{
