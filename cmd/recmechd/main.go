@@ -136,6 +136,7 @@ func main() {
 		spendWin   = flag.Duration("spend-window", 0, "sliding window for the ε burn-rate and budget-TTL forecasts (0 = default 1h)")
 		estThresh  = flag.Int("estimate-threshold", 0, "graph size in edges at which mode \"auto\" compiles through the sampling estimator instead of exact enumeration (0 = default 500000, negative = never auto-sample)")
 		estSamples = flag.Int("estimate-samples", 0, "estimator sample budget when a sampled request omits one (0 = default 20000)")
+		deltaKeep  = flag.Int("delta-keep-window", 0, "journalled appends per dataset before the delta chain is folded into a full re-materialization (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -161,6 +162,7 @@ func main() {
 		SpendRateWindow:    *spendWin,
 		EstimateThreshold:  *estThresh,
 		EstimateSamples:    *estSamples,
+		DeltaKeepWindow:    *deltaKeep,
 	}
 	var svc *service.Service
 	if *dataDir != "" {

@@ -1,0 +1,101 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"recmech/internal/boolexpr"
+	"recmech/internal/krel"
+	"recmech/internal/relax"
+)
+
+// EncodedTuple is one annotated tuple together with its precomputed
+// φ-sensitivity map — the per-tuple artifact NewEfficient derives during a
+// compile. It exists for delta compiles: under node privacy the boolexpr
+// variable of node v is stable across dataset generations (relation
+// universes are pre-populated in node order), so the encode of an
+// occurrence that survives an edge delta can be adopted verbatim by the
+// next generation's Efficient instead of being recomputed.
+type EncodedTuple struct {
+	T    krel.Annotated
+	Sens map[boolexpr.Var]float64
+}
+
+// EncodeTuple computes one tuple's reusable encode — exactly the
+// relax.Sensitivities walk NewEfficient performs per retained tuple.
+func EncodeTuple(t krel.Annotated) EncodedTuple {
+	return EncodedTuple{T: t, Sens: relax.Sensitivities(t.Ann)}
+}
+
+// EncodedTuples returns the retained tuples aligned with their sensitivity
+// maps, in flattening order. Tuples NewEfficient filtered out (zero weight,
+// constant annotations) do not appear — callers splicing encodes across
+// generations must check NumTuples against their own occurrence count to
+// detect the filter having fired (graph counting relations never trip it:
+// every tuple is a weight-1 conjunction). The maps are shared, not copied;
+// an Efficient never mutates them after construction.
+func (e *Efficient) EncodedTuples() []EncodedTuple {
+	out := make([]EncodedTuple, len(e.tuples))
+	for i, t := range e.tuples {
+		out[i] = EncodedTuple{T: t, Sens: e.sens[i]}
+	}
+	return out
+}
+
+// NewEfficientEncoded is NewEfficient over pre-encoded tuples: the same
+// validation, the same filter semantics, the same resulting state — an
+// Efficient built here is indistinguishable from one built by NewEfficient
+// on the underlying tuples, which is what keeps delta-compiled plans
+// bit-identical to cold compiles — except that a tuple carrying a non-nil
+// sensitivity map adopts it instead of recomputing it.
+// The used-variable set is collected from the sensitivity map keys rather
+// than a fresh Ann.Vars walk: relax.Sensitivities gives every occurring
+// variable a strictly positive value (OpVar contributes 1, OpAnd sums, OpOr
+// takes the max of positives), so the key set equals the variable set and
+// the walk — the dominant cost of re-encoding on the delta path — is
+// redundant. A mark array in variable order replaces the seen-map-then-sort
+// of NewEfficient with the identical ascending result.
+func NewEfficientEncoded(nP int, tuples []EncodedTuple) (*Efficient, error) {
+	if nP < 0 {
+		return nil, fmt.Errorf("mechanism: negative participant count %d", nP)
+	}
+	e := &Efficient{nP: nP, usedIdx: make(map[boolexpr.Var]int)}
+	e.tuples = make([]krel.Annotated, 0, len(tuples))
+	e.weights = make([]float64, 0, len(tuples))
+	e.sens = make([]map[boolexpr.Var]float64, 0, len(tuples))
+	mark := make([]bool, nP)
+	for _, et := range tuples {
+		t := et.T
+		if t.Weight < 0 {
+			return nil, fmt.Errorf("mechanism: negative tuple weight %v", t.Weight)
+		}
+		if t.Weight == 0 || t.Ann.Op() == boolexpr.OpFalse {
+			continue // contributes nothing to any H_i or G_i
+		}
+		if t.Ann.Op() == boolexpr.OpTrue {
+			e.constSum += t.Weight
+			continue
+		}
+		sens := et.Sens
+		if sens == nil {
+			sens = relax.Sensitivities(t.Ann)
+		}
+		for v := range sens {
+			if v < 0 || int(v) >= nP {
+				return nil, fmt.Errorf("mechanism: annotation variable v%d outside universe of %d participants", v, nP)
+			}
+			mark[v] = true
+		}
+		e.tuples = append(e.tuples, t)
+		e.weights = append(e.weights, t.Weight)
+		e.sens = append(e.sens, sens)
+	}
+	for v := 0; v < nP; v++ {
+		if mark[v] {
+			e.used = append(e.used, boolexpr.Var(v))
+		}
+	}
+	for i, v := range e.used {
+		e.usedIdx[v] = i
+	}
+	return e, nil
+}

@@ -245,3 +245,39 @@ func spanInfo(sp *trace.Span, seq string, i int, info mechanism.SolveInfo, err e
 func (m *memoSeq) solves() (h, g uint64) {
 	return m.hSolves.Load(), m.gSolves.Load()
 }
+
+// inherit copies the predecessor generation's retained terminal bases into
+// this memo, so the first release on a delta-compiled plan seeds its H/G
+// solves from the parent generation instead of running cold. Bases are a
+// pure performance channel — an incompatible seed is discarded inside the
+// solver and exactness is unconditional either way (certified-or-discard) —
+// so inheritance can only skip pivots, never change a bit. When values is
+// true (the delta left the LP encoding semantically identical: same tuples,
+// same participant count, node privacy), the solved H/G values themselves
+// carry over too and the new generation's first release skips those solves
+// entirely.
+func (m *memoSeq) inherit(from *memoSeq, values bool) (vals, seeds int) {
+	from.mu.RLock()
+	defer from.mu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, b := range from.warmH {
+		m.warmH[i] = b
+		seeds++
+	}
+	for i, b := range from.warmG {
+		m.warmG[i] = b
+		seeds++
+	}
+	if values {
+		for i, v := range from.h {
+			m.h[i] = v
+			vals++
+		}
+		for i, v := range from.g {
+			m.g[i] = v
+			vals++
+		}
+	}
+	return vals, seeds
+}

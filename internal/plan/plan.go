@@ -320,6 +320,15 @@ type Plan struct {
 	profile  CompileProfile // how much the one-time compile cost
 	sampled  *sampledState  // non-nil iff this is an estimator-tier plan
 
+	// Delta-compile state (see delta.go). spec is the validated spec the
+	// plan was compiled from; occ the retained enumeration and eff the typed
+	// LP encoding, both nil for SQL and sampled plans. Retaining the match
+	// list trades memory for Advance speed — that trade is the point of the
+	// incremental compile path.
+	spec *Spec
+	occ  *subgraph.Occurrences
+	eff  *mechanism.Efficient
+
 	// lpWarmOff disables LP warm-start basis handoff on this plan's ladder
 	// solves (SetLPWarmStart; the -lp-warm-start service flag lands here).
 	// The zero value — warm start on — is the production default. Purely a
@@ -433,7 +442,11 @@ func CompileContext(ctx context.Context, src Source, spec *Spec, workers *pool.P
 		return nil, err
 	}
 	if spec.Mode == ModeSampled {
-		return compileSampled(ctx, src, spec)
+		p, err := compileSampled(ctx, src, spec)
+		if err == nil {
+			p.spec = spec // retained so Advance can fall back to a fresh compile
+		}
+		return p, err
 	}
 	csp := trace.Child(ctx, "plan.compile")
 	csp.Str("kind", spec.Kind).Str("privacy", spec.Privacy())
@@ -448,7 +461,7 @@ func CompileContext(ctx context.Context, src Source, spec *Spec, workers *pool.P
 	}
 	t0 := time.Now()
 	bsp := trace.StartChild(csp, buildName)
-	sens, err := buildSensitive(src, spec, shardSpanFan(fan, bsp))
+	sens, occ, err := buildSensitive(src, spec, shardSpanFan(fan, bsp))
 	bsp.End()
 	if err != nil {
 		csp.Str("error", err.Error())
@@ -483,6 +496,9 @@ func CompileContext(ctx context.Context, src Source, spec *Spec, workers *pool.P
 		live:     live,
 		pool:     workers,
 		profile:  prof,
+		spec:     spec,
+		occ:      occ,
+		eff:      seq,
 	}, nil
 }
 
@@ -511,55 +527,60 @@ func shardSpanFan(fan subgraph.Fanout, parent *trace.Span) subgraph.Fanout {
 // enumeration; a non-nil error from it is the fanout's cancellation and is
 // passed through untyped (it is not the caller's fault, so it must not
 // match ErrSpec).
-func buildSensitive(src Source, spec *Spec, fan subgraph.Fanout) (*krel.Sensitive, error) {
+//
+// Graph kinds enumerate through the retained constructors of
+// internal/subgraph, whose match lists are byte-identical to the plain *Fan
+// enumerators; the retained structure comes back as the second result so
+// the plan can Advance under dataset deltas. SQL returns a nil retention.
+func buildSensitive(src Source, spec *Spec, fan subgraph.Fanout) (*krel.Sensitive, *subgraph.Occurrences, error) {
 	switch spec.Kind {
 	case KindSQL:
 		if src.DB == nil {
-			return nil, specErrorf("kind %q needs a relational dataset", spec.Kind)
+			return nil, nil, specErrorf("kind %q needs a relational dataset", spec.Kind)
 		}
 		q := spec.parsed
 		if q == nil {
 			var err error
 			if q, err = query.Parse(spec.Query); err != nil {
-				return nil, &SpecError{Reason: err.Error()}
+				return nil, nil, &SpecError{Reason: err.Error()}
 			}
 		}
 		out, err := q.Eval(src.DB)
 		if err != nil {
-			return nil, &SpecError{Reason: err.Error()}
+			return nil, nil, &SpecError{Reason: err.Error()}
 		}
-		return krel.NewSensitive(src.Universe, out), nil
+		return krel.NewSensitive(src.Universe, out), nil, nil
 	case KindTriangles, KindKStars, KindKTriangles, KindPattern:
 		if src.Graph == nil {
-			return nil, specErrorf("kind %q needs a graph dataset", spec.Kind)
+			return nil, nil, specErrorf("kind %q needs a graph dataset", spec.Kind)
 		}
 	default:
-		return nil, specErrorf("unknown kind %q", spec.Kind)
+		return nil, nil, specErrorf("unknown kind %q", spec.Kind)
 	}
 	priv := subgraph.NodePrivacy
 	if spec.EdgePrivacy {
 		priv = subgraph.EdgePrivacy
 	}
-	var matches []subgraph.Match
+	var occ *subgraph.Occurrences
 	var err error
 	switch spec.Kind {
 	case KindTriangles:
-		matches, err = subgraph.TrianglesFan(src.Graph, fan)
+		occ, err = subgraph.TrianglesRetained(src.Graph, fan)
 	case KindKStars:
-		matches, err = subgraph.KStarsFan(src.Graph, spec.K, fan)
+		occ, err = subgraph.KStarsRetained(src.Graph, spec.K, fan)
 	case KindKTriangles:
-		matches, err = subgraph.KTrianglesFan(src.Graph, spec.K, fan)
+		occ, err = subgraph.KTrianglesRetained(src.Graph, spec.K, fan)
 	default: // KindPattern
 		var p subgraph.Pattern
 		if p, err = spec.pattern(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		matches, err = subgraph.FindMatchesFan(src.Graph, p, fan)
+		occ, err = subgraph.PatternRetained(src.Graph, p, fan)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return subgraph.BuildRelation(src.Graph, matches, priv, nil), nil
+	return subgraph.BuildRelation(src.Graph, occ.Matches(), priv, nil), occ, nil
 }
 
 // NumParticipants returns |P| of the compiled sensitive relation.

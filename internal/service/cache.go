@@ -16,8 +16,10 @@ import "recmech/internal/sfcache"
 // Capacity is bounded: beyond the limit, the oldest recorded releases are
 // evicted FIFO. Evicting a release is always safe — a repeat of that query
 // simply spends fresh ε — and the bound keeps a long-running daemon from
-// accumulating entries forever (including entries of stale dataset
-// generations, which become unreachable when a dataset is re-registered).
+// accumulating entries forever. Entries of stale dataset generations —
+// unreachable the moment a dataset is re-uploaded, appended to, or deleted —
+// are not left to age out: the admin paths purge them eagerly (see
+// Service.purgeStale).
 //
 // The machinery (singleflight, FIFO eviction, failure-not-recorded,
 // startup Preload) lives in internal/sfcache, shared with the plan cache.

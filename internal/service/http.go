@@ -51,6 +51,7 @@ type BatchRequest struct {
 //	POST   /v1/query            Request  → Response
 //	GET    /v1/datasets         → {"datasets": [DatasetInfo…]} (sorted by name)
 //	PUT    /v1/datasets/{name}  UploadRequest → DatasetInfo
+//	PATCH  /v1/datasets/{name}  AppendRequest → DatasetInfo (delta append; see AppendDataset)
 //	DELETE /v1/datasets/{name}  → 204
 //	GET    /v1/budget/{dataset} → BudgetStatus
 //	GET    /healthz             → {"status": "ok"}
@@ -226,6 +227,20 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, err)
 			return
 		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("PATCH /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var ap AppendRequest
+		if err := decodeJSON(w, r, s.cfg.MaxUploadBytes, &ap); err != nil {
+			writeError(w, err)
+			return
+		}
+		info, err := s.AppendDataset(r.PathValue("name"), ap)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		annotate(r, info.Name, 0, "appended")
 		writeJSON(w, http.StatusOK, info)
 	})
 	mux.HandleFunc("DELETE /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {

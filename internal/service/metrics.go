@@ -12,6 +12,7 @@ import (
 
 	"recmech/internal/lp"
 	"recmech/internal/metrics"
+	"recmech/internal/plan"
 	"recmech/internal/sfcache"
 	"recmech/internal/store"
 	"recmech/internal/trace"
@@ -72,6 +73,12 @@ type serviceMetrics struct {
 	// up means the sample budget no longer fits the data.
 	estSampled, estExact *metrics.Counter
 	estRelErr            *metrics.Histogram
+
+	// appends counts accepted dataset appends (PATCH /v1/datasets/{name});
+	// the recmech_delta_compile_* families that describe what those appends'
+	// re-warms reused are process-global in internal/plan, bound at scrape
+	// time in bind.
+	appends *metrics.Counter
 
 	// runtime caches MemStats snapshots for the runtime-health gauges.
 	runtime runtimeSampler
@@ -155,6 +162,8 @@ func newServiceMetrics(window time.Duration) *serviceMetrics {
 	m.estRelErr = reg.Histogram("recmech_estimator_contract_rel_error",
 		"Estimator contract relative error per sampled release",
 		[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10})
+	m.appends = reg.Counter("recmech_dataset_appends_total",
+		"Dataset deltas accepted (PATCH /v1/datasets/{name})")
 	return m
 }
 
@@ -385,6 +394,31 @@ func (m *serviceMetrics) bind(s *Service) {
 	reg.CounterFunc("recmech_lp_warm_discarded_total", "Warm-start seeds discarded (solve fell back to cold), process-wide",
 		func() uint64 { return lp.ReadCounters().WarmDiscarded })
 
+	// Delta-compile counters are process-global (see internal/plan): every
+	// plan.Advance in the process lands here, which for this binary means the
+	// serving layer's post-append re-warm passes. Reused/encoded tuples and
+	// dirty/total units are the incremental path's leverage: reused ≫ encoded
+	// (and dirty ≪ total) is delta compiles paying off; a rising fallback
+	// share means appends stopped matching the incremental preconditions.
+	reg.CounterFunc("recmech_delta_compile_advances_total", "Plans advanced incrementally from a predecessor generation, process-wide",
+		func() uint64 { return plan.ReadDeltaCounters().Advances })
+	reg.CounterFunc("recmech_delta_compile_fallbacks_total", "Advance calls that fell back to a full recompile, process-wide",
+		func() uint64 { return plan.ReadDeltaCounters().Fallbacks })
+	reg.CounterFunc("recmech_delta_compile_identical_total", "Advances whose delta changed nothing the workload observes, process-wide",
+		func() uint64 { return plan.ReadDeltaCounters().Identical })
+	reg.CounterFunc("recmech_delta_compile_tuples_reused_total", "Encoded tuples adopted verbatim from the predecessor plan, process-wide",
+		func() uint64 { return plan.ReadDeltaCounters().TuplesReused })
+	reg.CounterFunc("recmech_delta_compile_tuples_encoded_total", "Tuples re-encoded because their enumeration unit was dirty, process-wide",
+		func() uint64 { return plan.ReadDeltaCounters().TuplesEncoded })
+	reg.CounterFunc("recmech_delta_compile_seeds_inherited_total", "Warm-start LP bases carried from the predecessor memo, process-wide",
+		func() uint64 { return plan.ReadDeltaCounters().SeedsInherited })
+	reg.CounterFunc("recmech_delta_compile_values_carried_total", "Solved H/G values carried over on identical generations, process-wide",
+		func() uint64 { return plan.ReadDeltaCounters().ValuesCarried })
+	reg.CounterFunc("recmech_delta_compile_units_total", "Enumeration units considered by advances, process-wide",
+		func() uint64 { return plan.ReadDeltaCounters().UnitsTotal })
+	reg.CounterFunc("recmech_delta_compile_units_dirty_total", "Enumeration units re-enumerated by advances, process-wide",
+		func() uint64 { return plan.ReadDeltaCounters().UnitsDirty })
+
 	// Tracing counters, from the span recorder (see internal/trace).
 	reg.CounterFunc("recmech_traces_total", "Traces recorded (fresh compiles, job items, sampled warm queries)",
 		func() uint64 { return s.tr.TracerStats().Finished })
@@ -607,6 +641,28 @@ type ServiceStats struct {
 	// contracts' error; omitted until the first release. Operator surface,
 	// present regardless of Config.ExposeAccuracy.
 	Estimator *EstimatorStats `json:"estimator,omitempty"`
+	// DeltaCompiles aggregates the dataset-append/incremental-compile path;
+	// omitted until the first append or advance. Counters other than Appends
+	// are process-wide (see internal/plan).
+	DeltaCompiles *DeltaCompileStats `json:"deltaCompiles,omitempty"`
+}
+
+// DeltaCompileStats is the /v1/stats "deltaCompiles" section: how many
+// dataset appends were accepted and what the resulting plan advances reused
+// versus recomputed (the recmech_delta_compile_* families, inlined). Healthy
+// delta traffic shows TuplesReused ≫ TuplesEncoded and UnitsDirty ≪
+// UnitsTotal; Fallbacks counts advances that gave up and recompiled.
+type DeltaCompileStats struct {
+	Appends        uint64 `json:"appends"`
+	Advances       uint64 `json:"advances"`
+	Fallbacks      uint64 `json:"fallbacks"`
+	Identical      uint64 `json:"identical"`
+	TuplesReused   uint64 `json:"tuplesReused"`
+	TuplesEncoded  uint64 `json:"tuplesEncoded"`
+	SeedsInherited uint64 `json:"seedsInherited"`
+	ValuesCarried  uint64 `json:"valuesCarried"`
+	UnitsTotal     uint64 `json:"unitsTotal"`
+	UnitsDirty     uint64 `json:"unitsDirty"`
 }
 
 // EstimatorStats summarizes the estimator tier since boot: how many releases
@@ -813,6 +869,20 @@ func (s *Service) Stats() ServiceStats {
 			es.MeanContractRelError = m.estRelErr.Sum() / float64(n)
 		}
 		st.Estimator = es
+	}
+	if dc := plan.ReadDeltaCounters(); m.appends.Value() > 0 || dc.Advances+dc.Fallbacks > 0 {
+		st.DeltaCompiles = &DeltaCompileStats{
+			Appends:        m.appends.Value(),
+			Advances:       dc.Advances,
+			Fallbacks:      dc.Fallbacks,
+			Identical:      dc.Identical,
+			TuplesReused:   dc.TuplesReused,
+			TuplesEncoded:  dc.TuplesEncoded,
+			SeedsInherited: dc.SeedsInherited,
+			ValuesCarried:  dc.ValuesCarried,
+			UnitsTotal:     dc.UnitsTotal,
+			UnitsDirty:     dc.UnitsDirty,
+		}
 	}
 	if s.store != nil {
 		sm := s.store.Metrics()

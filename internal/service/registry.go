@@ -118,6 +118,16 @@ func (r *Registry) PutRelationalVersion(name string, u *boolexpr.Universe, db *q
 	return r.put(&Dataset{Name: canonName(name), DB: db, Universe: u}, version)
 }
 
+// LastGen returns the highest generation ever registered under name in this
+// registry's life (0 for a name never seen). It outlives Delete — the
+// serving layer uses it to floor durable versions so no generation is ever
+// re-issued for different data.
+func (r *Registry) LastGen(name string) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.lastGen[canonName(name)]
+}
+
 // Delete unregisters a dataset, reporting whether it was present. Its
 // generation history is kept so a later re-registration starts beyond it.
 func (r *Registry) Delete(name string) bool {

@@ -109,6 +109,12 @@ type Config struct {
 	// EstimateSamples is the estimator's sample budget when a sampled
 	// request does not carry its own. Default 20 000 (estimate.DefaultSamples).
 	EstimateSamples int
+	// DeltaKeepWindow is how many journalled dataset deltas may accumulate
+	// in the WAL before an append folds them into a full re-materialization
+	// of the dataset (see AppendDataset). Recovery replays the chain either
+	// way; the window only trades boot-time replay work against write
+	// amplification on the append path. Default 64.
+	DeltaKeepWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +163,9 @@ func (c Config) withDefaults() Config {
 	if c.EstimateSamples < 1 {
 		c.EstimateSamples = estimate.DefaultSamples
 	}
+	if c.DeltaKeepWindow < 1 {
+		c.DeltaKeepWindow = 64
+	}
 	return c
 }
 
@@ -175,11 +184,16 @@ type Service struct {
 	tr    *trace.Tracer
 	store *store.Store // nil for a purely in-memory service
 
-	// adminMu serializes dataset mutations (upload/delete) so the durable
-	// store and the in-memory registry can never diverge: without it a
-	// DELETE racing a PUT could tombstone the manifest while the PUT's
+	// adminMu serializes dataset mutations (upload/append/delete) so the
+	// durable store and the in-memory registry can never diverge: without it
+	// a DELETE racing a PUT could tombstone the manifest while the PUT's
 	// registration resurrects the dataset in memory only.
 	adminMu sync.Mutex
+
+	// rewarmWG tracks the background plan re-warm goroutines an append
+	// spawns (see rewarmPlans), so tests — and a graceful shutdown — can
+	// wait for lineage maintenance to settle.
+	rewarmWG sync.WaitGroup
 }
 
 // New returns an empty in-memory service: budget and releases die with the
@@ -227,6 +241,12 @@ func NewWithStore(cfg Config, st *store.Store) (*Service, []error) {
 	for _, df := range files {
 		if _, err := s.registerFile(df); err != nil {
 			warns = append(warns, fmt.Errorf("service: dataset %q: funding ledger: %w", df.Name, err))
+		}
+		// Replay journalled appends beyond the materialized version, so the
+		// dataset comes back at the micro-generation the WAL last recorded —
+		// the generation the retained release keys (below) are fenced to.
+		if df.Kind == store.KindGraph {
+			warns = append(warns, s.replayDeltas(df)...)
 		}
 	}
 	for _, rel := range st.Releases() {
@@ -280,6 +300,7 @@ func (s *Service) fund(d *Dataset) error {
 func (s *Service) AddGraph(name string, g *graph.Graph) error {
 	d := s.reg.PutGraph(name, g)
 	s.met.ensureDS(d.Name)
+	s.purgeStale(d.Name, currentKeyPrefix(d))
 	return s.acct.Grant(d.Name, s.cfg.DatasetBudget)
 }
 
@@ -289,6 +310,7 @@ func (s *Service) AddGraph(name string, g *graph.Graph) error {
 func (s *Service) AddRelational(name string, u *boolexpr.Universe, db *query.Database) error {
 	d := s.reg.PutRelational(name, u, db)
 	s.met.ensureDS(d.Name)
+	s.purgeStale(d.Name, currentKeyPrefix(d))
 	return s.acct.Grant(d.Name, s.cfg.DatasetBudget)
 }
 
@@ -304,7 +326,11 @@ func (s *Service) GrantBudget(name string, epsilon float64) error {
 func (s *Service) UploadGraph(name string, edgeList []byte) (DatasetInfo, error) {
 	return s.upload(name, "graph",
 		func(canon string) (*store.DatasetFile, error) {
-			return s.store.Datasets().PutGraph(canon, edgeList)
+			// Floor past the registry's highest generation: journalled
+			// appends advance generations beyond the manifest's version, and
+			// a re-upload landing on one of them would alias retained
+			// release keys onto new data.
+			return s.store.Datasets().PutGraphFloor(canon, edgeList, s.reg.LastGen(canon)+1)
 		},
 		func(canon string) (*Dataset, error) {
 			g, err := graph.ReadEdgeList(bytes.NewReader(edgeList))
@@ -321,7 +347,8 @@ func (s *Service) UploadGraph(name string, edgeList []byte) (DatasetInfo, error)
 func (s *Service) UploadTables(name string, tables map[string][]byte) (DatasetInfo, error) {
 	return s.upload(name, "relational",
 		func(canon string) (*store.DatasetFile, error) {
-			return s.store.Datasets().PutTables(canon, tables)
+			// Same generation floor as UploadGraph (see there).
+			return s.store.Datasets().PutTablesFloor(canon, tables, s.reg.LastGen(canon)+1)
 		},
 		func(canon string) (*Dataset, error) {
 			u, db, _, err := store.ParseTables(tables)
@@ -367,6 +394,9 @@ func (s *Service) upload(name, kind string,
 			return DatasetInfo{}, err
 		}
 	}
+	// A re-upload supersedes every earlier generation: purge their cached
+	// releases and plans eagerly (the bumped generation already fences them).
+	s.purgeStale(d.Name, currentKeyPrefix(d))
 	return s.describe(d), nil
 }
 
@@ -385,15 +415,27 @@ func (s *Service) DeleteDataset(name string) error {
 	// resurrect from disk at the next restart.
 	storeHad := false
 	if s.store != nil {
-		err := s.store.Datasets().Delete(name)
+		// The tombstone adopts the registry's highest generation as its
+		// version floor: journalled appends advance the registry past the
+		// last materialized version, and without the floor a re-created
+		// dataset could re-issue one of those generations for new data —
+		// aliasing a retained release key, which is a privacy bug.
+		err := s.store.Datasets().DeleteFloor(name, s.reg.LastGen(name))
 		if err != nil && !errors.Is(err, store.ErrNoDataset) {
 			return err
 		}
 		storeHad = err == nil
+		if len(s.store.DeltasFor(name)) > 0 {
+			_ = s.store.DropDeltas(name, ^uint64(0)) // best-effort: orphans are inert
+		}
 	}
 	if !s.reg.Delete(name) && !storeHad {
 		return &DatasetError{Name: name}
 	}
+	// Cached releases and plans of every generation are unreachable now —
+	// their keys carry a generation a re-created dataset can never reuse —
+	// so reclaim them eagerly instead of waiting for FIFO eviction.
+	s.purgeStale(name, "")
 	// The in-memory per-dataset metrics go with the dataset (the durable ε
 	// ledger deliberately does not): a re-created dataset is new data and
 	// must not inherit the old one's query counts or ε-rate history.

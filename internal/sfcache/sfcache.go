@@ -167,6 +167,62 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)
 	return e.val, false, e.err
 }
 
+// Peek returns the completed, successful value for key. Unlike Do it never
+// computes, never joins an in-flight flight, and touches no event counters
+// — the maintenance read behind cache-lineage passes (advancing a cached
+// plan to a new dataset generation), which must not skew hit-ratio stats.
+func (c *Cache[V]) Peek(key string) (V, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	var zero V
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-e.ready:
+		if e.err != nil {
+			return zero, false
+		}
+		return e.val, true
+	default:
+		return zero, false
+	}
+}
+
+// Keys returns the completed entries' keys in insertion order. In-flight
+// computations are not listed (their key is only published on success).
+func (c *Cache[V]) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// RemoveFunc drops every completed entry whose key satisfies pred and
+// reports how many were dropped. In-flight computations are untouched —
+// their waiters keep waiting, and the flight publishes normally — which is
+// the same "eviction only touches completed entries" contract the bound
+// enforces. Removals are purges, not capacity evictions, so the Evictions
+// counter does not move.
+func (c *Cache[V]) RemoveFunc(pred func(key string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	kept := c.order[:0]
+	for _, k := range c.order {
+		if pred(k) {
+			if _, ok := c.entries[k]; ok {
+				delete(c.entries, k)
+				removed++
+			}
+			continue
+		}
+		kept = append(kept, k)
+	}
+	c.order = kept
+	return removed
+}
+
 // evictLocked drops the oldest completed entries beyond the bound. Every
 // key in order points at a completed entry, so eviction never cuts off
 // waiters of an in-flight computation.

@@ -94,12 +94,22 @@ func openDatasets(dir string, nosync bool) (*Datasets, error) {
 // PutGraph validates and stores edgeList (graph.ReadEdgeList format) as the
 // next version of the named graph dataset, returning the parsed dataset.
 func (d *Datasets) PutGraph(name string, edgeList []byte) (*DatasetFile, error) {
+	return d.PutGraphFloor(name, edgeList, 0)
+}
+
+// PutGraphFloor is PutGraph with a version floor: the stored version is
+// max(current+1, floor). The delta-compile path materializes micro-
+// generations it already journalled (and served) under specific version
+// numbers; the floor keeps the on-disk counter from lagging behind them,
+// which would alias release-cache keys of distinct generations — a privacy
+// bug, not just a cache bug.
+func (d *Datasets) PutGraphFloor(name string, edgeList []byte, floor uint64) (*DatasetFile, error) {
 	g, err := graph.ReadEdgeList(bytes.NewReader(edgeList))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadData, err)
 	}
 	df := &DatasetFile{Name: name, Kind: KindGraph, Graph: g}
-	err = d.putVersion(name, KindGraph, nil, df, func(verDir string) error {
+	err = d.putVersion(name, KindGraph, nil, df, floor, func(verDir string) error {
 		return writeFileAtomic(filepath.Join(verDir, "graph.txt"), edgeList, d.nosync)
 	})
 	if err != nil {
@@ -141,12 +151,17 @@ func ParseTables(tables map[string][]byte) (*boolexpr.Universe, *query.Database,
 // participant universe) as the next version of the named relational
 // dataset, returning the parsed dataset.
 func (d *Datasets) PutTables(name string, tables map[string][]byte) (*DatasetFile, error) {
+	return d.PutTablesFloor(name, tables, 0)
+}
+
+// PutTablesFloor is PutTables with a version floor; see PutGraphFloor.
+func (d *Datasets) PutTablesFloor(name string, tables map[string][]byte, floor uint64) (*DatasetFile, error) {
 	u, db, names, err := ParseTables(tables)
 	if err != nil {
 		return nil, err
 	}
 	df := &DatasetFile{Name: name, Kind: KindRelational, Universe: u, DB: db}
-	err = d.putVersion(name, KindRelational, names, df, func(verDir string) error {
+	err = d.putVersion(name, KindRelational, names, df, floor, func(verDir string) error {
 		for _, tbl := range names {
 			if err := writeFileAtomic(filepath.Join(verDir, tbl+".tbl"), tables[tbl], d.nosync); err != nil {
 				return err
@@ -160,9 +175,10 @@ func (d *Datasets) PutTables(name string, tables map[string][]byte) (*DatasetFil
 	return df, nil
 }
 
-// putVersion allocates the next version directory, fills it via write,
-// then atomically publishes the manifest. df.Version is set on success.
-func (d *Datasets) putVersion(name, kind string, tables []string, df *DatasetFile, write func(verDir string) error) error {
+// putVersion allocates the next version directory (at least floor), fills
+// it via write, then atomically publishes the manifest. df.Version is set
+// on success.
+func (d *Datasets) putVersion(name, kind string, tables []string, df *DatasetFile, floor uint64, write func(verDir string) error) error {
 	if err := ValidateName(name); err != nil {
 		return err
 	}
@@ -175,6 +191,9 @@ func (d *Datasets) putVersion(name, kind string, tables []string, df *DatasetFil
 	var version uint64 = 1
 	if m != nil {
 		version = m.Version + 1
+	}
+	if version < floor {
+		version = floor
 	}
 	dsDir := filepath.Join(d.dir, name)
 	verDir := filepath.Join(dsDir, fmt.Sprintf("v%d", version))
@@ -215,6 +234,15 @@ func (d *Datasets) putVersion(name, kind string, tables []string, df *DatasetFil
 // counter) but the data directories are removed and loads report
 // ErrNoDataset. Deleting an absent dataset is an error.
 func (d *Datasets) Delete(name string) error {
+	return d.DeleteFloor(name, 0)
+}
+
+// DeleteFloor is Delete with a version floor adopted into the tombstone:
+// the preserved version counter is raised to at least floor, so a later
+// re-creation starts beyond every generation the caller has issued —
+// including WAL-journalled delta generations that were never materialized
+// here, which a plain tombstone would know nothing about.
+func (d *Datasets) DeleteFloor(name string, floor uint64) error {
 	if err := ValidateName(name); err != nil {
 		return err
 	}
@@ -231,6 +259,9 @@ func (d *Datasets) Delete(name string) error {
 		return fmt.Errorf("%w: %q", ErrNoDataset, name)
 	}
 	m.Deleted = true
+	if m.Version < floor {
+		m.Version = floor
+	}
 	data, err := json.Marshal(m)
 	if err != nil {
 		return err
@@ -326,6 +357,40 @@ func (d *Datasets) loadLocked(name string) (*DatasetFile, error) {
 		return nil, fmt.Errorf("store: dataset %q has unknown kind %q", name, m.Kind)
 	}
 	return df, nil
+}
+
+// RawTables returns the current version's table texts of a relational
+// dataset, byte-for-byte as stored — the base the serving layer concatenates
+// row appends onto before persisting the next version.
+func (d *Datasets) RawTables(name string) (map[string][]byte, uint64, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, 0, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, err := d.readManifest(name)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, fmt.Errorf("%w: %q", ErrNoDataset, name)
+		}
+		return nil, 0, err
+	}
+	if m.Deleted {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoDataset, name)
+	}
+	if m.Kind != KindRelational {
+		return nil, 0, fmt.Errorf("store: dataset %q is not relational", name)
+	}
+	verDir := filepath.Join(d.dir, name, fmt.Sprintf("v%d", m.Version))
+	out := make(map[string][]byte, len(m.Tables))
+	for _, tbl := range m.Tables {
+		data, err := os.ReadFile(filepath.Join(verDir, tbl+".tbl"))
+		if err != nil {
+			return nil, 0, err
+		}
+		out[tbl] = data
+	}
+	return out, m.Version, nil
 }
 
 func (d *Datasets) readManifest(name string) (*manifest, error) {

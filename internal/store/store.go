@@ -85,14 +85,26 @@ type pendingResv struct {
 	Epsilon float64 `json:"eps"`
 }
 
+// DatasetDelta is one journalled dataset append: the micro-generation it
+// advanced the dataset to and the opaque delta payload (the serving layer's
+// AppendRequest encoding). Deltas live in the WAL beside releases so a
+// restart can replay appends newer than the last materialized on-disk
+// version; once the serving layer re-materializes a full version it drops
+// the deltas at or below it.
+type DatasetDelta struct {
+	Version uint64          `json:"v"`
+	Payload json.RawMessage `json:"p"`
+}
+
 // walState is the aggregate the WAL folds to. The store maintains it as a
 // live mirror while appending, so a snapshot is a pure marshal of this
 // struct — compaction never re-reads the log it is replacing.
 type walState struct {
-	Ledgers  map[string]LedgerState `json:"ledgers"`
-	Pending  map[uint64]pendingResv `json:"pending"`
-	NextID   uint64                 `json:"nextId"`
-	Releases []Release              `json:"releases"`
+	Ledgers  map[string]LedgerState    `json:"ledgers"`
+	Pending  map[uint64]pendingResv    `json:"pending"`
+	NextID   uint64                    `json:"nextId"`
+	Releases []Release                 `json:"releases"`
+	Deltas   map[string][]DatasetDelta `json:"deltas,omitempty"`
 }
 
 func newWALState() *walState {
@@ -100,6 +112,7 @@ func newWALState() *walState {
 		Ledgers: make(map[string]LedgerState),
 		Pending: make(map[uint64]pendingResv),
 		NextID:  1,
+		Deltas:  make(map[string][]DatasetDelta),
 	}
 }
 
@@ -109,6 +122,7 @@ func (st *walState) clone() *walState {
 		Pending:  make(map[uint64]pendingResv, len(st.Pending)),
 		NextID:   st.NextID,
 		Releases: append([]Release(nil), st.Releases...),
+		Deltas:   make(map[string][]DatasetDelta, len(st.Deltas)),
 	}
 	for k, v := range st.Ledgers {
 		c.Ledgers[k] = v
@@ -116,10 +130,17 @@ func (st *walState) clone() *walState {
 	for k, v := range st.Pending {
 		c.Pending[k] = v
 	}
+	for k, v := range st.Deltas {
+		c.Deltas[k] = append([]DatasetDelta(nil), v...)
+	}
 	return c
 }
 
-// event is one WAL record. Op is one of grant, resv, commit, refund, rel.
+// event is one WAL record. Op is one of grant, resv, commit, refund, rel,
+// delta, deltadrop. Delta records reuse ID as the dataset micro-generation:
+// "delta" journals one append advancing Dataset to version ID, "deltadrop"
+// forgets every journalled delta of Dataset with version at or below ID
+// (the serving layer re-materialized a full on-disk version there).
 type event struct {
 	Op      string          `json:"op"`
 	Dataset string          `json:"ds,omitempty"`
@@ -154,6 +175,23 @@ func (st *walState) apply(e *event) error {
 		delete(st.Pending, e.ID)
 	case "rel":
 		st.Releases = append(st.Releases, Release{Key: e.Key, Payload: e.Payload})
+	case "delta":
+		if st.Deltas == nil { // state decoded from a pre-delta snapshot
+			st.Deltas = make(map[string][]DatasetDelta)
+		}
+		st.Deltas[e.Dataset] = append(st.Deltas[e.Dataset], DatasetDelta{Version: e.ID, Payload: e.Payload})
+	case "deltadrop":
+		kept := st.Deltas[e.Dataset][:0]
+		for _, d := range st.Deltas[e.Dataset] {
+			if d.Version > e.ID {
+				kept = append(kept, d)
+			}
+		}
+		if len(kept) == 0 {
+			delete(st.Deltas, e.Dataset)
+		} else {
+			st.Deltas[e.Dataset] = kept
+		}
 	default:
 		return fmt.Errorf("store: unknown WAL op %q", e.Op)
 	}
@@ -392,6 +430,31 @@ func (s *Store) Refund(id uint64) error {
 // restart. payload is opaque to the store and returned byte-identically.
 func (s *Store) Release(key string, payload []byte) error {
 	return s.append(&event{Op: "rel", Key: key, Payload: json.RawMessage(payload)})
+}
+
+// AppendDelta journals one dataset append advancing the named dataset to
+// micro-generation version. payload is opaque to the store (the serving
+// layer's append-request encoding) and comes back byte-identically from
+// DeltasFor. Journal the delta before mutating any in-memory dataset state:
+// the disk must know about the generation before anything serves it.
+func (s *Store) AppendDelta(dataset string, version uint64, payload []byte) error {
+	return s.append(&event{Op: "delta", Dataset: dataset, ID: version, Payload: json.RawMessage(payload)})
+}
+
+// DropDeltas journals that every delta of the named dataset with version at
+// or below upTo is superseded by a materialized on-disk version and forgets
+// them. Dropping is what keeps the journal bounded under sustained appends.
+func (s *Store) DropDeltas(dataset string, upTo uint64) error {
+	return s.append(&event{Op: "deltadrop", Dataset: dataset, ID: upTo})
+}
+
+// DeltasFor returns the retained deltas of one dataset in journal (and
+// therefore version) order. At boot the serving layer replays those newer
+// than the dataset's materialized version to reconstruct its tip.
+func (s *Store) DeltasFor(dataset string) []DatasetDelta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]DatasetDelta(nil), s.state.Deltas[dataset]...)
 }
 
 // Ledgers snapshots the durable ledger state per dataset.

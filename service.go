@@ -39,6 +39,14 @@ type (
 	StoreConfig = store.Config
 	// UploadRequest is the body of PUT /v1/datasets/{name}.
 	UploadRequest = service.UploadRequest
+	// AppendRequest is the body of PATCH /v1/datasets/{name}: a dataset
+	// delta (new graph edges, or rows for relational tables) that advances
+	// the dataset one micro-generation and re-warms its cached plans
+	// incrementally instead of recompiling from scratch.
+	AppendRequest = service.AppendRequest
+	// DeltaCompileStats aggregates the incremental-compile telemetry (the
+	// "deltaCompiles" section of ServiceStats).
+	DeltaCompileStats = service.DeltaCompileStats
 	// BudgetError is the typed rejection of an over-budget query; it
 	// matches ErrBudgetExhausted under errors.Is.
 	BudgetError = service.BudgetError
